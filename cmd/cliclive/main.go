@@ -1,0 +1,85 @@
+// Command cliclive exercises the functional CLIC implementation over real
+// UDP sockets on loopback: it transfers a payload between two in-process
+// nodes under injected datagram loss and reports the protocol's work.
+//
+// Usage:
+//
+//	cliclive [-loss 0.2] [-size 1000000] [-count 20] [-mtu 1500]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/live"
+)
+
+func main() {
+	var (
+		loss  = flag.Float64("loss", 0.2, "injected datagram loss rate [0,1)")
+		size  = flag.Int("size", 100_000, "message size in bytes")
+		count = flag.Int("count", 20, "messages to transfer")
+		mtu   = flag.Int("mtu", 1500, "datagram MTU")
+		seed  = flag.Int64("seed", 1, "loss-injection seed")
+	)
+	flag.Parse()
+
+	cfg := live.DefaultConfig()
+	cfg.MTU = *mtu
+	cfg.LossRate = *loss
+	cfg.Seed = *seed
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+
+	a, err := live.NewNode(0, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	b, err := live.NewNode(1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	live.Connect(a, b)
+
+	payload := make([]byte, *size)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	start := time.Now()
+	go func() {
+		for i := 0; i < *count; i++ {
+			if err := a.Send(1, 1, payload); err != nil {
+				log.Printf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	bad := 0
+	for i := 0; i < *count; i++ {
+		msg, err := b.Recv(1)
+		if err != nil {
+			log.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(msg.Data, payload) {
+			bad++
+		}
+	}
+	elapsed := time.Since(start)
+
+	sent, _, retrans, _, drops := a.Stats()
+	_, recvd, _, acksSent, _ := b.Stats()
+	fmt.Printf("transferred %d x %d B over lossy loopback UDP in %v\n", *count, *size, elapsed.Round(time.Millisecond))
+	fmt.Printf("corrupted messages: %d (must be 0)\n", bad)
+	fmt.Printf("sender: %d datagrams sent, %d dropped by injection (%.0f%%), %d retransmitted\n",
+		sent, drops, 100*float64(drops)/float64(sent+drops), retrans)
+	fmt.Printf("receiver: %d datagrams received, %d acknowledgements returned\n", recvd, acksSent)
+	if bad != 0 {
+		log.Fatal("integrity failure")
+	}
+	fmt.Println("go-back-N recovered every loss; delivery was exact and in order.")
+}

@@ -1,0 +1,190 @@
+// Command clicsim runs one-off cluster experiments from flags — the
+// exploration tool next to clicbench's fixed figure set. It builds a
+// cluster, streams messages from node 0 to node 1 over the chosen stack,
+// and prints throughput, latency and subsystem counters.
+//
+// Examples:
+//
+//	clicsim -stack clic -mtu 9000 -size 1000000 -count 16
+//	clicsim -stack tcp -size 65536 -count 64
+//	clicsim -stack clic -rx direct -path 3 -coalesce-us 100
+//	clicsim -stack gamma -size 0 -count 100 -pingpong
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chrometrace"
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/pcap"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		stack      = flag.String("stack", "clic", "protocol stack: clic, tcp, via, gamma")
+		mtu        = flag.Int("mtu", 1500, "link MTU (1500 or 9000 for jumbo)")
+		size       = flag.Int("size", 65536, "message size in bytes")
+		count      = flag.Int("count", 16, "messages to transfer")
+		nics       = flag.Int("nics", 1, "NICs per node (channel bonding)")
+		rxMode     = flag.String("rx", "bh", "CLIC receive mode: bh (bottom halves) or direct")
+		path       = flag.Int("path", 2, "CLIC send path 1-4 (Fig. 1)")
+		coalesceUs = flag.Int("coalesce-us", 40, "NIC interrupt coalescing window, µs")
+		pingpong   = flag.Bool("pingpong", false, "measure ping-pong latency instead of streaming")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		loss       = flag.Float64("loss", 0, "injected frame loss rate [0,1)")
+		pcapPath   = flag.String("pcap", "", "write the switch's traffic to this libpcap file")
+		tracePath  = flag.String("chrometrace", "", "write resource-occupancy timeline as Chrome Trace JSON")
+	)
+	flag.Parse()
+
+	params := model.Default()
+	params.NIC.MTU = *mtu
+	params.NIC.CoalesceUsecs = *coalesceUs
+	params.Link.LossRate = *loss
+
+	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params})
+
+	if *pcapPath != "" {
+		file, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		capture, err := pcap.NewWriter(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+			os.Exit(1)
+		}
+		pcap.Tap(c.Eng, c.Switch, capture)
+		defer func() {
+			fmt.Printf("wrote %d frames to %s\n", capture.Frames(), *pcapPath)
+		}()
+	}
+
+	if *tracePath != "" {
+		rec := chrometrace.NewRecorder()
+		chrometrace.WatchCluster(rec, c)
+		defer func() {
+			file, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer file.Close()
+			if err := rec.Flush(file); err != nil {
+				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d timeline events to %s (open in ui.perfetto.dev)\n",
+				rec.Events(), *tracePath)
+		}()
+	}
+
+	var send func(p *sim.Proc, data []byte)
+	var recv func(p *sim.Proc, n int) []byte
+	var sendBack func(p *sim.Proc, data []byte)
+	var recvBack func(p *sim.Proc, n int) []byte
+
+	switch *stack {
+	case "clic":
+		opt := clic.Options{SendPath: clic.SendPath(*path), RxMode: clic.RxBottomHalf}
+		if *rxMode == "direct" {
+			opt.RxMode = clic.RxDirectCall
+		}
+		c.EnableCLIC(opt)
+		send = func(p *sim.Proc, d []byte) { c.Nodes[0].CLIC.Send(p, 1, 7, d) }
+		recv = func(p *sim.Proc, n int) []byte { _, d := c.Nodes[1].CLIC.Recv(p, 7); return d }
+		sendBack = func(p *sim.Proc, d []byte) { c.Nodes[1].CLIC.Send(p, 0, 7, d) }
+		recvBack = func(p *sim.Proc, n int) []byte { _, d := c.Nodes[0].CLIC.Recv(p, 7); return d }
+	case "tcp":
+		c.EnableTCP()
+		l := c.Nodes[1].TCP.Listen(5001)
+		c.Go("accept", func(p *sim.Proc) {
+			conn := l.Accept(p)
+			recv = func(p *sim.Proc, n int) []byte { d, _ := conn.ReadFull(p, n); return d }
+			sendBack = func(p *sim.Proc, d []byte) { conn.Send(p, d) }
+		})
+		c.Go("dial", func(p *sim.Proc) {
+			conn := c.Nodes[0].TCP.Dial(p, 1, 5001)
+			send = func(p *sim.Proc, d []byte) { conn.Send(p, d) }
+			recvBack = func(p *sim.Proc, n int) []byte { d, _ := conn.ReadFull(p, n); return d }
+		})
+		c.Run()
+	case "via":
+		c.EnableVIA()
+		vi0 := c.Nodes[0].VIA.Open(1, 1)
+		vi1 := c.Nodes[1].VIA.Open(0, 1)
+		send = func(p *sim.Proc, d []byte) { vi0.Send(p, d) }
+		recv = func(p *sim.Proc, n int) []byte { return vi1.Recv(p) }
+		sendBack = func(p *sim.Proc, d []byte) { vi1.Send(p, d) }
+		recvBack = func(p *sim.Proc, n int) []byte { return vi0.Recv(p) }
+	case "gamma":
+		c.EnableGAMMA()
+		send = func(p *sim.Proc, d []byte) { c.Nodes[0].GAMMA.Send(p, 1, 7, d) }
+		recv = func(p *sim.Proc, n int) []byte { return c.Nodes[1].GAMMA.Recv(p, 7) }
+		sendBack = func(p *sim.Proc, d []byte) { c.Nodes[1].GAMMA.Send(p, 0, 7, d) }
+		recvBack = func(p *sim.Proc, n int) []byte { return c.Nodes[0].GAMMA.Recv(p, 7) }
+	default:
+		fmt.Fprintf(os.Stderr, "clicsim: unknown stack %q\n", *stack)
+		os.Exit(2)
+	}
+
+	payload := make([]byte, *size)
+	if *pingpong {
+		var rtt sim.Time
+		c.Go("pinger", func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < *count; i++ {
+				send(p, payload)
+				recvBack(p, *size)
+			}
+			rtt = (p.Now() - start) / sim.Time(*count)
+		})
+		c.Go("ponger", func(p *sim.Proc) {
+			for i := 0; i < *count; i++ {
+				recv(p, *size)
+				sendBack(p, payload)
+			}
+		})
+		c.Run()
+		fmt.Printf("%s %dB ping-pong: RTT %.1f µs, one-way %.1f µs\n",
+			*stack, *size, float64(rtt)/1000, float64(rtt)/2000)
+	} else {
+		var start, end sim.Time
+		c.Go("streamer", func(p *sim.Proc) {
+			start = p.Now()
+			for i := 0; i < *count; i++ {
+				send(p, payload)
+			}
+		})
+		c.Go("sink", func(p *sim.Proc) {
+			for i := 0; i < *count; i++ {
+				recv(p, *size)
+			}
+			end = p.Now()
+		})
+		c.Run()
+		bits := float64(*count) * float64(*size) * 8
+		secs := float64(end-start) / 1e9
+		fmt.Printf("%s: %d x %d B in %.3f ms = %.1f Mb/s\n",
+			*stack, *count, *size, secs*1000, bits/secs/1e6)
+	}
+
+	for i, n := range c.Nodes {
+		fmt.Printf("node%d: %d syscalls, %d interrupts, %d bottom halves, %d wakeups, cpu busy %.2f ms\n",
+			i, n.Kernel.Syscalls.Value(), n.Kernel.Interrupts.Value(),
+			n.Kernel.BottomHalfs.Value(), n.Kernel.Wakeups.Value(),
+			float64(n.Host.CPU.BusyTime())/1e6)
+		for _, adapter := range n.NICs {
+			fmt.Printf("  %s: tx %d rx %d frames, %d IRQs, %d ring drops, %d filtered\n",
+				adapter.Name, adapter.TxFrames.Value(), adapter.RxFrames.Value(),
+				adapter.IRQsFired.Value(), adapter.RxDrops.Value(), adapter.RxFiltered.Value())
+		}
+	}
+}

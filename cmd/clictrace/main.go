@@ -1,0 +1,50 @@
+// Command clictrace prints the per-stage pipeline timing of one CLIC
+// packet (the Fig. 7 instrumentation) for an arbitrary size and
+// configuration — the microscope next to clicbench's fixed 1400 B view.
+//
+// Usage:
+//
+//	clictrace [-size 1400] [-mtu 1500] [-rx bh|direct] [-path 1..4] [-coalesce-us 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/clic"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		size       = flag.Int("size", 1400, "packet size in bytes (the paper uses 1400)")
+		mtu        = flag.Int("mtu", 1500, "link MTU")
+		rxMode     = flag.String("rx", "bh", "receive mode: bh (Fig. 8a) or direct (Fig. 8b)")
+		path       = flag.Int("path", 2, "send path 1-4 (Fig. 1)")
+		coalesceUs = flag.Int("coalesce-us", 40, "interrupt coalescing window, µs")
+	)
+	flag.Parse()
+
+	params := model.Default()
+	params.NIC.MTU = *mtu
+	params.NIC.CoalesceUsecs = *coalesceUs
+
+	opt := clic.Options{SendPath: clic.SendPath(*path), RxMode: clic.RxBottomHalf}
+	switch *rxMode {
+	case "bh":
+	case "direct":
+		opt.RxMode = clic.RxDirectCall
+	default:
+		fmt.Fprintf(os.Stderr, "clictrace: unknown rx mode %q\n", *rxMode)
+		os.Exit(2)
+	}
+
+	rec := bench.PipelineTrace(&params, opt, *size)
+	fmt.Println(rec.Label)
+	fmt.Print(rec.Table())
+	if end, ok := rec.Find("app:recv-return"); ok {
+		fmt.Printf("one-way total: %.2f µs\n", float64(end)/1000)
+	}
+}

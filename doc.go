@@ -1,0 +1,15 @@
+// Package repro is a production-quality Go reproduction of "The
+// Lightweight Protocol CLIC on Gigabit Ethernet" (Díaz, Ortega, Cañas,
+// Fernández, Anguita, Prieto — University of Granada, IPPS/IPDPS 2003).
+//
+// The paper's system is a Linux-kernel communication protocol driving
+// real 2003 Gigabit Ethernet hardware; this repository rebuilds it on a
+// deterministic discrete-event simulation of that hardware (and, for the
+// protocol logic, over real UDP sockets). See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured results.
+//
+// Start at internal/core for the public API, cmd/clicbench to regenerate
+// every figure and table, and examples/quickstart for a minimal program.
+// The benchmarks in bench_test.go map one-to-one onto the paper's
+// evaluation artefacts.
+package repro

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Collectives regenerates the §5 broadcast claim: "CLIC takes advantage
+// of the multicast/broadcast capabilities offered by the Ethernet
+// data-link layer". An MPI broadcast over a binomial tree of reliable
+// unicasts is compared with one using the Ethernet hardware broadcast
+// (one wire frame per fragment regardless of receiver count, plus
+// point-to-point acknowledgements), across cluster sizes.
+func Collectives(params *model.Params) *Report {
+	r := &Report{
+		ID:       "collectives",
+		Title:    "MPI broadcast: binomial tree vs Ethernet hardware broadcast (100 KB)",
+		PaperRef: "§5 — CLIC exposes the data-link layer's broadcast/multicast to upper layers",
+		XLabel:   "nodes",
+		Columns:  []string{"tree µs", "hw bcast µs", "speedup"},
+	}
+	for _, nodes := range []int{2, 4, 8, 16} {
+		tree := bcastTime(params, nodes, 100_000, false)
+		hw := bcastTime(params, nodes, 100_000, true)
+		r.AddRow(float64(nodes), float64(tree)/1000, float64(hw)/1000, float64(tree)/float64(hw))
+	}
+	r.Notef("the tree costs O(log n) serialised transfers; the hardware broadcast one (plus acks)")
+	return r
+}
+
+// bcastTime runs one MPI broadcast of the given size across a fresh
+// cluster and returns its completion time (entry to barrier-exit at the
+// root).
+func bcastTime(params *model.Params, nodes, size int, hw bool) sim.Time {
+	c := cluster.New(cluster.Config{Nodes: nodes, Seed: 1, Params: params})
+	c.EnableCLIC(clic.DefaultOptions())
+	transports := make([]mpi.Transport, nodes)
+	ids := make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		transports[i] = c.Nodes[i].CLIC
+		ids[i] = i
+	}
+	w := mpi.NewWorld(transports, ids, &c.Params, func(rank int, p *sim.Proc, d sim.Time) {
+		c.Nodes[rank].Host.CPUWork(p, d, sim.PriNormal)
+	})
+	payload := make([]byte, size)
+	var done sim.Time
+	for i := 0; i < nodes; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			data := payload
+			if i != 0 {
+				data = nil
+			}
+			var got []byte
+			if hw {
+				got = w.Rank(i).BcastHW(p, 0, data)
+			} else {
+				got = w.Rank(i).Bcast(p, 0, data)
+			}
+			if len(got) != size {
+				panic("bench: broadcast lost data")
+			}
+			w.Rank(i).Barrier(p)
+			if i == 0 {
+				done = p.Now()
+			}
+		})
+	}
+	c.Run()
+	if done == 0 {
+		panic("bench: broadcast run did not complete")
+	}
+	return done
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Latency measures one-way latency for messages of the given size by
+// ping-pong: `rounds` round trips after a warmup, reported as mean
+// RTT/2 in nanoseconds — the measurement behind the paper's "36 µs for
+// 0 bytes" (§4).
+func Latency(setup Setup, params *model.Params, size, rounds int) sim.Time {
+	pair := setup(params)
+	payload := make([]byte, size)
+	const warmup = 3
+	var start, end sim.Time
+	pair.C.Go("pinger", func(p *sim.Proc) {
+		for i := 0; i < warmup+rounds; i++ {
+			if i == warmup {
+				start = p.Now()
+			}
+			pair.Send(p, payload)
+			pair.RecvBack(p, size)
+		}
+		end = p.Now()
+	})
+	pair.C.Go("ponger", func(p *sim.Proc) {
+		for i := 0; i < warmup+rounds; i++ {
+			pair.Recv(p, size)
+			pair.SendBack(p, payload)
+		}
+	})
+	pair.C.Run()
+	if end <= start {
+		panic("bench: latency run did not complete")
+	}
+	return (end - start) / sim.Time(2*rounds)
+}
+
+// Bandwidth measures per-message bandwidth in Mbit/s the way the paper's
+// Figs. 4-6 curves do: each repetition sends one message of the given
+// size and times it from the send call to complete delivery at the
+// receiver; repetitions are separated by an idle gap (so TCP's
+// congestion window restarts, as between the bursts of a sweep). The
+// reported rate is size / mean one-way delivery time — latency-bound for
+// small messages, pipeline-bound for large ones.
+func Bandwidth(setup Setup, params *model.Params, size int, reps int) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	pair := setup(params)
+	payload := make([]byte, size)
+	gap := 100 * sim.Millisecond
+	starts := make([]sim.Time, reps+1)
+	ends := make([]sim.Time, reps+1)
+	handshake := sim.NewSignal("bench:rendezvous")
+	delivered := 0
+	pair.C.Go("burster", func(p *sim.Proc) {
+		for i := 0; i <= reps; i++ { // rep 0 is warmup
+			p.Sleep(gap)
+			starts[i] = p.Now()
+			pair.Send(p, payload)
+			for delivered <= i {
+				handshake.Wait(p)
+			}
+		}
+	})
+	pair.C.Go("sink", func(p *sim.Proc) {
+		for i := 0; i <= reps; i++ {
+			pair.Recv(p, size)
+			ends[i] = p.Now()
+			delivered++
+			handshake.Broadcast()
+		}
+	})
+	pair.C.Run()
+	var total sim.Time
+	for i := 1; i <= reps; i++ {
+		if ends[i] <= starts[i] {
+			panic(fmt.Sprintf("bench: bandwidth run did not complete (size=%d rep=%d)", size, i))
+		}
+		total += ends[i] - starts[i]
+	}
+	mean := float64(total) / float64(reps)
+	return float64(size) * 8 / (mean / 1e9) / 1e6
+}
+
+// StreamBandwidth measures steady-state streaming bandwidth in Mbit/s:
+// the sender pushes count back-to-back messages of the given size and the
+// rate is taken on the receive side between first and last delivery.
+// Used for the polling comparators (VIA, GAMMA), whose receivers spin and
+// would burn events through Bandwidth's idle gaps, and for plateau
+// measurements generally.
+func StreamBandwidth(setup Setup, params *model.Params, size int, count int) float64 {
+	if count < 2 {
+		count = 2
+	}
+	pair := setup(params)
+	payload := make([]byte, size)
+	var first, last sim.Time
+	pair.C.Go("streamer", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			pair.Send(p, payload)
+		}
+	})
+	pair.C.Go("sink", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			pair.Recv(p, size)
+			if i == 0 {
+				first = p.Now()
+			}
+		}
+		last = p.Now()
+	})
+	pair.C.Run()
+	if last <= first {
+		panic(fmt.Sprintf("bench: stream run did not complete (size=%d)", size))
+	}
+	bytes := float64(size) * float64(count-1)
+	return bytes * 8 / (float64(last-first) / 1e9) / 1e6
+}
+
+// CountForSize picks the repetition count per size: more repetitions for
+// small messages (cheap), fewer for huge ones.
+func CountForSize(size int) int {
+	switch {
+	case size <= 10_000:
+		return 10
+	case size <= 1_000_000:
+		return 5
+	default:
+		return 2
+	}
+}
+
+// SweepSizes is the message-size grid of the paper's Figs. 4-6:
+// 10 B … 10 MB on a log scale.
+func SweepSizes() []int {
+	var sizes []int
+	for _, decade := range []int{10, 100, 1000, 10_000, 100_000, 1_000_000} {
+		for _, m := range []int{1, 2, 5} {
+			sizes = append(sizes, decade*m)
+		}
+	}
+	return append(sizes, 10_000_000)
+}
+
+// BandwidthSweep runs Bandwidth over the standard size grid and returns
+// the (sizes, Mbit/s) series.
+func BandwidthSweep(setup Setup, params *model.Params) ([]int, []float64) {
+	sizes := SweepSizes()
+	bw := make([]float64, len(sizes))
+	for i, s := range sizes {
+		bw[i] = Bandwidth(setup, params, s, CountForSize(s))
+	}
+	return sizes, bw
+}
+
+// HalfBandwidthPoint returns the smallest swept message size whose
+// bandwidth reaches half the sweep's maximum — the paper's "50% of the
+// bandwidth is reached for packets of 4 Kbytes with CLIC, and
+// approximately 16 Kbytes with TCP/IP" (§4).
+func HalfBandwidthPoint(sizes []int, bw []float64) int {
+	max := 0.0
+	for _, b := range bw {
+		if b > max {
+			max = b
+		}
+	}
+	for i, b := range bw {
+		if b >= max/2 {
+			return sizes[i]
+		}
+	}
+	return sizes[len(sizes)-1]
+}
+
+// AsymptoticBandwidth returns the sweep's large-message plateau: the mean
+// of the top quarter of the size grid.
+func AsymptoticBandwidth(sizes []int, bw []float64) float64 {
+	n := len(bw) / 4
+	if n == 0 {
+		n = 1
+	}
+	sum := 0.0
+	for _, b := range bw[len(bw)-n:] {
+		sum += b
+	}
+	return sum / float64(n)
+}

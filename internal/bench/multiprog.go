@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"repro/internal/clic"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Multiprog regenerates the paper's multiprogramming argument (§3.2b):
+// with polling (VIA, GAMMA receivers) "the processor consumes cycles
+// while it waits for messages to be received", whereas CLIC's blocking
+// receive — interrupts plus the ordinary scheduler — leaves the CPU to
+// whoever can use it. A compute process shares the receiving node's CPU
+// with a message sink while a peer sends *sparse* requests (one small
+// message per 400 µs — the coordination-message pattern the paper
+// describes); the metric is compute throughput, where 100 units/ms is an
+// idle CPU.
+func Multiprog(params *model.Params) *Report {
+	r := &Report{
+		ID:       "multiprog",
+		Title:    "CPU left for computation on a node receiving sparse messages",
+		PaperRef: "§3.2b — interrupts + scheduler (CLIC) vs polling (VIA/GAMMA) under multiprogramming",
+		XLabel:   "stack",
+		Columns:  []string{"compute units/ms (100 = idle CPU)"},
+	}
+	type result struct {
+		name  string
+		setup Setup
+	}
+	for i, cfg := range []result{
+		{"CLIC", CLICPair(clic.DefaultOptions())},
+		{"GAMMA", GAMMAPair()},
+		{"VIA", VIAPair()},
+	} {
+		units := multiprogRun(cfg.setup, params)
+		r.AddRow(float64(i+1), units)
+		r.Notef("%d = %s", i+1, cfg.name)
+	}
+	r.Notef("blocking receivers (CLIC) leave the CPU to the computation; pollers burn it waiting")
+	return r
+}
+
+// multiprogRun sends sparse small messages at node 1 while a background
+// process on node 1 performs 10 µs compute units whenever it can get the
+// CPU. Returns compute units completed per millisecond.
+func multiprogRun(setup Setup, params *model.Params) (unitsPerMs float64) {
+	pair := setup(params)
+	const size = 2000
+	const count = 50
+	const gap = 400 * sim.Microsecond
+	payload := make([]byte, size)
+	var first, last sim.Time
+	done := false
+	units := 0
+	pair.C.Go("requester", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			p.Sleep(gap)
+			pair.Send(p, payload)
+		}
+	})
+	pair.C.Go("sink", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			pair.Recv(p, size)
+			if i == 0 {
+				first = p.Now()
+			}
+		}
+		last = p.Now()
+		done = true
+	})
+	pair.C.Go("compute", func(p *sim.Proc) {
+		host := pair.C.Nodes[1].Host
+		for !done {
+			host.CPUWork(p, 10*sim.Microsecond, sim.PriNormal)
+			units++
+		}
+	})
+	pair.C.Run()
+	if last <= first {
+		panic("bench: multiprog run did not complete")
+	}
+	return float64(units) / (float64(last-first) / 1e6)
+}

@@ -1,0 +1,124 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation: ping-pong latency, streaming bandwidth sweeps, the
+// half-bandwidth point, pipeline timing tables and the figure/table
+// renderers. Each measurement builds a fresh two-node (or n-node)
+// cluster, drives a workload over a protocol pair and reads simulated
+// clocks.
+package bench
+
+import (
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+)
+
+// Pair is a ready-to-measure unidirectional messaging channel from node 0
+// to node 1 of a fresh cluster, plus the reverse direction for ping-pong.
+type Pair struct {
+	C    *cluster.Cluster
+	Name string
+
+	// Send transmits one message from node 0 to node 1.
+	Send func(p *sim.Proc, data []byte)
+	// Recv receives one message of the given size on node 1.
+	Recv func(p *sim.Proc, size int) []byte
+
+	// SendBack and RecvBack are the node 1 → node 0 direction.
+	SendBack func(p *sim.Proc, data []byte)
+	RecvBack func(p *sim.Proc, size int) []byte
+}
+
+// Setup builds a Pair from a cost model (nil means model.Default()).
+type Setup func(params *model.Params) *Pair
+
+// CLICPair returns a Setup for raw CLIC messaging with the given options.
+func CLICPair(opt clic.Options) Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableCLIC(opt)
+		const port = 100
+		return &Pair{
+			C:    c,
+			Name: "CLIC",
+			Send: func(p *sim.Proc, data []byte) { c.Nodes[0].CLIC.Send(p, 1, port, data) },
+			Recv: func(p *sim.Proc, size int) []byte {
+				_, d := c.Nodes[1].CLIC.Recv(p, port)
+				return d
+			},
+			SendBack: func(p *sim.Proc, data []byte) { c.Nodes[1].CLIC.Send(p, 0, port, data) },
+			RecvBack: func(p *sim.Proc, size int) []byte {
+				_, d := c.Nodes[0].CLIC.Recv(p, port)
+				return d
+			},
+		}
+	}
+}
+
+// BondedCLICPair is CLICPair with several NICs per node (§5 channel
+// bonding).
+func BondedCLICPair(opt clic.Options, nics int) Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: nics, Seed: 1, Params: params})
+		c.EnableCLIC(opt)
+		const port = 100
+		return &Pair{
+			C:    c,
+			Name: "CLIC-bonded",
+			Send: func(p *sim.Proc, data []byte) { c.Nodes[0].CLIC.Send(p, 1, port, data) },
+			Recv: func(p *sim.Proc, size int) []byte {
+				_, d := c.Nodes[1].CLIC.Recv(p, port)
+				return d
+			},
+			SendBack: func(p *sim.Proc, data []byte) { c.Nodes[1].CLIC.Send(p, 0, port, data) },
+			RecvBack: func(p *sim.Proc, size int) []byte {
+				_, d := c.Nodes[0].CLIC.Recv(p, port)
+				return d
+			},
+		}
+	}
+}
+
+// mpiTCPMesh wires a full TCP mesh among the cluster's nodes and runs the
+// handshakes to quiescence.
+func mpiTCPMesh(c *cluster.Cluster) []*tcpip.Messenger {
+	stacks := make([]*tcpip.Stack, len(c.Nodes))
+	for i, n := range c.Nodes {
+		stacks[i] = n.TCP
+	}
+	msgrs := tcpip.ConnectMesh(c.Eng, stacks, 6000)
+	c.Run()
+	return msgrs
+}
+
+// TCPPair returns a Setup for a TCP/IP byte stream with message framing by
+// known size (the benchmark always knows the message length, as the
+// paper's netperf-style streams do). The three-way handshake runs during
+// setup, before measurement.
+func TCPPair() Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableTCP()
+		pair := &Pair{C: c, Name: "TCP"}
+		l := c.Nodes[1].TCP.Listen(5001)
+		c.Go("accept", func(p *sim.Proc) {
+			conn := l.Accept(p)
+			pair.Recv = func(p *sim.Proc, size int) []byte {
+				d, _ := conn.ReadFull(p, size)
+				return d
+			}
+			pair.SendBack = func(p *sim.Proc, data []byte) { conn.Send(p, data) }
+		})
+		c.Go("dial", func(p *sim.Proc) {
+			conn := c.Nodes[0].TCP.Dial(p, 1, 5001)
+			pair.Send = func(p *sim.Proc, data []byte) { conn.Send(p, data) }
+			pair.RecvBack = func(p *sim.Proc, size int) []byte {
+				d, _ := conn.ReadFull(p, size)
+				return d
+			}
+		})
+		c.Run() // complete the handshake before measurement
+		return pair
+	}
+}

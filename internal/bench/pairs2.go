@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+)
+
+// MPICLICPair returns a Setup for MPI point-to-point over CLIC (the
+// paper's MPI-CLIC, Fig. 6).
+func MPICLICPair() Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableCLIC(clic.DefaultOptions())
+		world := mpi.NewWorld(
+			[]mpi.Transport{c.Nodes[0].CLIC, c.Nodes[1].CLIC},
+			[]int{0, 1}, &c.Params,
+			func(rank int, p *sim.Proc, d sim.Time) {
+				c.Nodes[rank].Host.CPUWork(p, d, sim.PriNormal)
+			})
+		const tag = 1
+		return &Pair{
+			C:        c,
+			Name:     "MPI-CLIC",
+			Send:     func(p *sim.Proc, data []byte) { world.Rank(0).Send(p, 1, tag, data) },
+			Recv:     func(p *sim.Proc, size int) []byte { return world.Rank(1).Recv(p, 0, tag) },
+			SendBack: func(p *sim.Proc, data []byte) { world.Rank(1).Send(p, 0, tag, data) },
+			RecvBack: func(p *sim.Proc, size int) []byte { return world.Rank(0).Recv(p, 1, tag) },
+		}
+	}
+}
+
+// MPITCPPair returns a Setup for MPI point-to-point over TCP/IP (Fig. 6's
+// "MPI").
+func MPITCPPair() Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableTCP()
+		msgrs := mpiTCPMesh(c)
+		world := mpi.NewWorld(
+			[]mpi.Transport{msgrs[0], msgrs[1]},
+			[]int{0, 1}, &c.Params,
+			func(rank int, p *sim.Proc, d sim.Time) {
+				c.Nodes[rank].Host.CPUWork(p, d, sim.PriNormal)
+			})
+		const tag = 1
+		return &Pair{
+			C:        c,
+			Name:     "MPI-TCP",
+			Send:     func(p *sim.Proc, data []byte) { world.Rank(0).Send(p, 1, tag, data) },
+			Recv:     func(p *sim.Proc, size int) []byte { return world.Rank(1).Recv(p, 0, tag) },
+			SendBack: func(p *sim.Proc, data []byte) { world.Rank(1).Send(p, 0, tag, data) },
+			RecvBack: func(p *sim.Proc, size int) []byte { return world.Rank(0).Recv(p, 1, tag) },
+		}
+	}
+}
+
+// PVMPair returns a Setup for PVM point-to-point over TCP/IP (Fig. 6's
+// "PVM").
+func PVMPair() Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableTCP()
+		msgrs := mpiTCPMesh(c)
+		tasks := make([]*pvm.Task, 2)
+		for i := range tasks {
+			i := i
+			tasks[i] = pvm.NewTask(i, msgrs[i], &c.Params, func(p *sim.Proc, d sim.Time) {
+				c.Nodes[i].Host.CPUWork(p, d, sim.PriNormal)
+			})
+		}
+		const tag = 1
+		send := func(t *pvm.Task, dst int) func(p *sim.Proc, data []byte) {
+			return func(p *sim.Proc, data []byte) {
+				t.InitSend(p)
+				t.PkBytes(p, data)
+				t.Send(p, dst, tag)
+			}
+		}
+		return &Pair{
+			C:        c,
+			Name:     "PVM",
+			Send:     send(tasks[0], 1),
+			Recv:     func(p *sim.Proc, size int) []byte { return tasks[1].Recv(p, 0, tag) },
+			SendBack: send(tasks[1], 0),
+			RecvBack: func(p *sim.Proc, size int) []byte { return tasks[0].Recv(p, 1, tag) },
+		}
+	}
+}
+
+// VIAPair returns a Setup for the user-level VIA comparator (§3.2, E6).
+func VIAPair() Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableVIA()
+		vi0 := c.Nodes[0].VIA.Open(1, 1)
+		vi1 := c.Nodes[1].VIA.Open(0, 1)
+		return &Pair{
+			C:        c,
+			Name:     "VIA",
+			Send:     func(p *sim.Proc, data []byte) { vi0.Send(p, data) },
+			Recv:     func(p *sim.Proc, size int) []byte { return vi1.Recv(p) },
+			SendBack: func(p *sim.Proc, data []byte) { vi1.Send(p, data) },
+			RecvBack: func(p *sim.Proc, size int) []byte { return vi0.Recv(p) },
+		}
+	}
+}
+
+// GAMMAPair returns a Setup for the GAMMA comparator (§5, E6).
+func GAMMAPair() Setup {
+	return func(params *model.Params) *Pair {
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+		c.EnableGAMMA()
+		const port = 7
+		return &Pair{
+			C:        c,
+			Name:     "GAMMA",
+			Send:     func(p *sim.Proc, data []byte) { c.Nodes[0].GAMMA.Send(p, 1, port, data) },
+			Recv:     func(p *sim.Proc, size int) []byte { return c.Nodes[1].GAMMA.Recv(p, port) },
+			SendBack: func(p *sim.Proc, data []byte) { c.Nodes[1].GAMMA.Send(p, 0, port, data) },
+			RecvBack: func(p *sim.Proc, size int) []byte { return c.Nodes[0].GAMMA.Recv(p, port) },
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PipelineTrace reproduces the Fig. 7 measurement: it times one packet of
+// the given size flowing through the full CLIC pipeline and returns the
+// per-stage checkpoints. The paper uses 1400 bytes; RxMode selects
+// between the Fig. 7a (bottom halves) and Fig. 7b (direct call) variants.
+func PipelineTrace(params *model.Params, opt clic.Options, size int) *trace.Rec {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+	c.EnableCLIC(opt)
+	const port = 40
+	mode := "bottom-half"
+	if opt.RxMode == clic.RxDirectCall {
+		mode = "direct-call"
+	}
+	rec := &trace.Rec{Label: fmt.Sprintf("CLIC %d B, %s receive", size, mode)}
+	payload := make([]byte, size)
+	c.Go("sender", func(p *sim.Proc) {
+		// Warm up ports and channels, then trace the second packet.
+		c.Nodes[0].CLIC.Send(p, 1, port, payload)
+		p.Sleep(sim.Millisecond)
+		rec.Mark("app:send-call", p.Now())
+		c.Nodes[0].CLIC.TraceNext = rec
+		c.Nodes[0].CLIC.Send(p, 1, port, payload)
+		rec.Mark("app:send-return", p.Now())
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		c.Nodes[1].CLIC.Recv(p, port)
+		c.Nodes[1].CLIC.Recv(p, port)
+		rec.Mark("app:recv-return", p.Now())
+	})
+	c.Run()
+
+	// Rebase timestamps to the traced send call.
+	base, ok := rec.Find("app:send-call")
+	if !ok {
+		panic("bench: trace did not capture the send call")
+	}
+	for i := range rec.Stages {
+		rec.Stages[i].At -= base
+	}
+	return rec
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Report is one regenerated table or figure: labelled series over an
+// x-axis (message size for the sweeps), plus free-form note lines for
+// scalar results and paper comparisons.
+type Report struct {
+	ID       string
+	Title    string
+	PaperRef string
+	XLabel   string
+	YLabel   string
+	Columns  []string
+	Rows     []Row
+	Notes    []string
+}
+
+// Row is one x point with one value per column (NaN = missing).
+type Row struct {
+	X      float64
+	Values []float64
+}
+
+// AddRow appends a data row.
+func (r *Report) AddRow(x float64, values ...float64) {
+	r.Rows = append(r.Rows, Row{X: x, Values: values})
+}
+
+// Notef appends a formatted note line.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table renders the report as an aligned text table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s\n", r.ID, r.Title)
+	if r.PaperRef != "" {
+		fmt.Fprintf(&b, "   paper: %s\n", r.PaperRef)
+	}
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(&b, "%14s", r.XLabel)
+		for _, c := range r.Columns {
+			fmt.Fprintf(&b, " %14s", c)
+		}
+		b.WriteByte('\n')
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%14.0f", row.X)
+			for _, v := range row.Values {
+				if math.IsNaN(v) {
+					fmt.Fprintf(&b, " %14s", "-")
+				} else {
+					fmt.Fprintf(&b, " %14.1f", v)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the data rows as comma-separated values with a header.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.ReplaceAll(r.XLabel, ",", ";"))
+	for _, c := range r.Columns {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(c, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%g", row.X)
+		for _, v := range row.Values {
+			if math.IsNaN(v) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// chartGlyphs distinguish series in the ASCII chart.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series as a log-x ASCII chart, the terminal cousin of
+// the paper's Figs. 4-6.
+func (r *Report) Chart(width, height int) string {
+	if len(r.Rows) < 2 || width < 20 || height < 5 {
+		return ""
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, row := range r.Rows {
+		if row.X > 0 {
+			minX = math.Min(minX, row.X)
+			maxX = math.Max(maxX, row.X)
+		}
+		for _, v := range row.Values {
+			if !math.IsNaN(v) {
+				maxY = math.Max(maxY, v)
+			}
+		}
+	}
+	if maxY == 0 || minX >= maxX {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	lx := func(x float64) int {
+		f := (math.Log10(x) - math.Log10(minX)) / (math.Log10(maxX) - math.Log10(minX))
+		col := int(f * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	ly := func(y float64) int {
+		rowIdx := height - 1 - int(y/maxY*float64(height-1))
+		if rowIdx < 0 {
+			rowIdx = 0
+		}
+		if rowIdx >= height {
+			rowIdx = height - 1
+		}
+		return rowIdx
+	}
+	for si := range r.Columns {
+		g := chartGlyphs[si%len(chartGlyphs)]
+		for _, row := range r.Rows {
+			if row.X <= 0 || si >= len(row.Values) || math.IsNaN(row.Values[si]) {
+				continue
+			}
+			grid[ly(row.Values[si])][lx(row.X)] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s (log x)\n", r.YLabel, r.XLabel)
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.0f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.0f ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-10.0f%*.0f\n", minX, width-10, maxX)
+	legend := make([]string, 0, len(r.Columns))
+	for i, c := range r.Columns {
+		legend = append(legend, fmt.Sprintf("%c=%s", chartGlyphs[i%len(chartGlyphs)], c))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,116 @@
+// Package chrometrace exports simulation activity as Chrome Trace Format
+// JSON, viewable in chrome://tracing or https://ui.perfetto.dev: one
+// track per hardware resource (each node's CPU, PCI bus, memory bus),
+// showing busy spans on the simulated timeline. Together with
+// internal/pcap (the wire view) it gives the simulated cluster the same
+// observability surfaces engineers use on real systems.
+package chrometrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// event is one Chrome Trace Format entry (the JSON array flavour).
+type event struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TsUs  float64 `json:"ts"`
+	DurUs float64 `json:"dur,omitempty"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// Recorder accumulates events until Flush.
+type Recorder struct {
+	events []event
+	tracks map[string]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{tracks: map[string]int{}}
+}
+
+// track maps a resource name to a stable thread id.
+func (r *Recorder) track(name string) int {
+	id, ok := r.tracks[name]
+	if !ok {
+		id = len(r.tracks) + 1
+		r.tracks[name] = id
+	}
+	return id
+}
+
+// Watch subscribes the recorder to a resource's busy spans. The span
+// label is the resource's name.
+func (r *Recorder) Watch(res *sim.Resource) {
+	name := res.Name()
+	tid := r.track(name)
+	res.OnSpan = func(start, end sim.Time) {
+		r.events = append(r.events, event{
+			Name:  name,
+			Phase: "X",
+			TsUs:  float64(start) / 1000,
+			DurUs: float64(end-start) / 1000,
+			PID:   1,
+			TID:   tid,
+		})
+	}
+}
+
+// Mark adds an instant event on its own track (message milestones etc.).
+func (r *Recorder) Mark(at sim.Time, name string) {
+	r.events = append(r.events, event{
+		Name:  name,
+		Phase: "i",
+		TsUs:  float64(at) / 1000,
+		PID:   1,
+		TID:   r.track("events"),
+	})
+}
+
+// Events returns the number of recorded events.
+func (r *Recorder) Events() int { return len(r.events) }
+
+// Flush writes the JSON array and thread-name metadata.
+func (r *Recorder) Flush(w io.Writer) error {
+	out := make([]map[string]any, 0, len(r.events)+len(r.tracks))
+	for name, tid := range r.tracks {
+		out = append(out, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+			"args": map[string]string{"name": name},
+		})
+	}
+	for _, ev := range r.events {
+		m := map[string]any{
+			"name": ev.Name, "ph": ev.Phase, "ts": ev.TsUs,
+			"pid": ev.PID, "tid": ev.TID,
+		}
+		if ev.Phase == "X" {
+			m["dur"] = ev.DurUs
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WatchCluster subscribes the recorder to every node's CPU, PCI bus and
+// memory bus.
+func WatchCluster(r *Recorder, c *cluster.Cluster) {
+	for _, n := range c.Nodes {
+		r.Watch(n.Host.CPU)
+		r.Watch(n.Host.PCI)
+		r.Watch(n.Host.MemBus)
+	}
+}
+
+// String summarises the recorder.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("chrometrace{%d events, %d tracks}", len(r.events), len(r.tracks))
+}

@@ -1,0 +1,71 @@
+package chrometrace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/chrometrace"
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestResourceSpansRecorded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := sim.NewResource("cpu", 1)
+	rec := chrometrace.NewRecorder()
+	rec.Watch(r)
+	eng.Go("w", func(p *sim.Proc) {
+		r.Use(p, 100)
+		p.Sleep(50)
+		r.Use(p, 200)
+	})
+	eng.Run()
+	if rec.Events() != 2 {
+		t.Fatalf("%d events, want 2 busy spans", rec.Events())
+	}
+}
+
+func TestFlushIsValidJSON(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	rec := chrometrace.NewRecorder()
+	chrometrace.WatchCluster(rec, c)
+	c.Go("sender", func(p *sim.Proc) {
+		c.Nodes[0].CLIC.Send(p, 1, 7, make([]byte, 10_000))
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		c.Nodes[1].CLIC.Recv(p, 7)
+	})
+	c.Run()
+	rec.Mark(c.Eng.Now(), "done")
+
+	var buf bytes.Buffer
+	if err := rec.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("flush produced invalid JSON: %v", err)
+	}
+	spans := 0
+	meta := 0
+	for _, ev := range parsed {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if ev["dur"] == nil {
+				t.Error("complete event missing duration")
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans < 10 {
+		t.Errorf("only %d busy spans for a 10 kB transfer", spans)
+	}
+	if meta == 0 {
+		t.Error("no thread-name metadata")
+	}
+}

@@ -1,0 +1,76 @@
+package clic
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/relwin"
+	"repro/internal/sim"
+)
+
+// SendHandle tracks an asynchronous send (§5: "CLIC has primitives for
+// synchronous and asynchronous communication"). Wait returns once every
+// fragment has been acknowledged by the destination's CLIC_MODULE — the
+// sender-side completion that lets the application reuse the buffer —
+// which is weaker than SendConfirm (the receiving *process* has the
+// message) and stronger than Send returning (fragments merely posted).
+type SendHandle struct {
+	done bool
+	sig  *sim.Signal
+}
+
+// Wait blocks until the send completes.
+func (h *SendHandle) Wait(p *sim.Proc) {
+	for !h.done {
+		h.sig.Wait(p)
+	}
+}
+
+// Done reports completion without blocking.
+func (h *SendHandle) Done() bool { return h.done }
+
+type asyncSend struct {
+	dst    NodeID
+	port   uint16
+	data   []byte
+	handle *SendHandle
+}
+
+// SendAsync queues data for transmission to (dst, port) and returns
+// immediately with a handle; the endpoint's async worker posts the
+// fragments and completes the handle when the channel has acknowledged
+// them all. The buffer must not be modified until Wait returns (it is
+// the 0-copy DMA source).
+func (ep *Endpoint) SendAsync(p *sim.Proc, dst NodeID, port uint16, data []byte) *SendHandle {
+	h := &SendHandle{sig: sim.NewSignal(fmt.Sprintf("clic%d:async", ep.Node))}
+	if dst == ep.Node {
+		ep.sendLocal(p, port, data)
+		h.done = true
+		return h
+	}
+	ep.K.SyscallEnter(p)
+	ep.asyncQ.Put(asyncSend{dst: dst, port: port, data: data, handle: h})
+	ep.K.SyscallExit(p)
+	return h
+}
+
+// asyncWorker drains queued asynchronous sends in order.
+func (ep *Endpoint) asyncWorker(p *sim.Proc) {
+	for {
+		as := ep.asyncQ.Get(p)
+		lastSeq := ep.sendMessage(p, as.dst, as.port, proto.TypeData, 0, as.data)
+		tc := ep.txChanFor(as.dst)
+		for !tc.ackedThrough(lastSeq) {
+			tc.slotFree.Wait(p)
+		}
+		as.handle.done = true
+		as.handle.sig.Broadcast()
+	}
+}
+
+// ackedThrough reports whether every fragment up to and including seq has
+// been acknowledged.
+func (tc *txChan) ackedThrough(seq relwin.Seq) bool {
+	_, base := tc.win.Unacked()
+	return relwin.Before(seq, base)
+}

@@ -1,0 +1,135 @@
+package clic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestSendAsyncReturnsImmediately(t *testing.T) {
+	c := twoNodes(t, clic.DefaultOptions())
+	payload := pattern(1 << 20) // ~700 frames: a long transmission
+	var postTime, waitTime sim.Time
+	var got []byte
+	c.Go("sender", func(p *sim.Proc) {
+		start := p.Now()
+		h := c.Nodes[0].CLIC.SendAsync(p, 1, 20, payload)
+		postTime = p.Now() - start
+		h.Wait(p)
+		waitTime = p.Now() - start
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		_, got = c.Nodes[1].CLIC.Recv(p, 20)
+	})
+	c.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("async payload corrupted")
+	}
+	// The post must be syscall-scale; the wait spans the transfer.
+	if postTime > 10*sim.Microsecond {
+		t.Errorf("SendAsync blocked for %d ns; must return immediately", postTime)
+	}
+	if waitTime < 1000*sim.Microsecond {
+		t.Errorf("Wait returned after only %d ns for a 1 MB transfer", waitTime)
+	}
+}
+
+func TestSendAsyncOverlapsComputation(t *testing.T) {
+	// The point of the asynchronous primitive: computation proceeds
+	// while the transfer is in flight.
+	c := twoNodes(t, clic.DefaultOptions())
+	payload := pattern(500_000)
+	var total sim.Time
+	c.Go("sender", func(p *sim.Proc) {
+		start := p.Now()
+		h := c.Nodes[0].CLIC.SendAsync(p, 1, 21, payload)
+		// 5 ms of computation, overlapping the ~7 ms transfer.
+		for i := 0; i < 500; i++ {
+			c.Nodes[0].Host.CPUWork(p, 10*sim.Microsecond, sim.PriNormal)
+		}
+		h.Wait(p)
+		total = p.Now() - start
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		c.Nodes[1].CLIC.Recv(p, 21)
+	})
+	c.Run()
+	// Serialised (send then compute) would be ~ transfer + 5 ms; overlap
+	// must come in well under that.
+	transferAlone := sim.Time(float64(len(payload)) * 8 / 450e6 * 1e9)
+	serialised := transferAlone + 5*sim.Millisecond
+	if total >= serialised {
+		t.Errorf("no overlap: total %.2f ms vs serialised %.2f ms",
+			float64(total)/1e6, float64(serialised)/1e6)
+	}
+}
+
+func TestSendAsyncOrderingAcrossHandles(t *testing.T) {
+	c := twoNodes(t, clic.DefaultOptions())
+	const n = 10
+	var got []byte
+	c.Go("sender", func(p *sim.Proc) {
+		handles := make([]*clic.SendHandle, n)
+		for i := 0; i < n; i++ {
+			handles[i] = c.Nodes[0].CLIC.SendAsync(p, 1, 22, []byte{byte(i)})
+		}
+		for _, h := range handles {
+			h.Wait(p)
+		}
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			_, d := c.Nodes[1].CLIC.Recv(p, 22)
+			got = append(got, d[0])
+		}
+	})
+	c.Run()
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("async sends reordered: %v", got)
+		}
+	}
+}
+
+func TestSendAsyncToSelfCompletesInline(t *testing.T) {
+	c := twoNodes(t, clic.DefaultOptions())
+	c.Go("app", func(p *sim.Proc) {
+		h := c.Nodes[0].CLIC.SendAsync(p, 0, 23, []byte("self"))
+		if !h.Done() {
+			t.Error("intra-node async send not complete on return")
+		}
+		_, d := c.Nodes[0].CLIC.Recv(p, 23)
+		if string(d) != "self" {
+			t.Errorf("got %q", d)
+		}
+	})
+	c.Run()
+}
+
+func TestSendAsyncUnderLoss(t *testing.T) {
+	params := cluster.New(cluster.Config{Nodes: 1}).Params
+	params.Link.LossRate = 0.05
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 17, Params: &params})
+	c.EnableCLIC(clic.DefaultOptions())
+	payload := pattern(60_000)
+	var done bool
+	var got []byte
+	c.Go("sender", func(p *sim.Proc) {
+		h := c.Nodes[0].CLIC.SendAsync(p, 1, 24, payload)
+		h.Wait(p)
+		done = true
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		_, got = c.Nodes[1].CLIC.Recv(p, 24)
+	})
+	c.Eng.RunUntil(10 * sim.Second)
+	if !done {
+		t.Fatal("handle never completed under loss")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("async payload corrupted under loss")
+	}
+}

@@ -1,0 +1,45 @@
+package clic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestBondedBulkNoRetransmitStorm regresses the monolithic-copy bug:
+// delivering a multi-megabyte message used to charge one non-preemptible
+// multi-millisecond CPU copy, starving the interrupt path past the
+// retransmission timeout and melting the transfer into a retransmit
+// storm. Copies must be interruptible, so bulk bonded transfers complete
+// with no retransmissions at all on a lossless fabric.
+func TestBondedBulkNoRetransmitStorm(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: 2, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	payload := pattern(2 << 20)
+	const count = 4
+	got := 0
+	c.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			c.Nodes[0].CLIC.Send(p, 1, 30, payload)
+		}
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			_, d := c.Nodes[1].CLIC.Recv(p, 30)
+			if !bytes.Equal(d, payload) {
+				t.Errorf("message %d corrupted", i)
+			}
+			got++
+		}
+	})
+	end := c.Eng.RunUntil(2 * sim.Second)
+	if got != count {
+		t.Fatalf("delivered %d of %d messages by %.1f ms", got, count, float64(end)/1e6)
+	}
+	if retrans := c.Nodes[0].CLIC.S.Retransmits.Value(); retrans != 0 {
+		t.Errorf("%d retransmissions on a lossless fabric (interrupt starvation?)", retrans)
+	}
+}

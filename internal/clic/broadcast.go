@@ -1,0 +1,109 @@
+package clic
+
+import (
+	"repro/internal/ether"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Broadcast sends data to every other node on port using the Ethernet
+// data-link layer's hardware broadcast — one frame on the wire reaches
+// all nodes through the switch ("CLIC takes advantage of the
+// multicast/broadcast capabilities offered by the Ethernet data-link
+// layer, on top of which CLIC is built", §5). Delivery is best-effort:
+// there is no per-receiver acknowledgement; layers needing reliable
+// collectives build them from reliable point-to-point (see internal/mpi).
+func (ep *Endpoint) Broadcast(p *sim.Proc, port uint16, data []byte) {
+	ep.sendUnreliable(p, ether.Broadcast, port, data)
+}
+
+// JoinGroup subscribes the node to a multicast group; frames addressed to
+// the group MAC are then delivered locally.
+func (ep *Endpoint) JoinGroup(group int) {
+	ep.groups[ether.GroupMAC(group)] = true
+}
+
+// LeaveGroup unsubscribes the node from a multicast group.
+func (ep *Endpoint) LeaveGroup(group int) {
+	delete(ep.groups, ether.GroupMAC(group))
+}
+
+// Multicast sends data to every member of group on port with one wire
+// frame per fragment.
+func (ep *Endpoint) Multicast(p *sim.Proc, group int, port uint16, data []byte) {
+	ep.sendUnreliable(p, ether.GroupMAC(group), port, data)
+}
+
+// sendUnreliable fragments data to a broadcast/multicast MAC outside the
+// reliable window: per-source sequence numbers order the fragments (the
+// switch preserves per-path FIFO), but lost frames are not recovered.
+func (ep *Endpoint) sendUnreliable(p *sim.Proc, dst ether.MAC, port uint16, data []byte) {
+	ep.K.SyscallEnter(p)
+	total := len(data)
+	off := 0
+	first := true
+	for {
+		n, _ := ep.pickNIC()
+		end := off + ep.maxFragPayload(n)
+		if end > total {
+			end = total
+		}
+		last := end == total
+
+		ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend, sim.PriKernel)
+		hdr := proto.Header{Type: proto.TypeData, Port: port, Seq: ep.bcastSeq, Len: uint32(total)}
+		ep.bcastSeq++
+		if first {
+			hdr.Flags |= proto.FlagFirst
+		}
+		if last {
+			hdr.Flags |= proto.FlagLast
+		}
+		payload := hdr.Encode(make([]byte, 0, proto.HeaderBytes+end-off))
+		payload = append(payload, data[off:end]...)
+		frame := &ether.Frame{Dst: dst, Src: n.MAC, Type: ether.TypeCLIC, Payload: payload}
+
+		mode := ep.chargeSendPath(p, end-off)
+		req := &nic.TxReq{Frame: frame, Mode: mode}
+		if n.CanTx() {
+			ep.K.Host.CPUWork(p, ep.M.Driver.Send, sim.PriKernel)
+			n.PostTx(p, sim.PriKernel, req)
+		} else {
+			if mode == nic.TxDMA {
+				ep.K.Host.Memcpy(p, end-off, sim.PriKernel)
+			}
+			ep.S.Deferred.Inc()
+			ep.deferredQ.Put(&deferredTx{n: n, req: req})
+		}
+		ep.S.FramesSent.Inc()
+		off = end
+		first = false
+		if last {
+			break
+		}
+	}
+	ep.S.MsgsSent.Inc()
+	ep.S.BytesSent.Addn(int64(total))
+	ep.K.SyscallExit(p)
+}
+
+// rxBroadcast reassembles and delivers a broadcast/multicast fragment.
+// Fragments from one source arrive in order (per-path switch FIFO), so a
+// plain per-source assembly suffices; a lost fragment abandons the
+// message (best-effort semantics).
+func (ep *Endpoint) rxBroadcast(p *sim.Proc, pri int, src NodeID, dst ether.MAC,
+	hdr proto.Header, payload []byte) {
+
+	if dst.IsMulticast() && !dst.IsBroadcast() && !ep.groups[dst] {
+		return // not subscribed
+	}
+	asm, ok := ep.bcastAsm[src]
+	if !ok {
+		asm = &assembly{}
+		ep.bcastAsm[src] = asm
+	}
+	if msg := asm.add(src, rxFrame{hdr: hdr, payload: payload}); msg != nil {
+		ep.deliverMessage(p, pri, msg, &ether.Frame{})
+	}
+}

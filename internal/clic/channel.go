@@ -1,0 +1,192 @@
+package clic
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/relwin"
+	"repro/internal/sim"
+)
+
+// txChan is the transmit side of the reliable channel to one destination
+// node: a sliding window of unacknowledged frames plus a retransmission
+// timer (go-back-N) and NACK-triggered fast retransmit.
+type txChan struct {
+	ep       *Endpoint
+	dst      NodeID
+	win      *relwin.Sender[*ether.Frame]
+	slotFree *sim.Signal
+	rto      *sim.Event
+	lastGoBN sim.Time // last go-back-N, to debounce NACK storms
+}
+
+func (ep *Endpoint) txChanFor(dst NodeID) *txChan {
+	tc, ok := ep.tx[dst]
+	if !ok {
+		tc = &txChan{
+			ep:       ep,
+			dst:      dst,
+			win:      relwin.NewSender[*ether.Frame](ep.M.CLIC.Window),
+			slotFree: sim.NewSignal(fmt.Sprintf("clic%d->%d:win", ep.Node, dst)),
+		}
+		ep.tx[dst] = tc
+	}
+	return tc
+}
+
+// armRTO starts the retransmission timer if frames are in flight and it is
+// not already running.
+func (tc *txChan) armRTO() {
+	if tc.rto != nil || tc.win.InFlight() == 0 {
+		return
+	}
+	eng := tc.ep.K.Host.Eng
+	tc.rto = eng.After(tc.ep.M.CLIC.RetransmitTimeout,
+		fmt.Sprintf("clic%d->%d:rto", tc.ep.Node, tc.dst), tc.fireRTO)
+}
+
+func (tc *txChan) fireRTO() {
+	tc.rto = nil
+	tc.goBackN()
+	tc.armRTO()
+}
+
+// goBackN reposts the whole unacknowledged tail through the
+// deferred-transmit worker, which charges the driver costs.
+func (tc *txChan) goBackN() {
+	unacked, _ := tc.win.Unacked()
+	if len(unacked) == 0 {
+		return
+	}
+	tc.lastGoBN = tc.ep.K.Host.Eng.Now()
+	for _, f := range unacked {
+		tc.ep.S.Retransmits.Inc()
+		n, _ := tc.ep.pickNIC()
+		tc.ep.deferredQ.Put(&deferredTx{n: n, req: &nic.TxReq{Frame: f, Mode: nic.TxDMA}})
+	}
+}
+
+// onNack handles a receiver's gap report: resend immediately unless a
+// go-back-N just happened (the NACKs the in-flight tail provokes would
+// otherwise multiply the retransmissions).
+func (tc *txChan) onNack(cum relwin.Seq) {
+	tc.win.Ack(cum) // a NACK still acknowledges everything before the gap
+	now := tc.ep.K.Host.Eng.Now()
+	if now-tc.lastGoBN < 500*sim.Microsecond {
+		return
+	}
+	tc.goBackN()
+	if tc.rto != nil {
+		tc.rto.Cancel()
+		tc.rto = nil
+	}
+	tc.armRTO()
+	tc.slotFree.Broadcast()
+}
+
+// onAck processes a cumulative acknowledgement arriving from dst.
+func (tc *txChan) onAck(cum relwin.Seq) {
+	if tc.win.Ack(cum) == 0 {
+		return
+	}
+	if tc.rto != nil {
+		tc.rto.Cancel()
+		tc.rto = nil
+	}
+	tc.armRTO() // re-arms only if frames remain in flight
+	tc.slotFree.Broadcast()
+}
+
+// rxFrame is a received CLIC frame after header parse.
+type rxFrame struct {
+	hdr     proto.Header
+	payload []byte
+	frame   *ether.Frame // retained for trace marks
+}
+
+// assembly rebuilds one in-flight message from its in-order fragments.
+type assembly struct {
+	buf     []byte
+	want    int
+	typ     proto.PacketType
+	port    uint16
+	flags   uint8
+	started bool
+	lastSeq relwin.Seq
+
+	// precopy is set at message start when a receiver is already blocked
+	// on the port: CLIC_MODULE then moves each packet to user memory as
+	// it arrives (Fig. 3 step 6) instead of accumulating in system
+	// memory, so a long message's copy overlaps its reception.
+	precopy bool
+}
+
+func (a *assembly) begin(h proto.Header) {
+	a.buf = a.buf[:0]
+	a.want = int(h.Len)
+	a.typ = h.Type
+	a.port = h.Port
+	a.flags = 0
+	a.started = true
+}
+
+// add appends a fragment; it returns the finished message when the last
+// fragment lands, else nil.
+func (a *assembly) add(src NodeID, f rxFrame) *message {
+	if f.hdr.Flags&proto.FlagFirst != 0 {
+		a.begin(f.hdr)
+	}
+	if !a.started {
+		// Mid-message fragment with no start (e.g. the head was dropped
+		// by receiver-side flow control and this is a late duplicate):
+		// discard; go-back-N will replay the whole message in order.
+		return nil
+	}
+	a.buf = append(a.buf, f.payload...)
+	a.flags |= f.hdr.Flags
+	a.lastSeq = f.hdr.Seq
+	if f.hdr.Flags&proto.FlagLast == 0 {
+		return nil
+	}
+	a.started = false
+	if len(a.buf) != a.want {
+		// A fragment vanished between First and Last. The resequenced
+		// unicast channels can never reach this; the best-effort
+		// broadcast path can (a lost fragment), and must drop the
+		// truncated message rather than deliver garbage.
+		return nil
+	}
+	data := make([]byte, len(a.buf))
+	copy(data, a.buf)
+	return &message{Src: src, Port: a.port, Type: a.typ, Data: data}
+}
+
+// rxChan is the receive side of the reliable channel from one source node.
+type rxChan struct {
+	src       NodeID
+	reseq     *relwin.Resequencer[rxFrame]
+	asm       assembly
+	sinceAck  int
+	ackTimer  *sim.Event
+	nackTimer *sim.Event // gap-persistence timer (fast retransmit)
+}
+
+// ackReq asks the ack worker to emit a cumulative ack or a gap report.
+type ackReq struct {
+	rc   *rxChan
+	nack bool
+}
+
+func (ep *Endpoint) rxChanFor(src NodeID) *rxChan {
+	rc, ok := ep.rx[src]
+	if !ok {
+		rc = &rxChan{
+			src:   src,
+			reseq: relwin.NewResequencer[rxFrame](ep.M.CLIC.Window),
+		}
+		ep.rx[src] = rc
+	}
+	return rc
+}

@@ -1,0 +1,51 @@
+package clic_test
+
+import (
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestUnicastFilteringUnderFlooding regresses the switch-flooding bug:
+// before the switch learns a destination MAC it floods unicast frames to
+// every port, and a bystander NIC must discard copies addressed to other
+// stations. Without hardware destination filtering, the flooded copy of
+// the first message poisons the bystander's reliable channel (consuming
+// its sequence numbers) so a later message genuinely addressed to it is
+// dropped as a duplicate.
+func TestUnicastFilteringUnderFlooding(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 3, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	var got1, got2 int
+	c.Go("sender", func(p *sim.Proc) {
+		// Back-to-back sends to two destinations before either has ever
+		// transmitted (so the switch floods both).
+		c.Nodes[0].CLIC.Send(p, 1, 9, pattern(5000))
+		c.Nodes[0].CLIC.Send(p, 2, 9, pattern(5000))
+	})
+	c.Go("rx1", func(p *sim.Proc) {
+		_, d := c.Nodes[1].CLIC.Recv(p, 9)
+		got1 = len(d)
+	})
+	c.Go("rx2", func(p *sim.Proc) {
+		_, d := c.Nodes[2].CLIC.Recv(p, 9)
+		got2 = len(d)
+	})
+	c.Run()
+	if got1 != 5000 || got2 != 5000 {
+		t.Fatalf("flooded-start delivery broken: rx1=%d rx2=%d, want 5000/5000", got1, got2)
+	}
+	// The bystanders must have filtered the flooded copies in hardware.
+	filtered := c.Nodes[1].NICs[0].RxFiltered.Value() + c.Nodes[2].NICs[0].RxFiltered.Value()
+	if filtered == 0 {
+		t.Error("no frames were MAC-filtered; flooding did not occur or filtering is dead")
+	}
+	// And no spurious messages may appear on anyone's port.
+	for i := 0; i < 3; i++ {
+		if n := c.Nodes[i].CLIC.Pending(9); n != 0 {
+			t.Errorf("node %d has %d spurious pending messages", i, n)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package clic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// KernelFn is a function a node exposes for remote invocation via a
+// "kernel function packet" (§3.1 lists kernel-function packets among the
+// CLIC header's packet types). The handler runs in the receiver's kernel
+// context when the request message completes.
+type KernelFn func(args []byte) []byte
+
+// kfnReplyID marks a kernel-function reply in the function-id field.
+const kfnReplyID = 0xffff
+
+// kfnCall tracks one outstanding remote invocation.
+type kfnCall struct {
+	sig   *sim.Signal
+	reply []byte
+	done  bool
+}
+
+// RegisterKernelFn exposes fn under id (0..0xfffe). Registration is done
+// at setup time, before the simulation runs traffic.
+func (ep *Endpoint) RegisterKernelFn(id uint16, fn KernelFn) {
+	if id == kfnReplyID {
+		panic("clic: kernel function id 0xffff is reserved for replies")
+	}
+	if _, dup := ep.kfnHandlers[id]; dup {
+		panic(fmt.Sprintf("clic%d: kernel function %d registered twice", ep.Node, id))
+	}
+	ep.kfnHandlers[id] = fn
+}
+
+// CallKernelFn invokes kernel function id on dst with args and blocks
+// until the reply arrives. Request and reply travel as reliable
+// kernel-function packets.
+func (ep *Endpoint) CallKernelFn(p *sim.Proc, dst NodeID, id uint16, args []byte) []byte {
+	ep.K.SyscallEnter(p)
+	ep.kfnSeq++
+	callID := ep.kfnSeq
+	call := &kfnCall{sig: sim.NewSignal(fmt.Sprintf("clic%d:kfn%d", ep.Node, callID))}
+	ep.kfnWait[callID] = call
+
+	payload := make([]byte, 6, 6+len(args))
+	binary.BigEndian.PutUint32(payload[0:4], callID)
+	binary.BigEndian.PutUint16(payload[4:6], id)
+	payload = append(payload, args...)
+
+	if dst == ep.Node {
+		// Local invocation: run the handler directly in kernel context.
+		ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend+ep.M.CLIC.IntraNodeLatency, sim.PriKernel)
+		ep.handleKernelFn(p, sim.PriKernel, &message{Src: ep.Node, Type: proto.TypeKernelFn, Data: payload})
+	} else {
+		ep.sendMessage(p, dst, 0, proto.TypeKernelFn, 0, payload)
+	}
+	for !call.done {
+		call.sig.Wait(p)
+	}
+	delete(ep.kfnWait, callID)
+	ep.K.SyscallExit(p)
+	return call.reply
+}
+
+// handleKernelFn dispatches a completed kernel-function message: a request
+// runs the registered handler and queues the reply through the kernel
+// sender (replies must not block interrupt context on the send window); a
+// reply wakes its caller.
+func (ep *Endpoint) handleKernelFn(p *sim.Proc, pri int, msg *message) {
+	if len(msg.Data) < 6 {
+		return
+	}
+	callID := binary.BigEndian.Uint32(msg.Data[0:4])
+	fnID := binary.BigEndian.Uint16(msg.Data[4:6])
+	body := msg.Data[6:]
+
+	if fnID == kfnReplyID {
+		call, ok := ep.kfnWait[callID]
+		if !ok {
+			return
+		}
+		call.reply = append([]byte(nil), body...)
+		call.done = true
+		ep.K.Wake(p, call.sig)
+		return
+	}
+
+	fn, ok := ep.kfnHandlers[fnID]
+	if !ok {
+		return // unknown function: drop (no error channel at this layer)
+	}
+	result := fn(body)
+	reply := make([]byte, 6, 6+len(result))
+	binary.BigEndian.PutUint32(reply[0:4], callID)
+	binary.BigEndian.PutUint16(reply[4:6], kfnReplyID)
+	reply = append(reply, result...)
+
+	if msg.Src == ep.Node {
+		call, ok := ep.kfnWait[callID]
+		if !ok {
+			return
+		}
+		call.reply = reply[6:]
+		call.done = true
+		ep.K.Wake(p, call.sig)
+		return
+	}
+	ep.kfnReply(msg.Src, reply)
+}
+
+// kfnReply hands a reply to the kernel-sender worker, which runs in
+// process context and may therefore block on the send window.
+func (ep *Endpoint) kfnReply(dst NodeID, payload []byte) {
+	ep.kfnReplyQ.Put(kfnOut{dst: dst, payload: payload})
+}
+
+type kfnOut struct {
+	dst     NodeID
+	payload []byte
+}
+
+func (ep *Endpoint) kfnReplyWorker(p *sim.Proc) {
+	for {
+		out := ep.kfnReplyQ.Get(p)
+		ep.sendMessage(p, out.dst, 0, proto.TypeKernelFn, 0, out.payload)
+	}
+}

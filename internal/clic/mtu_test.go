@@ -1,0 +1,74 @@
+package clic_test
+
+import (
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/ether"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// TestJumboMismatchIsFatal demonstrates the §2 interoperability hazard:
+// "both communicating computers have to use Jumbo frames". A jumbo
+// sender facing a standard-MTU receiver never gets a message through —
+// the receiver MAC discards every giant frame — and retransmission
+// cannot save it.
+func TestJumboMismatchIsFatal(t *testing.T) {
+	// Build the mismatched pair by hand (the cluster package deliberately
+	// configures homogeneous NICs, as the paper's testbed does).
+	eng := sim.NewEngine(1)
+	params9 := cluster.New(cluster.Config{Nodes: 1}).Params
+	params9.NIC.MTU = 9000
+	params15 := cluster.New(cluster.Config{Nodes: 1}).Params
+	params15.NIC.MTU = 1500
+
+	sw := ether.NewSwitch(eng, "sw", params9.Link.SwitchLatency, params9.Link.SwitchQueueFrames)
+
+	hostA := hw.NewHost(eng, "a", &params9)
+	linkA := ether.NewLink(eng, "la", params9.Link.BitsPerSec, params9.Link.PropagationDelay)
+	nicA := nic.New(hostA, "a:eth0", ether.NodeMAC(0, 0), params9.NIC, linkA)
+	sw.AddPort(linkA)
+	kA := kernel.New(hostA)
+
+	hostB := hw.NewHost(eng, "b", &params15)
+	linkB := ether.NewLink(eng, "lb", params15.Link.BitsPerSec, params15.Link.PropagationDelay)
+	nicB := nic.New(hostB, "b:eth0", ether.NodeMAC(1, 0), params15.NIC, linkB)
+	sw.AddPort(linkB)
+	kB := kernel.New(hostB)
+
+	resolve := func(node, stripe int) ether.MAC { return ether.NodeMAC(node, 0) }
+	nodeOf := func(m ether.MAC) (int, bool) {
+		switch m {
+		case ether.NodeMAC(0, 0):
+			return 0, true
+		case ether.NodeMAC(1, 0):
+			return 1, true
+		}
+		return 0, false
+	}
+	epA := clic.New(kA, 0, []*nic.NIC{nicA}, clic.DefaultOptions(), resolve, nodeOf)
+	epB := clic.New(kB, 1, []*nic.NIC{nicB}, clic.DefaultOptions(), resolve, nodeOf)
+
+	delivered := false
+	eng.Go("sender", func(p *sim.Proc) {
+		epA.Send(p, 1, 7, make([]byte, 4000)) // one 4012 B jumbo frame
+	})
+	eng.Go("receiver", func(p *sim.Proc) {
+		epB.Recv(p, 7)
+		delivered = true
+	})
+	eng.RunUntil(100 * sim.Millisecond)
+	if delivered {
+		t.Fatal("jumbo frame crossed an MTU-1500 receiver; the MAC must discard giants")
+	}
+	if nicB.RxOversize.Value() == 0 {
+		t.Error("no oversize drops recorded")
+	}
+	if epA.S.Retransmits.Value() == 0 {
+		t.Error("sender never retransmitted; loss not even detected")
+	}
+}

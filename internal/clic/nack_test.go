@@ -1,0 +1,64 @@
+package clic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestNackSpeedsLossRecovery compares recovery with and without
+// NACK-triggered fast retransmit on a lossy fabric: the transfer must
+// complete in both modes, and the gap reports must beat waiting out the
+// 5 ms retransmission timer.
+func TestNackSpeedsLossRecovery(t *testing.T) {
+	run := func(fastRetransmit bool) sim.Time {
+		params := cluster.New(cluster.Config{Nodes: 1}).Params
+		params.Link.LossRate = 0.03
+		params.CLIC.FastRetransmit = fastRetransmit
+		c := cluster.New(cluster.Config{Nodes: 2, Seed: 21, Params: &params})
+		c.EnableCLIC(clic.DefaultOptions())
+		payload := pattern(500_000)
+		var got []byte
+		var done sim.Time
+		c.Go("sender", func(p *sim.Proc) {
+			c.Nodes[0].CLIC.Send(p, 1, 8, payload)
+		})
+		c.Go("receiver", func(p *sim.Proc) {
+			_, got = c.Nodes[1].CLIC.Recv(p, 8)
+			done = p.Now()
+		})
+		c.Eng.RunUntil(30 * sim.Second)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("transfer corrupted (fastRetransmit=%v): %d bytes", fastRetransmit, len(got))
+		}
+		return done
+	}
+	slow := run(false)
+	fast := run(true)
+	if fast >= slow {
+		t.Errorf("NACK recovery (%.2f ms) not faster than timer-only (%.2f ms)",
+			float64(fast)/1e6, float64(slow)/1e6)
+	}
+}
+
+// TestNackQuietOnCleanFabric: with no loss, no NACKs should appear (the
+// resequencer absorbs benign bonded-link reordering without reporting
+// gaps that are not real losses — bonded reordering does park frames,
+// so this checks single-link traffic only).
+func TestNackQuietOnCleanFabric(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	c.Go("sender", func(p *sim.Proc) {
+		c.Nodes[0].CLIC.Send(p, 1, 8, pattern(300_000))
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		c.Nodes[1].CLIC.Recv(p, 8)
+	})
+	c.Run()
+	if rt := c.Nodes[0].CLIC.S.Retransmits.Value(); rt != 0 {
+		t.Errorf("%d retransmissions on a clean single link", rt)
+	}
+}

@@ -1,0 +1,197 @@
+package clic
+
+import (
+	"repro/internal/ether"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/relwin"
+	"repro/internal/sim"
+)
+
+// Send transmits data to (dst, port) reliably and asynchronously: it
+// returns once every fragment has been handed to the driver (or buffered
+// in system memory when the transmit ring is full, §3.1). Delivery is
+// guaranteed by the window/ack/retransmit machinery; use SendConfirm to
+// block until the receiver has the message.
+func (ep *Endpoint) Send(p *sim.Proc, dst NodeID, port uint16, data []byte) {
+	if dst == ep.Node {
+		ep.sendLocal(p, port, data)
+		return
+	}
+	ep.K.SyscallEnter(p)
+	ep.sendMessage(p, dst, port, proto.TypeData, 0, data)
+	ep.K.SyscallExit(p)
+}
+
+// SendConfirm transmits data and blocks until the receiver's CLIC_MODULE
+// returns a confirmation-of-reception packet ("primitives to send messages
+// with confirmation of reception", §5).
+func (ep *Endpoint) SendConfirm(p *sim.Proc, dst NodeID, port uint16, data []byte) {
+	if dst == ep.Node {
+		ep.sendLocal(p, port, data)
+		return
+	}
+	ep.K.SyscallEnter(p)
+	lastSeq := ep.sendMessage(p, dst, port, proto.TypeData, proto.FlagConfirm, data)
+	sig := sim.NewSignal("clic:confirm")
+	ep.confirmWait[confirmKey{node: dst, seq: lastSeq}] = sig
+	sig.Wait(p)
+	ep.K.SyscallExit(p)
+}
+
+// sendLocal is the intra-node fast path (§5: CLIC "allows communication
+// between processes running on the same processor"): one syscall, one
+// kernel-mediated copy, no NIC.
+func (ep *Endpoint) sendLocal(p *sim.Proc, port uint16, data []byte) {
+	ep.K.SyscallEnter(p)
+	ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend+ep.M.CLIC.IntraNodeLatency, sim.PriKernel)
+	msg := &message{Src: ep.Node, Port: port, Type: proto.TypeData,
+		Data: append([]byte(nil), data...)}
+	ep.S.MsgsSent.Inc()
+	ep.S.BytesSent.Addn(int64(len(data)))
+	ep.deliverToPort(p, sim.PriKernel, msg, nil, false)
+	ep.K.SyscallExit(p)
+}
+
+// sendMessage fragments data onto the reliable channel to dst and pushes
+// each fragment down the configured Fig. 1 path. It must run with the
+// syscall already entered. It returns the sequence number of the last
+// fragment (the key a confirmation will echo).
+func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
+	typ proto.PacketType, flags uint8, data []byte) relwin.Seq {
+
+	tc := ep.txChanFor(dst)
+	total := len(data)
+	off := 0
+	first := true
+	var lastSeq relwin.Seq
+	for {
+		n, stripe := ep.pickNIC()
+		end := off + ep.maxFragPayload(n)
+		if end > total {
+			end = total
+		}
+		last := end == total
+
+		// Window flow control: block until a slot frees (finite
+		// buffering, §1). The wait happens inside the send syscall.
+		for !tc.win.CanSend() {
+			tc.slotFree.Wait(p)
+		}
+
+		// CLIC_MODULE composes the level-1 header and the 12-byte CLIC
+		// header and updates the SK_BUFF (§3.1, Fig. 7: ≈0.7 µs).
+		ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend, sim.PriKernel)
+
+		hdr := proto.Header{Type: typ, Port: port, Seq: tc.win.NextSeq(), Len: uint32(total)}
+		if first {
+			hdr.Flags |= proto.FlagFirst
+		}
+		if last {
+			hdr.Flags |= proto.FlagLast
+			hdr.Flags |= flags & proto.FlagConfirm
+		}
+		payload := hdr.Encode(make([]byte, 0, proto.HeaderBytes+end-off))
+		payload = append(payload, data[off:end]...)
+		frame := &ether.Frame{
+			Dst: ep.resolve(dst, stripe), Src: n.MAC,
+			Type: ether.TypeCLIC, Payload: payload,
+		}
+		if ep.TraceNext != nil {
+			frame.Trace = ep.TraceNext
+			ep.TraceNext = nil
+			frame.Trace.Mark("clic:module-send", p.Now())
+		}
+		lastSeq = tc.win.Push(frame)
+		tc.armRTO()
+
+		mode := ep.chargeSendPath(p, end-off)
+		if n.CanTx() {
+			// The driver maps the SK_BUFF and posts the descriptor
+			// (Fig. 7: ≈4 µs); the NIC then pulls the data as bus master
+			// and "CLIC_MODULE and the driver can finish before the data
+			// transference starts" (§3.1).
+			ep.K.Host.CPUWork(p, ep.M.Driver.Send, sim.PriKernel)
+			frame.Trace.Mark("clic:driver-posted", p.Now())
+			n.PostTx(p, sim.PriKernel, &nic.TxReq{Frame: frame, Mode: mode})
+		} else {
+			// "If the data cannot be sent at the present moment,
+			// CLIC_MODULE copies the data in the system memory" and the
+			// driver sends it later (§3.1).
+			if mode == nic.TxDMA {
+				ep.K.Host.Memcpy(p, end-off, sim.PriKernel)
+			}
+			ep.S.Deferred.Inc()
+			ep.deferredQ.Put(&deferredTx{n: n, req: &nic.TxReq{Frame: frame, Mode: mode}})
+		}
+		ep.S.FramesSent.Inc()
+
+		off = end
+		first = false
+		if last {
+			break
+		}
+	}
+	ep.S.MsgsSent.Inc()
+	ep.S.BytesSent.Addn(int64(total))
+	return lastSeq
+}
+
+// chargeSendPath charges the data-movement cost of one fragment for the
+// configured Fig. 1 path and returns how the NIC should treat the payload.
+func (ep *Endpoint) chargeSendPath(p *sim.Proc, n int) nic.TxMode {
+	h := ep.K.Host
+	switch ep.Opt.SendPath {
+	case Path2ZeroCopy:
+		// The NIC pulls straight from user pages; nothing to charge here
+		// (the DMA itself is charged on the NIC engine).
+		return nic.TxDMA
+	case Path3OneCopy:
+		h.Memcpy(p, n, sim.PriKernel) // user → kernel buffer
+		return nic.TxDMA
+	case Path1PIO:
+		h.PIO(p, n, sim.PriKernel) // user → NIC buffer, CPU-driven
+		return nic.TxPreloaded
+	case Path4TwoCopy:
+		h.Memcpy(p, n, sim.PriKernel) // user → kernel buffer
+		h.PIO(p, n, sim.PriKernel)    // kernel → NIC buffer, CPU-driven
+		return nic.TxPreloaded
+	default:
+		panic("clic: unknown send path")
+	}
+}
+
+// deferredWorker drains frames that could not be posted inline: ring-full
+// fallbacks (§3.1) and go-back-N retransmissions. It waits for transmit
+// ring space and charges the driver cost per frame.
+func (ep *Endpoint) deferredWorker(p *sim.Proc) {
+	for {
+		d := ep.deferredQ.Get(p)
+		for !d.n.CanTx() {
+			d.n.TxFree.Wait(p)
+		}
+		ep.K.Host.CPUWork(p, ep.M.Driver.Send, sim.PriKernel)
+		d.n.PostTx(p, sim.PriKernel, d.req)
+	}
+}
+
+// sendControl emits a small internal packet (ack, confirmation) outside
+// the reliable window. pri is the CPU priority of the calling context.
+func (ep *Endpoint) sendControl(p *sim.Proc, pri int, dst NodeID,
+	typ proto.PacketType, seq relwin.Seq, length uint32, port uint16) {
+
+	ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend, pri)
+	hdr := proto.Header{Type: typ, Port: port, Seq: seq, Len: length}
+	n, stripe := ep.pickNIC()
+	frame := &ether.Frame{
+		Dst: ep.resolve(dst, stripe), Src: n.MAC,
+		Type: ether.TypeCLIC, Payload: hdr.Encode(nil),
+	}
+	req := &nic.TxReq{Frame: frame, Mode: nic.TxDMA}
+	if n.CanTx() {
+		ep.K.Host.CPUWork(p, ep.M.Driver.Send, pri)
+		n.PostTx(p, pri, req)
+	} else {
+		ep.deferredQ.Put(&deferredTx{n: n, req: req})
+	}
+}

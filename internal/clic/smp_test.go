@@ -1,0 +1,72 @@
+package clic_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestSMPNodeParallelism checks the multiprocessor configuration (§5:
+// CLIC's re-entrancy matters "for clusters of multiprocessors"): two
+// compute-bound processes on a 2-CPU node overlap, where on a
+// uniprocessor they serialise.
+func TestSMPNodeParallelism(t *testing.T) {
+	run := func(cpus int) sim.Time {
+		params := cluster.New(cluster.Config{Nodes: 1}).Params
+		params.Host.CPUs = cpus
+		c := cluster.New(cluster.Config{Nodes: 1, Seed: 1, Params: &params})
+		for i := 0; i < 2; i++ {
+			c.Go(fmt.Sprintf("crunch%d", i), func(p *sim.Proc) {
+				for j := 0; j < 100; j++ {
+					c.Nodes[0].Host.CPUWork(p, 10*sim.Microsecond, sim.PriNormal)
+				}
+			})
+		}
+		return c.Run()
+	}
+	up := run(1)
+	smp := run(2)
+	if up < 1900*sim.Microsecond {
+		t.Errorf("uniprocessor finished in %d ns; two 1 ms jobs must serialise", up)
+	}
+	if smp > up*6/10 {
+		t.Errorf("SMP finished in %d ns vs UP %d; no parallel speedup", smp, up)
+	}
+}
+
+// TestSMPConcurrentEndpointUse runs two independent message flows through
+// one node's CLIC endpoint from two processes — the re-entrancy §5
+// claims ("the code is re-entrant ... several processes attempt to
+// access the OS kernel").
+func TestSMPConcurrentEndpointUse(t *testing.T) {
+	params := cluster.New(cluster.Config{Nodes: 1}).Params
+	params.Host.CPUs = 2
+	c := cluster.New(cluster.Config{Nodes: 3, Seed: 1, Params: &params})
+	c.EnableCLIC(clic.DefaultOptions())
+	const perFlow = 20
+	recvd := [2]int{}
+	// Node 0 runs two sender processes to two different peers at once.
+	for flow := 0; flow < 2; flow++ {
+		flow := flow
+		c.Go(fmt.Sprintf("sender%d", flow), func(p *sim.Proc) {
+			for i := 0; i < perFlow; i++ {
+				c.Nodes[0].CLIC.Send(p, flow+1, uint16(60+flow), pattern(2000))
+			}
+		})
+		c.Go(fmt.Sprintf("recv%d", flow), func(p *sim.Proc) {
+			for i := 0; i < perFlow; i++ {
+				_, d := c.Nodes[flow+1].CLIC.Recv(p, uint16(60+flow))
+				if len(d) == 2000 {
+					recvd[flow]++
+				}
+			}
+		})
+	}
+	c.Run()
+	if recvd[0] != perFlow || recvd[1] != perFlow {
+		t.Fatalf("concurrent flows delivered %v, want %d each", recvd, perFlow)
+	}
+}

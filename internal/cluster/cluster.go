@@ -1,0 +1,169 @@
+// Package cluster assembles simulated clusters: nodes (CPU + kernel +
+// NICs) wired through a store-and-forward Gigabit Ethernet switch, with a
+// protocol stack instantiated per node. It is the composition root the
+// examples and benchmark harness build on.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/clic"
+	"repro/internal/ether"
+	"repro/internal/gamma"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+	"repro/internal/via"
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	// Nodes is the number of cluster nodes (≥ 2 for network traffic).
+	Nodes int
+
+	// NICsPerNode enables channel bonding when > 1 (§5).
+	NICsPerNode int
+
+	// Params is the cost model; zero value means model.Default().
+	Params *model.Params
+
+	// Seed feeds the deterministic random source.
+	Seed int64
+}
+
+// Node is one cluster machine.
+type Node struct {
+	ID     int
+	Host   *hw.Host
+	Kernel *kernel.Kernel
+	NICs   []*nic.NIC
+
+	// CLIC is the node's CLIC endpoint once EnableCLIC has run.
+	CLIC *clic.Endpoint
+
+	// TCP is the node's TCP/IP stack once EnableTCP has run.
+	TCP *tcpip.Stack
+
+	// VIA is the node's user-level VIA provider once EnableVIA has run.
+	VIA *via.Stack
+
+	// GAMMA is the node's GAMMA stack once EnableGAMMA has run.
+	GAMMA *gamma.Stack
+}
+
+// Cluster is the assembled system.
+type Cluster struct {
+	Eng    *sim.Engine
+	Params model.Params
+	Switch *ether.Switch
+	Nodes  []*Node
+
+	macToNode map[ether.MAC]int
+}
+
+// New builds hosts, adapters, links and the switch. Protocol stacks are
+// attached afterwards with EnableCLIC (or the tcpip package's wiring).
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.NICsPerNode < 1 {
+		cfg.NICsPerNode = 1
+	}
+	params := model.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	c := &Cluster{
+		Eng:       eng,
+		Params:    params,
+		Switch:    ether.NewSwitch(eng, "sw0", params.Link.SwitchLatency, params.Link.SwitchQueueFrames),
+		macToNode: map[ether.MAC]int{},
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		host := hw.NewHost(eng, fmt.Sprintf("node%d", id), &c.Params)
+		node := &Node{
+			ID:     id,
+			Host:   host,
+			Kernel: kernel.New(host),
+		}
+		for i := 0; i < cfg.NICsPerNode; i++ {
+			mac := ether.NodeMAC(id, i)
+			link := ether.NewLink(eng, fmt.Sprintf("link-n%d-%d", id, i),
+				c.Params.Link.BitsPerSec, c.Params.Link.PropagationDelay)
+			link.SetLossRate(c.Params.Link.LossRate)
+			adapter := nic.New(host, fmt.Sprintf("node%d:eth%d", id, i), mac, c.Params.NIC, link)
+			c.Switch.AddPort(link)
+			node.NICs = append(node.NICs, adapter)
+			c.macToNode[mac] = id
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// Resolve maps (node, stripe index) to a destination MAC, striping over
+// the destination's adapters for bonded setups.
+func (c *Cluster) Resolve(node, stripe int) ether.MAC {
+	nics := c.Nodes[node].NICs
+	return nics[stripe%len(nics)].MAC
+}
+
+// NodeOf maps any adapter MAC back to its node.
+func (c *Cluster) NodeOf(mac ether.MAC) (int, bool) {
+	id, ok := c.macToNode[mac]
+	return id, ok
+}
+
+// EnableCLIC attaches a CLIC endpoint with the given options to every
+// node.
+func (c *Cluster) EnableCLIC(opt clic.Options) {
+	for _, n := range c.Nodes {
+		n.CLIC = clic.New(n.Kernel, n.ID, n.NICs, opt, c.Resolve, c.NodeOf)
+	}
+}
+
+// EnableTCP attaches a TCP/IP stack to every node's first NIC. A node
+// runs exactly one stack per simulation (they would share the adapter's
+// demux otherwise), matching how the paper measures them in separate
+// runs.
+func (c *Cluster) EnableTCP() {
+	for _, n := range c.Nodes {
+		c.assertBare(n)
+		n.TCP = tcpip.NewStack(n.Kernel, n.ID, n.NICs[0], c.Resolve, c.NodeOf)
+	}
+}
+
+// EnableVIA attaches the user-level VIA provider to every node.
+func (c *Cluster) EnableVIA() {
+	for _, n := range c.Nodes {
+		c.assertBare(n)
+		n.VIA = via.New(n.Host, n.ID, n.NICs[0], c.Resolve, c.NodeOf)
+	}
+}
+
+// EnableGAMMA attaches the GAMMA stack to every node.
+func (c *Cluster) EnableGAMMA() {
+	for _, n := range c.Nodes {
+		c.assertBare(n)
+		n.GAMMA = gamma.New(n.Kernel, n.ID, n.NICs[0], c.Resolve, c.NodeOf)
+	}
+}
+
+func (c *Cluster) assertBare(n *Node) {
+	if n.CLIC != nil || n.TCP != nil || n.VIA != nil || n.GAMMA != nil {
+		panic("cluster: node already runs a stack; build a separate cluster per stack")
+	}
+}
+
+// Run drives the simulation until the event queue drains or Stop is
+// called, returning the final simulated time.
+func (c *Cluster) Run() sim.Time { return c.Eng.Run() }
+
+// Go starts an application process on no particular node (the caller's
+// closure decides which endpoints it touches).
+func (c *Cluster) Go(name string, fn func(*sim.Proc)) { c.Eng.Go(name, fn) }

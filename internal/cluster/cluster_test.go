@@ -1,0 +1,67 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/ether"
+)
+
+func TestNewBuildsTopology(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 3, NICsPerNode: 2, Seed: 1})
+	if len(c.Nodes) != 3 {
+		t.Fatalf("%d nodes", len(c.Nodes))
+	}
+	if c.Switch.Ports() != 6 {
+		t.Errorf("switch has %d ports, want 6 (3 nodes x 2 NICs)", c.Switch.Ports())
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i || len(n.NICs) != 2 || n.Host == nil || n.Kernel == nil {
+			t.Errorf("node %d malformed", i)
+		}
+	}
+}
+
+func TestResolveAndNodeOf(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: 2, Seed: 1})
+	if c.Resolve(1, 0) != ether.NodeMAC(1, 0) || c.Resolve(1, 1) != ether.NodeMAC(1, 1) {
+		t.Error("resolve wrong MACs")
+	}
+	// Stripe index wraps over the destination's NIC count.
+	if c.Resolve(1, 2) != ether.NodeMAC(1, 0) {
+		t.Error("stripe wrap broken")
+	}
+	for node := 0; node < 2; node++ {
+		for idx := 0; idx < 2; idx++ {
+			got, ok := c.NodeOf(ether.NodeMAC(node, idx))
+			if !ok || got != node {
+				t.Errorf("NodeOf(%d,%d) = %d,%v", node, idx, got, ok)
+			}
+		}
+	}
+	if _, ok := c.NodeOf(ether.NodeMAC(9, 9)); ok {
+		t.Error("NodeOf invented a node")
+	}
+}
+
+func TestOneStackPerNode(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Error("enabling a second stack on the same cluster did not panic")
+		}
+	}()
+	c.EnableTCP()
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 1})
+	if c.Params.NIC.MTU != 1500 {
+		t.Errorf("default MTU %d", c.Params.NIC.MTU)
+	}
+	if c.Eng == nil {
+		t.Fatal("no engine")
+	}
+}

@@ -1,0 +1,76 @@
+// Package core is the public face of the CLIC reproduction — the paper's
+// primary contribution plus the cluster it runs on, re-exported as one
+// coherent API. Examples and downstream users import this package (plus
+// internal/sim for process handles) rather than reaching into the
+// individual substrate packages.
+//
+// Layering underneath (see DESIGN.md):
+//
+//	core ── cluster ── clic / tcpip / via / gamma   (protocol stacks)
+//	              └── kernel ── hw ── sim           (OS + hardware models)
+//	              └── nic ── ether                  (devices + wire)
+//
+// A typical session:
+//
+//	c := core.NewCluster(core.ClusterConfig{Nodes: 2})
+//	c.EnableCLIC(core.DefaultOptions())
+//	c.Go("app", func(p *sim.Proc) {
+//	    c.Nodes[0].CLIC.Send(p, 1, 7, []byte("hello"))
+//	})
+//	c.Go("peer", func(p *sim.Proc) {
+//	    src, data := c.Nodes[1].CLIC.Recv(p, 7)
+//	    ...
+//	})
+//	c.Run()
+package core
+
+import (
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// Cluster is a simulated cluster of nodes joined by a Gigabit Ethernet
+// switch.
+type Cluster = cluster.Cluster
+
+// ClusterConfig describes a cluster to build.
+type ClusterConfig = cluster.Config
+
+// Node is one cluster machine (CPU, kernel, NICs and an attached stack).
+type Node = cluster.Node
+
+// Endpoint is a node's CLIC protocol instance (CLIC_MODULE).
+type Endpoint = clic.Endpoint
+
+// Options selects CLIC variants: receive dispatch mode (Fig. 8) and send
+// data path (Fig. 1).
+type Options = clic.Options
+
+// Region is a remote-write window in a receiver's user memory.
+type Region = clic.Region
+
+// Params is the calibrated cost model of the simulated testbed.
+type Params = model.Params
+
+// Re-exported CLIC variant selectors.
+const (
+	RxBottomHalf  = clic.RxBottomHalf
+	RxDirectCall  = clic.RxDirectCall
+	Path1PIO      = clic.Path1PIO
+	Path2ZeroCopy = clic.Path2ZeroCopy
+	Path3OneCopy  = clic.Path3OneCopy
+	Path4TwoCopy  = clic.Path4TwoCopy
+)
+
+// NewCluster builds a cluster (nodes, NICs, links, switch) with no stack
+// attached; call EnableCLIC / EnableTCP / EnableVIA / EnableGAMMA next.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultOptions is the paper's Gigabit Ethernet CLIC configuration:
+// bottom-half receive, 0-copy send.
+func DefaultOptions() Options { return clic.DefaultOptions() }
+
+// DefaultParams returns the calibrated cost model (see internal/model for
+// the calibration notes).
+func DefaultParams() Params { return model.Default() }

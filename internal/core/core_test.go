@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestFacadeQuickstart exercises the package-documented usage end to end:
+// the façade must be sufficient for the quickstart without reaching into
+// the substrate packages.
+func TestFacadeQuickstart(t *testing.T) {
+	c := core.NewCluster(core.ClusterConfig{Nodes: 2, Seed: 1})
+	c.EnableCLIC(core.DefaultOptions())
+	payload := []byte("through the façade")
+	var got []byte
+	c.Go("app", func(p *sim.Proc) {
+		c.Nodes[0].CLIC.Send(p, 1, 7, payload)
+	})
+	c.Go("peer", func(p *sim.Proc) {
+		src, data := c.Nodes[1].CLIC.Recv(p, 7)
+		if src != 0 {
+			t.Errorf("src = %d", src)
+		}
+		got = data
+	})
+	c.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("façade round trip corrupted")
+	}
+}
+
+// TestFacadeVariants checks the re-exported selectors drive real variants.
+func TestFacadeVariants(t *testing.T) {
+	params := core.DefaultParams()
+	params.NIC.MTU = 9000
+	opt := core.Options{RxMode: core.RxDirectCall, SendPath: core.Path3OneCopy}
+	c := core.NewCluster(core.ClusterConfig{Nodes: 2, Seed: 1, Params: &params})
+	c.EnableCLIC(opt)
+	var n int
+	c.Go("app", func(p *sim.Proc) {
+		c.Nodes[0].CLIC.Send(p, 1, 7, make([]byte, 20_000))
+	})
+	c.Go("peer", func(p *sim.Proc) {
+		_, d := c.Nodes[1].CLIC.Recv(p, 7)
+		n = len(d)
+	})
+	c.Run()
+	if n != 20_000 {
+		t.Fatalf("variant cluster delivered %d bytes", n)
+	}
+	// Jumbo MTU: 20 kB should need only 3 frames.
+	if tx := c.Nodes[0].NICs[0].TxFrames.Value(); tx != 3 {
+		t.Errorf("jumbo send used %d frames, want 3", tx)
+	}
+}

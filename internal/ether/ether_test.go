@@ -1,0 +1,194 @@
+package ether_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ether"
+	"repro/internal/sim"
+)
+
+func TestMACHelpers(t *testing.T) {
+	if !ether.Broadcast.IsBroadcast() || !ether.Broadcast.IsMulticast() {
+		t.Error("broadcast flags wrong")
+	}
+	u := ether.NodeMAC(3, 1)
+	if u.IsBroadcast() || u.IsMulticast() {
+		t.Errorf("%v misclassified", u)
+	}
+	g := ether.GroupMAC(7)
+	if !g.IsMulticast() || g.IsBroadcast() {
+		t.Errorf("%v misclassified", g)
+	}
+	if ether.NodeMAC(1, 0) == ether.NodeMAC(1, 1) || ether.NodeMAC(1, 0) == ether.NodeMAC(2, 0) {
+		t.Error("MAC collisions")
+	}
+}
+
+func TestFrameWireMath(t *testing.T) {
+	// Minimum frame: payload padded to 46, total on wire = 8+14+46+4+12.
+	small := &ether.Frame{Payload: []byte{1}}
+	if got := small.WireBytes(); got != 84 {
+		t.Errorf("runt wire bytes = %d, want 84", got)
+	}
+	// A 1500-byte payload occupies 8+14+1500+4+12 = 1538 bytes.
+	full := &ether.Frame{Payload: make([]byte, 1500)}
+	if got := full.WireBytes(); got != 1538 {
+		t.Errorf("full wire bytes = %d, want 1538", got)
+	}
+	// At 1 Gb/s, 1538 bytes serialise in 12304 ns.
+	if got := full.WireTime(1_000_000_000); got != 12304 {
+		t.Errorf("wire time = %d, want 12304", got)
+	}
+}
+
+func TestFrameWireMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa := &ether.Frame{Payload: make([]byte, int(a))}
+		fb := &ether.Frame{Payload: make([]byte, int(b))}
+		if a <= b {
+			return fa.WireBytes() <= fb.WireBytes()
+		}
+		return fa.WireBytes() >= fb.WireBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type sink struct {
+	frames []*ether.Frame
+	at     []sim.Time
+	eng    *sim.Engine
+}
+
+func (s *sink) DeliverFrame(f *ether.Frame) {
+	s.frames = append(s.frames, f)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func TestLinkSerialisationAndPropagation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	link := ether.NewLink(eng, "l", 1_000_000_000, 200)
+	dst := &sink{eng: eng}
+	link.AttachB(dst)
+	link.AttachA(&sink{eng: eng})
+	f := &ether.Frame{Payload: make([]byte, 1500)}
+	eng.Go("tx", func(p *sim.Proc) {
+		link.SendFromA(p, f)
+	})
+	eng.Run()
+	if len(dst.frames) != 1 {
+		t.Fatalf("delivered %d frames", len(dst.frames))
+	}
+	// Serialisation 12304 ns + propagation 200 ns.
+	if dst.at[0] != 12504 {
+		t.Errorf("delivery at %d, want 12504", dst.at[0])
+	}
+}
+
+func TestLinkSerialisesBackToBackFrames(t *testing.T) {
+	eng := sim.NewEngine(1)
+	link := ether.NewLink(eng, "l", 1_000_000_000, 0)
+	dst := &sink{eng: eng}
+	link.AttachB(dst)
+	eng.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			link.SendFromA(p, &ether.Frame{Payload: make([]byte, 1500)})
+		}
+	})
+	eng.Run()
+	if len(dst.frames) != 3 {
+		t.Fatalf("delivered %d frames", len(dst.frames))
+	}
+	for i := 1; i < 3; i++ {
+		if gap := dst.at[i] - dst.at[i-1]; gap != 12304 {
+			t.Errorf("inter-frame gap %d, want 12304 (wire serialisation)", gap)
+		}
+	}
+}
+
+// switchFixture builds a 3-port switch with sinks attached as stations.
+func switchFixture(t *testing.T) (*sim.Engine, *ether.Switch, []*ether.Link, []*sink) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	sw := ether.NewSwitch(eng, "sw", 2000, 4)
+	var links []*ether.Link
+	var sinks []*sink
+	for i := 0; i < 3; i++ {
+		l := ether.NewLink(eng, "port", 1_000_000_000, 0)
+		s := &sink{eng: eng}
+		l.AttachA(s)
+		sw.AddPort(l)
+		links = append(links, l)
+		sinks = append(sinks, s)
+	}
+	return eng, sw, links, sinks
+}
+
+func TestSwitchLearnsAndForwards(t *testing.T) {
+	eng, _, links, sinks := switchFixture(t)
+	a, b := ether.NodeMAC(0, 0), ether.NodeMAC(1, 0)
+	eng.Go("traffic", func(p *sim.Proc) {
+		// First frame a->b floods (b unknown).
+		links[0].SendFromA(p, &ether.Frame{Src: a, Dst: b, Payload: []byte("x")})
+		p.Sleep(sim.Millisecond)
+		// b replies; the switch has learned a, so only port 0 receives.
+		links[1].SendFromA(p, &ether.Frame{Src: b, Dst: a, Payload: []byte("y")})
+	})
+	eng.Run()
+	if len(sinks[1].frames) != 1 || len(sinks[2].frames) != 1 {
+		t.Errorf("flood delivery: port1=%d port2=%d, want 1/1",
+			len(sinks[1].frames), len(sinks[2].frames))
+	}
+	if len(sinks[0].frames) != 1 {
+		t.Errorf("learned unicast reached %d frames on port0, want 1", len(sinks[0].frames))
+	}
+	if len(sinks[2].frames) != 1 {
+		t.Errorf("learned unicast leaked to port2: %d frames", len(sinks[2].frames)-1)
+	}
+}
+
+func TestSwitchBroadcastReachesAllButIngress(t *testing.T) {
+	eng, _, links, sinks := switchFixture(t)
+	eng.Go("bcast", func(p *sim.Proc) {
+		links[0].SendFromA(p, &ether.Frame{
+			Src: ether.NodeMAC(0, 0), Dst: ether.Broadcast, Payload: []byte("all")})
+	})
+	eng.Run()
+	if len(sinks[0].frames) != 0 {
+		t.Error("broadcast echoed to its ingress port")
+	}
+	if len(sinks[1].frames) != 1 || len(sinks[2].frames) != 1 {
+		t.Errorf("broadcast delivery %d/%d, want 1/1", len(sinks[1].frames), len(sinks[2].frames))
+	}
+}
+
+func TestSwitchQueueOverflowDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Tiny queues and a slow egress link force drops.
+	sw := ether.NewSwitch(eng, "sw", 0, 2)
+	in := ether.NewLink(eng, "in", 1_000_000_000, 0)
+	out := ether.NewLink(eng, "out", 10_000_000, 0) // 10 Mb/s egress
+	in.AttachA(&sink{eng: eng})
+	slow := &sink{eng: eng}
+	out.AttachA(slow)
+	sw.AddPort(in)
+	sw.AddPort(out)
+	src, dst := ether.NodeMAC(0, 0), ether.NodeMAC(1, 0)
+	eng.Go("teach", func(p *sim.Proc) {
+		// Teach the switch where dst lives.
+		out.SendFromA(p, &ether.Frame{Src: dst, Dst: src, Payload: []byte("hi")})
+		p.Sleep(sim.Millisecond)
+		for i := 0; i < 20; i++ {
+			in.SendFromA(p, &ether.Frame{Src: src, Dst: dst, Payload: make([]byte, 1500)})
+		}
+	})
+	eng.Run()
+	if sw.Drops.Value() == 0 {
+		t.Error("no drops despite 20 frames into a 2-frame queue on a slow port")
+	}
+	if got := len(slow.frames); got == 0 || got >= 20 {
+		t.Errorf("slow port received %d frames; want some but not all", got)
+	}
+}

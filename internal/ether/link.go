@@ -1,0 +1,88 @@
+package ether
+
+import (
+	"repro/internal/sim"
+)
+
+// Link is a full-duplex point-to-point Gigabit Ethernet cable between two
+// endpoints. Each direction serialises frames independently at the line
+// rate and delivers them after the propagation delay.
+type Link struct {
+	eng *sim.Engine
+	ab  *dir
+	ba  *dir
+}
+
+type dir struct {
+	eng    *sim.Engine
+	wire   *sim.Resource
+	bits   int64
+	prop   sim.Time
+	loss   float64
+	peer   Endpoint
+	frames sim.Counter
+	bytes  sim.Counter
+	drops  sim.Counter
+}
+
+// NewLink creates a link with the given line rate (bits/s) and propagation
+// delay. Endpoints are attached with AttachA/AttachB before use.
+func NewLink(eng *sim.Engine, name string, bitsPerSec int64, prop sim.Time) *Link {
+	return &Link{
+		eng: eng,
+		ab:  &dir{eng: eng, wire: sim.NewResource(name+":a->b", 1), bits: bitsPerSec, prop: prop},
+		ba:  &dir{eng: eng, wire: sim.NewResource(name+":b->a", 1), bits: bitsPerSec, prop: prop},
+	}
+}
+
+// AttachA sets the endpoint on the A side; frames sent with SendFromB are
+// delivered to it.
+func (l *Link) AttachA(e Endpoint) { l.ba.peer = e }
+
+// AttachB sets the endpoint on the B side; frames sent with SendFromA are
+// delivered to it.
+func (l *Link) AttachB(e Endpoint) { l.ab.peer = e }
+
+// SendFromA transmits a frame from the A side, blocking the calling
+// process for the serialisation time. Delivery to the B endpoint happens
+// one propagation delay after the last bit leaves.
+func (l *Link) SendFromA(p *sim.Proc, f *Frame) { l.ab.send(p, f) }
+
+// SendFromB transmits a frame from the B side.
+func (l *Link) SendFromB(p *sim.Proc, f *Frame) { l.ba.send(p, f) }
+
+func (d *dir) send(p *sim.Proc, f *Frame) {
+	d.wire.Acquire(p)
+	f.Trace.Mark("wire:"+d.wire.Name(), p.Now())
+	p.Sleep(f.WireTime(d.bits))
+	d.wire.Release(p.Engine())
+	d.frames.Inc()
+	d.bytes.Addn(int64(f.WireBytes()))
+	peer := d.peer
+	if peer == nil {
+		panic("ether: link direction has no endpoint attached")
+	}
+	if d.loss > 0 && d.eng.Rand().Float64() < d.loss {
+		// Fault injection: the frame corrupts on the wire (its CRC would
+		// fail at the receiver) and vanishes.
+		d.drops.Inc()
+		return
+	}
+	p.Engine().After(d.prop, "deliver", func() { peer.DeliverFrame(f) })
+}
+
+// SetLossRate injects random frame loss on both directions, for fault
+// testing. Rate is a probability in [0,1).
+func (l *Link) SetLossRate(rate float64) {
+	l.ab.loss = rate
+	l.ba.loss = rate
+}
+
+// Drops reports frames lost to injected faults, both directions.
+func (l *Link) Drops() int64 { return l.ab.drops.Value() + l.ba.drops.Value() }
+
+// FramesAB and FramesBA report per-direction frame counts (for tests).
+func (l *Link) FramesAB() int64 { return l.ab.frames.Value() }
+
+// FramesBA reports frames sent from the B side.
+func (l *Link) FramesBA() int64 { return l.ba.frames.Value() }

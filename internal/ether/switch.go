@@ -1,0 +1,117 @@
+package ether
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Switch is a store-and-forward Gigabit Ethernet switch. Each port owns a
+// link toward a device (NIC), an output queue of bounded depth and an
+// output process that serialises departing frames. The switch learns MAC
+// addresses from frame sources and floods unknown-unicast, broadcast and
+// multicast frames to every port but the ingress (which is what gives
+// CLIC its hardware broadcast/multicast, §5).
+type Switch struct {
+	eng    *sim.Engine
+	name   string
+	params switchParams
+	ports  []*switchPort
+	table  map[MAC]*switchPort
+
+	// Drops counts frames lost to full output queues — the "finite
+	// buffering capabilities" of §1 that make reliability necessary.
+	Drops sim.Counter
+
+	// Monitor, when non-nil, observes every frame the switch forwards —
+	// a monitor (mirror) port for captures and debugging. It runs in
+	// simulation context and must not block.
+	Monitor func(f *Frame)
+}
+
+type switchParams struct {
+	latency  sim.Time
+	queueCap int
+}
+
+type switchPort struct {
+	sw    *Switch
+	index int
+	link  *Link
+	out   *sim.Queue[*Frame]
+}
+
+// NewSwitch creates a switch with the given forwarding latency and
+// per-output-port queue capacity in frames.
+func NewSwitch(eng *sim.Engine, name string, latency sim.Time, queueCap int) *Switch {
+	return &Switch{
+		eng:    eng,
+		name:   name,
+		params: switchParams{latency: latency, queueCap: queueCap},
+		table:  map[MAC]*switchPort{},
+	}
+}
+
+// AddPort attaches the switch end of a link to a new port and starts the
+// port's output process. The device side of the link must already be (or
+// later be) attached with link.AttachA; the switch always takes the B
+// side.
+func (s *Switch) AddPort(link *Link) int {
+	p := &switchPort{
+		sw:    s,
+		index: len(s.ports),
+		link:  link,
+		out:   sim.NewQueue[*Frame](fmt.Sprintf("%s:port%d", s.name, len(s.ports))),
+	}
+	link.AttachB(p)
+	s.ports = append(s.ports, p)
+	s.eng.Go(fmt.Sprintf("%s:port%d:tx", s.name, p.index), func(proc *sim.Proc) {
+		for {
+			f := p.out.Get(proc)
+			p.link.SendFromB(proc, f)
+		}
+	})
+	return p.index
+}
+
+// DeliverFrame implements Endpoint for a port: the frame has been fully
+// received (store-and-forward), so learn, look up and enqueue.
+func (p *switchPort) DeliverFrame(f *Frame) {
+	s := p.sw
+	if !f.Src.IsMulticast() {
+		s.table[f.Src] = p
+	}
+	if s.Monitor != nil {
+		s.Monitor(f)
+	}
+	s.eng.After(s.params.latency, "switch-fwd", func() {
+		if f.Dst.IsBroadcast() || f.Dst.IsMulticast() {
+			s.flood(f, p)
+			return
+		}
+		if out, ok := s.table[f.Dst]; ok {
+			s.enqueue(out, f)
+			return
+		}
+		s.flood(f, p)
+	})
+}
+
+func (s *Switch) flood(f *Frame, ingress *switchPort) {
+	for _, out := range s.ports {
+		if out != ingress {
+			s.enqueue(out, f)
+		}
+	}
+}
+
+func (s *Switch) enqueue(out *switchPort, f *Frame) {
+	if out.out.Len() >= s.params.queueCap {
+		s.Drops.Inc()
+		return
+	}
+	out.out.Put(f)
+}
+
+// Ports returns the number of attached ports.
+func (s *Switch) Ports() int { return len(s.ports) }

@@ -1,0 +1,151 @@
+package hw_test
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func host(eng *sim.Engine) *hw.Host {
+	params := model.Default()
+	return hw.NewHost(eng, "n0", &params)
+}
+
+func TestCPUWorkCharges(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := host(eng)
+	var done sim.Time
+	eng.Go("w", func(p *sim.Proc) {
+		h.CPUWork(p, 5*sim.Microsecond, sim.PriNormal)
+		done = p.Now()
+	})
+	eng.Run()
+	if done != 5*sim.Microsecond {
+		t.Errorf("work finished at %d, want 5 µs", done)
+	}
+}
+
+func TestMemcpyRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := host(eng)
+	var done sim.Time
+	eng.Go("w", func(p *sim.Proc) {
+		h.Memcpy(p, 400_000, sim.PriNormal) // 1 ms at 400 MB/s
+		done = p.Now()
+	})
+	eng.Run()
+	want := sim.Time(1 * sim.Millisecond)
+	if done < want || done > want+want/100 {
+		t.Errorf("copy of 400 kB took %d ns, want ~%d", done, want)
+	}
+}
+
+func TestMemcpyIsInterruptible(t *testing.T) {
+	// A large copy must not hold the CPU in one piece: higher-priority
+	// work arriving mid-copy runs long before the copy ends — the
+	// retransmit-storm regression at the hardware layer.
+	eng := sim.NewEngine(1)
+	h := host(eng)
+	var irqAt, copyEnd sim.Time
+	eng.Go("copier", func(p *sim.Proc) {
+		h.Memcpy(p, 4<<20, sim.PriNormal) // ~10 ms at 400 MB/s
+		copyEnd = p.Now()
+	})
+	eng.GoAt(100*sim.Microsecond, "irq", func(p *sim.Proc) {
+		h.CPUWork(p, 10*sim.Microsecond, sim.PriIRQ)
+		irqAt = p.Now()
+	})
+	eng.Run()
+	if copyEnd == 0 || irqAt == 0 {
+		t.Fatal("work did not complete")
+	}
+	if irqAt > sim.Millisecond {
+		t.Errorf("IRQ work finished at %d ns — starved by a monolithic copy (copy ended %d)", irqAt, copyEnd)
+	}
+}
+
+func TestDMAHoldsPCI(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := host(eng)
+	var ends [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		eng.Go("dma", func(p *sim.Proc) {
+			h.DMA(p, 88_000) // 1 ms of data at 88 MB/s + setup
+			ends[i] = p.Now()
+		})
+	}
+	eng.Run()
+	gap := ends[1] - ends[0]
+	if gap < 0 {
+		gap = -gap
+	}
+	// Two DMAs on one bus must serialise: completions ~1 ms apart.
+	if gap < 900*sim.Microsecond {
+		t.Errorf("concurrent DMAs completed %d ns apart; PCI not serialising", gap)
+	}
+}
+
+func TestDMAConsumesNoCPU(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := host(eng)
+	eng.Go("dma", func(p *sim.Proc) { h.DMA(p, 1_000_000) })
+	eng.Run()
+	if h.CPU.BusyTime() != 0 {
+		t.Errorf("DMA consumed %d ns of CPU", h.CPU.BusyTime())
+	}
+}
+
+func TestPIOHoldsCPUAndPCI(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := host(eng)
+	eng.Go("pio", func(p *sim.Proc) { h.PIO(p, 35_000, sim.PriNormal) }) // 1 ms at 35 MB/s
+	end := eng.Run()
+	if end < 900*sim.Microsecond {
+		t.Errorf("PIO of 35 kB took only %d ns", end)
+	}
+	if h.CPU.BusyTime() < 900*sim.Microsecond {
+		t.Errorf("PIO consumed only %d ns CPU; the CPU drives every cycle", h.CPU.BusyTime())
+	}
+	if h.PCI.BusyTime() < 900*sim.Microsecond {
+		t.Errorf("PIO held PCI for only %d ns", h.PCI.BusyTime())
+	}
+}
+
+func TestMemBusContentionStretchesWork(t *testing.T) {
+	// Copies and DMA share the memory bus (the §2 copies-cost-bandwidth
+	// mechanism): running both concurrently must stretch at least one of
+	// them relative to running alone — which one loses depends on
+	// acquisition phasing, but the combined slowdown must be real.
+	measure := func(withDMA, withCopy bool) (dmaEnd, copyEnd sim.Time) {
+		eng := sim.NewEngine(1)
+		h := host(eng)
+		if withDMA {
+			eng.Go("dma", func(p *sim.Proc) {
+				for i := 0; i < 10; i++ {
+					h.DMA(p, 64_000)
+				}
+				dmaEnd = p.Now()
+			})
+		}
+		if withCopy {
+			eng.Go("copier", func(p *sim.Proc) {
+				for i := 0; i < 10; i++ {
+					h.Memcpy(p, 64_000, sim.PriNormal)
+				}
+				copyEnd = p.Now()
+			})
+		}
+		eng.Run()
+		return dmaEnd, copyEnd
+	}
+	dmaAlone, _ := measure(true, false)
+	_, copyAlone := measure(false, true)
+	dmaBoth, copyBoth := measure(true, true)
+	if dmaBoth <= dmaAlone && copyBoth <= copyAlone {
+		t.Errorf("no contention visible: dma %d→%d, copy %d→%d",
+			dmaAlone, dmaBoth, copyAlone, copyBoth)
+	}
+}

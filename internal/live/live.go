@@ -1,0 +1,373 @@
+// Package live is the functional (not performance) CLIC implementation:
+// the same wire format (internal/proto) and reliability core
+// (internal/relwin) as the simulated protocol, run over real UDP sockets
+// on the loopback interface — the closest raw-socket approximation to a
+// kernel Ethernet protocol available to a pure-Go process. It exists to
+// demonstrate that the protocol logic itself (framing, fragmentation,
+// sequencing, cumulative acks, go-back-N retransmission, remote write,
+// confirmation) delivers correctly over a real, lossy, reordering
+// channel, with injectable loss/duplication for tests.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/relwin"
+)
+
+// Config tunes a live node.
+type Config struct {
+	// MTU bounds the CLIC payload per datagram (header included), like
+	// the Ethernet MTU bounds a frame.
+	MTU int
+
+	// Window is the per-peer sliding window in frames.
+	Window int
+
+	// AckEvery is the cumulative-ack stride.
+	AckEvery int
+
+	// AckDelay is the delayed-ack timer.
+	AckDelay time.Duration
+
+	// RetransmitTimeout is the go-back-N timer.
+	RetransmitTimeout time.Duration
+
+	// LossRate, DupRate inject datagram loss/duplication on the send
+	// side, in [0,1). Deterministic per Seed.
+	LossRate float64
+	DupRate  float64
+	Seed     int64
+}
+
+// DefaultConfig returns sensible loopback settings.
+func DefaultConfig() Config {
+	return Config{
+		MTU:               1500,
+		Window:            32,
+		AckEvery:          8,
+		AckDelay:          2 * time.Millisecond,
+		RetransmitTimeout: 20 * time.Millisecond,
+	}
+}
+
+// Message is one delivered message.
+type Message struct {
+	Src  int
+	Port uint16
+	Data []byte
+}
+
+// Node is one live CLIC endpoint bound to a UDP socket.
+type Node struct {
+	ID   int
+	cfg  Config
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	peers   map[int]*net.UDPAddr
+	tx      map[int]*liveTxChan
+	rx      map[int]*liveRxChan
+	ports   map[uint16]chan Message
+	regions map[uint16]*Region
+	confirm map[confirmKey]chan struct{}
+	rng     *rand.Rand
+	closed  bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	// Stats (read with Stats()).
+	framesSent, framesRecv, retransmits, acksSent, dropsInjected int64
+}
+
+type confirmKey struct {
+	peer int
+	seq  relwin.Seq
+}
+
+type liveTxChan struct {
+	win      *relwin.Sender[[]byte]
+	slotFree *sync.Cond
+	rto      *time.Timer
+}
+
+type liveRxChan struct {
+	reseq    *relwin.Resequencer[rxDatagram]
+	asm      liveAsm
+	sinceAck int
+	ackTimer *time.Timer
+}
+
+type rxDatagram struct {
+	hdr     proto.Header
+	payload []byte
+}
+
+type liveAsm struct {
+	buf     []byte
+	want    int
+	typ     proto.PacketType
+	port    uint16
+	flags   uint8
+	started bool
+	lastSeq relwin.Seq
+}
+
+// NewNode binds a node to 127.0.0.1 on an ephemeral port.
+func NewNode(id int, cfg Config) (*Node, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("live: bind: %w", err)
+	}
+	n := &Node{
+		ID:      id,
+		cfg:     cfg,
+		conn:    conn,
+		peers:   map[int]*net.UDPAddr{},
+		tx:      map[int]*liveTxChan{},
+		rx:      map[int]*liveRxChan{},
+		ports:   map[uint16]chan Message{},
+		regions: map[uint16]*Region{},
+		confirm: map[confirmKey]chan struct{}{},
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
+		done:    make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.rxLoop()
+	return n, nil
+}
+
+// Addr returns the node's UDP address for peer registration.
+func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer registers a peer node's address (the live analogue of the
+// static MAC table).
+func (n *Node) AddPeer(id int, addr *net.UDPAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+}
+
+// Connect registers two nodes with each other.
+func Connect(a, b *Node) {
+	a.AddPeer(b.ID, b.Addr())
+	b.AddPeer(a.ID, a.Addr())
+}
+
+// Close shuts the node down. In-flight messages may be lost; peers'
+// retransmissions will give up silently.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	for _, tc := range n.tx {
+		if tc.rto != nil {
+			tc.rto.Stop()
+		}
+		tc.slotFree.Broadcast()
+	}
+	n.mu.Unlock()
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}
+
+// Stats reports node activity counters.
+func (n *Node) Stats() (framesSent, framesRecv, retransmits, acksSent, dropsInjected int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.framesSent, n.framesRecv, n.retransmits, n.acksSent, n.dropsInjected
+}
+
+// ErrClosed reports an operation on a closed node.
+var ErrClosed = errors.New("live: node closed")
+
+// maxPayload is the CLIC payload per datagram after the header.
+func (n *Node) maxPayload() int { return n.cfg.MTU - proto.HeaderBytes }
+
+func (n *Node) txChanFor(peer int) *liveTxChan {
+	tc, ok := n.tx[peer]
+	if !ok {
+		tc = &liveTxChan{win: relwin.NewSender[[]byte](n.cfg.Window)}
+		tc.slotFree = sync.NewCond(&n.mu)
+		n.tx[peer] = tc
+	}
+	return tc
+}
+
+func (n *Node) rxChanFor(peer int) *liveRxChan {
+	rc, ok := n.rx[peer]
+	if !ok {
+		rc = &liveRxChan{reseq: relwin.NewResequencer[rxDatagram](n.cfg.Window)}
+		n.rx[peer] = rc
+	}
+	return rc
+}
+
+func (n *Node) portChan(port uint16) chan Message {
+	ch, ok := n.ports[port]
+	if !ok {
+		ch = make(chan Message, 64)
+		n.ports[port] = ch
+	}
+	return ch
+}
+
+// Send reliably transmits data to (dst, port), blocking on window space.
+func (n *Node) Send(dst int, port uint16, data []byte) error {
+	_, err := n.send(dst, port, proto.TypeData, 0, data)
+	return err
+}
+
+// SendConfirm transmits data and blocks until the peer's confirmation of
+// reception arrives (§5's send-with-confirmation primitive).
+func (n *Node) SendConfirm(dst int, port uint16, data []byte) error {
+	lastSeq, err := n.send(dst, port, proto.TypeData, proto.FlagConfirm, data)
+	if err != nil {
+		return err
+	}
+	key := confirmKey{peer: dst, seq: lastSeq}
+	ch := make(chan struct{})
+	n.mu.Lock()
+	n.confirm[key] = ch
+	n.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// send fragments and transmits one message, returning the last fragment's
+// sequence number.
+func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, data []byte) (relwin.Seq, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, ErrClosed
+	}
+	addr, ok := n.peers[dst]
+	if !ok {
+		return 0, fmt.Errorf("live: node %d has no peer %d", n.ID, dst)
+	}
+	tc := n.txChanFor(dst)
+	total := len(data)
+	off := 0
+	first := true
+	var lastSeq relwin.Seq
+	for {
+		end := off + n.maxPayload()
+		if end > total {
+			end = total
+		}
+		last := end == total
+		for !tc.win.CanSend() {
+			if n.closed {
+				return 0, ErrClosed
+			}
+			tc.slotFree.Wait()
+		}
+		hdr := proto.Header{Type: typ, Port: port, Seq: tc.win.NextSeq(), Len: uint32(total)}
+		if first {
+			hdr.Flags |= proto.FlagFirst
+		}
+		if last {
+			hdr.Flags |= proto.FlagLast
+			hdr.Flags |= flags & proto.FlagConfirm
+		}
+		dgram := hdr.Encode(make([]byte, 0, proto.HeaderBytes+end-off))
+		dgram = append(dgram, data[off:end]...)
+		lastSeq = tc.win.Push(dgram)
+		n.armRTO(dst, tc)
+		n.transmit(addr, dgram)
+		off = end
+		first = false
+		if last {
+			return lastSeq, nil
+		}
+	}
+}
+
+// transmit writes one datagram, applying loss/duplication injection.
+// Called with the lock held (UDP writes don't block meaningfully).
+func (n *Node) transmit(addr *net.UDPAddr, dgram []byte) {
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.dropsInjected++
+		return
+	}
+	n.framesSent++
+	n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
+	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		n.conn.WriteToUDP(dgram, addr) //nolint:errcheck
+	}
+}
+
+// armRTO starts the go-back-N timer for a peer channel if needed. Called
+// with the lock held.
+func (n *Node) armRTO(peer int, tc *liveTxChan) {
+	if tc.rto != nil || tc.win.InFlight() == 0 {
+		return
+	}
+	tc.rto = time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.fireRTO(peer) })
+}
+
+func (n *Node) fireRTO(peer int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	tc := n.tx[peer]
+	if tc == nil {
+		return
+	}
+	tc.rto = nil
+	unacked, _ := tc.win.Unacked()
+	if len(unacked) == 0 {
+		return
+	}
+	addr := n.peers[peer]
+	for _, dgram := range unacked {
+		n.retransmits++
+		n.transmit(addr, dgram)
+	}
+	n.armRTO(peer, tc)
+}
+
+// Recv blocks for the next message on port.
+func (n *Node) Recv(port uint16) (Message, error) {
+	n.mu.Lock()
+	ch := n.portChan(port)
+	n.mu.Unlock()
+	select {
+	case msg := <-ch:
+		return msg, nil
+	case <-n.done:
+		return Message{}, ErrClosed
+	}
+}
+
+// TryRecv returns the next message on port if one is waiting.
+func (n *Node) TryRecv(port uint16) (Message, bool) {
+	n.mu.Lock()
+	ch := n.portChan(port)
+	n.mu.Unlock()
+	select {
+	case msg := <-ch:
+		return msg, true
+	default:
+		return Message{}, false
+	}
+}

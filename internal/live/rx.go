@@ -1,0 +1,241 @@
+package live
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/relwin"
+)
+
+// rxLoop reads datagrams and runs them through the receive path — the
+// live analogue of the driver ISR + CLIC_MODULE.
+func (n *Node) rxLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		size, addr, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		dgram := make([]byte, size)
+		copy(dgram, buf[:size])
+		n.handleDatagram(addr, dgram)
+	}
+}
+
+func (n *Node) handleDatagram(addr *net.UDPAddr, dgram []byte) {
+	hdr, payload, err := proto.DecodeHeader(dgram)
+	if err != nil {
+		return // runt datagram
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.framesRecv++
+	src, ok := n.peerByAddr(addr)
+	if !ok {
+		return // not from a registered peer
+	}
+	switch hdr.Type {
+	case proto.TypeAck:
+		n.onAck(src, hdr.Seq)
+	case proto.TypeConfirm:
+		key := confirmKey{peer: src, seq: hdr.Seq}
+		if ch, ok := n.confirm[key]; ok {
+			delete(n.confirm, key)
+			close(ch)
+		}
+	default:
+		n.onData(src, hdr, payload)
+	}
+}
+
+func (n *Node) peerByAddr(addr *net.UDPAddr) (int, bool) {
+	for id, a := range n.peers {
+		if a.Port == addr.Port && a.IP.Equal(addr.IP) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (n *Node) onAck(src int, cum relwin.Seq) {
+	tc := n.txChanFor(src)
+	if tc.win.Ack(cum) == 0 {
+		return
+	}
+	if tc.rto != nil {
+		tc.rto.Stop()
+		tc.rto = nil
+	}
+	n.armRTO(src, tc)
+	tc.slotFree.Broadcast()
+}
+
+// onData runs a data-bearing datagram through the reliable channel.
+// Called with the lock held.
+func (n *Node) onData(src int, hdr proto.Header, payload []byte) {
+	rc := n.rxChanFor(src)
+	delivered, accepted := rc.reseq.Accept(hdr.Seq, rxDatagram{hdr: hdr, payload: payload})
+	if !accepted {
+		// Duplicate: re-ack so a lost ack doesn't stall the sender.
+		n.sendAck(src, rc)
+		return
+	}
+	var confirmSeq relwin.Seq
+	confirm := false
+	for _, d := range delivered {
+		if msg, last := rc.asm.add(src, d); msg != nil {
+			if rc.asm.flags&proto.FlagConfirm != 0 {
+				confirm = true
+				confirmSeq = last
+			}
+			n.deliver(*msg, rc.asm.typ)
+		}
+	}
+	rc.sinceAck += len(delivered)
+	if rc.sinceAck >= n.cfg.AckEvery {
+		n.sendAck(src, rc)
+	} else if rc.sinceAck > 0 && rc.ackTimer == nil {
+		rc.ackTimer = time.AfterFunc(n.cfg.AckDelay, func() {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			rc.ackTimer = nil
+			if rc.sinceAck > 0 && !n.closed {
+				n.sendAck(src, rc)
+			}
+		})
+	}
+	if confirm {
+		n.sendControl(src, proto.TypeConfirm, confirmSeq)
+	}
+}
+
+// add mirrors the simulator's assembly: returns the completed message and
+// its final sequence number.
+func (a *liveAsm) add(src int, d rxDatagram) (*Message, relwin.Seq) {
+	if d.hdr.Flags&proto.FlagFirst != 0 {
+		a.buf = a.buf[:0]
+		a.want = int(d.hdr.Len)
+		a.typ = d.hdr.Type
+		a.port = d.hdr.Port
+		a.flags = 0
+		a.started = true
+	}
+	if !a.started {
+		return nil, 0
+	}
+	a.buf = append(a.buf, d.payload...)
+	a.flags |= d.hdr.Flags
+	a.lastSeq = d.hdr.Seq
+	if d.hdr.Flags&proto.FlagLast == 0 {
+		return nil, 0
+	}
+	a.started = false
+	data := make([]byte, len(a.buf))
+	copy(data, a.buf)
+	return &Message{Src: src, Port: a.port, Data: data}, a.lastSeq
+}
+
+// deliver routes a completed message by type. Called with the lock held.
+func (n *Node) deliver(msg Message, typ proto.PacketType) {
+	// Remote writes land straight in their region, no receive needed.
+	if typ != proto.TypeRemoteWrite {
+		ch := n.portChan(msg.Port)
+		select {
+		case ch <- msg:
+		default:
+			// Port queue full: the kernel-buffer analogue overran; this
+			// is an application-level overrun, dropped here.
+		}
+		return
+	}
+	if r, ok := n.regions[msg.Port]; ok && len(msg.Data) >= remoteWritePrefix {
+		offset := int(binary.BigEndian.Uint64(msg.Data[:remoteWritePrefix]))
+		data := msg.Data[remoteWritePrefix:]
+		if offset >= 0 && offset+len(data) <= len(r.buf) {
+			copy(r.buf[offset:], data)
+			r.writes++
+			r.cond.Broadcast()
+		}
+		return
+	}
+}
+
+func (n *Node) sendAck(src int, rc *liveRxChan) {
+	rc.sinceAck = 0
+	if rc.ackTimer != nil {
+		rc.ackTimer.Stop()
+		rc.ackTimer = nil
+	}
+	n.acksSent++
+	n.sendControl(src, proto.TypeAck, rc.reseq.CumAck())
+}
+
+// sendControl emits an unsequenced internal packet. Called with the lock
+// held.
+func (n *Node) sendControl(dst int, typ proto.PacketType, seq relwin.Seq) {
+	addr, ok := n.peers[dst]
+	if !ok {
+		return
+	}
+	hdr := proto.Header{Type: typ, Seq: seq}
+	n.transmit(addr, hdr.Encode(nil))
+}
+
+// Region is a remote-write window (the live analogue of clic.Region).
+type Region struct {
+	n      *Node
+	buf    []byte
+	writes int
+	cond   *sync.Cond
+}
+
+const remoteWritePrefix = 8
+
+// OpenRegion registers a remote-write window on port.
+func (n *Node) OpenRegion(port uint16, size int) *Region {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := &Region{n: n, buf: make([]byte, size)}
+	r.cond = sync.NewCond(&n.mu)
+	n.regions[port] = r
+	return r
+}
+
+// RemoteWrite writes data into dst's region at offset, with no receive
+// call on the destination.
+func (n *Node) RemoteWrite(dst int, port uint16, offset int, data []byte) error {
+	payload := make([]byte, remoteWritePrefix, remoteWritePrefix+len(data))
+	binary.BigEndian.PutUint64(payload, uint64(offset))
+	payload = append(payload, data...)
+	_, err := n.send(dst, port, proto.TypeRemoteWrite, 0, payload)
+	return err
+}
+
+// WaitWrites blocks until at least k remote writes have landed.
+func (r *Region) WaitWrites(k int) {
+	r.n.mu.Lock()
+	defer r.n.mu.Unlock()
+	for r.writes < k && !r.n.closed {
+		r.cond.Wait()
+	}
+}
+
+// Snapshot copies the region contents.
+func (r *Region) Snapshot() []byte {
+	r.n.mu.Lock()
+	defer r.n.mu.Unlock()
+	out := make([]byte, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// Writes returns the number of completed remote writes.
+func (r *Region) Writes() int {
+	r.n.mu.Lock()
+	defer r.n.mu.Unlock()
+	return r.writes
+}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	cases := []struct {
+		n    int
+		bw   int64
+		want sim.Time
+	}{
+		{0, 1000, 0},
+		{-5, 1000, 0},
+		{1000, MBPerSec(1), 1_000_000}, // 1 kB at 1 MB/s = 1 ms
+		{1, 1_000_000_000, 1},          // rounds up
+		{1500, MbitPerSec(1000), 12_000},
+	}
+	for _, c := range cases {
+		if got := TransferTime(c.n, c.bw); got != c.want {
+			t.Errorf("TransferTime(%d, %d) = %d, want %d", c.n, c.bw, got, c.want)
+		}
+	}
+}
+
+func TestTransferTimeRoundsUpProperty(t *testing.T) {
+	f := func(n uint16, bwMB uint8) bool {
+		bw := MBPerSec(float64(bwMB%100) + 1)
+		d := TransferTime(int(n), bw)
+		// d*bw must cover n bytes (ceiling behaviour).
+		return d*bw/1_000_000_000 >= int64(n)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultEncodesPaperConstants(t *testing.T) {
+	p := Default()
+	// §3.1: syscall enter+leave ≈ 0.65 µs.
+	if total := p.Host.SyscallEnter + p.Host.SyscallExit; total != 650 {
+		t.Errorf("syscall round trip %d ns, want 650", total)
+	}
+	// Fig. 7: CLIC_MODULE ≈ 0.7 µs, driver ≈ 4 µs on the send side.
+	if p.CLIC.ModuleSend != 700 {
+		t.Errorf("module send %d, want 700", p.CLIC.ModuleSend)
+	}
+	if p.Driver.Send != 4000 {
+		t.Errorf("driver send %d, want 4000", p.Driver.Send)
+	}
+	// Fig. 8a: the receive ISR is ~15 µs for a 1400 B packet.
+	isr := p.Driver.RxISRTime(1400)
+	if isr < 12_000 || isr > 16_000 {
+		t.Errorf("1400 B ISR %d ns, want ~15 µs", isr)
+	}
+	// Fig. 8b: the direct-call ISR is far cheaper.
+	if p.Driver.RxDirect >= isr/2 {
+		t.Errorf("direct ISR %d not clearly below BH ISR %d", p.Driver.RxDirect, isr)
+	}
+	// The wire is Gigabit Ethernet.
+	if p.Link.BitsPerSec != 1_000_000_000 {
+		t.Errorf("line rate %d", p.Link.BitsPerSec)
+	}
+	// PCI burst rate must be below the 132 MB/s raw 33 MHz/32-bit limit.
+	if p.PCI.DataBandwidth >= 132_000_000 {
+		t.Errorf("PCI data bandwidth %d exceeds the raw bus limit", p.PCI.DataBandwidth)
+	}
+}
+
+func TestDMATimeIncludesSetup(t *testing.T) {
+	p := Default()
+	if p.PCI.DMATime(0) != p.PCI.TransactionSetup {
+		t.Error("empty DMA should cost exactly the setup")
+	}
+	if p.PCI.DMATime(9000) <= p.PCI.DMATime(1500) {
+		t.Error("DMA time not increasing with size")
+	}
+}
+
+func TestHostHelpers(t *testing.T) {
+	p := Default()
+	if p.Host.CopyTime(400_000) != sim.Time(sim.Millisecond) {
+		t.Errorf("copy of 400 kB at 400 MB/s = %d, want 1 ms", p.Host.CopyTime(400_000))
+	}
+	if p.Host.ChecksumTime(100) >= p.Host.CopyTime(100) {
+		t.Error("checksum pass should be cheaper than a copy")
+	}
+}

@@ -1,0 +1,148 @@
+package mpi
+
+import "repro/internal/sim"
+
+// Collectives built from reliable point-to-point messages, as the paper
+// suggests for its LAM-MPI port ("MPI and PVM point-to-point
+// communication functions can be easily mapped to reliable point-to-point
+// communications provided by the CLIC layer", §5). All ranks of the world
+// must call each collective, each from its own simulated process.
+
+// collectiveTag space is kept away from user tags.
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllreduce
+)
+
+// Barrier blocks until every rank has entered it (binomial fan-in to rank
+// 0, then fan-out).
+func (r *Rank) Barrier(p *sim.Proc) {
+	r.fanIn(p, tagBarrier, nil, nil)
+	r.fanOut(p, tagBarrier, nil)
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy.
+func (r *Rank) Bcast(p *sim.Proc, root int, data []byte) []byte {
+	// Rotate so the algorithm can assume root 0.
+	vrank := (r.rank - root + r.Size()) % r.Size()
+	if vrank != 0 {
+		data = r.Recv(p, r.unrotate(parent(vrank), root), tagBcast)
+	}
+	for _, child := range children(vrank, r.Size()) {
+		r.Send(p, r.unrotate(child, root), tagBcast, data)
+	}
+	return data
+}
+
+// ReduceFn combines two payloads elementwise.
+type ReduceFn func(a, b []byte) []byte
+
+// SumBytes is a ReduceFn adding byte vectors elementwise (a stand-in for
+// MPI_SUM on contiguous numeric data; tests use it to check reduction
+// structure).
+func SumBytes(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic("mpi: reduce length mismatch")
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Reduce combines every rank's contribution at the root (binomial
+// fan-in); non-roots return nil.
+func (r *Rank) Reduce(p *sim.Proc, root int, data []byte, fn ReduceFn) []byte {
+	acc := data
+	vrank := (r.rank - root + r.Size()) % r.Size()
+	for _, child := range children(vrank, r.Size()) {
+		contrib := r.Recv(p, r.unrotate(child, root), tagReduce)
+		acc = fn(acc, contrib)
+	}
+	if vrank != 0 {
+		r.Send(p, r.unrotate(parent(vrank), root), tagReduce, acc)
+		return nil
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (r *Rank) Allreduce(p *sim.Proc, data []byte, fn ReduceFn) []byte {
+	acc := r.Reduce(p, 0, data, fn)
+	return r.Bcast(p, 0, acc)
+}
+
+// Gather collects every rank's data at the root in rank order; non-roots
+// return nil.
+func (r *Rank) Gather(p *sim.Proc, root int, data []byte) [][]byte {
+	if r.rank != root {
+		r.Send(p, root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, r.Size())
+	out[root] = data
+	for i := 0; i < r.Size(); i++ {
+		if i == root {
+			continue
+		}
+		out[i] = r.Recv(p, i, tagGather)
+	}
+	return out
+}
+
+// fanIn walks the binomial tree toward rank 0.
+func (r *Rank) fanIn(p *sim.Proc, tag int, data []byte, fn ReduceFn) []byte {
+	acc := data
+	for _, child := range children(r.rank, r.Size()) {
+		got := r.Recv(p, child, tag)
+		if fn != nil {
+			acc = fn(acc, got)
+		}
+	}
+	if r.rank != 0 {
+		r.Send(p, parent(r.rank), tag, acc)
+	}
+	return acc
+}
+
+// fanOut walks it back down.
+func (r *Rank) fanOut(p *sim.Proc, tag int, data []byte) []byte {
+	if r.rank != 0 {
+		data = r.Recv(p, parent(r.rank), tag)
+	}
+	for _, child := range children(r.rank, r.Size()) {
+		r.Send(p, child, tag, data)
+	}
+	return data
+}
+
+// unrotate maps a virtual rank (root-relative) back to a real rank.
+func (r *Rank) unrotate(vrank, root int) int {
+	return (vrank + root) % r.Size()
+}
+
+// parent returns a rank's binomial-tree parent: clear the lowest set bit.
+func parent(rank int) int {
+	return rank &^ (rank & -rank)
+}
+
+// children returns a rank's binomial-tree children within size.
+func children(rank, size int) []int {
+	var out []int
+	for bit := 1; ; bit <<= 1 {
+		if rank&(bit-1) != 0 || rank&bit != 0 {
+			break
+		}
+		child := rank | bit
+		if child >= size {
+			break
+		}
+		out = append(out, child)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package mpi
+
+import (
+	"encoding/binary"
+
+	"repro/internal/sim"
+)
+
+// Broadcaster is the optional transport capability behind BcastHW: CLIC
+// exposes the Ethernet data-link layer's hardware broadcast (§5), so one
+// wire frame (per fragment) reaches every node. RecvTimeout lets a
+// receiver detect a lost broadcast and ask for a unicast repair.
+type Broadcaster interface {
+	Broadcast(p *sim.Proc, port uint16, data []byte)
+	RecvTimeout(p *sim.Proc, port uint16, d sim.Time) (src int, data []byte, ok bool)
+}
+
+// bcastHWPort is the transport port hardware broadcasts ride on, outside
+// the per-rank matching ports.
+const bcastHWPort = 4000
+
+// Hardware-broadcast control tags.
+const (
+	tagBcastHWAck    = -100 // receiver got the broadcast (or its repair)
+	tagBcastHWRepair = -101 // root's unicast repair of a lost broadcast
+)
+
+// CanBcastHW reports whether the rank's transport supports hardware
+// broadcast.
+func (r *Rank) CanBcastHW() bool {
+	_, ok := r.tr.(Broadcaster)
+	return ok
+}
+
+// BcastHW distributes root's data to every rank using the transport's
+// hardware broadcast: one frame per fragment on the wire regardless of
+// the number of receivers, against the binomial tree's (size-1) unicast
+// messages. The collective is reliable end to end: every receiver
+// acknowledges over the reliable point-to-point channel, a receiver whose
+// broadcast was lost times out and NAKs, and the root repairs it with a
+// reliable unicast. Epoch counters (all ranks call collectives in the
+// same order) keep late broadcast frames from leaking into the next
+// collective.
+func (r *Rank) BcastHW(p *sim.Proc, root int, data []byte) []byte {
+	b, ok := r.tr.(Broadcaster)
+	if !ok {
+		return r.Bcast(p, root, data)
+	}
+	r.libOverhead(p)
+	r.bcastEpoch++
+	epoch := r.bcastEpoch
+	timeout := 2 * r.m.CLIC.RetransmitTimeout
+
+	if r.rank == root {
+		payload := appendUint64(nil, epoch)
+		payload = append(payload, data...)
+		b.Broadcast(p, bcastHWPort, payload)
+		// Every receiver either acks (got the broadcast) or naks (lost
+		// it) — repair the latter with a reliable unicast.
+		pending := r.Size() - 1
+		for pending > 0 {
+			src, status := r.RecvAny(p, tagBcastHWAck)
+			if len(status) > 0 && status[0] == bcastNak {
+				r.Send(p, src, tagBcastHWRepair, data)
+				continue // the repaired receiver will ack
+			}
+			pending--
+		}
+		return data
+	}
+
+	for {
+		src, raw, ok := b.RecvTimeout(p, bcastHWPort, timeout)
+		if !ok {
+			// The broadcast (or our fragment of it) was lost: ask the
+			// root for a unicast repair.
+			r.Send(p, root, tagBcastHWAck, []byte{bcastNak})
+			got := r.Recv(p, root, tagBcastHWRepair)
+			r.Send(p, root, tagBcastHWAck, []byte{bcastAck})
+			return got
+		}
+		_ = src
+		if len(raw) < 8 {
+			continue
+		}
+		gotEpoch := uint64(raw[0])<<56 | uint64(raw[1])<<48 | uint64(raw[2])<<40 |
+			uint64(raw[3])<<32 | uint64(raw[4])<<24 | uint64(raw[5])<<16 |
+			uint64(raw[6])<<8 | uint64(raw[7])
+		if gotEpoch < epoch {
+			continue // stale frame from an earlier collective
+		}
+		r.Send(p, root, tagBcastHWAck, []byte{bcastAck})
+		return raw[8:]
+	}
+}
+
+// Broadcast ack statuses.
+const (
+	bcastAck = 0
+	bcastNak = 1
+)
+
+// Scatter distributes parts[i] from root to rank i and returns this
+// rank's part. Only the root supplies parts.
+func (r *Rank) Scatter(p *sim.Proc, root int, parts [][]byte) []byte {
+	r.libOverhead(p)
+	if r.rank == root {
+		if len(parts) != r.Size() {
+			panic("mpi: scatter needs one part per rank")
+		}
+		for i, part := range parts {
+			if i != root {
+				r.Send(p, i, tagScatter, part)
+			}
+		}
+		return parts[root]
+	}
+	return r.Recv(p, root, tagScatter)
+}
+
+// Allgather collects every rank's (variable-length) contribution on every
+// rank, in rank order: gather to rank 0, then broadcast the packed set.
+func (r *Rank) Allgather(p *sim.Proc, data []byte) [][]byte {
+	gathered := r.Gather(p, 0, data)
+	var packed []byte
+	if r.rank == 0 {
+		packed = packSlices(gathered)
+	}
+	packed = r.Bcast(p, 0, packed)
+	return unpackSlices(packed)
+}
+
+// Sendrecv posts the send and the receive together, avoiding the
+// deadlock of two blocking sends meeting (the classic exchange pattern).
+func (r *Rank) Sendrecv(p *sim.Proc, dst, sendTag int, data []byte, src, recvTag int) []byte {
+	req := r.Isend(p, dst, sendTag, data)
+	got := r.Recv(p, src, recvTag)
+	req.Wait(p)
+	return got
+}
+
+// AnySource is the wildcard source for RecvAny.
+const AnySource = -1
+
+// RecvAny receives the next message with the given tag from any source,
+// returning the source rank and the payload.
+func (r *Rank) RecvAny(p *sim.Proc, tag int) (int, []byte) {
+	r.libOverhead(p)
+	for {
+		for src := 0; src < r.Size(); src++ {
+			key := matchKey{src: src, tag: tag}
+			if q := r.inbox[key]; len(q) > 0 {
+				data := q[0]
+				r.inbox[key] = q[1:]
+				return src, data
+			}
+			if q := r.rts[key]; len(q) > 0 {
+				ann := q[0]
+				r.rts[key] = q[1:]
+				return src, r.completeRendezvous(p, src, tag, ann)
+			}
+		}
+		r.pull(p)
+	}
+}
+
+// Alltoall delivers parts[i] from every rank to rank i (personalized
+// all-to-all): non-blocking sends are posted first, so the pairwise
+// exchanges overlap instead of serialising round by round.
+func (r *Rank) Alltoall(p *sim.Proc, parts [][]byte) [][]byte {
+	if len(parts) != r.Size() {
+		panic("mpi: alltoall needs one part per rank")
+	}
+	r.libOverhead(p)
+	reqs := make([]*Request, 0, r.Size()-1)
+	for i := 0; i < r.Size(); i++ {
+		if i != r.rank {
+			reqs = append(reqs, r.Isend(p, i, tagAlltoall, parts[i]))
+		}
+	}
+	out := make([][]byte, r.Size())
+	out[r.rank] = parts[r.rank]
+	for i := 0; i < r.Size(); i++ {
+		if i != r.rank {
+			out[i] = r.Recv(p, i, tagAlltoall)
+		}
+	}
+	WaitAll(p, reqs...)
+	return out
+}
+
+const (
+	tagScatter  = -5
+	tagAlltoall = -6
+)
+
+func packSlices(parts [][]byte) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(parts)))
+	for _, part := range parts {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(part)))
+		out = append(out, part...)
+	}
+	return out
+}
+
+func unpackSlices(b []byte) [][]byte {
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	out := make([][]byte, n)
+	for i := range out {
+		size := binary.BigEndian.Uint32(b[:4])
+		out[i] = append([]byte(nil), b[4:4+size]...)
+		b = b[4+size:]
+	}
+	return out
+}

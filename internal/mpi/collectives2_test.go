@@ -1,0 +1,294 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestBcastHWOneWireFrameSetPerFragment(t *testing.T) {
+	const n = 6
+	c, w := clicWorld(n)
+	payload := pattern(2500) // 2 fragments at MTU 1500
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			data := payload
+			if i != 0 {
+				data = nil
+			}
+			got[i] = w.Rank(i).BcastHW(p, 0, data)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], payload) {
+			t.Errorf("rank %d hw-bcast payload corrupted", i)
+		}
+	}
+	// Data frames on the root's wire: 2 broadcast fragments (plus the
+	// small ack/control traffic). A unicast tree would need (n-1)*2 = 10.
+	tx := c.Nodes[0].NICs[0].TxFrames.Value()
+	if tx > 8 {
+		t.Errorf("root transmitted %d frames; hardware broadcast should need ~2 + acks", tx)
+	}
+}
+
+func TestBcastHWFasterThanTreeForManyRanks(t *testing.T) {
+	const n = 8
+	run := func(hw bool) sim.Time {
+		c, w := clicWorld(n)
+		payload := pattern(100_000)
+		var done sim.Time
+		for i := 0; i < n; i++ {
+			i := i
+			c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+				data := payload
+				if i != 0 {
+					data = nil
+				}
+				if hw {
+					w.Rank(i).BcastHW(p, 0, data)
+				} else {
+					w.Rank(i).Bcast(p, 0, data)
+				}
+				w.Rank(i).Barrier(p)
+				if i == 0 {
+					done = p.Now()
+				}
+			})
+		}
+		c.Run()
+		return done
+	}
+	tree := run(false)
+	hw := run(true)
+	if hw >= tree {
+		t.Errorf("hardware bcast (%d ns) not faster than tree (%d ns) for %d ranks", hw, tree, n)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	c, w := clicWorld(n)
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			var parts [][]byte
+			if i == 1 {
+				for j := 0; j < n; j++ {
+					parts = append(parts, bytes.Repeat([]byte{byte(j)}, j+1))
+				}
+			}
+			got[i] = w.Rank(i).Scatter(p, 1, parts)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		want := bytes.Repeat([]byte{byte(i)}, i+1)
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("rank %d scatter part = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestAllgatherVariableLengths(t *testing.T) {
+	const n = 5
+	c, w := clicWorld(n)
+	results := make([][][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			contrib := bytes.Repeat([]byte{byte('A' + i)}, i*100+1)
+			results[i] = w.Rank(i).Allgather(p, contrib)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		if len(results[i]) != n {
+			t.Fatalf("rank %d allgather returned %d slots", i, len(results[i]))
+		}
+		for j := 0; j < n; j++ {
+			want := bytes.Repeat([]byte{byte('A' + j)}, j*100+1)
+			if !bytes.Equal(results[i][j], want) {
+				t.Errorf("rank %d slot %d wrong (%d bytes)", i, j, len(results[i][j]))
+			}
+		}
+	}
+}
+
+func TestSendrecvExchangeNoDeadlock(t *testing.T) {
+	// Both ranks exchange large (rendezvous-sized) messages with
+	// Sendrecv simultaneously; blocking Sends would deadlock here.
+	c, w := clicWorld(2)
+	big := pattern(50_000)
+	var got0, got1 []byte
+	c.Go("r0", func(p *sim.Proc) {
+		got0 = w.Rank(0).Sendrecv(p, 1, 1, big, 1, 2)
+	})
+	c.Go("r1", func(p *sim.Proc) {
+		got1 = w.Rank(1).Sendrecv(p, 0, 2, big, 0, 1)
+	})
+	c.Run()
+	if !bytes.Equal(got0, big) || !bytes.Equal(got1, big) {
+		t.Fatal("exchange corrupted or deadlocked")
+	}
+}
+
+func TestRecvAny(t *testing.T) {
+	const n = 4
+	c, w := clicWorld(n)
+	var sources []int
+	for i := 1; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 50 * sim.Microsecond)
+			w.Rank(i).Send(p, 0, 9, []byte{byte(i)})
+		})
+	}
+	c.Go("r0", func(p *sim.Proc) {
+		for i := 1; i < n; i++ {
+			src, data := w.Rank(0).RecvAny(p, 9)
+			if data[0] != byte(src) {
+				t.Errorf("RecvAny src %d carries %d", src, data[0])
+			}
+			sources = append(sources, src)
+		}
+	})
+	c.Run()
+	if len(sources) != n-1 {
+		t.Fatalf("received %d messages", len(sources))
+	}
+	seen := map[int]bool{}
+	for _, s := range sources {
+		seen[s] = true
+	}
+	if len(seen) != n-1 {
+		t.Errorf("sources %v not distinct", sources)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	c, w := clicWorld(n)
+	results := make([][][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			parts := make([][]byte, n)
+			for j := 0; j < n; j++ {
+				// parts[j] carries (sender, receiver).
+				parts[j] = []byte{byte(i), byte(j)}
+			}
+			results[i] = w.Rank(i).Alltoall(p, parts)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := results[i][j]
+			if len(got) != 2 || got[0] != byte(j) || got[1] != byte(i) {
+				t.Errorf("rank %d slot %d = %v, want [%d %d]", i, j, got, j, i)
+			}
+		}
+	}
+}
+
+func TestAlltoallLargeParts(t *testing.T) {
+	// Parts above the eager limit force crossing rendezvous exchanges,
+	// exercising the progress engine under the densest pattern.
+	const n = 3
+	c, w := clicWorld(n)
+	results := make([][][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			parts := make([][]byte, n)
+			for j := 0; j < n; j++ {
+				parts[j] = bytes.Repeat([]byte{byte(i*10 + j)}, 20_000)
+			}
+			results[i] = w.Rank(i).Alltoall(p, parts)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := bytes.Repeat([]byte{byte(j*10 + i)}, 20_000)
+			if !bytes.Equal(results[i][j], want) {
+				t.Errorf("rank %d slot %d corrupted", i, j)
+			}
+		}
+	}
+}
+
+func TestBcastHWRepairsUnderLoss(t *testing.T) {
+	// Inject frame loss: broadcast fragments are best-effort, so some
+	// receivers will lose theirs; the NAK/repair protocol must still
+	// deliver the full payload to every rank.
+	const n = 6
+	params := cluster.New(cluster.Config{Nodes: 1}).Params
+	params.Link.LossRate = 0.05
+	c := cluster.New(cluster.Config{Nodes: n, Seed: 13, Params: &params})
+	c.EnableCLIC(clic.DefaultOptions())
+	transports := make([]mpi.Transport, n)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		transports[i] = c.Nodes[i].CLIC
+		ids[i] = i
+	}
+	w := mpi.NewWorld(transports, ids, &c.Params, nil)
+	payload := pattern(30_000)
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			data := payload
+			if i != 0 {
+				data = nil
+			}
+			got[i] = w.Rank(i).BcastHW(p, 0, data)
+		})
+	}
+	c.Eng.RunUntil(10 * sim.Second)
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], payload) {
+			t.Errorf("rank %d: %d bytes under loss (repair failed)", i, len(got[i]))
+		}
+	}
+}
+
+func TestBcastHWBackToBackEpochs(t *testing.T) {
+	// Two consecutive hardware broadcasts: stale frames from the first
+	// must not satisfy the second (epoch filtering).
+	const n = 4
+	c, w := clicWorld(n)
+	first := pattern(1000)
+	second := pattern(2000)
+	results := make([][][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			var d1, d2 []byte
+			if i == 0 {
+				d1, d2 = first, second
+			}
+			a := w.Rank(i).BcastHW(p, 0, d1)
+			b := w.Rank(i).BcastHW(p, 0, d2)
+			results[i] = [][]byte{a, b}
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(results[i][0], first) || !bytes.Equal(results[i][1], second) {
+			t.Errorf("rank %d got %d/%d bytes, want %d/%d",
+				i, len(results[i][0]), len(results[i][1]), len(first), len(second))
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+)
+
+// clicWorld builds an n-rank MPI world over CLIC, one rank per node.
+func clicWorld(n int) (*cluster.Cluster, *mpi.World) {
+	c := cluster.New(cluster.Config{Nodes: n, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	transports := make([]mpi.Transport, n)
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		transports[i] = c.Nodes[i].CLIC
+		nodes[i] = i
+	}
+	w := mpi.NewWorld(transports, nodes, &c.Params,
+		func(rank int, p *sim.Proc, d sim.Time) {
+			c.Nodes[rank].Host.CPUWork(p, d, sim.PriNormal)
+		})
+	return c, w
+}
+
+// tcpWorld builds an n-rank MPI world over TCP.
+func tcpWorld(n int) (*cluster.Cluster, *mpi.World) {
+	c := cluster.New(cluster.Config{Nodes: n, Seed: 1})
+	c.EnableTCP()
+	stacks := make([]*tcpip.Stack, n)
+	for i, node := range c.Nodes {
+		stacks[i] = node.TCP
+	}
+	msgrs := tcpip.ConnectMesh(c.Eng, stacks, 6000)
+	c.Run()
+	transports := make([]mpi.Transport, n)
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		transports[i] = msgrs[i]
+		nodes[i] = i
+	}
+	w := mpi.NewWorld(transports, nodes, &c.Params, nil)
+	return c, w
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return b
+}
+
+func TestSendRecvEagerAndRendezvous(t *testing.T) {
+	// EagerLimit defaults to 16 KiB: test both sides of it on both
+	// transports.
+	for _, build := range []struct {
+		name string
+		mk   func(int) (*cluster.Cluster, *mpi.World)
+	}{{"clic", clicWorld}, {"tcp", tcpWorld}} {
+		for _, size := range []int{0, 100, 16384, 16385, 200_000} {
+			t.Run(fmt.Sprintf("%s/%d", build.name, size), func(t *testing.T) {
+				c, w := build.mk(2)
+				payload := pattern(size)
+				var got []byte
+				c.Go("r0", func(p *sim.Proc) { w.Rank(0).Send(p, 1, 42, payload) })
+				c.Go("r1", func(p *sim.Proc) { got = w.Rank(1).Recv(p, 0, 42) })
+				c.Run()
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("payload corrupted: got %d bytes", len(got))
+				}
+			})
+		}
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	// Two messages with different tags; the receiver asks for the second
+	// tag first — matching must hold the other as unexpected.
+	c, w := clicWorld(2)
+	var first, second []byte
+	c.Go("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 10, []byte("ten"))
+		w.Rank(0).Send(p, 1, 20, []byte("twenty"))
+	})
+	c.Go("r1", func(p *sim.Proc) {
+		first = w.Rank(1).Recv(p, 0, 20)
+		second = w.Rank(1).Recv(p, 0, 10)
+	})
+	c.Run()
+	if string(first) != "twenty" || string(second) != "ten" {
+		t.Fatalf("matching broken: %q, %q", first, second)
+	}
+}
+
+func TestIsendIrecvWaitAll(t *testing.T) {
+	c, w := clicWorld(2)
+	a := pattern(1000)
+	b := pattern(30_000) // above eager limit: rendezvous via requests
+	var gotA, gotB []byte
+	c.Go("r0", func(p *sim.Proc) {
+		r1 := w.Rank(0).Isend(p, 1, 1, a)
+		r2 := w.Rank(0).Isend(p, 1, 2, b)
+		mpi.WaitAll(p, r1, r2)
+	})
+	c.Go("r1", func(p *sim.Proc) {
+		q1 := w.Rank(1).Irecv(p, 0, 1)
+		q2 := w.Rank(1).Irecv(p, 0, 2)
+		out := mpi.WaitAll(p, q1, q2)
+		gotA, gotB = out[0], out[1]
+	})
+	c.Run()
+	if !bytes.Equal(gotA, a) || !bytes.Equal(gotB, b) {
+		t.Fatal("non-blocking transfers corrupted")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 5
+	c, w := clicWorld(n)
+	var exitTimes [n]sim.Time
+	var lastEntry sim.Time
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 100 * sim.Microsecond) // stagger entries
+			if e := p.Now(); e > lastEntry {
+				lastEntry = e
+			}
+			w.Rank(i).Barrier(p)
+			exitTimes[i] = p.Now()
+		})
+	}
+	c.Run()
+	for i, e := range exitTimes {
+		if e < lastEntry {
+			t.Errorf("rank %d left the barrier at %d before the last entry at %d", i, e, lastEntry)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const n = 7
+	c, w := clicWorld(n)
+	payload := pattern(5000)
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			data := payload
+			if i != 2 {
+				data = nil
+			}
+			got[i] = w.Rank(i).Bcast(p, 2, data)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], payload) {
+			t.Errorf("rank %d bcast payload corrupted", i)
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	const n = 4
+	c, w := clicWorld(n)
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			contrib := []byte{byte(i), byte(2 * i)}
+			results[i] = w.Rank(i).Allreduce(p, contrib, mpi.SumBytes)
+		})
+	}
+	c.Run()
+	want := []byte{0 + 1 + 2 + 3, 0 + 2 + 4 + 6}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(results[i], want) {
+			t.Errorf("rank %d allreduce = %v, want %v", i, results[i], want)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	c, w := clicWorld(n)
+	var gathered [][]byte
+	for i := 0; i < n; i++ {
+		i := i
+		c.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			out := w.Rank(i).Gather(p, 0, []byte{byte(i + 65)})
+			if i == 0 {
+				gathered = out
+			}
+		})
+	}
+	c.Run()
+	if len(gathered) != n {
+		t.Fatalf("gather returned %d slots", len(gathered))
+	}
+	for i, d := range gathered {
+		if len(d) != 1 || d[0] != byte(i+65) {
+			t.Errorf("gather[%d] = %v", i, d)
+		}
+	}
+}
+
+func TestManyTaggedMessagesBothDirections(t *testing.T) {
+	c, w := clicWorld(2)
+	const rounds = 20
+	ok := true
+	c.Go("r0", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			w.Rank(0).Send(p, 1, i, []byte(fmt.Sprint(i)))
+			echo := w.Rank(0).Recv(p, 1, i)
+			if string(echo) != fmt.Sprint(i) {
+				ok = false
+			}
+		}
+	})
+	c.Go("r1", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			d := w.Rank(1).Recv(p, 0, i)
+			w.Rank(1).Send(p, 0, i, d)
+		}
+	})
+	c.Run()
+	if !ok {
+		t.Fatal("echo mismatch")
+	}
+}

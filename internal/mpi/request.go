@@ -1,0 +1,88 @@
+package mpi
+
+import "repro/internal/sim"
+
+// Request is a non-blocking operation handle. MPI-CLIC maps MPI's
+// asynchronous primitives onto CLIC's ("CLIC has primitives for
+// synchronous and asynchronous communication", §5).
+type Request struct {
+	rank *Rank
+	done bool
+	data []byte
+
+	// For a pending receive.
+	isRecv   bool
+	src, tag int
+
+	// For a pending rendezvous send.
+	isRSend bool
+	cookie  uint32
+	payload []byte
+	dst     int
+}
+
+// Isend starts a non-blocking send. Eager messages complete immediately
+// (the transport send is itself asynchronous); rendezvous sends post the
+// RTS now and stream the payload when Wait observes the CTS.
+func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
+	r.libOverhead(p)
+	dstRank := r.world.ranks[dst]
+	if len(data) <= r.m.MPI.EagerLimit {
+		env := encodeEnv(envHeader{tag: int32(tag), kind: kindEager}, data)
+		r.tr.Send(p, dstRank.node, basePort(dst), env)
+		return &Request{rank: r, done: true}
+	}
+	r.nextCooky++
+	cookie := r.nextCooky<<8 | uint32(r.rank&0xff)
+	rts := encodeEnv(envHeader{tag: int32(tag), kind: kindRTS, cookie: cookie},
+		appendUint64(nil, uint64(len(data))))
+	r.tr.Send(p, dstRank.node, basePort(dst), rts)
+	req := &Request{rank: r, isRSend: true, cookie: cookie, payload: data, dst: dst, tag: tag}
+	// Register so the pull loop completes the handshake even while this
+	// process is blocked in a Recv (progress-engine behaviour).
+	r.rsendQ[cookie] = req
+	return req
+}
+
+// Irecv posts a non-blocking receive; Wait performs the matching.
+func (r *Rank) Irecv(p *sim.Proc, src, tag int) *Request {
+	r.libOverhead(p)
+	return &Request{rank: r, isRecv: true, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received data
+// (nil for sends).
+func (q *Request) Wait(p *sim.Proc) []byte {
+	r := q.rank
+	if q.done {
+		return q.data
+	}
+	switch {
+	case q.isRecv:
+		q.data = r.Recv(p, q.src, q.tag)
+	case q.isRSend:
+		// The pull loop streams the payload when the CTS arrives; just
+		// drive it until that has happened.
+		for !q.done {
+			r.pull(p)
+		}
+	}
+	q.done = true
+	return q.data
+}
+
+// WaitAll completes a set of requests and returns the receives' data in
+// request order.
+func WaitAll(p *sim.Proc, reqs ...*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, q := range reqs {
+		out[i] = q.Wait(p)
+	}
+	return out
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,320 @@
+// Package nic models a Gigabit Ethernet adapter of the paper's testbed
+// class (SMC9462TX / 3C996-T): bus-master scatter/gather DMA, descriptor
+// rings, interrupt coalescing, jumbo frames, and — as the E9 ablation —
+// the NIC-side fragmentation offload the paper describes in §2 and defers
+// to future work.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TxMode says how a frame's payload reaches the adapter (Fig. 1).
+type TxMode int
+
+// Transmit modes.
+const (
+	// TxDMA: the NIC pulls the data itself with bus-master DMA, from user
+	// pages (path 2, 0-copy) or a kernel buffer (path 3).
+	TxDMA TxMode = iota
+
+	// TxPreloaded: the CPU already pushed the data into the NIC's output
+	// buffer with programmed I/O (paths 1 and 4); no DMA is needed.
+	TxPreloaded
+)
+
+// TxReq is one transmit posting from the driver.
+type TxReq struct {
+	Frame *ether.Frame
+	Mode  TxMode
+}
+
+// NIC is one adapter instance.
+type NIC struct {
+	Host *hw.Host
+	Name string
+	MAC  ether.MAC
+	P    model.NIC // per-adapter copy, mutable before the sim starts
+
+	link *ether.Link
+
+	txQ        *sim.Queue[*TxReq]
+	txWireQ    *sim.Queue[*ether.Frame]
+	txInFlight int
+	txBufUsed  int
+	txBufFree  *sim.Signal
+
+	rxQ        *sim.Queue[*ether.Frame]
+	rxRingUsed int
+	completed  []*ether.Frame
+	sinceIRQ   int
+	lastIRQ    sim.Time
+	coalesceEv *sim.Event
+	raiseIRQ   func()
+
+	// TxFree is notified each time a transmit-ring slot frees; the
+	// protocol's deferred sender waits on it (§3.1's "later, when data
+	// can be sent").
+	TxFree *sim.Signal
+
+	fragSeq uint64
+	fragBuf map[uint64][]*ether.Frame
+
+	// Counters.
+	TxFrames   sim.Counter
+	RxFrames   sim.Counter
+	RxDrops    sim.Counter
+	RxFiltered sim.Counter
+	RxOversize sim.Counter
+	IRQsFired  sim.Counter
+}
+
+// New creates an adapter on host with the given MAC, attached to the A
+// side of link, and starts its transmit and receive engines.
+func New(h *hw.Host, name string, mac ether.MAC, p model.NIC, link *ether.Link) *NIC {
+	n := &NIC{
+		Host:      h,
+		Name:      name,
+		MAC:       mac,
+		P:         p,
+		link:      link,
+		txQ:       sim.NewQueue[*TxReq](name + ":txq"),
+		txWireQ:   sim.NewQueue[*ether.Frame](name + ":txwire"),
+		txBufFree: sim.NewSignal(name + ":txbuf"),
+		rxQ:       sim.NewQueue[*ether.Frame](name + ":rxq"),
+		TxFree:    sim.NewSignal(name + ":txfree"),
+		lastIRQ:   -1 << 60,
+		fragBuf:   map[uint64][]*ether.Frame{},
+	}
+	link.AttachA(n)
+	h.Eng.Go(name+":txdma", n.txEngine)
+	h.Eng.Go(name+":txwire", n.txWire)
+	h.Eng.Go(name+":rxeng", n.rxEngine)
+	return n
+}
+
+// SetIRQ wires the adapter's interrupt output to the kernel (typically
+// IRQ.Raise). It must be set before traffic flows.
+func (n *NIC) SetIRQ(raise func()) { n.raiseIRQ = raise }
+
+// MaxPost returns the largest payload the driver may hand the adapter in
+// one frame: the MTU, or the offload maximum when fragmentation offload
+// is enabled (§2).
+func (n *NIC) MaxPost() int {
+	if n.P.FragOffload {
+		return n.P.FragOffloadMax
+	}
+	return n.P.MTU
+}
+
+// CanTx reports whether the transmit ring has room; when it is full the
+// driver tells CLIC_MODULE "it is not possible to send the data" and the
+// module falls back to buffering in system memory (§3.1).
+func (n *NIC) CanTx() bool { return n.txInFlight < n.P.TxRing }
+
+// PostTx queues one transmit request and rings the doorbell. The caller
+// (driver code) has already charged its own CPU costs; PostTx charges only
+// the MMIO write. Call CanTx first; posting to a full ring panics.
+func (n *NIC) PostTx(p *sim.Proc, pri int, req *TxReq) {
+	if !n.CanTx() {
+		panic(fmt.Sprintf("nic %s: PostTx on full ring", n.Name))
+	}
+	if len(req.Frame.Payload) > n.MaxPost() {
+		panic(fmt.Sprintf("nic %s: frame payload %d exceeds max post %d",
+			n.Name, len(req.Frame.Payload), n.MaxPost()))
+	}
+	n.txInFlight++
+	n.Host.MMIOWrite(p, pri)
+	n.txQ.Put(req)
+}
+
+// txEngine is the DMA stage: it pulls each posted frame into the
+// adapter's transmit buffer. It pipelines with txWire, which drains the
+// buffer to the wire — so the DMA of frame n+1 overlaps the transmission
+// of frame n, as on real bus-master adapters.
+func (n *NIC) txEngine(p *sim.Proc) {
+	for {
+		req := n.txQ.Get(p)
+		f := req.Frame
+		need := ether.HeaderBytes + len(f.Payload)
+		for n.txBufUsed > 0 && n.txBufUsed+need > n.P.BufferBytes {
+			n.txBufFree.Wait(p)
+		}
+		if req.Mode == TxDMA {
+			// One scatter/gather transaction pulls header + payload.
+			f.Trace.Mark("nic:tx-dma", p.Now())
+			n.Host.DMA(p, need)
+		}
+		n.txBufUsed += need
+		// The descriptor is complete once the data is on board.
+		n.txInFlight--
+		n.TxFree.Broadcast()
+		n.txWireQ.Put(f)
+	}
+}
+
+// txWire is the MAC stage: it serialises buffered frames onto the link.
+func (n *NIC) txWire(p *sim.Proc) {
+	for {
+		f := n.txWireQ.Get(p)
+		if len(f.Payload) > n.P.MTU {
+			n.txFragmented(p, f)
+		} else {
+			p.Sleep(n.P.ProcessFrame)
+			n.TxFrames.Inc()
+			n.link.SendFromA(p, f)
+		}
+		n.txBufUsed -= ether.HeaderBytes + len(f.Payload)
+		n.txBufFree.Broadcast()
+	}
+}
+
+// txFragmented implements the offload's transmit half: split a
+// super-packet into MTU-sized wire frames (§2: "the NIC divides the
+// packets according to the MTU size to send them").
+func (n *NIC) txFragmented(p *sim.Proc, f *ether.Frame) {
+	n.fragSeq++
+	id := n.fragSeq
+	total := (len(f.Payload) + n.P.MTU - 1) / n.P.MTU
+	for i := 0; i < total; i++ {
+		lo := i * n.P.MTU
+		hi := lo + n.P.MTU
+		if hi > len(f.Payload) {
+			hi = len(f.Payload)
+		}
+		part := &ether.Frame{
+			Dst: f.Dst, Src: f.Src, Type: f.Type,
+			Payload:   f.Payload[lo:hi],
+			FragID:    id,
+			FragIdx:   i,
+			FragTotal: total,
+		}
+		p.Sleep(n.P.ProcessFrame)
+		n.TxFrames.Inc()
+		n.link.SendFromA(p, part)
+	}
+}
+
+// DeliverFrame implements ether.Endpoint: a frame has fully arrived from
+// the wire. Runs in callback context; drops when the receive ring is full.
+// Unicast frames addressed to another station (switch flooding before MAC
+// learning) are discarded by the MAC's hardware destination filter;
+// broadcast and multicast pass (group filtering is the protocol's job).
+func (n *NIC) DeliverFrame(f *ether.Frame) {
+	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() && f.Dst != n.MAC {
+		n.RxFiltered.Inc()
+		return
+	}
+	if len(f.Payload) > n.P.MTU {
+		// An oversize (giant) frame: a standard-MTU adapter discards a
+		// jumbo frame at the MAC — the §2 interoperability hazard ("both
+		// communicating computers have to use Jumbo frames").
+		n.RxOversize.Inc()
+		return
+	}
+	if n.rxRingUsed+n.rxQ.Len() >= n.P.RxRing {
+		n.RxDrops.Inc()
+		return
+	}
+	n.rxQ.Put(f)
+}
+
+func (n *NIC) rxEngine(p *sim.Proc) {
+	for {
+		f := n.rxQ.Get(p)
+		p.Sleep(n.P.ProcessFrame)
+		if f.FragTotal > 1 {
+			if full := n.reassemble(f); full != nil {
+				n.dmaToHost(p, full)
+			}
+			continue
+		}
+		n.dmaToHost(p, f)
+	}
+}
+
+// reassemble implements the offload's receive half ("it also assembles
+// the received packets to build the packet that has to be sent to the
+// application", §2). It returns the rebuilt super-frame once every
+// fragment is present, else nil.
+func (n *NIC) reassemble(f *ether.Frame) *ether.Frame {
+	parts := append(n.fragBuf[f.FragID], f)
+	if len(parts) < f.FragTotal {
+		n.fragBuf[f.FragID] = parts
+		return nil
+	}
+	delete(n.fragBuf, f.FragID)
+	size := 0
+	for _, part := range parts {
+		size += len(part.Payload)
+	}
+	payload := make([]byte, size)
+	for _, part := range parts {
+		copy(payload[part.FragIdx*n.P.MTU:], part.Payload)
+	}
+	return &ether.Frame{Dst: f.Dst, Src: f.Src, Type: f.Type, Payload: payload}
+}
+
+// dmaToHost moves a received frame into the host's receive-ring buffers in
+// system memory and runs the interrupt-coalescing decision.
+func (n *NIC) dmaToHost(p *sim.Proc, f *ether.Frame) {
+	f.Trace.Mark("nic:rx-dma", p.Now())
+	n.Host.DMA(p, ether.HeaderBytes+len(f.Payload))
+	n.RxFrames.Inc()
+	n.rxRingUsed++
+	n.completed = append(n.completed, f)
+	f.Trace.Mark("nic:rx-complete", p.Now())
+	n.sinceIRQ++
+	// Adaptive coalescing ("the drivers of present NICs usually allow the
+	// dynamic adjustment of time intervals in coalesced interrupts", §2):
+	// the interrupt rate is capped at one per CoalesceUsecs / per
+	// CoalesceFrames, but a frame arriving after a quiet period is
+	// announced immediately, so sparse traffic (a latency ping) pays no
+	// coalescing delay.
+	now := p.Now()
+	window := sim.Time(n.P.CoalesceUsecs) * sim.Microsecond
+	if n.P.CoalesceFrames <= 1 || n.sinceIRQ >= n.P.CoalesceFrames || now-n.lastIRQ >= window {
+		n.fireIRQ(now)
+		return
+	}
+	if n.coalesceEv == nil {
+		n.coalesceEv = p.Engine().At(n.lastIRQ+window, n.Name+":coalesce",
+			func() {
+				n.coalesceEv = nil
+				if n.sinceIRQ > 0 {
+					n.fireIRQ(n.Host.Eng.Now())
+				}
+			})
+	}
+}
+
+func (n *NIC) fireIRQ(now sim.Time) {
+	n.sinceIRQ = 0
+	n.lastIRQ = now
+	if n.coalesceEv != nil {
+		n.coalesceEv.Cancel()
+		n.coalesceEv = nil
+	}
+	n.IRQsFired.Inc()
+	if n.raiseIRQ == nil {
+		panic("nic " + n.Name + ": IRQ fired with no handler wired")
+	}
+	n.raiseIRQ()
+}
+
+// DrainCompleted hands the ISR every frame that has been DMA'd to system
+// memory since the last drain, freeing their ring slots. Called from
+// interrupt context ("frequently it is not necessary to attend one
+// interrupt per packet because when the routine that transfers the packets
+// is executed, it moves all the pending packets", §3.2b).
+func (n *NIC) DrainCompleted() []*ether.Frame {
+	out := n.completed
+	n.completed = nil
+	n.rxRingUsed -= len(out)
+	return out
+}

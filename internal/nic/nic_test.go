@@ -1,0 +1,222 @@
+package nic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ether"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// loopFixture wires two NICs back to back over one link.
+func loopFixture(t *testing.T, mutate func(*model.Params)) (*sim.Engine, *nic.NIC, *nic.NIC) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	params := model.Default()
+	if mutate != nil {
+		mutate(&params)
+	}
+	hA := hw.NewHost(eng, "a", &params)
+	hB := hw.NewHost(eng, "b", &params)
+	link := ether.NewLink(eng, "l", params.Link.BitsPerSec, params.Link.PropagationDelay)
+	// NIC A on the A side; NIC B attaches as the B-side endpoint.
+	nicA := nic.New(hA, "a:eth0", ether.NodeMAC(0, 0), params.NIC, link)
+	linkBack := ether.NewLink(eng, "lb", params.Link.BitsPerSec, params.Link.PropagationDelay)
+	nicB := nic.New(hB, "b:eth0", ether.NodeMAC(1, 0), params.NIC, linkBack)
+	// Cross-wire: A transmits to B and vice versa.
+	link.AttachB(nicB)
+	linkBack.AttachB(nicA)
+	return eng, nicA, nicB
+}
+
+func TestTxRxRoundTrip(t *testing.T) {
+	eng, a, b := loopFixture(t, nil)
+	irqs := 0
+	b.SetIRQ(func() { irqs++ })
+	a.SetIRQ(func() {})
+	payload := []byte("frame payload")
+	eng.Go("tx", func(p *sim.Proc) {
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: payload},
+			Mode:  nic.TxDMA,
+		})
+	})
+	eng.Run()
+	got := b.DrainCompleted()
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, payload) {
+		t.Fatalf("received %d frames", len(got))
+	}
+	if irqs == 0 {
+		t.Error("no interrupt fired")
+	}
+	if a.TxFrames.Value() != 1 || b.RxFrames.Value() != 1 {
+		t.Errorf("counters tx=%d rx=%d", a.TxFrames.Value(), b.RxFrames.Value())
+	}
+}
+
+func TestMACFilterDropsForeignUnicast(t *testing.T) {
+	eng, a, b := loopFixture(t, nil)
+	b.SetIRQ(func() {})
+	a.SetIRQ(func() {})
+	other := ether.NodeMAC(9, 0)
+	eng.Go("tx", func(p *sim.Proc) {
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: other, Payload: []byte("not for b")},
+			Mode:  nic.TxDMA,
+		})
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: ether.Broadcast, Payload: []byte("for everyone")},
+			Mode:  nic.TxDMA,
+		})
+	})
+	eng.Run()
+	got := b.DrainCompleted()
+	if len(got) != 1 || string(got[0].Payload) != "for everyone" {
+		t.Fatalf("filter failed: %d frames delivered", len(got))
+	}
+	if b.RxFiltered.Value() != 1 {
+		t.Errorf("filtered count %d, want 1", b.RxFiltered.Value())
+	}
+}
+
+func TestCoalescingBatchesIRQs(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.CoalesceUsecs = 1000 // very wide window
+		p.NIC.CoalesceFrames = 5
+	})
+	a.SetIRQ(func() {})
+	irqs := 0
+	b.SetIRQ(func() { irqs++ })
+	eng.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			for !a.CanTx() {
+				a.TxFree.Wait(p)
+			}
+			a.PostTx(p, sim.PriKernel, &nic.TxReq{
+				Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: make([]byte, 1000)},
+				Mode:  nic.TxDMA,
+			})
+		}
+	})
+	eng.Run()
+	// First frame after idle fires immediately; the rest batch by 5.
+	if irqs > 4 {
+		t.Errorf("%d IRQs for 10 frames with 5-frame coalescing, want <= 4", irqs)
+	}
+	if got := len(b.DrainCompleted()); got != 10 {
+		t.Errorf("delivered %d frames", got)
+	}
+}
+
+func TestAdaptiveCoalescingFiresImmediatelyWhenIdle(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.CoalesceUsecs = 500
+		p.NIC.CoalesceFrames = 50
+	})
+	a.SetIRQ(func() {})
+	var irqAt sim.Time
+	b.SetIRQ(func() { irqAt = eng.Now() })
+	eng.Go("tx", func(p *sim.Proc) {
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: []byte("lone")},
+			Mode:  nic.TxDMA,
+		})
+	})
+	eng.Run()
+	if irqAt == 0 {
+		t.Fatal("no IRQ")
+	}
+	// A lone frame on an idle link must not wait out the 500 µs window.
+	if irqAt > 100*sim.Microsecond {
+		t.Errorf("lone frame announced at %d ns; coalescing not adaptive", irqAt)
+	}
+}
+
+func TestRxRingOverflowDrops(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.RxRing = 4
+	})
+	a.SetIRQ(func() {})
+	b.SetIRQ(func() {}) // never drained: ring fills
+	eng.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			for !a.CanTx() {
+				a.TxFree.Wait(p)
+			}
+			a.PostTx(p, sim.PriKernel, &nic.TxReq{
+				Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: make([]byte, 500)},
+				Mode:  nic.TxDMA,
+			})
+		}
+	})
+	eng.Run()
+	if b.RxDrops.Value() == 0 {
+		t.Error("no drops despite a 4-slot ring and no draining")
+	}
+}
+
+func TestFragOffloadSplitsAndReassembles(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.FragOffload = true
+		p.NIC.FragOffloadMax = 16000
+		p.NIC.BufferBytes = 64 << 10
+	})
+	a.SetIRQ(func() {})
+	irqs := 0
+	b.SetIRQ(func() { irqs++ })
+	payload := make([]byte, 10_000) // > MTU 1500: NIC splits it
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	eng.Go("tx", func(p *sim.Proc) {
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: payload},
+			Mode:  nic.TxDMA,
+		})
+	})
+	eng.Run()
+	if a.TxFrames.Value() < 7 {
+		t.Errorf("offload sent %d wire frames for 10 kB at MTU 1500, want >= 7", a.TxFrames.Value())
+	}
+	got := b.DrainCompleted()
+	if len(got) != 1 {
+		t.Fatalf("host saw %d frames, want 1 reassembled super-frame", len(got))
+	}
+	if !bytes.Equal(got[0].Payload, payload) {
+		t.Fatal("reassembled payload corrupted")
+	}
+	if irqs != 1 {
+		t.Errorf("%d interrupts for one offloaded packet, want 1", irqs)
+	}
+}
+
+func TestTxRingCapacity(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.TxRing = 2
+	})
+	a.SetIRQ(func() {})
+	b.SetIRQ(func() {})
+	eng.Go("tx", func(p *sim.Proc) {
+		posted := 0
+		for i := 0; i < 6; i++ {
+			for !a.CanTx() {
+				a.TxFree.Wait(p)
+			}
+			a.PostTx(p, sim.PriKernel, &nic.TxReq{
+				Frame: &ether.Frame{Src: a.MAC, Dst: ether.NodeMAC(1, 0), Payload: make([]byte, 100)},
+				Mode:  nic.TxDMA,
+			})
+			posted++
+		}
+		if posted != 6 {
+			t.Errorf("posted %d", posted)
+		}
+	})
+	eng.Run()
+	if a.TxFrames.Value() != 6 {
+		t.Errorf("transmitted %d frames, want 6 (ring back-pressure must not lose)", a.TxFrames.Value())
+	}
+}

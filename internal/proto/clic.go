@@ -1,0 +1,89 @@
+// Package proto defines the wire formats shared by the stacks in this
+// repository: the 12-byte CLIC header that rides directly on the Ethernet
+// level-1 header (§3.1), and the IPv4/TCP headers plus Internet checksum
+// used by the comparator stack.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PacketType occupies the first byte of the CLIC header; the paper lists
+// MPI packets, internal packets and kernel-function packets (§3.1).
+type PacketType uint8
+
+// CLIC packet types.
+const (
+	TypeData        PacketType = 1 // ordinary message fragment
+	TypeAck         PacketType = 2 // internal: cumulative acknowledgement
+	TypeRemoteWrite PacketType = 3 // asynchronous remote write (§3.1)
+	TypeConfirm     PacketType = 4 // internal: confirmation of reception (§5)
+	TypeKernelFn    PacketType = 5 // kernel-function packet (§3.1)
+	TypeMPI         PacketType = 6 // MPI packet (§3.1)
+	TypeBarrier     PacketType = 7 // internal: collective coordination
+	TypeNack        PacketType = 8 // internal: out-of-order notification
+)
+
+// Header flags.
+const (
+	FlagFirst   uint8 = 1 << 0 // first fragment of a message
+	FlagLast    uint8 = 1 << 1 // last fragment of a message
+	FlagConfirm uint8 = 1 << 2 // sender requests a TypeConfirm reply
+)
+
+// HeaderBytes is the CLIC header size: 12 bytes (§3.1).
+const HeaderBytes = 12
+
+// Header is the CLIC packet header. Layout (big-endian):
+//
+//	byte 0     Type
+//	byte 1     Flags
+//	bytes 2-3  Port (destination CLIC port)
+//	bytes 4-7  Seq (data: channel sequence number; ack: cumulative ack)
+//	bytes 8-11 Len (first fragment: total message length; ack: window echo)
+type Header struct {
+	Type  PacketType
+	Flags uint8
+	Port  uint16
+	Seq   uint32
+	Len   uint32
+}
+
+// Encode appends the 12-byte wire form of h to dst and returns the
+// extended slice.
+func (h Header) Encode(dst []byte) []byte {
+	var b [HeaderBytes]byte
+	b[0] = byte(h.Type)
+	b[1] = h.Flags
+	binary.BigEndian.PutUint16(b[2:4], h.Port)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Len)
+	return append(dst, b[:]...)
+}
+
+// ErrShortHeader reports a buffer smaller than a CLIC header.
+var ErrShortHeader = errors.New("proto: buffer shorter than CLIC header")
+
+// DecodeHeader parses a CLIC header from the front of b and returns the
+// header and the remaining payload.
+func DecodeHeader(b []byte) (Header, []byte, error) {
+	if len(b) < HeaderBytes {
+		return Header{}, nil, ErrShortHeader
+	}
+	h := Header{
+		Type:  PacketType(b[0]),
+		Flags: b[1],
+		Port:  binary.BigEndian.Uint16(b[2:4]),
+		Seq:   binary.BigEndian.Uint32(b[4:8]),
+		Len:   binary.BigEndian.Uint32(b[8:12]),
+	}
+	return h, b[HeaderBytes:], nil
+}
+
+// String renders the header for traces.
+func (h Header) String() string {
+	return fmt.Sprintf("clic{t=%d f=%#x port=%d seq=%d len=%d}",
+		h.Type, h.Flags, h.Port, h.Seq, h.Len)
+}

@@ -1,0 +1,86 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeHeader: arbitrary bytes must never panic the CLIC header
+// decoder, and anything that decodes must re-encode to the same wire
+// bytes (the decoder is a left inverse of the encoder).
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderBytes))
+	f.Add(Header{Type: TypeData, Flags: FlagFirst | FlagLast, Port: 7, Seq: 42, Len: 99}.Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, rest, err := DecodeHeader(b)
+		if err != nil {
+			if len(b) >= HeaderBytes {
+				t.Fatalf("decode rejected a full-size header: %v", err)
+			}
+			return
+		}
+		if len(rest) != len(b)-HeaderBytes {
+			t.Fatalf("payload length %d from %d input bytes", len(rest), len(b))
+		}
+		re := h.Encode(nil)
+		if !bytes.Equal(re, b[:HeaderBytes]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, b[:HeaderBytes])
+		}
+	})
+}
+
+// FuzzDecodeIPv4: arbitrary bytes must never panic, and only
+// checksum-valid headers may decode.
+func FuzzDecodeIPv4(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(IPv4Header{TotalLen: 100, ID: 1, Protocol: ProtoTCP, Src: 1, Dst: 2}.Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, _, err := DecodeIPv4(b)
+		if err != nil {
+			return
+		}
+		// A decoded header must survive a round trip.
+		re := h.Encode(nil)
+		h2, _, err2 := DecodeIPv4(re)
+		if err2 != nil || h2 != h {
+			t.Fatalf("round trip broke: %v %+v vs %+v", err2, h2, h)
+		}
+	})
+}
+
+// FuzzDecodeTCP: arbitrary bytes must never panic the TCP decoder.
+func FuzzDecodeTCP(f *testing.F) {
+	f.Add([]byte{})
+	hdr := TCPHeader{SrcPort: 1, DstPort: 2, Seq: 3, Ack: 4, Flags: TCPAck, Window: 100}
+	f.Add(append(hdr.Encode(nil, []byte("payload")), []byte("payload")...))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, payload, err := DecodeTCP(b)
+		if err != nil {
+			return
+		}
+		re := append(h.Encode(nil, payload), payload...)
+		h2, p2, err2 := DecodeTCP(re)
+		if err2 != nil || h2 != h || !bytes.Equal(p2, payload) {
+			t.Fatal("TCP round trip broke")
+		}
+	})
+}
+
+// FuzzChecksumSplit: the two-part checksum must agree with the whole-
+// buffer checksum at every split point.
+func FuzzChecksumSplit(f *testing.F) {
+	f.Add([]byte("hello world"), 3)
+	f.Fuzz(func(t *testing.T, data []byte, split int) {
+		if len(data) == 0 {
+			return
+		}
+		s := split % len(data)
+		if s < 0 {
+			s = -s
+		}
+		if checksumTwo(data[:s], data[s:]) != Checksum(data) {
+			t.Fatalf("split checksum mismatch at %d", s)
+		}
+	})
+}

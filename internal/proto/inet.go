@@ -1,0 +1,164 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// IPv4HeaderBytes and TCPHeaderBytes are the fixed header sizes the
+// comparator stack pays per packet — the "TCP/IP headers to process
+// through the protocol stack" of §2.
+const (
+	IPv4HeaderBytes = 20
+	TCPHeaderBytes  = 20
+)
+
+// IPv4Header is the subset of the IPv4 header the simulation carries.
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // bit 0: more fragments
+	FragOff  uint16
+	Protocol uint8
+	Src, Dst uint32
+}
+
+// IP protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// MoreFragments flag bit for IPv4Header.Flags.
+const MoreFragments uint8 = 1
+
+// Encode appends the 20-byte header (with checksum) to dst.
+func (h IPv4Header) Encode(dst []byte) []byte {
+	var b [IPv4HeaderBytes]byte
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	fo := h.FragOff / 8
+	if h.Flags&MoreFragments != 0 {
+		fo |= 0x2000
+	}
+	binary.BigEndian.PutUint16(b[6:8], fo)
+	b[8] = 64 // TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:16], h.Src)
+	binary.BigEndian.PutUint32(b[16:20], h.Dst)
+	csum := Checksum(b[:])
+	binary.BigEndian.PutUint16(b[10:12], csum)
+	return append(dst, b[:]...)
+}
+
+// ErrShortPacket reports a truncated IP or TCP header.
+var ErrShortPacket = errors.New("proto: truncated packet")
+
+// ErrBadChecksum reports a checksum mismatch.
+var ErrBadChecksum = errors.New("proto: bad checksum")
+
+// DecodeIPv4 parses and verifies an IPv4 header, returning it and the
+// remaining bytes.
+func DecodeIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderBytes {
+		return IPv4Header{}, nil, ErrShortPacket
+	}
+	if Checksum(b[:IPv4HeaderBytes]) != 0 {
+		return IPv4Header{}, nil, ErrBadChecksum
+	}
+	fo := binary.BigEndian.Uint16(b[6:8])
+	h := IPv4Header{
+		TotalLen: binary.BigEndian.Uint16(b[2:4]),
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Protocol: b[9],
+		Src:      binary.BigEndian.Uint32(b[12:16]),
+		Dst:      binary.BigEndian.Uint32(b[16:20]),
+		FragOff:  (fo & 0x1fff) * 8,
+	}
+	if fo&0x2000 != 0 {
+		h.Flags |= MoreFragments
+	}
+	return h, b[IPv4HeaderBytes:], nil
+}
+
+// TCPHeader is the subset of the TCP header the simulation carries.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8 // FIN/SYN/RST/PSH/ACK as in RFC 793
+	Window           uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// Encode appends the 20-byte header (checksum over header+payload) to dst.
+func (h TCPHeader) Encode(dst, payload []byte) []byte {
+	var b [TCPHeaderBytes]byte
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = 5 << 4 // data offset
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	csum := checksumTwo(b[:], payload)
+	binary.BigEndian.PutUint16(b[16:18], csum)
+	return append(dst, b[:]...)
+}
+
+// DecodeTCP parses a TCP header and verifies the checksum over header and
+// payload (the rest of b).
+func DecodeTCP(b []byte) (TCPHeader, []byte, error) {
+	if len(b) < TCPHeaderBytes {
+		return TCPHeader{}, nil, ErrShortPacket
+	}
+	if checksumTwo(b[:TCPHeaderBytes], b[TCPHeaderBytes:]) != 0 {
+		return TCPHeader{}, nil, ErrBadChecksum
+	}
+	h := TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}
+	return h, b[TCPHeaderBytes:], nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 { return checksumTwo(b, nil) }
+
+// checksumTwo computes the Internet checksum over the concatenation of a
+// and b without materialising it.
+func checksumTwo(a, b []byte) uint16 {
+	var sum uint32
+	add := func(p []byte, odd bool) bool {
+		i := 0
+		if odd && len(p) > 0 {
+			sum += uint32(p[0])
+			i = 1
+		}
+		for ; i+1 < len(p); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(p[i : i+2]))
+		}
+		if i < len(p) {
+			sum += uint32(p[i]) << 8
+			return true
+		}
+		return false
+	}
+	odd := add(a, false)
+	add(b, odd)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,98 @@
+// Package pvm models the PVM message layer of Fig. 6: typed pack/unpack
+// buffers over TCP, with the packing copy and per-call daemon/library
+// overhead that kept PVM below MPI on the same transport. Only the
+// point-to-point subset the paper measures is implemented.
+package pvm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Messenger is the reliable transport a task runs over: the TCP
+// messenger mesh in the paper's Fig. 6 configuration, or a CLIC endpoint
+// directly ("MPI and PVM point-to-point communication functions can be
+// easily mapped to reliable point-to-point communications provided by
+// the CLIC layer", §5).
+type Messenger interface {
+	Send(p *sim.Proc, dst int, port uint16, data []byte)
+	Recv(p *sim.Proc, port uint16) (src int, data []byte)
+}
+
+// Task is one PVM task (process); the paper runs one per node.
+type Task struct {
+	tid     int
+	m       *model.Params
+	msgr    Messenger
+	cpuWork func(p *sim.Proc, d sim.Time)
+
+	sendBuf []byte
+	inbox   map[key][][]byte
+}
+
+type key struct {
+	src int
+	tag int
+}
+
+// pvmPort is the messenger port PVM traffic rides on.
+const pvmPort = 3000
+
+// NewTask wraps a messenger as a PVM task. cpuWork charges library CPU
+// on the task's node.
+func NewTask(tid int, msgr Messenger, params *model.Params,
+	cpuWork func(p *sim.Proc, d sim.Time)) *Task {
+	return &Task{
+		tid:     tid,
+		m:       params,
+		msgr:    msgr,
+		cpuWork: cpuWork,
+		inbox:   map[key][][]byte{},
+	}
+}
+
+// InitSend clears the active send buffer (pvm_initsend).
+func (t *Task) InitSend(p *sim.Proc) {
+	t.cpuWork(p, t.m.PVM.PerCall)
+	t.sendBuf = t.sendBuf[:0]
+}
+
+// PkBytes appends data to the send buffer (pvm_pkbyte): PVM always packs
+// into a staging buffer, an extra copy the lighter layers avoid.
+func (t *Task) PkBytes(p *sim.Proc, data []byte) {
+	t.cpuWork(p, model.TransferTime(len(data), t.m.PVM.PackBandwidth))
+	t.sendBuf = append(t.sendBuf, data...)
+}
+
+// Send transmits the packed buffer to (dstTid, tag) (pvm_send).
+func (t *Task) Send(p *sim.Proc, dstTid, tag int) {
+	t.cpuWork(p, t.m.PVM.PerCall)
+	msg := make([]byte, 4, 4+len(t.sendBuf))
+	binary.BigEndian.PutUint32(msg, uint32(tag))
+	msg = append(msg, t.sendBuf...)
+	t.msgr.Send(p, dstTid, pvmPort, msg)
+}
+
+// Recv blocks for a message from (srcTid, tag) and unpacks it
+// (pvm_recv + pvm_upkbyte). The unpack copy is charged like the pack.
+func (t *Task) Recv(p *sim.Proc, srcTid, tag int) []byte {
+	t.cpuWork(p, t.m.PVM.PerCall)
+	k := key{src: srcTid, tag: tag}
+	for {
+		if q := t.inbox[k]; len(q) > 0 {
+			data := q[0]
+			t.inbox[k] = q[1:]
+			t.cpuWork(p, model.TransferTime(len(data), t.m.PVM.PackBandwidth))
+			return data
+		}
+		src, raw := t.msgr.Recv(p, pvmPort)
+		if len(raw) < 4 {
+			panic(fmt.Sprintf("pvm: runt message from %d", src))
+		}
+		gotTag := int(binary.BigEndian.Uint32(raw[:4]))
+		t.inbox[key{src: src, tag: gotTag}] = append(t.inbox[key{src: src, tag: gotTag}], raw[4:])
+	}
+}

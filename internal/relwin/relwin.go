@@ -1,0 +1,121 @@
+// Package relwin implements the go-back-N sliding-window reliability core
+// that CLIC's "reliable transport protocol" (§3.1) is built on: sequence
+// assignment, cumulative acknowledgements and retransmission of the
+// unacknowledged tail. It is pure state-machine code with no simulator
+// dependencies, so the same logic drives both the simulated protocol
+// (internal/clic) and the functional UDP backend (internal/live).
+//
+// Sequence numbers are uint32 and compare modularly, so the window works
+// across wraparound.
+package relwin
+
+// Seq is a 32-bit modular sequence number.
+type Seq = uint32
+
+// Before reports whether a precedes b in modular order.
+func Before(a, b Seq) bool { return int32(a-b) < 0 }
+
+// Sender tracks the transmit side of one channel: at most Window frames
+// may be unacknowledged at a time (the sender's share of the "finite
+// buffering" flow control of §1).
+type Sender[T any] struct {
+	window  int
+	next    Seq
+	base    Seq // oldest unacknowledged sequence
+	unacked []T // unacked[i] has sequence base+i
+}
+
+// NewSender returns a sender with the given window in frames.
+func NewSender[T any](window int) *Sender[T] {
+	if window < 1 {
+		panic("relwin: window must be at least 1")
+	}
+	return &Sender[T]{window: window}
+}
+
+// CanSend reports whether a window slot is free.
+func (s *Sender[T]) CanSend() bool { return len(s.unacked) < s.window }
+
+// InFlight returns the number of unacknowledged frames.
+func (s *Sender[T]) InFlight() int { return len(s.unacked) }
+
+// Push assigns the next sequence number to item and records it for
+// possible retransmission. It panics if the window is full; callers gate
+// on CanSend.
+func (s *Sender[T]) Push(item T) Seq {
+	if !s.CanSend() {
+		panic("relwin: push with full window")
+	}
+	seq := s.next
+	s.next++
+	s.unacked = append(s.unacked, item)
+	return seq
+}
+
+// Ack processes a cumulative acknowledgement: cum is the receiver's next
+// expected sequence, so everything before it is released. It returns the
+// number of frames freed. Stale or duplicate acks free nothing.
+func (s *Sender[T]) Ack(cum Seq) int {
+	if Before(s.next, cum) {
+		// Ack beyond anything we sent: ignore (corrupt or very stale).
+		return 0
+	}
+	n := int(cum - s.base)
+	if n <= 0 || n > len(s.unacked) {
+		return 0
+	}
+	// Release references so the payloads can be collected.
+	var zero T
+	for i := 0; i < n; i++ {
+		s.unacked[i] = zero
+	}
+	s.unacked = append(s.unacked[:0], s.unacked[n:]...)
+	s.base = cum
+	return n
+}
+
+// Unacked returns the frames to resend on a go-back-N recovery, oldest
+// first, along with the sequence of the first one. The returned slice
+// aliases internal state and must not be retained across Push/Ack.
+func (s *Sender[T]) Unacked() ([]T, Seq) { return s.unacked, s.base }
+
+// NextSeq returns the sequence number the next Push will assign.
+func (s *Sender[T]) NextSeq() Seq { return s.next }
+
+// Receiver tracks the receive side: it accepts exactly the next expected
+// sequence and asks for retransmission otherwise.
+type Receiver struct {
+	expected Seq
+}
+
+// Verdict classifies an arriving sequence number.
+type Verdict int
+
+// Verdicts returned by Accept.
+const (
+	// Deliver: the frame is the next expected one; hand it up.
+	Deliver Verdict = iota
+	// Duplicate: an already-delivered frame (a retransmission overlap);
+	// drop it but re-acknowledge so the sender advances.
+	Duplicate
+	// OutOfOrder: a gap — a frame was lost ahead of this one; drop it and
+	// re-acknowledge the old cumulative point to trigger go-back-N.
+	OutOfOrder
+)
+
+// Accept classifies seq and, for Deliver, advances the expected sequence.
+func (r *Receiver) Accept(seq Seq) Verdict {
+	switch {
+	case seq == r.expected:
+		r.expected++
+		return Deliver
+	case Before(seq, r.expected):
+		return Duplicate
+	default:
+		return OutOfOrder
+	}
+}
+
+// CumAck returns the cumulative acknowledgement to send: the next expected
+// sequence number.
+func (r *Receiver) CumAck() Seq { return r.expected }

@@ -1,0 +1,157 @@
+package relwin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowLimits(t *testing.T) {
+	s := NewSender[int](3)
+	for i := 0; i < 3; i++ {
+		if !s.CanSend() {
+			t.Fatalf("window closed after %d pushes, want 3 allowed", i)
+		}
+		if seq := s.Push(i); seq != Seq(i) {
+			t.Fatalf("push %d got seq %d", i, seq)
+		}
+	}
+	if s.CanSend() {
+		t.Error("window open after filling it")
+	}
+	if freed := s.Ack(2); freed != 2 {
+		t.Errorf("ack(2) freed %d, want 2", freed)
+	}
+	if !s.CanSend() || s.InFlight() != 1 {
+		t.Errorf("after ack: canSend=%v inflight=%d, want true/1", s.CanSend(), s.InFlight())
+	}
+}
+
+func TestStaleAckIgnored(t *testing.T) {
+	s := NewSender[int](4)
+	s.Push(0)
+	s.Push(1)
+	s.Ack(2)
+	if freed := s.Ack(1); freed != 0 {
+		t.Errorf("stale ack freed %d, want 0", freed)
+	}
+	if freed := s.Ack(99); freed != 0 {
+		t.Errorf("ack beyond sent freed %d, want 0", freed)
+	}
+}
+
+func TestUnackedTail(t *testing.T) {
+	s := NewSender[int](8)
+	for i := 0; i < 5; i++ {
+		s.Push(10 + i)
+	}
+	s.Ack(2)
+	tail, base := s.Unacked()
+	if base != 2 || len(tail) != 3 {
+		t.Fatalf("unacked base=%d len=%d, want 2/3", base, len(tail))
+	}
+	for i, v := range tail {
+		if v != 12+i {
+			t.Errorf("tail[%d] = %d, want %d", i, v, 12+i)
+		}
+	}
+}
+
+func TestReceiverVerdicts(t *testing.T) {
+	var r Receiver
+	if v := r.Accept(0); v != Deliver {
+		t.Fatalf("seq 0: %v, want Deliver", v)
+	}
+	if v := r.Accept(0); v != Duplicate {
+		t.Fatalf("replayed seq 0: %v, want Duplicate", v)
+	}
+	if v := r.Accept(2); v != OutOfOrder {
+		t.Fatalf("gap seq 2: %v, want OutOfOrder", v)
+	}
+	if v := r.Accept(1); v != Deliver {
+		t.Fatalf("seq 1: %v, want Deliver", v)
+	}
+	if r.CumAck() != 2 {
+		t.Errorf("cumack = %d, want 2", r.CumAck())
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	s := NewSender[int](2)
+	s.next = ^Seq(0) // one before wrap
+	s.base = s.next
+	var r Receiver
+	r.expected = s.next
+
+	seq1 := s.Push(1)
+	seq2 := s.Push(2)
+	if seq2 != 0 {
+		t.Fatalf("second seq = %d, want wrap to 0", seq2)
+	}
+	if v := r.Accept(seq1); v != Deliver {
+		t.Fatalf("pre-wrap frame: %v", v)
+	}
+	if v := r.Accept(seq2); v != Deliver {
+		t.Fatalf("post-wrap frame: %v", v)
+	}
+	if freed := s.Ack(r.CumAck()); freed != 2 {
+		t.Errorf("wraparound ack freed %d, want 2", freed)
+	}
+}
+
+// TestLossyChannelProperty drives a sender and receiver over a channel
+// with random loss and duplication and checks the go-back-N invariant:
+// the receiver delivers every payload exactly once, in order.
+func TestLossyChannelProperty(t *testing.T) {
+	f := func(seed int64, nMsgs uint8, lossPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		loss := int(lossPct % 60) // up to 60% loss
+		total := int(nMsgs%100) + 1
+
+		s := NewSender[int](8)
+		var r Receiver
+		var delivered []int
+		sent := 0
+
+		type wireFrame struct {
+			seq     Seq
+			payload int
+		}
+
+		for len(delivered) < total {
+			// Fill the window with fresh payloads.
+			for s.CanSend() && sent < total {
+				s.Push(sent)
+				sent++
+			}
+			// "Transmit" the unacked tail; each frame may be lost.
+			tail, base := s.Unacked()
+			var arrived []wireFrame
+			for i, payload := range tail {
+				if rng.Intn(100) >= loss {
+					arrived = append(arrived, wireFrame{base + Seq(i), payload})
+				}
+			}
+			// Receiver processes what made it through, acking cumulatively.
+			for _, fr := range arrived {
+				if r.Accept(fr.seq) == Deliver {
+					delivered = append(delivered, fr.payload)
+				}
+			}
+			// The cumulative ack itself may be lost; go-back-N must still
+			// converge because we loop (the retransmit timer).
+			if rng.Intn(100) >= loss {
+				s.Ack(r.CumAck())
+			}
+		}
+		for i, v := range delivered {
+			if v != i {
+				return false
+			}
+		}
+		return len(delivered) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

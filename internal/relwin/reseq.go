@@ -1,0 +1,60 @@
+package relwin
+
+// Resequencer wraps Receiver with a bounded out-of-order buffer: frames
+// arriving ahead of the expected sequence are parked (up to limit) and
+// released in order once the gap fills. This is what lets CLIC stripe the
+// fragments of one channel across bonded NICs (§5) without tripping
+// go-back-N on the benign reordering two parallel links introduce; real
+// losses still leave a gap that only a retransmission fills.
+type Resequencer[T any] struct {
+	r     Receiver
+	buf   map[Seq]T
+	limit int
+}
+
+// NewResequencer returns a resequencer buffering at most limit frames.
+func NewResequencer[T any](limit int) *Resequencer[T] {
+	if limit < 0 {
+		panic("relwin: negative resequencer limit")
+	}
+	return &Resequencer[T]{buf: map[Seq]T{}, limit: limit}
+}
+
+// Accept processes an arriving frame and returns the frames now
+// deliverable, in sequence order (possibly empty). ok is false when the
+// frame was dropped as a duplicate or because the buffer is full.
+func (q *Resequencer[T]) Accept(seq Seq, item T) (deliver []T, ok bool) {
+	switch q.r.Accept(seq) {
+	case Deliver:
+		deliver = append(deliver, item)
+		// Drain any parked successors.
+		for {
+			next, present := q.buf[q.r.expected]
+			if !present {
+				break
+			}
+			delete(q.buf, q.r.expected)
+			q.r.expected++
+			deliver = append(deliver, next)
+		}
+		return deliver, true
+	case Duplicate:
+		return nil, false
+	default: // OutOfOrder
+		if _, present := q.buf[seq]; present {
+			return nil, false
+		}
+		if len(q.buf) >= q.limit {
+			return nil, false
+		}
+		q.buf[seq] = item
+		return nil, true
+	}
+}
+
+// CumAck returns the cumulative acknowledgement point (next in-order
+// sequence still missing).
+func (q *Resequencer[T]) CumAck() Seq { return q.r.CumAck() }
+
+// Buffered returns the number of parked out-of-order frames.
+func (q *Resequencer[T]) Buffered() int { return len(q.buf) }

@@ -1,0 +1,86 @@
+package relwin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResequencerInOrder(t *testing.T) {
+	q := NewResequencer[int](4)
+	for i := 0; i < 5; i++ {
+		out, ok := q.Accept(Seq(i), i*10)
+		if !ok || len(out) != 1 || out[0] != i*10 {
+			t.Fatalf("seq %d: out=%v ok=%v", i, out, ok)
+		}
+	}
+}
+
+func TestResequencerFillsGap(t *testing.T) {
+	q := NewResequencer[string](4)
+	if out, _ := q.Accept(1, "b"); len(out) != 0 {
+		t.Fatalf("early frame delivered: %v", out)
+	}
+	if out, _ := q.Accept(2, "c"); len(out) != 0 {
+		t.Fatalf("early frame delivered: %v", out)
+	}
+	out, ok := q.Accept(0, "a")
+	if !ok || len(out) != 3 {
+		t.Fatalf("gap fill delivered %v", out)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %q, want %q", i, out[i], want)
+		}
+	}
+	if q.CumAck() != 3 {
+		t.Errorf("cumack = %d, want 3", q.CumAck())
+	}
+}
+
+func TestResequencerDuplicateAndOverflow(t *testing.T) {
+	q := NewResequencer[int](2)
+	q.Accept(0, 0)
+	if _, ok := q.Accept(0, 0); ok {
+		t.Error("duplicate accepted")
+	}
+	q.Accept(2, 2)
+	q.Accept(3, 3)
+	if _, ok := q.Accept(4, 4); ok {
+		t.Error("frame accepted beyond buffer limit")
+	}
+	if _, ok := q.Accept(2, 2); ok {
+		t.Error("duplicate parked frame accepted")
+	}
+	if q.Buffered() != 2 {
+		t.Errorf("buffered = %d, want 2", q.Buffered())
+	}
+}
+
+// TestResequencerPermutationProperty: any permutation of a window of
+// frames (within the buffer limit) is delivered complete and in order.
+func TestResequencerPermutationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		total := int(n%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(total)
+		q := NewResequencer[int](total)
+		var got []int
+		for _, s := range perm {
+			out, _ := q.Accept(Seq(s), s)
+			got = append(got, out...)
+		}
+		if len(got) != total {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// Microbenchmarks of the simulation engine itself: the entire evaluation
+// harness stands on event throughput, so regressions here show up as
+// slow sweeps everywhere.
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(10, "tick", tick)
+		}
+	}
+	e.After(10, "tick", tick)
+	b.ResetTimer()
+	e.Run()
+	if count != b.N {
+		b.Fatalf("dispatched %d of %d", count, b.N)
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Many pending events with interleaved schedule/fire — the sweep
+	// workload's heap pattern.
+	e := NewEngine(1)
+	for i := 0; i < 1024; i++ {
+		var reschedule func()
+		delay := Time(i%97 + 1)
+		reschedule = func() {
+			if e.Now() < Time(b.N) {
+				e.After(delay, "r", reschedule)
+			}
+		}
+		e.After(delay, "r", reschedule)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkProcSwitch(b *testing.B) {
+	// Ping-pong between two processes through a queue: the proc-resume
+	// machinery is the engine's most expensive primitive.
+	e := NewEngine(1)
+	q1 := NewQueue[int]("q1")
+	q2 := NewQueue[int]("q2")
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Put(i)
+			q2.Get(p)
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Get(p)
+			q2.Put(i)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkResourceHandoff(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource("r", 1)
+	for w := 0; w < 4; w++ {
+		e.Go("worker", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				r.Use(p, 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,102 @@
+package sim
+
+// Coordination primitives for simulated processes, built on Signal. They
+// mirror their sync-package namesakes but operate in simulated time and
+// must only be used from simulation context.
+
+// Barrier blocks processes until a fixed number have arrived, then
+// releases them all together.
+type Barrier struct {
+	need    int
+	arrived int
+	sig     *Signal
+}
+
+// NewBarrier returns a barrier for n processes.
+func NewBarrier(name string, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier needs at least one participant")
+	}
+	return &Barrier{need: n, sig: NewSignal(name)}
+}
+
+// Wait blocks until n processes (including this one) have called Wait,
+// then all proceed and the barrier resets for reuse.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived >= b.need {
+		b.arrived = 0
+		b.sig.Broadcast()
+		return
+	}
+	b.sig.Wait(p)
+}
+
+// Semaphore is a counting semaphore in simulated time.
+type Semaphore struct {
+	tokens int
+	sig    *Signal
+}
+
+// NewSemaphore returns a semaphore with the given initial token count.
+func NewSemaphore(name string, tokens int) *Semaphore {
+	return &Semaphore{tokens: tokens, sig: NewSignal(name)}
+}
+
+// Acquire takes one token, blocking while none are available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.tokens == 0 {
+		s.sig.Wait(p)
+	}
+	s.tokens--
+}
+
+// TryAcquire takes a token if one is available.
+func (s *Semaphore) TryAcquire() bool {
+	if s.tokens == 0 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// Release returns one token and wakes a waiter.
+func (s *Semaphore) Release() {
+	s.tokens++
+	s.sig.Notify()
+}
+
+// Tokens returns the available token count.
+func (s *Semaphore) Tokens() int { return s.tokens }
+
+// WaitGroup counts outstanding work in simulated time.
+type WaitGroup struct {
+	n   int
+	sig *Signal
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(name string) *WaitGroup {
+	return &WaitGroup{sig: NewSignal(name)}
+}
+
+// Add adjusts the outstanding count; negative deltas may complete waits.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.sig.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.sig.Wait(p)
+	}
+}

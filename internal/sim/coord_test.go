@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBarrierReleasesTogetherAndReuses(t *testing.T) {
+	e := NewEngine(1)
+	b := NewBarrier("b", 3)
+	var exits []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				p.Sleep(Time(i+1) * 10)
+				b.Wait(p)
+				exits = append(exits, p.Now())
+			}
+		})
+	}
+	e.Run()
+	if len(exits) != 6 {
+		t.Fatalf("%d exits, want 6 (barrier must be reusable)", len(exits))
+	}
+	// Within each round, all exits share the arrival time of the last
+	// participant.
+	if exits[0] != exits[1] || exits[1] != exits[2] {
+		t.Errorf("round 1 exits %v not simultaneous", exits[:3])
+	}
+	if exits[3] != exits[4] || exits[4] != exits[5] {
+		t.Errorf("round 2 exits %v not simultaneous", exits[3:])
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSemaphore("s", 2)
+	active, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Sleep(100)
+			active--
+			s.Release()
+		})
+	}
+	e.Run()
+	if peak != 2 {
+		t.Errorf("peak concurrency %d, want 2", peak)
+	}
+	if s.Tokens() != 2 {
+		t.Errorf("tokens %d after drain, want 2", s.Tokens())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSemaphore("s", 1)
+	e.Go("p", func(p *Proc) {
+		if !s.TryAcquire() {
+			t.Error("first TryAcquire failed")
+		}
+		if s.TryAcquire() {
+			t.Error("second TryAcquire succeeded with no tokens")
+		}
+		s.Release()
+	})
+	e.Run()
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup("wg")
+	wg.Add(3)
+	var doneAt Time
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(Time(i) * 100)
+			wg.Done()
+		})
+	}
+	e.Run()
+	if doneAt != 300 {
+		t.Errorf("wait completed at %d, want 300 (last worker)", doneAt)
+	}
+}
+
+func TestWaitGroupImmediateWhenZero(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup("wg")
+	ran := false
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Error("Wait on zero counter blocked")
+	}
+}

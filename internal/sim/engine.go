@@ -1,0 +1,178 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation engine.
+//
+// Simulated activities (application processes, device drivers, DMA engines,
+// switch ports) run as goroutines wrapped in a Proc. The engine executes
+// exactly one Proc at a time and orders simultaneous events by a sequence
+// number, so a simulation run is bit-for-bit reproducible for a given seed.
+//
+// Simulated time is an int64 count of nanoseconds (type Time). Procs block
+// on engine-owned primitives (Sleep, Queue.Get, Resource.Acquire,
+// Signal.Wait); plain Go channel operations or OS sleeps must never be used
+// to synchronise simulated activities.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated instant or duration in nanoseconds.
+type Time = int64
+
+// Handy duration units in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Engine is the simulation core: a clock, an event queue and a set of
+// processes. Create one with NewEngine, add processes with Go, then call
+// Run or RunUntil.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64 // tie-breaker for simultaneous events
+	rng    *rand.Rand
+
+	parked  chan struct{} // signalled by a proc when it blocks or exits
+	current *Proc         // proc being executed, nil while in a callback
+
+	nprocs  int // live (started, not yet finished) procs
+	stopped bool
+
+	// Trace, when non-nil, receives a line per event dispatch. Intended
+	// for debugging small scenarios only.
+	Trace func(t Time, what string)
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (procs or callbacks).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Event is a handle to a scheduled occurrence; it can be cancelled.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 when popped
+	canceled bool
+	fire     func()
+	label    string
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// At schedules fn to run as a callback at absolute time t (>= Now).
+// Callbacks run inside the engine loop: they may schedule further events,
+// put to queues, notify signals and release resources, but must not block.
+func (e *Engine) At(t Time, label string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %d, before now %d", label, t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fire: fn, label: label}
+	e.seq++
+	e.events.push(ev)
+	return ev
+}
+
+// After schedules fn to run as a callback d nanoseconds from now.
+func (e *Engine) After(d Time, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d for event %q", d, label))
+	}
+	return e.At(e.now+d, label, fn)
+}
+
+// Go starts a new process executing fn at the current time. The Proc
+// passed to fn is the process's handle for all blocking operations.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	e.After(0, "start:"+name, func() {
+		p.start(fn)
+	})
+	return p
+}
+
+// GoAt starts a new process at absolute time t.
+func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	e.At(t, "start:"+name, func() {
+		p.start(fn)
+	})
+	return p
+}
+
+// Stop makes Run return after the current event completes. It is intended
+// to be called from a callback or proc that has decided the simulation is
+// over (e.g. a benchmark reached its message count).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events until the queue is empty or Stop is called, and
+// returns the final simulated time. Procs that are still blocked when the
+// queue drains are abandoned (their goroutines are left parked; they hold
+// no OS resources beyond their stacks, and the process exit reaps them in
+// tests and benchmarks).
+func (e *Engine) Run() Time { return e.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= limit (limit < 0 means no
+// limit) until the queue is empty or Stop is called. The clock is left at
+// the time of the last executed event.
+func (e *Engine) RunUntil(limit Time) Time {
+	for !e.stopped {
+		ev := e.events.pop()
+		if ev == nil {
+			break
+		}
+		if ev.canceled {
+			continue
+		}
+		if limit >= 0 && ev.when > limit {
+			// Put it back for a future RunUntil call.
+			ev.seq = 0 // keep it first among same-time events
+			e.events.push(ev)
+			e.now = limit
+			break
+		}
+		e.now = ev.when
+		if e.Trace != nil {
+			e.Trace(e.now, ev.label)
+		}
+		ev.fire()
+	}
+	return e.now
+}
+
+// Pending returns the number of events (including cancelled ones not yet
+// reaped) still in the queue. Intended for tests.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs returns the number of started, unfinished processes.
+func (e *Engine) LiveProcs() int { return e.nprocs }

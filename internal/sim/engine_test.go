@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	end := e.Run()
+	if woke != 5*Microsecond {
+		t.Errorf("woke at %d, want %d", woke, 5*Microsecond)
+	}
+	if end != 5*Microsecond {
+		t.Errorf("engine ended at %d, want %d", end, 5*Microsecond)
+	}
+}
+
+func TestCallbackOrderingSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, "cb", func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO among same-time events)", i, v, i)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(50, "cb", func() { fired = true })
+	e.At(10, "cancel", func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestRunUntilPausesAndResumes(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, "cb", func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("after RunUntil(25): %d events fired, want 2", len(fired))
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run: %d events fired, want 4", len(fired))
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int]("q")
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Sleep(10)
+		q.Put(1)
+		q.Put(2)
+		p.Sleep(10)
+		q.Put(3)
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource("bus", 1)
+	var spans [][2]Time
+	for i := 0; i < 4; i++ {
+		e.Go("user", func(p *Proc) {
+			r.Acquire(p)
+			start := p.Now()
+			p.Sleep(10)
+			r.Release(e)
+			spans = append(spans, [2]Time{start, p.Now()})
+		})
+	}
+	e.Run()
+	if len(spans) != 4 {
+		t.Fatalf("%d holders finished, want 4", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i][0] < spans[i-1][1] {
+			t.Errorf("holder %d started at %d before previous released at %d",
+				i, spans[i][0], spans[i-1][1])
+		}
+	}
+	if got := r.BusyTime(); got != 40 {
+		t.Errorf("busy time %d, want 40", got)
+	}
+}
+
+func TestResourcePriorityOrdering(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource("cpu", 1)
+	var order []string
+	// Holder keeps the resource until t=100; three waiters of different
+	// priorities queue at t=10..30; they must be served IRQ, kernel, normal
+	// regardless of arrival order.
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(100)
+		r.Release(e)
+	})
+	wait := func(name string, at Time, pri int) {
+		e.GoAt(at, name, func(p *Proc) {
+			r.AcquirePri(p, pri)
+			order = append(order, name)
+			p.Sleep(1)
+			r.Release(e)
+		})
+	}
+	wait("normal", 10, PriNormal)
+	wait("kernel", 20, PriKernel)
+	wait("irq", 30, PriIRQ)
+	e.Run()
+	want := []string{"irq", "kernel", "normal"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalNotifyAndBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal("s")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			s.Wait(p)
+			woken++
+		})
+	}
+	e.At(10, "notify", func() { s.Notify() })
+	e.At(20, "broadcast", func() { s.Broadcast() })
+	e.Run()
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+	if s.Waiting() != 0 {
+		t.Errorf("still %d waiters", s.Waiting())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		r := NewResource("bus", 1)
+		q := NewQueue[Time]("q")
+		var out []Time
+		for i := 0; i < 5; i++ {
+			e.Go("worker", func(p *Proc) {
+				d := Time(e.Rand().Intn(100) + 1)
+				p.Sleep(d)
+				r.Use(p, d)
+				q.Put(p.Now())
+			})
+		}
+		e.Go("collector", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				out = append(out, q.Get(p))
+			}
+		})
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("runs produced %d and %d results, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHeapOrderingProperty(t *testing.T) {
+	// Property: events fire in nondecreasing time order regardless of the
+	// order they were scheduled in.
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.At(at, "cb", func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTallyStats(t *testing.T) {
+	var ta Tally
+	for _, v := range []float64{1, 2, 3, 4} {
+		ta.Add(v)
+	}
+	if ta.N() != 4 || ta.Mean() != 2.5 || ta.Min() != 1 || ta.Max() != 4 {
+		t.Errorf("tally %v wrong", ta.String())
+	}
+}
+
+func TestYieldRunsAfterSameTimeEvents(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	want := []string{"a1", "b", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := Time(1); i <= 100; i++ {
+		e.At(i, "tick", func() {
+			count++
+			if count == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10 (Stop should halt the loop)", count)
+	}
+}

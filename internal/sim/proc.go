@@ -1,0 +1,87 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that advances only when the
+// engine hands it control, and that blocks only on engine primitives.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the label the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// start runs the process body in a fresh goroutine and blocks the engine
+// until the body parks or exits. It must be called from the engine loop.
+func (p *Proc) start(fn func(*Proc)) {
+	e := p.eng
+	prev := e.current
+	e.current = p
+	go func() {
+		defer func() {
+			p.done = true
+			e.nprocs--
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-e.parked
+	e.current = prev
+}
+
+// park transfers control back to the engine and blocks until the engine
+// resumes the process. It must only be called from the process's own
+// goroutine.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules the process to resume at the current time. It must be
+// called from simulation context (the engine loop, i.e. a callback or
+// another process's turn).
+func (p *Proc) wake(label string) {
+	e := p.eng
+	e.After(0, label, func() {
+		prev := e.current
+		e.current = p
+		p.resume <- struct{}{}
+		<-e.parked
+		e.current = prev
+	})
+}
+
+// Sleep blocks the process for d simulated nanoseconds.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative sleep %d", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	e := p.eng
+	e.At(e.now+d, "wake:"+p.name, func() {
+		prev := e.current
+		e.current = p
+		p.resume <- struct{}{}
+		<-e.parked
+		e.current = prev
+	})
+	p.park()
+}
+
+// Yield parks the process and schedules it to resume at the same simulated
+// time, after all other events already scheduled for this instant.
+func (p *Proc) Yield() {
+	p.wake("yield:" + p.name)
+	p.park()
+}

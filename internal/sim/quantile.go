@@ -1,0 +1,63 @@
+package sim
+
+import "sort"
+
+// Samples collects scalar observations for exact quantile queries —
+// latency distributions in the experiments are thousands of points, so
+// exact order statistics are affordable and reproducible.
+type Samples struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Samples) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddTime records a simulated duration.
+func (s *Samples) AddTime(d Time) { s.Add(float64(d)) }
+
+// N returns the number of observations.
+func (s *Samples) N() int { return len(s.xs) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear
+// interpolation between order statistics; 0 with no observations.
+func (s *Samples) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Samples) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean.
+func (s *Samples) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}

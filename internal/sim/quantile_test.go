@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	var s Samples
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %f", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("q1 = %f", got)
+	}
+	if got := s.Median(); got < 50 || got > 51 {
+		t.Errorf("median = %f", got)
+	}
+	if got := s.Quantile(0.99); got < 99 || got > 100 {
+		t.Errorf("p99 = %f", got)
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Errorf("mean = %f", got)
+	}
+}
+
+func TestQuantileInterleavedAdds(t *testing.T) {
+	// Adding after querying must re-sort correctly.
+	var s Samples
+	s.Add(10)
+	s.Add(1)
+	_ = s.Median()
+	s.Add(5)
+	if got := s.Median(); got != 5 {
+		t.Errorf("median after re-add = %f, want 5", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Samples
+		for i := 0; i < int(n)+1; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		prev := s.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := s.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tally accumulates scalar observations and reports summary statistics.
+// The zero value is ready to use.
+type Tally struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	if t.n == 0 || x < t.min {
+		t.min = x
+	}
+	if t.n == 0 || x > t.max {
+		t.max = x
+	}
+	t.n++
+	t.sum += x
+	t.sumSq += x * x
+}
+
+// AddTime records a simulated duration in nanoseconds.
+func (t *Tally) AddTime(d Time) { t.Add(float64(d)) }
+
+// N returns the number of observations.
+func (t *Tally) N() int64 { return t.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation, or 0 with none.
+func (t *Tally) Max() float64 { return t.max }
+
+// Sum returns the sum of observations.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// StdDev returns the population standard deviation.
+func (t *Tally) StdDev() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	mean := t.Mean()
+	v := t.sumSq/float64(t.n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// String summarises the tally.
+func (t *Tally) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
+		t.n, t.Mean(), t.min, t.max, t.StdDev())
+}
+
+// Counter is a simple named event counter.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n to the counter.
+func (c *Counter) Addn(n int64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }

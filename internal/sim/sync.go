@@ -1,0 +1,93 @@
+package sim
+
+// Signal is a condition-variable-like primitive. Processes Wait on it;
+// Notify wakes the longest-waiting process, Broadcast wakes all. Wakeups
+// go through the event queue, preserving deterministic ordering.
+type Signal struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewSignal returns a named signal (the name appears in trace output).
+func NewSignal(name string) *Signal { return &Signal{name: name} }
+
+// Wait parks the calling process until a Notify or Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Notify wakes the longest-waiting process, if any. It must be called from
+// simulation context.
+func (s *Signal) Notify() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	p := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	p.wake("notify:" + s.name)
+}
+
+// Broadcast wakes every waiting process.
+func (s *Signal) Broadcast() {
+	for _, p := range s.waiters {
+		p.wake("broadcast:" + s.name)
+	}
+	s.waiters = nil
+}
+
+// Waiting returns the number of processes blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Queue is an unbounded FIFO mailbox. Put never blocks; Get blocks the
+// calling process until an item is available. Items are delivered in FIFO
+// order and each wakes at most one getter.
+type Queue[T any] struct {
+	name    string
+	items   []T
+	getters []*Proc
+}
+
+// NewQueue returns a named queue.
+func NewQueue[T any](name string) *Queue[T] { return &Queue[T]{name: name} }
+
+// Put appends an item and wakes the longest-waiting getter, if any. It
+// must be called from simulation context and never blocks.
+func (q *Queue[T]) Put(item T) {
+	q.items = append(q.items, item)
+	if len(q.getters) > 0 {
+		p := q.getters[0]
+		q.getters = q.getters[1:]
+		p.wake("put:" + q.name)
+	}
+}
+
+// Get removes and returns the head item, blocking the calling process
+// until one is available.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.park()
+	}
+	item := q.items[0]
+	var zero T
+	q.items[0] = zero // allow GC of the slot
+	q.items = q.items[1:]
+	return item
+}
+
+// TryGet removes and returns the head item if one is present.
+func (q *Queue[T]) TryGet() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

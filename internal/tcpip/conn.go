@@ -1,0 +1,410 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// tcpSeg is one unacknowledged segment retained for retransmission.
+type tcpSeg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+	syn  bool
+}
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	st         *Stack
+	remote     int
+	localPort  uint16
+	remotePort uint16
+	state      connState
+	estSig     *sim.Signal
+
+	// Send side.
+	sndNxt, sndUna uint32
+	peerWnd        int
+	cwnd           int // congestion window, bytes (slow start + CA)
+	ssthresh       int
+	lastSend       sim.Time
+	unacked        []tcpSeg
+	dupAcks        int  // consecutive duplicate acks (fast retransmit)
+	noDelay        bool // TCP_NODELAY: disable Nagle's algorithm
+	nagleBuf       []byte
+	nagleBusy      bool        // guards nagleBuf across park points
+	nagleWait      *sim.Signal // waiters for the guard
+	sndSig         *sim.Signal
+	rto            *sim.Event
+
+	// Receive side.
+	rcvNxt     uint32
+	rcvBuf     []byte
+	rcvSig     *sim.Signal
+	unackedIn  int        // segments since last ack (delayed ack)
+	ackTimer   *sim.Event // delayed-ack timer for a lone segment
+	lowWnd     bool       // we advertised a window below one MSS
+	peerClosed bool
+
+	// acceptOn is the listener to notify when the handshake completes
+	// (server side only).
+	acceptOn *Listener
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	st      *Stack
+	port    uint16
+	backlog *sim.Queue[*Conn]
+}
+
+// Listen opens a listening socket on port.
+func (st *Stack) Listen(port uint16) *Listener {
+	if _, dup := st.listeners[port]; dup {
+		panic(fmt.Sprintf("tcpip%d: port %d already listening", st.Node, port))
+	}
+	l := &Listener{
+		st:      st,
+		port:    port,
+		backlog: sim.NewQueue[*Conn](fmt.Sprintf("tcp%d:accept%d", st.Node, port)),
+	}
+	st.listeners[port] = l
+	return l
+}
+
+// Accept blocks until a connection completes the three-way handshake.
+func (l *Listener) Accept(p *sim.Proc) *Conn {
+	l.st.K.SyscallEnter(p)
+	defer l.st.K.SyscallExit(p)
+	return l.backlog.Get(p)
+}
+
+func (st *Stack) newConn(remote int, localPort, remotePort uint16, state connState) *Conn {
+	c := &Conn{
+		st:         st,
+		remote:     remote,
+		localPort:  localPort,
+		remotePort: remotePort,
+		state:      state,
+		estSig:     sim.NewSignal(fmt.Sprintf("tcp%d:est", st.Node)),
+		nagleWait:  sim.NewSignal(fmt.Sprintf("tcp%d:nagle", st.Node)),
+		sndSig:     sim.NewSignal(fmt.Sprintf("tcp%d:snd", st.Node)),
+		rcvSig:     sim.NewSignal(fmt.Sprintf("tcp%d:rcv", st.Node)),
+		peerWnd:    65535,
+		cwnd:       st.M.TCP.InitialCwnd * st.mss(),
+		ssthresh:   st.M.TCP.WindowBytes,
+	}
+	st.conns[connKey{localPort: localPort, remote: remote, remotePort: remotePort}] = c
+	return c
+}
+
+var ephemeral uint16 = 32768
+
+// Dial opens a connection to (node, port), blocking through the three-way
+// handshake.
+func (st *Stack) Dial(p *sim.Proc, node int, port uint16) *Conn {
+	st.K.SyscallEnter(p)
+	ephemeral++
+	c := st.newConn(node, ephemeral, port, stateSynSent)
+	c.sendSegment(p, sim.PriKernel, nil, proto.TCPSyn, true)
+	for c.state != stateEstablished {
+		c.estSig.Wait(p)
+	}
+	st.K.SyscallExit(p)
+	return c
+}
+
+// window returns the connection's usable send window: the minimum of the
+// configured buffer, the peer's advertisement and the congestion window.
+func (c *Conn) window() int {
+	w := c.st.M.TCP.WindowBytes
+	if c.peerWnd < w {
+		w = c.peerWnd
+	}
+	if c.cwnd < w {
+		w = c.cwnd
+	}
+	return w
+}
+
+func (c *Conn) inFlight() int { return int(c.sndNxt - c.sndUna) }
+
+// SetNoDelay toggles TCP_NODELAY: with it set, small writes are sent
+// immediately instead of being held by Nagle's algorithm while data is
+// in flight. Message layers (MPI, PVM) set it, as their real
+// counterparts do.
+func (c *Conn) SetNoDelay(v bool) { c.noDelay = v }
+
+// lockNagle serialises transmit-side buffer access across park points:
+// Send (which blocks on the window mid-loop) and the stack's nagle
+// flusher contend for nagleBuf.
+func (c *Conn) lockNagle(p *sim.Proc) {
+	for c.nagleBusy {
+		c.nagleWait.Wait(p)
+	}
+	c.nagleBusy = true
+}
+
+func (c *Conn) unlockNagle() {
+	c.nagleBusy = false
+	c.nagleWait.Broadcast()
+}
+
+// Send writes data to the connection, blocking on the offered window. It
+// charges the sockets-layer cost, the user→kernel copy, and per-segment
+// TCP/IP/driver processing — the stack of overheads CLIC removes.
+func (c *Conn) Send(p *sim.Proc, data []byte) {
+	st := c.st
+	st.K.SyscallEnter(p)
+	c.lockNagle(p)
+	defer c.unlockNagle()
+	st.K.Host.CPUWork(p, st.M.TCP.SocketSend, sim.PriKernel)
+	mss := st.mss()
+	// Congestion-window restart after idle (RFC 2861): a burst following
+	// a quiet period starts from slow start again.
+	if c.lastSend != 0 && p.Now()-c.lastSend > st.M.CLIC.RetransmitTimeout {
+		c.cwnd = st.M.TCP.InitialCwnd * mss
+	}
+	// Nagle's algorithm: a sub-MSS write while data is unacknowledged is
+	// coalesced into the connection's small-segment buffer and flushed
+	// when it fills to an MSS or the in-flight data drains.
+	if !c.noDelay && len(data) > 0 && len(data) < mss {
+		c.nagleBuf = append(c.nagleBuf, data...)
+		st.K.Host.Memcpy(p, len(data), sim.PriKernel)
+		for len(c.nagleBuf) >= mss {
+			c.transmitChunk(p, c.nagleBuf[:mss])
+			c.nagleBuf = append(c.nagleBuf[:0:0], c.nagleBuf[mss:]...)
+		}
+		if len(c.nagleBuf) > 0 && c.inFlight() == 0 {
+			c.flushNagle(p)
+		}
+		st.K.SyscallExit(p)
+		return
+	}
+	if len(c.nagleBuf) > 0 {
+		// A large write flushes any buffered small data first to keep
+		// the stream ordered.
+		c.flushNagle(p)
+	}
+	for off := 0; off < len(data) || len(data) == 0; {
+		end := off + mss
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := data[off:end]
+		// The sockets/TCP copy: user memory → kernel socket buffer.
+		st.K.Host.Memcpy(p, len(seg), sim.PriKernel)
+		c.transmitChunk(p, seg)
+		off = end
+		if len(data) == 0 {
+			break
+		}
+	}
+	st.K.SyscallExit(p)
+}
+
+// transmitChunk sends one ≤MSS chunk, blocking on the window, charging
+// the per-byte kernel costs.
+func (c *Conn) transmitChunk(p *sim.Proc, seg []byte) {
+	st := c.st
+	for c.inFlight()+len(seg) > c.window() {
+		c.sndSig.Wait(p)
+	}
+	st.K.Host.CPUWork(p, model.TransferTime(len(seg), st.M.TCP.SkbPerByteBW), sim.PriKernel)
+	kcopy := append([]byte(nil), seg...)
+	c.sendSegment(p, sim.PriKernel, kcopy, proto.TCPAck|proto.TCPPsh, true)
+	c.lastSend = p.Now()
+}
+
+// flushNagle transmits the buffered small segments.
+func (c *Conn) flushNagle(p *sim.Proc) {
+	buf := c.nagleBuf
+	c.nagleBuf = nil
+	mss := c.st.mss()
+	for off := 0; off < len(buf); off += mss {
+		end := off + mss
+		if end > len(buf) {
+			end = len(buf)
+		}
+		c.transmitChunk(p, buf[off:end])
+	}
+}
+
+// sendSegment builds one TCP segment (charging checksum + TCP-layer cost)
+// and hands it to IP. track records it for retransmission.
+func (c *Conn) sendSegment(p *sim.Proc, pri int, data []byte, flags uint8, track bool) {
+	st := c.st
+	st.K.Host.CPUWork(p, st.M.TCP.TCPSegment, pri)
+	st.K.Host.Checksum(p, len(data)+proto.TCPHeaderBytes, pri)
+
+	hdr := proto.TCPHeader{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  c.advertiseWindow(),
+	}
+	seg := tcpSeg{seq: c.sndNxt, data: data,
+		syn: flags&proto.TCPSyn != 0, fin: flags&proto.TCPFin != 0}
+	advance := uint32(len(data))
+	if seg.syn || seg.fin {
+		advance++
+	}
+	if track && advance > 0 {
+		c.unacked = append(c.unacked, seg)
+		c.sndNxt += advance
+		c.armRTO()
+	}
+	wire := append(hdr.Encode(nil, data), data...)
+	st.SegsSent.Inc()
+	st.sendPacket(p, pri, c.remote, wire)
+}
+
+func (c *Conn) advertiseWindow() uint16 {
+	free := c.st.M.TCP.WindowBytes - len(c.rcvBuf)
+	if free < 0 {
+		free = 0
+	}
+	if free > 65535 {
+		free = 65535
+	}
+	// Silly-window tracking: an advertisement below one MSS stalls a
+	// sender doing MSS-sized writes; Read sends an update once the
+	// window reopens.
+	c.lowWnd = free < c.st.mss()
+	return uint16(free)
+}
+
+func (c *Conn) armRTO() {
+	if c.rto != nil || len(c.unacked) == 0 {
+		return
+	}
+	eng := c.st.K.Host.Eng
+	c.rto = eng.After(c.st.M.CLIC.RetransmitTimeout*4, "tcp:rto", c.fireRTO)
+}
+
+func (c *Conn) fireRTO() {
+	c.rto = nil
+	if len(c.unacked) == 0 {
+		return
+	}
+	// Loss response: halve ssthresh, collapse cwnd to one segment.
+	c.ssthresh = c.cwnd / 2
+	if mss := c.st.mss(); c.ssthresh < 2*mss {
+		c.ssthresh = 2 * mss
+	}
+	c.cwnd = c.st.mss()
+	// Retransmit the oldest segment (go-back-1 per timeout, as classic
+	// TCP without SACK effectively does on RTO).
+	c.st.Retransmits.Inc()
+	seg := c.unacked[0]
+	hdr := proto.TCPHeader{
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: seg.seq, Ack: c.rcvNxt, Flags: proto.TCPAck | proto.TCPPsh,
+		Window: c.advertiseWindow(),
+	}
+	if seg.syn {
+		hdr.Flags = proto.TCPSyn
+	}
+	if seg.fin {
+		hdr.Flags |= proto.TCPFin
+	}
+	wire := append(hdr.Encode(nil, seg.data), seg.data...)
+	// Repost via the deferred worker (process context).
+	st := c.st
+	st.ipID++
+	frame := ipWrap(st, c.remote, wire)
+	st.deferredQ.Put(frame)
+	c.armRTO()
+}
+
+// Read returns up to max bytes, blocking only while the receive buffer is
+// empty (socket semantics: partial reads are normal). It charges the
+// sockets cost and the kernel→user copy. ok is false when the peer closed
+// and no data remains.
+func (c *Conn) Read(p *sim.Proc, max int) (data []byte, ok bool) {
+	st := c.st
+	st.K.SyscallEnter(p)
+	defer st.K.SyscallExit(p)
+	st.K.Host.CPUWork(p, st.M.TCP.SocketRecv, sim.PriKernel)
+	for len(c.rcvBuf) == 0 {
+		if c.peerClosed {
+			return nil, false
+		}
+		c.rcvSig.Wait(p)
+	}
+	n := len(c.rcvBuf)
+	if n > max {
+		n = max
+	}
+	st.K.Host.Memcpy(p, n, sim.PriKernel) // kernel → user copy
+	data = append([]byte(nil), c.rcvBuf[:n]...)
+	c.rcvBuf = append(c.rcvBuf[:0], c.rcvBuf[n:]...)
+	if c.lowWnd && st.M.TCP.WindowBytes-len(c.rcvBuf) >= st.mss() {
+		// We had advertised a silly (sub-MSS) window and the read just
+		// reopened it: send a window update so the sender resumes.
+		c.sendSegment(p, sim.PriKernel, nil, proto.TCPAck, false)
+		st.AcksSent.Inc()
+	}
+	return data, true
+}
+
+// ReadFull blocks until exactly n bytes have been read (or the peer
+// closed early, reported by ok=false with the partial data).
+func (c *Conn) ReadFull(p *sim.Proc, n int) (data []byte, ok bool) {
+	data = make([]byte, 0, n)
+	for len(data) < n {
+		chunk, ok := c.Read(p, n-len(data))
+		if !ok {
+			return data, false
+		}
+		data = append(data, chunk...)
+	}
+	return data, true
+}
+
+// Buffered reports bytes waiting in the receive buffer (tests).
+func (c *Conn) Buffered() int { return len(c.rcvBuf) }
+
+// Close sends FIN. The model keeps teardown minimal: the peer's reads
+// drain and then report !ok.
+func (c *Conn) Close(p *sim.Proc) {
+	st := c.st
+	st.K.SyscallEnter(p)
+	c.sendSegment(p, sim.PriKernel, nil, proto.TCPFin|proto.TCPAck, true)
+	c.state = stateClosed
+	st.K.SyscallExit(p)
+}
+
+// ipWrap builds the IP datagram frame for a retransmission without
+// charging CPU (the deferred worker charges the driver part). Only used
+// for RTO frames, which are rare.
+func ipWrap(st *Stack, dst int, tcpBytes []byte) *ether.Frame {
+	ip := proto.IPv4Header{
+		TotalLen: uint16(proto.IPv4HeaderBytes + len(tcpBytes)),
+		ID:       st.ipID,
+		Protocol: proto.ProtoTCP,
+		Src:      ipAddr(st.Node),
+		Dst:      ipAddr(dst),
+	}
+	return &ether.Frame{
+		Dst:     st.resolve(dst, 0),
+		Src:     st.nic.MAC,
+		Type:    ether.TypeIPv4,
+		Payload: append(ip.Encode(nil), tcpBytes...),
+	}
+}

@@ -1,0 +1,120 @@
+package tcpip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Messenger layers tagged datagram semantics over a mesh of TCP
+// connections: each message is framed [4B length][2B port][payload] on the
+// byte stream and demultiplexed by port into per-port queues by a reader
+// process per connection. MPI-TCP and PVM (Fig. 6) both sit on this.
+type Messenger struct {
+	st     *Stack
+	conns  map[int]*Conn
+	queues map[uint16]*sim.Queue[Datagram]
+}
+
+// Datagram is one demultiplexed message.
+type Datagram struct {
+	Src  int
+	Data []byte
+}
+
+const frameHeader = 6
+
+// NewMessenger wraps a stack; connections are attached with addConn
+// (normally via ConnectMesh).
+func NewMessenger(st *Stack) *Messenger {
+	return &Messenger{
+		st:     st,
+		conns:  map[int]*Conn{},
+		queues: map[uint16]*sim.Queue[Datagram]{},
+	}
+}
+
+func (m *Messenger) queue(port uint16) *sim.Queue[Datagram] {
+	q, ok := m.queues[port]
+	if !ok {
+		q = sim.NewQueue[Datagram](fmt.Sprintf("tcpmsg%d:port%d", m.st.Node, port))
+		m.queues[port] = q
+	}
+	return q
+}
+
+// addConn registers the connection to peer and starts its reader. The
+// connection gets TCP_NODELAY, as real message layers set on their
+// sockets.
+func (m *Messenger) addConn(peer int, conn *Conn) {
+	conn.SetNoDelay(true)
+	m.conns[peer] = conn
+	m.st.K.Host.Eng.Go(fmt.Sprintf("tcpmsg%d<-%d:reader", m.st.Node, peer),
+		func(p *sim.Proc) {
+			for {
+				hdr, ok := conn.ReadFull(p, frameHeader)
+				if !ok {
+					return
+				}
+				size := int(binary.BigEndian.Uint32(hdr[0:4]))
+				port := binary.BigEndian.Uint16(hdr[4:6])
+				payload, ok := conn.ReadFull(p, size)
+				if !ok {
+					return
+				}
+				m.queue(port).Put(Datagram{Src: peer, Data: payload})
+			}
+		})
+}
+
+// Send frames and writes one message to (dstNode, port). It satisfies the
+// mpi.Transport contract.
+func (m *Messenger) Send(p *sim.Proc, dst int, port uint16, data []byte) {
+	conn, ok := m.conns[dst]
+	if !ok {
+		panic(fmt.Sprintf("tcpip: messenger on node %d has no connection to %d", m.st.Node, dst))
+	}
+	frame := make([]byte, frameHeader, frameHeader+len(data))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(data)))
+	binary.BigEndian.PutUint16(frame[4:6], port)
+	conn.Send(p, append(frame, data...))
+}
+
+// Recv blocks for the next message on port.
+func (m *Messenger) Recv(p *sim.Proc, port uint16) (src int, data []byte) {
+	d := m.queue(port).Get(p)
+	return d.Src, d.Data
+}
+
+// ConnectMesh builds a full mesh of connections among the given stacks
+// and returns one Messenger per stack. It schedules the dial/accept
+// processes; the caller must run the engine once (to quiescence) before
+// using the messengers.
+func ConnectMesh(eng *sim.Engine, stacks []*Stack, listenPort uint16) []*Messenger {
+	msgs := make([]*Messenger, len(stacks))
+	for i, st := range stacks {
+		msgs[i] = NewMessenger(st)
+	}
+	for j := range stacks {
+		j := j
+		l := stacks[j].Listen(listenPort)
+		expected := j // nodes 0..j-1 dial j
+		eng.Go(fmt.Sprintf("mesh:accept%d", j), func(p *sim.Proc) {
+			for k := 0; k < expected; k++ {
+				conn := l.Accept(p)
+				msgs[j].addConn(conn.remote, conn)
+			}
+		})
+	}
+	for i := range stacks {
+		for j := i + 1; j < len(stacks); j++ {
+			i, j := i, j
+			eng.Go(fmt.Sprintf("mesh:dial%d->%d", i, j), func(p *sim.Proc) {
+				conn := stacks[i].Dial(p, stacks[j].Node, listenPort)
+				msgs[i].addConn(stacks[j].Node, conn)
+			})
+		}
+	}
+	return msgs
+}

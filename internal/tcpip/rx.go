@@ -1,0 +1,263 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/model"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// wireISR registers the receive interrupt path: the same driver ISR as
+// CLIC's Fig. 8a (SK_BUFF creation in interrupt context), then the IP and
+// TCP layers in bottom-half (softirq) context — the standard Linux
+// receive path the paper's TCP/IP numbers come from.
+func (st *Stack) wireISR(n *nic.NIC) {
+	irq := st.K.RegisterIRQ(fmt.Sprintf("tcp%d:%s", st.Node, n.Name), func(p *sim.Proc) {
+		frames := n.DrainCompleted()
+		if len(frames) == 0 {
+			return
+		}
+		for _, f := range frames {
+			st.K.Host.CPUWork(p, st.M.Driver.RxISRTime(len(f.Payload)), sim.PriIRQ)
+		}
+		batch := frames
+		st.K.BottomHalf(func(bp *sim.Proc) {
+			for _, f := range batch {
+				st.ipInput(bp, f)
+			}
+		})
+	})
+	n.SetIRQ(irq.Raise)
+}
+
+// ipInput runs the IP layer over one frame in softirq context:
+// header parse + verify, reassembly of fragmented datagrams, then TCP.
+func (st *Stack) ipInput(p *sim.Proc, f *ether.Frame) {
+	st.K.Host.CPUWork(p, st.M.TCP.IPPacket, sim.PriKernel)
+	ip, rest, err := proto.DecodeIPv4(f.Payload)
+	if err != nil {
+		st.BadChecksum.Inc()
+		return
+	}
+	if ip.Protocol != proto.ProtoTCP {
+		return
+	}
+	src := nodeOfAddr(ip.Src)
+
+	if ip.Flags&proto.MoreFragments != 0 || ip.FragOff != 0 {
+		rest = st.reassemble(src, ip, rest)
+		if rest == nil {
+			return // datagram incomplete
+		}
+	}
+	st.tcpInput(p, src, rest)
+}
+
+// reassemble collects IP fragments and returns the full transport payload
+// once complete.
+func (st *Stack) reassemble(src int, ip proto.IPv4Header, data []byte) []byte {
+	key := reasmKey{src: src, id: ip.ID}
+	asm, ok := st.reasm[key]
+	if !ok {
+		asm = &ipAsm{parts: map[uint16][]byte{}}
+		st.reasm[key] = asm
+	}
+	if _, dup := asm.parts[ip.FragOff]; !dup {
+		asm.parts[ip.FragOff] = data
+		asm.have += len(data)
+	}
+	if ip.Flags&proto.MoreFragments == 0 {
+		asm.total = int(ip.FragOff) + len(data)
+	}
+	if asm.total == 0 || asm.have < asm.total {
+		return nil
+	}
+	whole := make([]byte, asm.total)
+	for off, part := range asm.parts {
+		copy(whole[off:], part)
+	}
+	delete(st.reasm, key)
+	return whole
+}
+
+// tcpInput runs the TCP layer over one complete segment in softirq
+// context: checksum verification, demux, handshake, data and ack
+// processing, delayed-ack generation.
+func (st *Stack) tcpInput(p *sim.Proc, src int, segBytes []byte) {
+	st.K.Host.CPUWork(p, st.M.TCP.TCPSegment, sim.PriKernel)
+	st.K.Host.Checksum(p, len(segBytes), sim.PriKernel)
+	hdr, payload, err := proto.DecodeTCP(segBytes)
+	if err != nil {
+		st.BadChecksum.Inc()
+		return
+	}
+	st.SegsRecv.Inc()
+
+	key := connKey{localPort: hdr.DstPort, remote: src, remotePort: hdr.SrcPort}
+	c, ok := st.conns[key]
+	if !ok {
+		// No connection: a SYN to a listener opens one.
+		if hdr.Flags&proto.TCPSyn != 0 && hdr.Flags&proto.TCPAck == 0 {
+			if l, listening := st.listeners[hdr.DstPort]; listening {
+				nc := st.newConn(src, hdr.DstPort, hdr.SrcPort, stateSynRcvd)
+				nc.rcvNxt = hdr.Seq + 1
+				nc.acceptOn = l
+				nc.sendSegment(p, sim.PriKernel, nil, proto.TCPSyn|proto.TCPAck, true)
+			}
+		}
+		return
+	}
+
+	// Ack processing.
+	if hdr.Flags&proto.TCPAck != 0 {
+		c.processAck(p, hdr)
+	}
+
+	switch {
+	case hdr.Flags&proto.TCPSyn != 0 && hdr.Flags&proto.TCPAck != 0 && c.state == stateSynSent:
+		// SYN-ACK: complete the client side of the handshake.
+		c.rcvNxt = hdr.Seq + 1
+		c.state = stateEstablished
+		c.sendSegment(p, sim.PriKernel, nil, proto.TCPAck, false)
+		st.K.Wake(p, c.estSig)
+		return
+	case c.state == stateSynRcvd && hdr.Flags&proto.TCPAck != 0:
+		c.state = stateEstablished
+		if c.acceptOn != nil {
+			c.acceptOn.backlog.Put(c)
+			c.acceptOn = nil
+		}
+	}
+
+	if hdr.Flags&proto.TCPFin != 0 && hdr.Seq == c.rcvNxt {
+		c.rcvNxt++
+		c.peerClosed = true
+		c.sendSegment(p, sim.PriKernel, nil, proto.TCPAck, false)
+		st.K.Wake(p, c.rcvSig)
+		return
+	}
+
+	if len(payload) == 0 {
+		return
+	}
+	if hdr.Seq != c.rcvNxt {
+		// Out-of-order or duplicate: drop and send an immediate dup-ack.
+		c.sendSegment(p, sim.PriKernel, nil, proto.TCPAck, false)
+		st.AcksSent.Inc()
+		return
+	}
+	// Per-byte kernel buffer management the lightweight protocols shed.
+	st.K.Host.CPUWork(p, model.TransferTime(len(payload), st.M.TCP.SkbPerByteBW), sim.PriKernel)
+	c.rcvNxt += uint32(len(payload))
+	c.rcvBuf = append(c.rcvBuf, payload...)
+	if c.rcvSig.Waiting() > 0 {
+		st.K.Wake(p, c.rcvSig)
+	}
+	c.unackedIn++
+	if c.unackedIn >= st.M.TCP.AckEvery {
+		c.unackedIn = 0
+		if c.ackTimer != nil {
+			c.ackTimer.Cancel()
+			c.ackTimer = nil
+		}
+		c.sendSegment(p, sim.PriKernel, nil, proto.TCPAck, false)
+		st.AcksSent.Inc()
+	} else if c.ackTimer == nil {
+		// Delayed ack: a lone segment is acknowledged after AckDelay so
+		// a slow-start sender with an odd window is not stuck forever.
+		c.ackTimer = st.K.Host.Eng.After(st.M.TCP.AckDelay, "tcp:delack", func() {
+			c.ackTimer = nil
+			if c.unackedIn > 0 {
+				st.ackQ.Put(c)
+			}
+		})
+	}
+}
+
+// processAck advances the send window.
+func (c *Conn) processAck(p *sim.Proc, hdr proto.TCPHeader) {
+	c.peerWnd = int(hdr.Window)
+	ack := hdr.Ack
+	if int32(ack-c.sndUna) <= 0 {
+		// A duplicate ack: three in a row signal a lost segment ahead of
+		// received data — retransmit it without waiting for the timer
+		// (RFC 2581 fast retransmit), halving the congestion response.
+		if ack == c.sndUna && len(c.unacked) > 0 {
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				// This receiver drops out-of-order segments (no SACK), so
+				// everything after the hole is gone too: go back N.
+				c.ssthresh = c.cwnd / 2
+				if mss := c.st.mss(); c.ssthresh < 2*mss {
+					c.ssthresh = 2 * mss
+				}
+				c.cwnd = c.ssthresh
+				for _, seg := range c.unacked {
+					c.st.Retransmits.Inc()
+					h := proto.TCPHeader{
+						SrcPort: c.localPort, DstPort: c.remotePort,
+						Seq: seg.seq, Ack: c.rcvNxt, Flags: proto.TCPAck | proto.TCPPsh,
+						Window: c.advertiseWindow(),
+					}
+					wire := append(h.Encode(nil, seg.data), seg.data...)
+					c.st.ipID++
+					c.st.deferredQ.Put(ipWrap(c.st, c.remote, wire))
+				}
+			}
+		}
+		// No new data acknowledged, but the advertised window may have
+		// reopened (a zero-window update): wake blocked senders.
+		if c.peerWnd > 0 && c.sndSig.Waiting() > 0 {
+			c.st.K.Wake(p, c.sndSig)
+			c.sndSig.Broadcast()
+		}
+		return
+	}
+	c.dupAcks = 0
+	acked := int(ack - c.sndUna)
+	c.sndUna = ack
+	// Congestion window growth per RFC 2581: at most one MSS per ACK in
+	// slow start (so with delayed acks the window grows 1.5× per round
+	// trip), one MSS per window in congestion avoidance.
+	mss := c.st.mss()
+	if c.cwnd < c.ssthresh {
+		if acked > mss {
+			acked = mss
+		}
+		c.cwnd += acked
+	} else {
+		c.cwnd += mss * mss / c.cwnd
+	}
+	if c.cwnd > c.st.M.TCP.WindowBytes {
+		c.cwnd = c.st.M.TCP.WindowBytes
+	}
+	// Drop fully acknowledged segments.
+	keep := c.unacked[:0]
+	for _, seg := range c.unacked {
+		segEnd := seg.seq + uint32(len(seg.data))
+		if seg.syn || seg.fin {
+			segEnd++
+		}
+		if int32(segEnd-ack) > 0 {
+			keep = append(keep, seg)
+		}
+	}
+	c.unacked = keep
+	if c.rto != nil {
+		c.rto.Cancel()
+		c.rto = nil
+	}
+	c.armRTO()
+	if len(c.nagleBuf) > 0 && c.inFlight() == 0 {
+		// Nagle: the in-flight data drained, so the buffered small
+		// segments go out now (from process context, via the flusher).
+		c.st.nagleQ.Put(c)
+	}
+	if c.sndSig.Waiting() > 0 {
+		c.st.K.Wake(p, c.sndSig)
+	}
+	c.sndSig.Broadcast()
+}

@@ -1,0 +1,199 @@
+// Package tcpip implements the comparator stack of the paper's
+// experiments: sockets over TCP over IPv4 over the same Ethernet driver
+// and NIC that CLIC uses. The point of the model is structural fidelity
+// to where TCP/IP spends its time (§1, §2): per-segment socket/TCP/IP
+// layer processing, 40 bytes of headers per segment, a user↔kernel copy
+// on each side, checksum passes over the payload, delayed
+// acknowledgements, IP fragmentation, and the same interrupt + bottom-half
+// receive path as any Linux 2.4-era protocol.
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/nic"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Stack is one node's TCP/IP instance.
+type Stack struct {
+	Node int
+	K    *kernel.Kernel
+	M    *model.Params
+
+	nic     *nic.NIC
+	resolve func(node, stripe int) ether.MAC
+	nodeOf  func(ether.MAC) (int, bool)
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+
+	reasm map[reasmKey]*ipAsm
+	ipID  uint16
+
+	deferredQ *sim.Queue[*ether.Frame]
+	ackQ      *sim.Queue[*Conn]
+	nagleQ    *sim.Queue[*Conn]
+
+	// Stats.
+	SegsSent    sim.Counter
+	SegsRecv    sim.Counter
+	AcksSent    sim.Counter
+	Retransmits sim.Counter
+	BadChecksum sim.Counter
+	IPFragments sim.Counter
+}
+
+type connKey struct {
+	localPort  uint16
+	remote     int
+	remotePort uint16
+}
+
+type reasmKey struct {
+	src int
+	id  uint16
+}
+
+type ipAsm struct {
+	parts map[uint16][]byte // fragment offset → bytes
+	total int               // known once the last fragment arrives
+	have  int
+}
+
+// NewStack attaches a TCP/IP instance to a node's first NIC (the stack
+// does not bond).
+func NewStack(k *kernel.Kernel, node int, adapter *nic.NIC,
+	resolve func(int, int) ether.MAC, nodeOf func(ether.MAC) (int, bool)) *Stack {
+
+	st := &Stack{
+		Node:      node,
+		K:         k,
+		M:         k.Host.M,
+		nic:       adapter,
+		resolve:   resolve,
+		nodeOf:    nodeOf,
+		conns:     map[connKey]*Conn{},
+		listeners: map[uint16]*Listener{},
+		reasm:     map[reasmKey]*ipAsm{},
+		deferredQ: sim.NewQueue[*ether.Frame](fmt.Sprintf("tcp%d:deferred", node)),
+		ackQ:      sim.NewQueue[*Conn](fmt.Sprintf("tcp%d:acks", node)),
+		nagleQ:    sim.NewQueue[*Conn](fmt.Sprintf("tcp%d:nagle", node)),
+	}
+	st.wireISR(adapter)
+	k.Host.Eng.Go(fmt.Sprintf("tcp%d:deferred-tx", node), st.deferredWorker)
+	k.Host.Eng.Go(fmt.Sprintf("tcp%d:ack-worker", node), st.ackWorker)
+	k.Host.Eng.Go(fmt.Sprintf("tcp%d:nagle-flush", node), st.nagleWorker)
+	return st
+}
+
+// nagleWorker flushes connections whose in-flight data drained while
+// small segments were buffered.
+func (st *Stack) nagleWorker(p *sim.Proc) {
+	for {
+		c := st.nagleQ.Get(p)
+		c.lockNagle(p)
+		if len(c.nagleBuf) > 0 && c.inFlight() == 0 {
+			c.flushNagle(p)
+		}
+		c.unlockNagle()
+	}
+}
+
+// ackWorker sends delayed acks from process context.
+func (st *Stack) ackWorker(p *sim.Proc) {
+	for {
+		c := st.ackQ.Get(p)
+		if c.unackedIn > 0 {
+			c.unackedIn = 0
+			c.sendSegment(p, sim.PriKernel, nil, proto.TCPAck, false)
+			st.AcksSent.Inc()
+		}
+	}
+}
+
+// mss returns the TCP maximum segment size for the stack's link MTU.
+func (st *Stack) mss() int {
+	return st.nic.P.MTU - proto.IPv4HeaderBytes - proto.TCPHeaderBytes
+}
+
+// ipAddr gives every node a synthetic IPv4 address.
+func ipAddr(node int) uint32 { return 0x0a000001 + uint32(node) }
+
+func nodeOfAddr(a uint32) int { return int(a - 0x0a000001) }
+
+// sendPacket runs one TCP segment through IP and the driver: IP-layer
+// cost, fragmentation if the datagram exceeds the MTU, driver posting.
+// Runs at pri with the caller in kernel context.
+func (st *Stack) sendPacket(p *sim.Proc, pri int, dst int, tcpBytes []byte) {
+	h := st.K.Host
+	h.CPUWork(p, st.M.TCP.IPPacket, pri)
+	st.ipID++
+	mtu := st.nic.P.MTU
+	if proto.IPv4HeaderBytes+len(tcpBytes) <= mtu {
+		ip := proto.IPv4Header{
+			TotalLen: uint16(proto.IPv4HeaderBytes + len(tcpBytes)),
+			ID:       st.ipID,
+			Protocol: proto.ProtoTCP,
+			Src:      ipAddr(st.Node),
+			Dst:      ipAddr(dst),
+		}
+		st.postFrame(p, pri, dst, append(ip.Encode(nil), tcpBytes...))
+		return
+	}
+	// IP fragmentation: split the TCP bytes across MTU-sized datagrams
+	// (offsets in 8-byte units as on the real wire).
+	st.IPFragments.Inc()
+	maxData := (mtu - proto.IPv4HeaderBytes) &^ 7
+	for off := 0; off < len(tcpBytes); off += maxData {
+		end := off + maxData
+		more := proto.MoreFragments
+		if end >= len(tcpBytes) {
+			end = len(tcpBytes)
+			more = 0
+		}
+		h.CPUWork(p, st.M.TCP.IPPacket/2, pri) // per-fragment bookkeeping
+		ip := proto.IPv4Header{
+			TotalLen: uint16(proto.IPv4HeaderBytes + end - off),
+			ID:       st.ipID,
+			Flags:    more,
+			FragOff:  uint16(off),
+			Protocol: proto.ProtoTCP,
+			Src:      ipAddr(st.Node),
+			Dst:      ipAddr(dst),
+		}
+		st.postFrame(p, pri, dst, append(ip.Encode(nil), tcpBytes[off:end]...))
+	}
+}
+
+// postFrame charges the driver and hands the frame to the NIC, deferring
+// when the transmit ring is full.
+func (st *Stack) postFrame(p *sim.Proc, pri int, dst int, payload []byte) {
+	frame := &ether.Frame{
+		Dst:     st.resolve(dst, 0),
+		Src:     st.nic.MAC,
+		Type:    ether.TypeIPv4,
+		Payload: payload,
+	}
+	if st.nic.CanTx() {
+		st.K.Host.CPUWork(p, st.M.Driver.Send, pri)
+		st.nic.PostTx(p, pri, &nic.TxReq{Frame: frame, Mode: nic.TxDMA})
+	} else {
+		st.deferredQ.Put(frame)
+	}
+}
+
+func (st *Stack) deferredWorker(p *sim.Proc) {
+	for {
+		f := st.deferredQ.Get(p)
+		for !st.nic.CanTx() {
+			st.nic.TxFree.Wait(p)
+		}
+		st.K.Host.CPUWork(p, st.M.Driver.Send, sim.PriKernel)
+		st.nic.PostTx(p, sim.PriKernel, &nic.TxReq{Frame: f, Mode: nic.TxDMA})
+	}
+}

@@ -1,0 +1,322 @@
+package tcpip_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+)
+
+func tcpPair(t *testing.T, params *model.Params) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params})
+	c.EnableTCP()
+	return c
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*37 + 5)
+	}
+	return b
+}
+
+// connectPair runs the handshake and hands both conns to the test body.
+func connectPair(c *cluster.Cluster, port uint16,
+	client func(p *sim.Proc, conn *tcpip.Conn), server func(p *sim.Proc, conn *tcpip.Conn)) {
+
+	l := c.Nodes[1].TCP.Listen(port)
+	c.Go("server", func(p *sim.Proc) {
+		conn := l.Accept(p)
+		server(p, conn)
+	})
+	c.Go("client", func(p *sim.Proc) {
+		conn := c.Nodes[0].TCP.Dial(p, 1, port)
+		client(p, conn)
+	})
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	c := tcpPair(t, nil)
+	var got []byte
+	connectPair(c, 80,
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			conn.Send(p, []byte("ping"))
+			got, _ = conn.ReadFull(p, 4)
+		},
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			d, ok := conn.ReadFull(p, 4)
+			if !ok {
+				t.Error("server read failed")
+				return
+			}
+			conn.Send(p, d)
+		})
+	c.Run()
+	if string(got) != "ping" {
+		t.Fatalf("echo = %q, want ping", got)
+	}
+}
+
+func TestBulkTransferIntegrity(t *testing.T) {
+	for _, size := range []int{1, 1460, 1461, 100_000, 1_000_000} {
+		size := size
+		t.Run(fmt.Sprint(size), func(t *testing.T) {
+			c := tcpPair(t, nil)
+			payload := pattern(size)
+			var got []byte
+			connectPair(c, 81,
+				func(p *sim.Proc, conn *tcpip.Conn) {
+					conn.Send(p, payload)
+				},
+				func(p *sim.Proc, conn *tcpip.Conn) {
+					got, _ = conn.ReadFull(p, size)
+				})
+			c.Run()
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("size %d: stream corrupted (got %d bytes)", size, len(got))
+			}
+		})
+	}
+}
+
+func TestJumboMTUUsesFewerSegments(t *testing.T) {
+	run := func(mtu int) int64 {
+		params := model.Default()
+		params.NIC.MTU = mtu
+		c := tcpPair(t, &params)
+		connectPair(c, 82,
+			func(p *sim.Proc, conn *tcpip.Conn) { conn.Send(p, pattern(300_000)) },
+			func(p *sim.Proc, conn *tcpip.Conn) { conn.ReadFull(p, 300_000) })
+		c.Run()
+		return c.Nodes[0].TCP.SegsSent.Value()
+	}
+	std := run(1500)
+	jumbo := run(9000)
+	if jumbo*4 > std {
+		t.Errorf("jumbo sent %d segments vs %d at 1500; want ~6x fewer", jumbo, std)
+	}
+}
+
+func TestReceiverWindowBackpressure(t *testing.T) {
+	// A reader that never drains must stall the sender at the offered
+	// window, not grow the receive buffer without bound.
+	params := model.Default()
+	params.TCP.WindowBytes = 32 << 10
+	c := tcpPair(t, &params)
+	var sentAll bool
+	l := c.Nodes[1].TCP.Listen(83)
+	c.Go("server", func(p *sim.Proc) {
+		conn := l.Accept(p)
+		p.Sleep(50 * sim.Millisecond) // stall: do not read
+		total := 0
+		for total < 200_000 {
+			d, ok := conn.Read(p, 10_000)
+			if !ok {
+				t.Error("read failed")
+				return
+			}
+			total += len(d)
+		}
+	})
+	c.Go("client", func(p *sim.Proc) {
+		conn := c.Nodes[0].TCP.Dial(p, 1, 83)
+		conn.Send(p, pattern(200_000))
+		sentAll = true
+	})
+	c.Run()
+	if !sentAll {
+		t.Fatal("sender never completed: window update lost")
+	}
+}
+
+func TestBidirectionalStreams(t *testing.T) {
+	c := tcpPair(t, nil)
+	a2b := pattern(50_000)
+	b2a := pattern(70_000)
+	var gotB, gotA []byte
+	connectPair(c, 84,
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			conn.Send(p, a2b)
+			gotA, _ = conn.ReadFull(p, len(b2a))
+		},
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			gotB, _ = conn.ReadFull(p, len(a2b))
+			conn.Send(p, b2a)
+		})
+	c.Run()
+	if !bytes.Equal(gotB, a2b) || !bytes.Equal(gotA, b2a) {
+		t.Fatal("bidirectional streams corrupted")
+	}
+}
+
+func TestCloseWakesReader(t *testing.T) {
+	c := tcpPair(t, nil)
+	var readOK = true
+	connectPair(c, 85,
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			conn.Close(p)
+		},
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			_, readOK = conn.Read(p, 100)
+		})
+	c.Run()
+	if readOK {
+		t.Fatal("read after close returned ok=true with no data")
+	}
+}
+
+func TestDelayedAckStride(t *testing.T) {
+	c := tcpPair(t, nil)
+	connectPair(c, 86,
+		func(p *sim.Proc, conn *tcpip.Conn) { conn.Send(p, pattern(500_000)) },
+		func(p *sim.Proc, conn *tcpip.Conn) { conn.ReadFull(p, 500_000) })
+	c.Run()
+	segs := c.Nodes[1].TCP.SegsRecv.Value()
+	acks := c.Nodes[1].TCP.AcksSent.Value()
+	if acks == 0 || acks > segs {
+		t.Fatalf("acks=%d segs=%d: delayed ack stride broken", acks, segs)
+	}
+}
+
+func TestConnectMeshFourNodes(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 1})
+	c.EnableTCP()
+	stacks := make([]*tcpip.Stack, 4)
+	for i, n := range c.Nodes {
+		stacks[i] = n.TCP
+	}
+	msgrs := tcpip.ConnectMesh(c.Eng, stacks, 6000)
+	c.Run()
+	// Every ordered pair exchanges one framed message.
+	recvd := map[[2]int]bool{}
+	for i := 0; i < 4; i++ {
+		i := i
+		c.Go(fmt.Sprintf("n%d", i), func(p *sim.Proc) {
+			for j := 0; j < 4; j++ {
+				if j != i {
+					msgrs[i].Send(p, j, 9, []byte{byte(i), byte(j)})
+				}
+			}
+			for k := 0; k < 3; k++ {
+				src, data := msgrs[i].Recv(p, 9)
+				if len(data) != 2 || int(data[0]) != src || int(data[1]) != i {
+					t.Errorf("node %d: bad message %v from %d", i, data, src)
+				}
+				recvd[[2]int{src, i}] = true
+			}
+		})
+	}
+	c.Run()
+	if len(recvd) != 12 {
+		t.Fatalf("received %d of 12 pairwise messages", len(recvd))
+	}
+}
+
+func TestBothWayCloseDrainsData(t *testing.T) {
+	// Each side sends, then closes; both must drain the peer's data
+	// before Read reports the close.
+	c := tcpPair(t, nil)
+	var gotA, gotB []byte
+	var closedA, closedB bool
+	connectPair(c, 87,
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			conn.Send(p, []byte("from-client"))
+			conn.Close(p)
+			gotA, _ = conn.ReadFull(p, 11)
+			_, ok := conn.Read(p, 1)
+			closedA = !ok
+		},
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			gotB, _ = conn.ReadFull(p, 11)
+			conn.Send(p, []byte("from-server"))
+			conn.Close(p)
+			_, ok := conn.Read(p, 1)
+			closedB = !ok
+		})
+	c.Run()
+	if string(gotB) != "from-client" || string(gotA) != "from-server" {
+		t.Fatalf("data lost around close: %q / %q", gotA, gotB)
+	}
+	if !closedA || !closedB {
+		t.Errorf("close not observed: A=%v B=%v", closedA, closedB)
+	}
+}
+
+func TestFinIsRetransmittedUnderLoss(t *testing.T) {
+	params := model.Default()
+	params.Link.LossRate = 0.3
+	c := tcpPair(t, &params)
+	var sawClose bool
+	connectPair(c, 88,
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			conn.Close(p)
+		},
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			_, ok := conn.Read(p, 1)
+			sawClose = !ok
+		})
+	c.Eng.RunUntil(10 * sim.Second)
+	if !sawClose {
+		t.Fatal("FIN never arrived despite retransmission")
+	}
+}
+
+func TestNagleCoalescesSmallWrites(t *testing.T) {
+	// 30 back-to-back 100 B writes: with Nagle (the default), in-flight
+	// data holds later writes back so they coalesce into far fewer
+	// segments; with TCP_NODELAY every write becomes its own segment.
+	run := func(noDelay bool) int64 {
+		c := tcpPair(t, nil)
+		const writes = 30
+		connectPair(c, 89,
+			func(p *sim.Proc, conn *tcpip.Conn) {
+				conn.SetNoDelay(noDelay)
+				for i := 0; i < writes; i++ {
+					conn.Send(p, make([]byte, 100))
+				}
+			},
+			func(p *sim.Proc, conn *tcpip.Conn) {
+				conn.ReadFull(p, writes*100)
+			})
+		c.Run()
+		return c.Nodes[0].TCP.SegsSent.Value()
+	}
+	nagle := run(false)
+	nodelay := run(true)
+	if nodelay < 30 {
+		t.Errorf("NODELAY sent %d segments for 30 writes, want >= 30", nodelay)
+	}
+	if nagle >= nodelay/2 {
+		t.Errorf("Nagle sent %d segments vs %d with NODELAY; no coalescing", nagle, nodelay)
+	}
+}
+
+func TestNagleDeliversEverythingInOrder(t *testing.T) {
+	c := tcpPair(t, nil)
+	var got []byte
+	want := pattern(10_000)
+	connectPair(c, 92,
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			// Mixed small and large writes with Nagle on.
+			off := 0
+			sizes := []int{10, 300, 5000, 7, 2000, 100}
+			for _, s := range sizes {
+				conn.Send(p, want[off:off+s])
+				off += s
+			}
+			conn.Send(p, want[off:])
+		},
+		func(p *sim.Proc, conn *tcpip.Conn) {
+			got, _ = conn.ReadFull(p, len(want))
+		})
+	c.Run()
+	if !bytes.Equal(got, want) {
+		t.Fatal("Nagle reordered or lost data")
+	}
+}

@@ -1,0 +1,71 @@
+// Package trace records per-packet pipeline stage timestamps — the
+// machinery behind the paper's Fig. 7, which times a 1400-byte packet
+// flowing through CLIC's send syscall, module, driver, buses, wire,
+// interrupt, bottom half and final copy.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rec collects (stage, timestamp) marks for one traced packet. A Rec is
+// attached to an ether.Frame and to the sending/receiving endpoints; any
+// component holding a non-nil Rec calls Mark as the packet passes.
+type Rec struct {
+	Label  string
+	Stages []Stage
+}
+
+// Stage is one pipeline checkpoint.
+type Stage struct {
+	Name string
+	At   int64 // simulated nanoseconds
+}
+
+// Mark appends a checkpoint.
+func (r *Rec) Mark(name string, at int64) {
+	if r == nil {
+		return
+	}
+	r.Stages = append(r.Stages, Stage{Name: name, At: at})
+}
+
+// Find returns the timestamp of the first checkpoint with the given name.
+func (r *Rec) Find(name string) (int64, bool) {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s.At, true
+		}
+	}
+	return 0, false
+}
+
+// Between returns the elapsed time from the first checkpoint named a to
+// the first named b.
+func (r *Rec) Between(a, b string) (int64, bool) {
+	ta, oka := r.Find(a)
+	tb, okb := r.Find(b)
+	if !oka || !okb {
+		return 0, false
+	}
+	return tb - ta, true
+}
+
+// Table renders the record as aligned rows of stage, absolute time and
+// delta from the previous stage, in microseconds.
+func (r *Rec) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %10s\n", "stage", "t (µs)", "Δ (µs)")
+	prev := int64(0)
+	for i, s := range r.Stages {
+		d := s.At - prev
+		if i == 0 {
+			d = 0
+		}
+		fmt.Fprintf(&b, "%-28s %12.2f %10.2f\n",
+			s.Name, float64(s.At)/1000, float64(d)/1000)
+		prev = s.At
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkOnNilIsSafe(t *testing.T) {
+	var r *Rec
+	r.Mark("anything", 5) // must not panic: frames without tracing pass nil
+}
+
+func TestFindAndBetween(t *testing.T) {
+	r := &Rec{Label: "t"}
+	r.Mark("a", 100)
+	r.Mark("b", 350)
+	r.Mark("b", 999) // duplicates: Find returns the first
+	if at, ok := r.Find("b"); !ok || at != 350 {
+		t.Errorf("Find(b) = %d,%v", at, ok)
+	}
+	if _, ok := r.Find("missing"); ok {
+		t.Error("found a missing stage")
+	}
+	if d, ok := r.Between("a", "b"); !ok || d != 250 {
+		t.Errorf("Between = %d,%v want 250", d, ok)
+	}
+	if _, ok := r.Between("a", "missing"); ok {
+		t.Error("Between with missing stage succeeded")
+	}
+}
+
+func TestTableRendersStagesInOrder(t *testing.T) {
+	r := &Rec{}
+	r.Mark("syscall", 650)
+	r.Mark("module", 1350)
+	r.Mark("driver", 5350)
+	tab := r.Table()
+	iSys := strings.Index(tab, "syscall")
+	iMod := strings.Index(tab, "module")
+	iDrv := strings.Index(tab, "driver")
+	if iSys < 0 || iMod < 0 || iDrv < 0 || !(iSys < iMod && iMod < iDrv) {
+		t.Errorf("table ordering broken:\n%s", tab)
+	}
+	if !strings.Contains(tab, "0.65") {
+		t.Errorf("table missing µs conversion:\n%s", tab)
+	}
+}

@@ -1,0 +1,189 @@
+// Package via models the Virtual Interface Architecture comparator the
+// paper positions CLIC against (§3.2): user-level virtual interfaces with
+// descriptor queues and doorbells, no OS in the data path, polling-based
+// completion, and no reliability layer ("VIA does not guarantee a
+// reliable communication ... the application has to care about
+// reliability").
+package via
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Stack is one node's VIA provider (the user-level library plus the
+// VI-capable adapter's doorbell/completion machinery).
+type Stack struct {
+	Host *hw.Host
+	Node int
+	M    *model.Params
+
+	nic     *nic.NIC
+	resolve func(node, stripe int) ether.MAC
+	nodeOf  func(ether.MAC) (int, bool)
+
+	vis map[viKey]*VI
+}
+
+type viKey struct {
+	peer int
+	id   uint16
+}
+
+// shim is the VIA model's on-wire header: vi id, fragment seq, flags.
+const (
+	shimBytes = 8
+	flagFirst = 1
+	flagLast  = 2
+)
+
+// New attaches a VIA provider to a node's first NIC. The adapter's
+// interrupt line is parked: VIA completion is discovered by polling.
+func New(h *hw.Host, node int, adapter *nic.NIC,
+	resolve func(int, int) ether.MAC, nodeOf func(ether.MAC) (int, bool)) *Stack {
+	st := &Stack{
+		Host:    h,
+		Node:    node,
+		M:       h.M,
+		nic:     adapter,
+		resolve: resolve,
+		nodeOf:  nodeOf,
+		vis:     map[viKey]*VI{},
+	}
+	adapter.SetIRQ(func() {}) // §3.2b: VIA does not use interrupts
+	return st
+}
+
+// VI is one virtual interface: a send queue and a receive queue shared
+// directly between the application and the adapter.
+type VI struct {
+	st   *Stack
+	peer int
+	id   uint16
+
+	asm      []byte
+	asmLen   int
+	complete [][]byte
+}
+
+// Open creates (or returns) the VI to peer with the given id. Both sides
+// must open the same id.
+func (st *Stack) Open(peer int, id uint16) *VI {
+	k := viKey{peer: peer, id: id}
+	vi, ok := st.vis[k]
+	if !ok {
+		vi = &VI{st: st, peer: peer, id: id}
+		st.vis[k] = vi
+	}
+	return vi
+}
+
+// Send posts descriptors for data and rings the doorbell, entirely in
+// user mode: no system call, no copy (the buffer is registered memory the
+// adapter DMAs from).
+func (vi *VI) Send(p *sim.Proc, data []byte) {
+	st := vi.st
+	maxFrag := st.nic.P.MTU - shimBytes
+	total := len(data)
+	off := 0
+	first := true
+	for {
+		end := off + maxFrag
+		if end > total {
+			end = total
+		}
+		last := end == total
+		// Build the descriptor and ring the doorbell: the whole host-side
+		// send path of VIA.
+		st.Host.CPUWork(p, st.M.VIA.DescriptorPost, sim.PriNormal)
+		st.Host.MMIOWrite(p, sim.PriNormal)
+
+		shim := make([]byte, shimBytes, shimBytes+end-off)
+		binary.BigEndian.PutUint16(shim[0:2], vi.id)
+		var flags uint8
+		if first {
+			flags |= flagFirst
+		}
+		if last {
+			flags |= flagLast
+		}
+		shim[2] = flags
+		binary.BigEndian.PutUint32(shim[4:8], uint32(total))
+		frame := &ether.Frame{
+			Dst:     st.resolve(vi.peer, 0),
+			Src:     st.nic.MAC,
+			Type:    ether.TypeVIA,
+			Payload: append(shim, data[off:end]...),
+		}
+		for !st.nic.CanTx() {
+			st.nic.TxFree.Wait(p)
+		}
+		st.nic.PostTx(p, sim.PriNormal, &nic.TxReq{Frame: frame, Mode: nic.TxDMA})
+		off = end
+		first = false
+		if last {
+			return
+		}
+	}
+}
+
+// Recv polls the completion queue until a whole message addressed to this
+// VI has landed in its pre-posted receive buffers, then returns it. The
+// wait is a spin loop: every poll iteration is CPU work, not sleep —
+// "the processor consumes cycles while it waits for messages to be
+// received" (§3.2b) — which is what the multiprogramming experiment
+// (E11) measures against CLIC's blocking receive.
+func (vi *VI) Recv(p *sim.Proc) []byte {
+	st := vi.st
+	for {
+		if len(vi.complete) > 0 {
+			msg := vi.complete[0]
+			vi.complete = vi.complete[1:]
+			return msg
+		}
+		st.Host.SpinPoll(p, st.M.VIA.PollCheck, st.M.VIA.PollInterval, sim.PriNormal)
+		st.drain()
+	}
+}
+
+// drain routes adapter completions to their VIs. The adapter DMA'd the
+// payloads straight into the VIs' registered receive buffers; no host
+// copy happens here.
+func (st *Stack) drain() {
+	for _, f := range st.nic.DrainCompleted() {
+		src, ok := st.nodeOf(f.Src)
+		if !ok || len(f.Payload) < shimBytes {
+			continue
+		}
+		id := binary.BigEndian.Uint16(f.Payload[0:2])
+		flags := f.Payload[2]
+		vi, ok := st.vis[viKey{peer: src, id: id}]
+		if !ok {
+			continue // no VI: VIA drops silently (unreliable)
+		}
+		if flags&flagFirst != 0 {
+			vi.asm = vi.asm[:0]
+			vi.asmLen = int(binary.BigEndian.Uint32(f.Payload[4:8]))
+		}
+		vi.asm = append(vi.asm, f.Payload[shimBytes:]...)
+		if flags&flagLast != 0 {
+			if len(vi.asm) == vi.asmLen {
+				msg := make([]byte, len(vi.asm))
+				copy(msg, vi.asm)
+				vi.complete = append(vi.complete, msg)
+			}
+			vi.asm = vi.asm[:0]
+		}
+	}
+}
+
+// String identifies the VI in diagnostics.
+func (vi *VI) String() string {
+	return fmt.Sprintf("vi{node%d<->node%d #%d}", vi.st.Node, vi.peer, vi.id)
+}
