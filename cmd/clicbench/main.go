@@ -43,12 +43,13 @@ var experiments = map[string]func(*model.Params) *bench.Report{
 	"multiprog":   bench.Multiprog,
 	"collectives": bench.Collectives,
 	"jitter":      bench.Jitter,
+	"latency":     bench.LatencyDistribution,
 }
 
 var order = []string{
 	"fig4", "fig5", "fig6", "fig7", "headline",
 	"compare", "interrupts", "paths", "frag", "bonding", "multiprog",
-	"collectives", "jitter",
+	"collectives", "jitter", "latency",
 }
 
 func main() {

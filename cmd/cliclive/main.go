@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cliclive [-loss 0.2] [-size 1000000] [-count 20] [-mtu 1500]
+//	    [-metrics-addr 127.0.0.1:9090] [-linger 30s] [-metrics prom|json]
 package main
 
 import (
@@ -12,26 +13,48 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		loss  = flag.Float64("loss", 0.2, "injected datagram loss rate [0,1)")
-		size  = flag.Int("size", 100_000, "message size in bytes")
-		count = flag.Int("count", 20, "messages to transfer")
-		mtu   = flag.Int("mtu", 1500, "datagram MTU")
-		seed  = flag.Int64("seed", 1, "loss-injection seed")
+		loss        = flag.Float64("loss", 0.2, "injected datagram loss rate [0,1)")
+		size        = flag.Int("size", 100_000, "message size in bytes")
+		count       = flag.Int("count", 20, "messages to transfer")
+		mtu         = flag.Int("mtu", 1500, "datagram MTU")
+		seed        = flag.Int64("seed", 1, "loss-injection seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/vars on this address")
+		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the transfer")
+		metrics     = flag.String("metrics", "", "dump final telemetry snapshot to stdout: prom or json")
 	)
 	flag.Parse()
+	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
+		log.Fatalf("unknown metrics format %q (want prom or json)", *metrics)
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar("clic")
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics: http://%s/metrics (JSON at /metrics.json, expvar at /debug/vars)\n", ln.Addr())
+		go http.Serve(ln, reg.Mux()) //nolint:errcheck // dies with the process
+	}
 
 	cfg := live.DefaultConfig()
 	cfg.MTU = *mtu
 	cfg.LossRate = *loss
 	cfg.Seed = *seed
 	cfg.RetransmitTimeout = 10 * time.Millisecond
+	cfg.Telemetry = reg
 
 	a, err := live.NewNode(0, cfg)
 	if err != nil {
@@ -82,4 +105,19 @@ func main() {
 		log.Fatal("integrity failure")
 	}
 	fmt.Println("go-back-N recovered every loss; delivery was exact and in order.")
+
+	if *metricsAddr != "" && *linger > 0 {
+		fmt.Printf("serving metrics for another %v...\n", *linger)
+		time.Sleep(*linger)
+	}
+	switch *metrics {
+	case "prom":
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

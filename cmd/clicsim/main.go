@@ -9,11 +9,14 @@
 //	clicsim -stack tcp -size 65536 -count 64
 //	clicsim -stack clic -rx direct -path 3 -coalesce-us 100
 //	clicsim -stack gamma -size 0 -count 100 -pingpong
+//	clicsim -stack clic -metrics prom
+//	clicsim -stack clic -metrics json -metrics-every-us 500
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/chrometrace"
@@ -39,8 +42,26 @@ func main() {
 		loss       = flag.Float64("loss", 0, "injected frame loss rate [0,1)")
 		pcapPath   = flag.String("pcap", "", "write the switch's traffic to this libpcap file")
 		tracePath  = flag.String("chrometrace", "", "write resource-occupancy timeline as Chrome Trace JSON")
+		metrics    = flag.String("metrics", "", "dump final telemetry snapshot: prom or json")
+		metricsOut = flag.String("metrics-out", "", "write metrics to this file instead of stdout")
+		metricsUs  = flag.Int64("metrics-every-us", 0, "also dump a JSON snapshot every N simulated µs")
 	)
 	flag.Parse()
+
+	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
+		fmt.Fprintf(os.Stderr, "clicsim: unknown metrics format %q (want prom or json)\n", *metrics)
+		os.Exit(2)
+	}
+	metricsW := io.Writer(os.Stdout)
+	if *metricsOut != "" {
+		file, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		metricsW = file
+	}
 
 	params := model.Default()
 	params.NIC.MTU = *mtu
@@ -48,6 +69,30 @@ func main() {
 	params.Link.LossRate = *loss
 
 	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params})
+
+	// runMeasured drives the measurement phase. With -metrics-every-us it
+	// steps the engine in fixed simulated-time slices and dumps a JSON
+	// snapshot at each boundary; a self-rescheduling dump event would keep
+	// the queue non-empty and Run would never return.
+	runMeasured := func() {
+		if *metricsUs <= 0 {
+			c.Run()
+			return
+		}
+		every := sim.Time(*metricsUs) * sim.Microsecond
+		limit := c.Eng.Now() + every
+		for {
+			c.Eng.RunUntil(limit)
+			if c.Eng.Pending() == 0 {
+				return
+			}
+			if err := c.Tel.WriteJSONAt(metricsW, float64(c.Eng.Now())/1000); err != nil {
+				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+				os.Exit(1)
+			}
+			limit += every
+		}
+	}
 
 	if *pcapPath != "" {
 		file, err := os.Create(*pcapPath)
@@ -152,7 +197,7 @@ func main() {
 				sendBack(p, payload)
 			}
 		})
-		c.Run()
+		runMeasured()
 		fmt.Printf("%s %dB ping-pong: RTT %.1f µs, one-way %.1f µs\n",
 			*stack, *size, float64(rtt)/1000, float64(rtt)/2000)
 	} else {
@@ -169,7 +214,7 @@ func main() {
 			}
 			end = p.Now()
 		})
-		c.Run()
+		runMeasured()
 		bits := float64(*count) * float64(*size) * 8
 		secs := float64(end-start) / 1e9
 		fmt.Printf("%s: %d x %d B in %.3f ms = %.1f Mb/s\n",
@@ -186,5 +231,17 @@ func main() {
 				adapter.Name, adapter.TxFrames.Value(), adapter.RxFrames.Value(),
 				adapter.IRQsFired.Value(), adapter.RxDrops.Value(), adapter.RxFiltered.Value())
 		}
+	}
+
+	var err error
+	switch *metrics {
+	case "prom":
+		err = c.Tel.WritePrometheus(metricsW)
+	case "json":
+		err = c.Tel.WriteJSONAt(metricsW, float64(c.Eng.Now())/1000)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+		os.Exit(1)
 	}
 }

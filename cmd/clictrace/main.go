@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	clictrace [-size 1400] [-mtu 1500] [-rx bh|direct] [-path 1..4] [-coalesce-us 40]
+//	clictrace [-size 1400] [-mtu 1500] [-rx bh|direct] [-path 1..4] [-coalesce-us 40] [-json]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 		rxMode     = flag.String("rx", "bh", "receive mode: bh (Fig. 8a) or direct (Fig. 8b)")
 		path       = flag.Int("path", 2, "send path 1-4 (Fig. 1)")
 		coalesceUs = flag.Int("coalesce-us", 40, "interrupt coalescing window, µs")
+		asJSON     = flag.Bool("json", false, "emit the stage timings as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -42,6 +43,13 @@ func main() {
 	}
 
 	rec := bench.PipelineTrace(&params, opt, *size)
+	if *asJSON {
+		if err := rec.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "clictrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println(rec.Label)
 	fmt.Print(rec.Table())
 	if end, ok := rec.Find("app:recv-return"); ok {

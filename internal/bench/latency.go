@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"repro/internal/clic"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// LatencyDist is Latency with the full distribution kept: every round's
+// RTT/2 is recorded into a telemetry histogram so reports can show the
+// median and tail, not just the mean the paper quotes.
+func LatencyDist(setup Setup, params *model.Params, size, rounds int) *telemetry.Histogram {
+	pair := setup(params)
+	payload := make([]byte, size)
+	const warmup = 3
+	h := telemetry.NewHistogram(telemetry.DefLatencyBuckets())
+	pair.C.Go("pinger", func(p *sim.Proc) {
+		for i := 0; i < warmup+rounds; i++ {
+			start := p.Now()
+			pair.Send(p, payload)
+			pair.RecvBack(p, size)
+			if i >= warmup {
+				h.Observe(float64(p.Now()-start) / 2)
+			}
+		}
+	})
+	pair.C.Go("ponger", func(p *sim.Proc) {
+		for i := 0; i < warmup+rounds; i++ {
+			pair.Recv(p, size)
+			pair.SendBack(p, payload)
+		}
+	})
+	pair.C.Run()
+	if h.N() != int64(rounds) {
+		panic("bench: latency-distribution run did not complete")
+	}
+	return h
+}
+
+// LatencyDistribution reports one-way latency distributions (mean, p50,
+// p99 in µs) for CLIC and TCP/IP over a small message-size grid — the
+// telemetry-histogram companion to the headline means (E11).
+func LatencyDistribution(params *model.Params) *Report {
+	rep := &Report{
+		ID:       "latency",
+		Title:    "one-way latency distribution, CLIC vs TCP/IP",
+		PaperRef: "§4 (36 µs CLIC / 165 µs TCP at 0 bytes), tails via telemetry histograms",
+		XLabel:   "message size (B)",
+		YLabel:   "latency (µs)",
+	}
+	rep.Columns = append(rep.Columns, DistColumns("CLIC")...)
+	rep.Columns = append(rep.Columns, DistColumns("TCP")...)
+	clicSetup := CLICPair(clic.DefaultOptions())
+	tcpSetup := TCPPair()
+	const rounds = 30
+	for _, size := range []int{0, 100, 1400, 10_000, 100_000} {
+		hc := LatencyDist(clicSetup, params, size, rounds)
+		ht := LatencyDist(tcpSetup, params, size, rounds)
+		rep.AddDistRow(float64(size), 1000, hc, ht)
+	}
+	rep.Notef("%d ping-pong rounds per size; p50/p99 from %d-bucket latency histograms",
+		rounds, len(telemetry.DefLatencyBuckets()))
+	return rep
+}

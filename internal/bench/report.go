@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Report is one regenerated table or figure: labelled series over an
@@ -34,6 +36,32 @@ func (r *Report) AddRow(x float64, values ...float64) {
 // Notef appends a formatted note line.
 func (r *Report) Notef(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// DistColumns returns the standard latency-distribution column headers
+// for a labelled series: mean, median and tail percentiles. Pair with
+// AddDistRow so benchmark tables show distributions, not just means.
+func DistColumns(label string) []string {
+	return []string{
+		label + " mean", label + " p50", label + " p99",
+	}
+}
+
+// DistValues flattens a telemetry histogram into the DistColumns order,
+// dividing by scale (1000 converts simulated ns to the µs the paper's
+// tables use).
+func DistValues(h *telemetry.Histogram, scale float64) []float64 {
+	return []float64{h.Mean() / scale, h.P50() / scale, h.P99() / scale}
+}
+
+// AddDistRow appends one x point with each histogram's distribution
+// values, in DistColumns order.
+func (r *Report) AddDistRow(x float64, scale float64, hs ...*telemetry.Histogram) {
+	var vals []float64
+	for _, h := range hs {
+		vals = append(vals, DistValues(h, scale)...)
+	}
+	r.AddRow(x, vals...)
 }
 
 // Table renders the report as an aligned text table.

@@ -27,6 +27,65 @@ func TestResourceSpansRecorded(t *testing.T) {
 	}
 }
 
+func TestEventOrdering(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cpu := sim.NewResource("cpu", 1)
+	bus := sim.NewResource("bus", 1)
+	rec := chrometrace.NewRecorder()
+	rec.Watch(cpu)
+	rec.Watch(bus)
+	eng.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			cpu.Use(p, 100)
+			bus.Use(p, 40)
+			p.Sleep(10)
+		}
+	})
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := rec.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	// Spans are recorded in completion order, so timestamps must be
+	// globally non-decreasing — Perfetto tolerates disorder but our
+	// single-threaded engine should never produce it.
+	lastTs := -1.0
+	perTrack := map[int]float64{} // track -> end of previous span
+	spans := 0
+	for _, ev := range parsed {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Ts < lastTs {
+			t.Errorf("span %q at ts=%g after ts=%g", ev.Name, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		if end, ok := perTrack[ev.Tid]; ok && ev.Ts < end {
+			t.Errorf("span %q overlaps previous span on track %d (ts=%g < end=%g)",
+				ev.Name, ev.Tid, ev.Ts, end)
+		}
+		perTrack[ev.Tid] = ev.Ts + ev.Dur
+		if ev.Dur <= 0 {
+			t.Errorf("span %q has non-positive duration %g", ev.Name, ev.Dur)
+		}
+	}
+	if spans != 10 {
+		t.Errorf("%d spans, want 10 (5 cpu + 5 bus)", spans)
+	}
+}
+
 func TestFlushIsValidJSON(t *testing.T) {
 	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
 	c.EnableCLIC(clic.DefaultOptions())

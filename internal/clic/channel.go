@@ -20,6 +20,10 @@ type txChan struct {
 	slotFree *sim.Signal
 	rto      *sim.Event
 	lastGoBN sim.Time // last go-back-N, to debounce NACK storms
+
+	// sentAt remembers each in-flight frame's first push time, feeding
+	// the clic_ack_latency_ns histogram when the cumulative ack lands.
+	sentAt map[relwin.Seq]sim.Time
 }
 
 func (ep *Endpoint) txChanFor(dst NodeID) *txChan {
@@ -30,10 +34,23 @@ func (ep *Endpoint) txChanFor(dst NodeID) *txChan {
 			dst:      dst,
 			win:      relwin.NewSender[*ether.Frame](ep.M.CLIC.Window),
 			slotFree: sim.NewSignal(fmt.Sprintf("clic%d->%d:win", ep.Node, dst)),
+			sentAt:   map[relwin.Seq]sim.Time{},
 		}
 		ep.tx[dst] = tc
 	}
 	return tc
+}
+
+// observeAcked records push→ack latency for every frame the cumulative
+// acknowledgement cum covers and forgets their push times.
+func (tc *txChan) observeAcked(cum relwin.Seq) {
+	now := tc.ep.K.Host.Eng.Now()
+	for seq, at := range tc.sentAt {
+		if relwin.Before(seq, cum) {
+			tc.ep.S.AckLatency.Observe(float64(now - at))
+			delete(tc.sentAt, seq)
+		}
+	}
 }
 
 // armRTO starts the retransmission timer if frames are in flight and it is
@@ -73,6 +90,7 @@ func (tc *txChan) goBackN() {
 // otherwise multiply the retransmissions).
 func (tc *txChan) onNack(cum relwin.Seq) {
 	tc.win.Ack(cum) // a NACK still acknowledges everything before the gap
+	tc.observeAcked(cum)
 	now := tc.ep.K.Host.Eng.Now()
 	if now-tc.lastGoBN < 500*sim.Microsecond {
 		return
@@ -91,6 +109,7 @@ func (tc *txChan) onAck(cum relwin.Seq) {
 	if tc.win.Ack(cum) == 0 {
 		return
 	}
+	tc.observeAcked(cum)
 	if tc.rto != nil {
 		tc.rto.Cancel()
 		tc.rto = nil

@@ -29,6 +29,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -103,17 +104,46 @@ type port struct {
 	waiters []*recvWaiter
 }
 
-// Stats counts endpoint activity for the experiments.
+// Stats counts endpoint activity for the experiments. The fields are
+// registered in the host's telemetry registry under clic_* with
+// node/sendpath/rxmode labels; their accessors keep working as before.
 type Stats struct {
-	MsgsSent    sim.Counter
-	MsgsRecv    sim.Counter
-	BytesSent   sim.Counter
-	BytesRecv   sim.Counter
-	FramesSent  sim.Counter
-	AcksSent    sim.Counter
-	Retransmits sim.Counter
-	Deferred    sim.Counter
-	SysBufDrops sim.Counter
+	MsgsSent    telemetry.Counter
+	MsgsRecv    telemetry.Counter
+	BytesSent   telemetry.Counter
+	BytesRecv   telemetry.Counter
+	FramesSent  telemetry.Counter
+	AcksSent    telemetry.Counter
+	Retransmits telemetry.Counter
+	Deferred    telemetry.Counter
+	SysBufDrops telemetry.Counter
+
+	// AckLatency is the distribution of data-frame push → cumulative-ack
+	// times, the protocol-level view behind Fig. 7's per-stage table.
+	AckLatency *telemetry.Histogram
+}
+
+// pathLabel names a SendPath for metric labels.
+func pathLabel(p SendPath) string {
+	switch p {
+	case Path1PIO:
+		return "1-pio"
+	case Path2ZeroCopy:
+		return "2-zero-copy"
+	case Path3OneCopy:
+		return "3-one-copy"
+	case Path4TwoCopy:
+		return "4-two-copy"
+	}
+	return "unknown"
+}
+
+// rxLabel names an RxMode for metric labels.
+func rxLabel(m RxMode) string {
+	if m == RxDirectCall {
+		return "direct"
+	}
+	return "bh"
 }
 
 // Endpoint is one node's CLIC_MODULE instance.
@@ -203,6 +233,26 @@ func New(k *kernel.Kernel, node NodeID, nics []*nic.NIC, opt Options,
 		ackQ:        sim.NewQueue[ackReq](fmt.Sprintf("clic%d:acks", node)),
 		asyncQ:      sim.NewQueue[asyncSend](fmt.Sprintf("clic%d:async", node)),
 	}
+	labels := []telemetry.Label{
+		telemetry.L("node", k.Host.Name),
+		telemetry.L("sendpath", pathLabel(opt.SendPath)),
+		telemetry.L("rxmode", rxLabel(opt.RxMode)),
+	}
+	tel := k.Host.Tel
+	tel.RegisterCounter("clic_msgs_sent_total", "messages sent", &ep.S.MsgsSent, labels...)
+	tel.RegisterCounter("clic_msgs_recv_total", "messages delivered", &ep.S.MsgsRecv, labels...)
+	tel.RegisterCounter("clic_bytes_sent_total", "payload bytes sent", &ep.S.BytesSent, labels...)
+	tel.RegisterCounter("clic_bytes_recv_total", "payload bytes delivered", &ep.S.BytesRecv, labels...)
+	tel.RegisterCounter("clic_frames_sent_total", "data fragments pushed to the driver", &ep.S.FramesSent, labels...)
+	tel.RegisterCounter("clic_acks_sent_total", "cumulative acknowledgements emitted", &ep.S.AcksSent, labels...)
+	tel.RegisterCounter("clic_retransmits_total", "go-back-N frame retransmissions", &ep.S.Retransmits, labels...)
+	tel.RegisterCounter("clic_deferred_total", "sends buffered in system memory on a full transmit ring", &ep.S.Deferred, labels...)
+	tel.RegisterCounter("clic_sysbuf_drops_total", "frames refused by receiver-side flow control", &ep.S.SysBufDrops, labels...)
+	tel.GaugeFunc("clic_sysbuf_bytes", "system-memory bytes holding unclaimed messages",
+		func() float64 { return float64(ep.sysBufUsed) }, labels...)
+	ep.S.AckLatency = tel.Histogram("clic_ack_latency_ns",
+		"data-frame push to cumulative-ack latency, simulated ns",
+		telemetry.DefLatencyBuckets(), labels...)
 	for _, n := range nics {
 		ep.wireISR(n)
 	}

@@ -103,6 +103,7 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 			frame.Trace.Mark("clic:module-send", p.Now())
 		}
 		lastSeq = tc.win.Push(frame)
+		tc.sentAt[lastSeq] = p.Now()
 		tc.armRTO()
 
 		mode := ep.chargeSendPath(p, end-off)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/via"
 )
 
@@ -61,6 +62,11 @@ type Cluster struct {
 	Switch *ether.Switch
 	Nodes  []*Node
 
+	// Tel is the cluster-wide telemetry registry: every node's kernel,
+	// NICs, links and protocol stack register into it with node/nic/link
+	// labels, so one Prometheus or JSON export covers the whole cluster.
+	Tel *telemetry.Registry
+
 	macToNode map[ether.MAC]int
 }
 
@@ -82,10 +88,15 @@ func New(cfg Config) *Cluster {
 		Eng:       eng,
 		Params:    params,
 		Switch:    ether.NewSwitch(eng, "sw0", params.Link.SwitchLatency, params.Link.SwitchQueueFrames),
+		Tel:       telemetry.NewRegistry(),
 		macToNode: map[ether.MAC]int{},
 	}
+	c.Switch.Instrument(c.Tel)
 	for id := 0; id < cfg.Nodes; id++ {
 		host := hw.NewHost(eng, fmt.Sprintf("node%d", id), &c.Params)
+		// Replace the host's private registry with the shared cluster one
+		// before any subsystem registers metrics into it.
+		host.Tel = c.Tel
 		node := &Node{
 			ID:     id,
 			Host:   host,
@@ -93,9 +104,11 @@ func New(cfg Config) *Cluster {
 		}
 		for i := 0; i < cfg.NICsPerNode; i++ {
 			mac := ether.NodeMAC(id, i)
-			link := ether.NewLink(eng, fmt.Sprintf("link-n%d-%d", id, i),
+			linkName := fmt.Sprintf("link-n%d-%d", id, i)
+			link := ether.NewLink(eng, linkName,
 				c.Params.Link.BitsPerSec, c.Params.Link.PropagationDelay)
 			link.SetLossRate(c.Params.Link.LossRate)
+			link.Instrument(c.Tel, linkName)
 			adapter := nic.New(host, fmt.Sprintf("node%d:eth%d", id, i), mac, c.Params.NIC, link)
 			c.Switch.AddPort(link)
 			node.NICs = append(node.NICs, adapter)

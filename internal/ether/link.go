@@ -2,6 +2,7 @@ package ether
 
 import (
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Link is a full-duplex point-to-point Gigabit Ethernet cable between two
@@ -20,9 +21,9 @@ type dir struct {
 	prop   sim.Time
 	loss   float64
 	peer   Endpoint
-	frames sim.Counter
-	bytes  sim.Counter
-	drops  sim.Counter
+	frames telemetry.Counter
+	bytes  telemetry.Counter
+	drops  telemetry.Counter
 }
 
 // NewLink creates a link with the given line rate (bits/s) and propagation
@@ -69,6 +70,30 @@ func (d *dir) send(p *sim.Proc, f *Frame) {
 		return
 	}
 	p.Engine().After(d.prop, "deliver", func() { peer.DeliverFrame(f) })
+}
+
+// Instrument registers the link's per-direction counters and a
+// link-utilization gauge (wire busy time over elapsed simulated time)
+// in a telemetry registry under the given link name.
+func (l *Link) Instrument(reg *telemetry.Registry, name string) {
+	for _, d := range []struct {
+		d   *dir
+		tag string
+	}{{l.ab, "a->b"}, {l.ba, "b->a"}} {
+		dd := d.d
+		labels := []telemetry.Label{telemetry.L("link", name), telemetry.L("dir", d.tag)}
+		reg.RegisterCounter("ether_frames_total", "frames serialised onto this link direction", &dd.frames, labels...)
+		reg.RegisterCounter("ether_bytes_total", "wire bytes (preamble+header+payload+FCS+IFG) serialised", &dd.bytes, labels...)
+		reg.RegisterCounter("ether_drops_total", "frames lost to injected faults", &dd.drops, labels...)
+		reg.GaugeFunc("ether_link_utilization", "fraction of simulated time the wire spent serialising",
+			func() float64 {
+				now := dd.eng.Now()
+				if now == 0 {
+					return 0
+				}
+				return float64(dd.wire.BusyTime()) / float64(now)
+			}, labels...)
+	}
 }
 
 // SetLossRate injects random frame loss on both directions, for fault

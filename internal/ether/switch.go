@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Switch is a store-and-forward Gigabit Ethernet switch. Each port owns a
@@ -21,7 +22,10 @@ type Switch struct {
 
 	// Drops counts frames lost to full output queues — the "finite
 	// buffering capabilities" of §1 that make reliability necessary.
-	Drops sim.Counter
+	Drops telemetry.Counter
+
+	// Forwarded counts frames the switch accepted for forwarding.
+	Forwarded telemetry.Counter
 
 	// Monitor, when non-nil, observes every frame the switch forwards —
 	// a monitor (mirror) port for captures and debugging. It runs in
@@ -84,6 +88,7 @@ func (p *switchPort) DeliverFrame(f *Frame) {
 	if s.Monitor != nil {
 		s.Monitor(f)
 	}
+	s.Forwarded.Inc()
 	s.eng.After(s.params.latency, "switch-fwd", func() {
 		if f.Dst.IsBroadcast() || f.Dst.IsMulticast() {
 			s.flood(f, p)
@@ -115,3 +120,10 @@ func (s *Switch) enqueue(out *switchPort, f *Frame) {
 
 // Ports returns the number of attached ports.
 func (s *Switch) Ports() int { return len(s.ports) }
+
+// Instrument registers the switch's counters in a telemetry registry.
+func (s *Switch) Instrument(reg *telemetry.Registry) {
+	label := telemetry.L("switch", s.name)
+	reg.RegisterCounter("switch_forwarded_total", "frames accepted for forwarding", &s.Forwarded, label)
+	reg.RegisterCounter("switch_queue_drops_total", "frames lost to full output queues", &s.Drops, label)
+}

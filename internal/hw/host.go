@@ -19,6 +19,7 @@ package hw
 import (
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Host is one cluster node's hardware.
@@ -26,6 +27,13 @@ type Host struct {
 	Name string
 	Eng  *sim.Engine
 	M    *model.Params
+
+	// Tel is the metrics registry the node's subsystems (kernel, NICs,
+	// protocol modules) register into. NewHost gives every host its own
+	// registry; cluster.New replaces it with one registry shared by the
+	// whole cluster before attaching subsystems, so a single export
+	// carries every node, distinguished by a node=... label.
+	Tel *telemetry.Registry
 
 	// CPU is the single processor; kernel and interrupt work queue-jumps
 	// via sim.PriKernel / sim.PriIRQ.
@@ -51,6 +59,7 @@ func NewHost(eng *sim.Engine, name string, m *model.Params) *Host {
 		Name:   name,
 		Eng:    eng,
 		M:      m,
+		Tel:    telemetry.NewRegistry(),
 		CPU:    sim.NewResource(name+":cpu", cpus),
 		PCI:    sim.NewResource(name+":pci", 1),
 		MemBus: sim.NewResource(name+":membus", 1),

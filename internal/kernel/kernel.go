@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Kernel is one node's operating system.
@@ -19,11 +20,12 @@ type Kernel struct {
 
 	bhQueue *sim.Queue[func(*sim.Proc)]
 
-	// Counters for the §2 interrupt-rate experiment (E7).
-	Interrupts  sim.Counter
-	BottomHalfs sim.Counter
-	Syscalls    sim.Counter
-	Wakeups     sim.Counter
+	// Counters for the §2 interrupt-rate experiment (E7), registered in
+	// the host's telemetry registry under kernel_*_total.
+	Interrupts  telemetry.Counter
+	BottomHalfs telemetry.Counter
+	Syscalls    telemetry.Counter
+	Wakeups     telemetry.Counter
 }
 
 // New creates the kernel for a host and starts its bottom-half worker.
@@ -32,6 +34,11 @@ func New(h *hw.Host) *Kernel {
 		Host:    h,
 		bhQueue: sim.NewQueue[func(*sim.Proc)](h.Name + ":bh"),
 	}
+	node := telemetry.L("node", h.Name)
+	h.Tel.RegisterCounter("kernel_syscalls_total", "system calls entered", &k.Syscalls, node)
+	h.Tel.RegisterCounter("kernel_interrupts_total", "hardware interrupts dispatched", &k.Interrupts, node)
+	h.Tel.RegisterCounter("kernel_bottom_halves_total", "softirq bottom-half dispatches", &k.BottomHalfs, node)
+	h.Tel.RegisterCounter("kernel_wakeups_total", "scheduler wake-ups of blocked processes", &k.Wakeups, node)
 	h.Eng.Go(h.Name+":softirq", k.bhWorker)
 	return k
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/relwin"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a live node.
@@ -44,6 +45,12 @@ type Config struct {
 	LossRate float64
 	DupRate  float64
 	Seed     int64
+
+	// Telemetry, when non-nil, is the registry the node's metrics are
+	// registered into (with a node=<id> label), letting several
+	// in-process nodes share one export surface. Nil creates a private
+	// registry, reachable through Node.Telemetry().
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns sensible loopback settings.
@@ -83,8 +90,19 @@ type Node struct {
 	wg   sync.WaitGroup
 	done chan struct{}
 
-	// Stats (read with Stats()).
-	framesSent, framesRecv, retransmits, acksSent, dropsInjected int64
+	// Metrics. Counters are atomic (telemetry.Counter), so the rxLoop
+	// goroutine, timer callbacks and sender goroutines may all touch
+	// them without holding mu — the live stack's counters are exactly
+	// the shared state -race used to flag with plain ints.
+	tel           *telemetry.Registry
+	framesSent    telemetry.Counter
+	framesRecv    telemetry.Counter
+	retransmits   telemetry.Counter
+	acksSent      telemetry.Counter
+	dropsInjected telemetry.Counter
+	socketWrites  telemetry.Counter
+	socketReads   telemetry.Counter
+	ackLatency    *telemetry.Histogram
 }
 
 type confirmKey struct {
@@ -96,6 +114,10 @@ type liveTxChan struct {
 	win      *relwin.Sender[[]byte]
 	slotFree *sync.Cond
 	rto      *time.Timer
+
+	// sentAt remembers each in-flight datagram's first push time for the
+	// ack-latency histogram. Guarded by n.mu.
+	sentAt map[relwin.Seq]time.Time
 }
 
 type liveRxChan struct {
@@ -138,11 +160,30 @@ func NewNode(id int, cfg Config) (*Node, error) {
 		confirm: map[confirmKey]chan struct{}{},
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
 		done:    make(chan struct{}),
+		tel:     cfg.Telemetry,
 	}
+	if n.tel == nil {
+		n.tel = telemetry.NewRegistry()
+	}
+	node := telemetry.L("node", fmt.Sprint(id))
+	n.tel.RegisterCounter("live_frames_sent_total", "datagrams written to the socket (before injected loss)", &n.framesSent, node)
+	n.tel.RegisterCounter("live_frames_recv_total", "datagrams received and decoded", &n.framesRecv, node)
+	n.tel.RegisterCounter("live_retransmits_total", "go-back-N datagram retransmissions", &n.retransmits, node)
+	n.tel.RegisterCounter("live_acks_sent_total", "cumulative acknowledgements returned", &n.acksSent, node)
+	n.tel.RegisterCounter("live_loss_injected_total", "datagrams dropped by send-side loss injection", &n.dropsInjected, node)
+	n.tel.RegisterCounter("live_socket_writes_total", "UDP write syscalls issued (including duplicates)", &n.socketWrites, node)
+	n.tel.RegisterCounter("live_socket_reads_total", "UDP datagrams read from the socket", &n.socketReads, node)
+	n.ackLatency = n.tel.Histogram("live_ack_latency_ns",
+		"datagram push to cumulative-ack latency, wall-clock ns",
+		telemetry.DefLatencyBuckets(), node)
 	n.wg.Add(1)
 	go n.rxLoop()
 	return n, nil
 }
+
+// Telemetry returns the node's metrics registry (shared when
+// Config.Telemetry was set).
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
 
 // Addr returns the node's UDP address for peer registration.
 func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
@@ -185,9 +226,8 @@ func (n *Node) Close() error {
 
 // Stats reports node activity counters.
 func (n *Node) Stats() (framesSent, framesRecv, retransmits, acksSent, dropsInjected int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.framesSent, n.framesRecv, n.retransmits, n.acksSent, n.dropsInjected
+	return n.framesSent.Value(), n.framesRecv.Value(), n.retransmits.Value(),
+		n.acksSent.Value(), n.dropsInjected.Value()
 }
 
 // ErrClosed reports an operation on a closed node.
@@ -199,7 +239,10 @@ func (n *Node) maxPayload() int { return n.cfg.MTU - proto.HeaderBytes }
 func (n *Node) txChanFor(peer int) *liveTxChan {
 	tc, ok := n.tx[peer]
 	if !ok {
-		tc = &liveTxChan{win: relwin.NewSender[[]byte](n.cfg.Window)}
+		tc = &liveTxChan{
+			win:    relwin.NewSender[[]byte](n.cfg.Window),
+			sentAt: map[relwin.Seq]time.Time{},
+		}
 		tc.slotFree = sync.NewCond(&n.mu)
 		n.tx[peer] = tc
 	}
@@ -290,6 +333,7 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 		dgram := hdr.Encode(make([]byte, 0, proto.HeaderBytes+end-off))
 		dgram = append(dgram, data[off:end]...)
 		lastSeq = tc.win.Push(dgram)
+		tc.sentAt[lastSeq] = time.Now()
 		n.armRTO(dst, tc)
 		n.transmit(addr, dgram)
 		off = end
@@ -304,12 +348,14 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 // Called with the lock held (UDP writes don't block meaningfully).
 func (n *Node) transmit(addr *net.UDPAddr, dgram []byte) {
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-		n.dropsInjected++
+		n.dropsInjected.Inc()
 		return
 	}
-	n.framesSent++
+	n.framesSent.Inc()
+	n.socketWrites.Inc()
 	n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
 	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		n.socketWrites.Inc()
 		n.conn.WriteToUDP(dgram, addr) //nolint:errcheck
 	}
 }
@@ -340,7 +386,7 @@ func (n *Node) fireRTO(peer int) {
 	}
 	addr := n.peers[peer]
 	for _, dgram := range unacked {
-		n.retransmits++
+		n.retransmits.Inc()
 		n.transmit(addr, dgram)
 	}
 	n.armRTO(peer, tc)

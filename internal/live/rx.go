@@ -33,7 +33,8 @@ func (n *Node) handleDatagram(addr *net.UDPAddr, dgram []byte) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.framesRecv++
+	n.framesRecv.Inc()
+	n.socketReads.Inc()
 	src, ok := n.peerByAddr(addr)
 	if !ok {
 		return // not from a registered peer
@@ -65,6 +66,13 @@ func (n *Node) onAck(src int, cum relwin.Seq) {
 	tc := n.txChanFor(src)
 	if tc.win.Ack(cum) == 0 {
 		return
+	}
+	now := time.Now()
+	for seq, at := range tc.sentAt {
+		if relwin.Before(seq, cum) {
+			n.ackLatency.Observe(float64(now.Sub(at)))
+			delete(tc.sentAt, seq)
+		}
 	}
 	if tc.rto != nil {
 		tc.rto.Stop()
@@ -170,7 +178,7 @@ func (n *Node) sendAck(src int, rc *liveRxChan) {
 		rc.ackTimer.Stop()
 		rc.ackTimer = nil
 	}
-	n.acksSent++
+	n.acksSent.Inc()
 	n.sendControl(src, proto.TypeAck, rc.reseq.CumAck())
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // TxMode says how a frame's payload reaches the adapter (Fig. 1).
@@ -65,13 +66,16 @@ type NIC struct {
 	fragSeq uint64
 	fragBuf map[uint64][]*ether.Frame
 
-	// Counters.
-	TxFrames   sim.Counter
-	RxFrames   sim.Counter
-	RxDrops    sim.Counter
-	RxFiltered sim.Counter
-	RxOversize sim.Counter
-	IRQsFired  sim.Counter
+	// Counters, registered in the host's telemetry registry under
+	// nic_* with node/nic labels.
+	TxFrames     telemetry.Counter
+	TxPosts      telemetry.Counter // descriptor postings (doorbell rings)
+	RxFrames     telemetry.Counter
+	RxDrops      telemetry.Counter
+	RxFiltered   telemetry.Counter
+	RxOversize   telemetry.Counter
+	IRQsFired    telemetry.Counter
+	IRQCoalesced telemetry.Counter // frames whose interrupt was deferred into a coalescing window
 }
 
 // New creates an adapter on host with the given MAC, attached to the A
@@ -92,6 +96,19 @@ func New(h *hw.Host, name string, mac ether.MAC, p model.NIC, link *ether.Link) 
 		fragBuf:   map[uint64][]*ether.Frame{},
 	}
 	link.AttachA(n)
+	labels := []telemetry.Label{telemetry.L("node", h.Name), telemetry.L("nic", name)}
+	h.Tel.RegisterCounter("nic_tx_frames_total", "frames serialised onto the wire", &n.TxFrames, labels...)
+	h.Tel.RegisterCounter("nic_tx_posts_total", "transmit descriptors posted (DMA doorbells)", &n.TxPosts, labels...)
+	h.Tel.RegisterCounter("nic_rx_frames_total", "frames DMA'd to system memory", &n.RxFrames, labels...)
+	h.Tel.RegisterCounter("nic_rx_ring_drops_total", "frames dropped on a full receive ring", &n.RxDrops, labels...)
+	h.Tel.RegisterCounter("nic_rx_filtered_total", "frames discarded by the MAC destination filter", &n.RxFiltered, labels...)
+	h.Tel.RegisterCounter("nic_rx_oversize_total", "giant frames discarded at the MAC", &n.RxOversize, labels...)
+	h.Tel.RegisterCounter("nic_irqs_total", "interrupts raised to the kernel", &n.IRQsFired, labels...)
+	h.Tel.RegisterCounter("nic_irqs_coalesced_total", "frame arrivals absorbed into a coalescing window instead of raising an interrupt", &n.IRQCoalesced, labels...)
+	h.Tel.GaugeFunc("nic_rx_ring_used", "receive-ring slots holding undrained frames",
+		func() float64 { return float64(n.rxRingUsed) }, labels...)
+	h.Tel.GaugeFunc("nic_tx_ring_inflight", "transmit-ring descriptors awaiting DMA completion",
+		func() float64 { return float64(n.txInFlight) }, labels...)
 	h.Eng.Go(name+":txdma", n.txEngine)
 	h.Eng.Go(name+":txwire", n.txWire)
 	h.Eng.Go(name+":rxeng", n.rxEngine)
@@ -129,6 +146,7 @@ func (n *NIC) PostTx(p *sim.Proc, pri int, req *TxReq) {
 			n.Name, len(req.Frame.Payload), n.MaxPost()))
 	}
 	n.txInFlight++
+	n.TxPosts.Inc()
 	n.Host.MMIOWrite(p, pri)
 	n.txQ.Put(req)
 }
@@ -282,6 +300,7 @@ func (n *NIC) dmaToHost(p *sim.Proc, f *ether.Frame) {
 		n.fireIRQ(now)
 		return
 	}
+	n.IRQCoalesced.Inc()
 	if n.coalesceEv == nil {
 		n.coalesceEv = p.Engine().At(n.lastIRQ+window, n.Name+":coalesce",
 			func() {

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// seriesValue reads a counter/gauge series' current value.
+func (s *series) value() float64 {
+	switch {
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.g != nil:
+		return float64(s.g.Value())
+	case s.gf != nil:
+		return s.gf()
+	}
+	return 0
+}
+
+// formatFloat renders a value the way the Prometheus text format expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes every registered metric in the Prometheus text
+// exposition format (# HELP / # TYPE headers, histogram _bucket/_sum/
+// _count expansion), families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.fams[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			s := f.series[key]
+			if err := writePromSeries(w, f, key, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, f *family, key string, s *series) error {
+	if f.kind != KindHistogram {
+		if key != "" {
+			key = "{" + key + "}"
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatFloat(s.value()))
+		return err
+	}
+	h := s.h
+	counts := h.BucketCounts()
+	bounds := h.Bounds()
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		lbl := fmt.Sprintf("le=%q", le)
+		if key != "" {
+			lbl = key + "," + lbl
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, lbl, cum); err != nil {
+			return err
+		}
+	}
+	brace := ""
+	if key != "" {
+		brace = "{" + key + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, brace, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, brace, h.N())
+	return err
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	LE    string `json:"le"` // upper bound, "+Inf" for the overflow bucket
+	Count int64  `json:"count"`
+}
+
+// Metric is one series' state in a JSON snapshot. Value is set for
+// counters and gauges; the distribution fields for histograms.
+type Metric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	Value *float64 `json:"value,omitempty"`
+
+	Count   *int64   `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Mean    *float64 `json:"mean,omitempty"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
+	P50     *float64 `json:"p50,omitempty"`
+	P90     *float64 `json:"p90,omitempty"`
+	P99     *float64 `json:"p99,omitempty"`
+	P999    *float64 `json:"p999,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every registered series' current state, families and
+// series in registration order.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Metric
+	for _, name := range r.order {
+		f := r.fams[name]
+		for _, key := range f.order {
+			s := f.series[key]
+			m := Metric{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				m.Labels = map[string]string{}
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			if f.kind != KindHistogram {
+				v := s.value()
+				m.Value = &v
+			} else {
+				h := s.h
+				n := h.N()
+				sum, mean := h.Sum(), h.Mean()
+				min, max := h.Min(), h.Max()
+				p50, p90, p99, p999 := h.P50(), h.P90(), h.P99(), h.P999()
+				m.Count, m.Sum, m.Mean = &n, &sum, &mean
+				m.Min, m.Max = &min, &max
+				m.P50, m.P90, m.P99, m.P999 = &p50, &p90, &p99, &p999
+				counts := h.BucketCounts()
+				bounds := h.Bounds()
+				cum := int64(0)
+				for i, c := range counts {
+					cum += c
+					le := "+Inf"
+					if i < len(bounds) {
+						le = formatFloat(bounds[i])
+					}
+					m.Buckets = append(m.Buckets, Bucket{LE: le, Count: cum})
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// jsonDoc is the envelope WriteJSON emits.
+type jsonDoc struct {
+	TimeUs  *float64 `json:"t_us,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// WriteJSON encodes a snapshot of the registry as one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(jsonDoc{Metrics: r.Snapshot()})
+}
+
+// WriteJSONAt is WriteJSON stamped with a timestamp in microseconds —
+// the simulated clock for periodic clicsim dumps.
+func (r *Registry) WriteJSONAt(w io.Writer, tUs float64) error {
+	return json.NewEncoder(w).Encode(jsonDoc{TimeUs: &tUs, Metrics: r.Snapshot()})
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP: the Prometheus text format at
+// the handler's path, or the JSON snapshot when the request asks for it
+// with ?format=json or an Accept: application/json header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w) //nolint:errcheck // client went away
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck
+	})
+}
+
+// PublishExpvar exposes the registry's JSON snapshot as an expvar
+// variable, so it appears under /debug/vars next to the Go runtime's
+// built-ins. expvar panics on duplicate names, so call once per name.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Mux returns an http.ServeMux with the conventional endpoints: /metrics
+// (Prometheus text, JSON on ?format=json), /metrics.json, and /debug/vars
+// via the expvar handler.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w) //nolint:errcheck
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

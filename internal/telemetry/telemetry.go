@@ -1,0 +1,251 @@
+// Package telemetry is the unified metrics layer shared by the simulated
+// stack (kernel, nic, ether, clic) and the real-goroutine live stack: a
+// registry of named, label-tagged Counters, Gauges and fixed-bucket
+// latency Histograms, with Prometheus text and JSON snapshot encoders and
+// an HTTP /metrics + expvar surface.
+//
+// All metric primitives use atomic operations, so the same types are safe
+// under the single-threaded simulation engine (where atomics cost nothing
+// that matters) and across the real goroutines of internal/live (where
+// plain ints would be a data race under -race). Counter and Gauge zero
+// values are ready to use, so subsystem stats structs can embed them by
+// value and attach them to a registry afterwards with RegisterCounter /
+// RegisterGauge — existing accessors like Stats.MsgsSent.Value() keep
+// working unchanged.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric tag (node, nic, link, sendpath, ...).
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the metric families a registry holds.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing event counter. The zero value is
+// ready to use; increments are atomic.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Addn adds n to the counter (same method name as sim.Counter, so the
+// two are drop-in interchangeable).
+func (c *Counter) Addn(n int64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is an instantaneous level (queue depth, buffer occupancy). The
+// zero value is ready to use; updates are atomic.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// series is one labelled instance within a metric family.
+type series struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family groups every labelled series of one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	series  map[string]*series
+	order   []string // label-key insertion order, for stable export
+}
+
+// Registry holds metric families by name. One registry spans a whole
+// cluster (simulated) or node set (live); instances are distinguished by
+// labels, typically node=.../nic=....
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// sortLabels returns a copy of labels sorted by key.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// labelKey encodes sorted labels as the series map key and the Prometheus
+// label body: k1="v1",k2="v2".
+func labelKey(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// familyFor returns the family for name, creating it with the given kind
+// and help on first use. Re-registering a name under a different kind is
+// a programming error and panics, like prometheus.MustRegister.
+func (r *Registry) familyFor(name, help string, kind Kind) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+// addSeries inserts a labelled series into a family, panicking on a
+// duplicate (same name and label set registered twice).
+func (f *family) addSeries(key string, s *series) {
+	if _, dup := f.series[key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate registration of %s{%s}", f.name, key))
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+}
+
+// RegisterCounter attaches an existing Counter (typically a stats-struct
+// field) to the registry under name and labels.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	r.familyFor(name, help, KindCounter).addSeries(labelKey(ls), &series{labels: ls, c: c})
+}
+
+// RegisterGauge attaches an existing Gauge to the registry.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	r.familyFor(name, help, KindGauge).addSeries(labelKey(ls), &series{labels: ls, g: g})
+}
+
+// RegisterHistogram attaches an existing Histogram to the registry.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	r.familyFor(name, help, KindHistogram).addSeries(labelKey(ls), &series{labels: ls, h: h})
+}
+
+// Counter returns the counter registered under name and labels, creating
+// and registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	f := r.familyFor(name, help, KindCounter)
+	key := labelKey(ls)
+	if s, ok := f.series[key]; ok {
+		return s.c
+	}
+	c := &Counter{}
+	f.addSeries(key, &series{labels: ls, c: c})
+	return c
+}
+
+// Gauge returns the gauge registered under name and labels, creating and
+// registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	f := r.familyFor(name, help, KindGauge)
+	key := labelKey(ls)
+	if s, ok := f.series[key]; ok {
+		return s.g
+	}
+	g := &Gauge{}
+	f.addSeries(key, &series{labels: ls, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at export time
+// (occupancy ratios, utilization). fn must be safe to call from the
+// exporting context: single-threaded simulation callbacks, or any
+// goroutine for the live stack.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	r.familyFor(name, help, KindGauge).addSeries(labelKey(ls), &series{labels: ls, gf: fn})
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket upper bounds on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := sortLabels(labels)
+	f := r.familyFor(name, help, KindHistogram)
+	key := labelKey(ls)
+	if s, ok := f.series[key]; ok {
+		return s.h
+	}
+	h := NewHistogram(buckets)
+	f.addSeries(key, &series{labels: ls, h: h})
+	return h
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want one containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	r.RegisterCounter("x_total", "", &a, L("node", "0"))
+	mustPanic(t, "duplicate registration", func() {
+		r.RegisterCounter("x_total", "", &b, L("node", "0"))
+	})
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	mustPanic(t, "re-registered", func() { r.Gauge("x_total", "") })
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("y_total", "", L("node", "0"), L("nic", "eth0"))
+	b := r.Counter("y_total", "", L("nic", "eth0"), L("node", "0"))
+	if a != b {
+		t.Error("same label set in different order produced distinct series")
+	}
+	// ...and a different value is a different series.
+	if c := r.Counter("y_total", "", L("nic", "eth1"), L("node", "0")); c == a {
+		t.Error("distinct label set shared a series")
+	}
+	mustPanic(t, "duplicate registration", func() {
+		var dup Counter
+		r.RegisterCounter("y_total", "", &dup, L("nic", "eth0"), L("node", "0"))
+	})
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// Prometheus buckets are le= (inclusive upper bound): an observation
+	// exactly on a bound counts in that bucket, just above in the next.
+	h.Observe(10)
+	h.Observe(10.1)
+	h.Observe(30)
+	h.Observe(31) // +Inf overflow
+	want := []int64{1, 1, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.N() != 4 || h.Min() != 10 || h.Max() != 31 {
+		t.Errorf("n=%d min=%g max=%g, want 4/10/31", h.N(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets())
+	// 100 observations spread evenly through the 10-20 µs bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(10_000 + float64(i)*100)
+	}
+	if p50 := h.P50(); p50 < 12_000 || p50 > 18_000 {
+		t.Errorf("p50 = %g, want ~15000", p50)
+	}
+	if p99 := h.P99(); p99 < h.P50() || p99 > h.Max() {
+		t.Errorf("p99 = %g outside [p50=%g, max=%g]", p99, h.P50(), h.Max())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q=1 gave %g, want max %g", h.Quantile(1), h.Max())
+	}
+	empty := NewHistogram([]float64{1})
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic(t, "at least one bucket", func() { NewHistogram(nil) })
+	mustPanic(t, "ascending", func() { NewHistogram([]float64{2, 1}) })
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "frames on the wire", L("dir", "tx")).Addn(3)
+	r.Counter("frames_total", "frames on the wire", L("dir", "rx")).Addn(5)
+	r.Gauge("ring_used", "descriptors in use").Set(2)
+	r.GaugeFunc("util", "link utilization", func() float64 { return 0.25 })
+	h := r.Histogram("lat_ns", "latency", []float64{1000, 2000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(9999)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP frames_total frames on the wire
+# TYPE frames_total counter
+frames_total{dir="tx"} 3
+frames_total{dir="rx"} 5
+# HELP ring_used descriptors in use
+# TYPE ring_used gauge
+ring_used 2
+# HELP util link utilization
+# TYPE util gauge
+util 0.25
+# HELP lat_ns latency
+# TYPE lat_ns histogram
+lat_ns_bucket{le="1000"} 1
+lat_ns_bucket{le="2000"} 2
+lat_ns_bucket{le="+Inf"} 3
+lat_ns_sum 11999
+lat_ns_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", L("node", "1")).Inc()
+	h := r.Histogram("h_ns", "", []float64{100})
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WriteJSONAt(&b, 123.5); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TimeUs  float64 `json:"t_us"`
+		Metrics []struct {
+			Name   string            `json:"name"`
+			Kind   string            `json:"kind"`
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+			Count  *int64            `json:"count"`
+			P50    *float64          `json:"p50"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.TimeUs != 123.5 {
+		t.Errorf("t_us = %g, want 123.5", doc.TimeUs)
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(doc.Metrics))
+	}
+	c := doc.Metrics[0]
+	if c.Name != "c_total" || c.Kind != "counter" || c.Labels["node"] != "1" ||
+		c.Value == nil || *c.Value != 1 {
+		t.Errorf("counter snapshot wrong: %+v", c)
+	}
+	hs := doc.Metrics[1]
+	if hs.Kind != "histogram" || hs.Count == nil || *hs.Count != 1 || hs.P50 == nil {
+		t.Errorf("histogram snapshot wrong: %+v", hs)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Inc()
+	mux := r.Mux()
+
+	get := func(path, accept string) (string, string) {
+		req := httptest.NewRequest("GET", path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		return w.Body.String(), w.Header().Get("Content-Type")
+	}
+
+	if body, ct := get("/metrics", ""); !strings.Contains(body, "c_total 1") ||
+		!strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics gave %q (%s)", body, ct)
+	}
+	if body, ct := get("/metrics?format=json", ""); !strings.Contains(body, `"c_total"`) ||
+		ct != "application/json" {
+		t.Errorf("/metrics?format=json gave %q (%s)", body, ct)
+	}
+	if body, _ := get("/metrics", "application/json"); !strings.Contains(body, `"metrics"`) {
+		t.Errorf("Accept: application/json gave %q", body)
+	}
+	if body, ct := get("/metrics.json", ""); !strings.Contains(body, `"c_total"`) ||
+		ct != "application/json" {
+		t.Errorf("/metrics.json gave %q (%s)", body, ct)
+	}
+}

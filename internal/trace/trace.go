@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -50,6 +52,41 @@ func (r *Rec) Between(a, b string) (int64, bool) {
 		return 0, false
 	}
 	return tb - ta, true
+}
+
+// jsonStage is one checkpoint in the machine-readable rendering.
+type jsonStage struct {
+	Stage   string  `json:"stage"`
+	TUs     float64 `json:"t_us"`
+	DeltaUs float64 `json:"delta_us"`
+}
+
+// jsonRec is the machine-readable rendering of a Rec.
+type jsonRec struct {
+	Label  string      `json:"label"`
+	Stages []jsonStage `json:"stages"`
+}
+
+// WriteJSON encodes the record as JSON — the same stage/absolute/delta
+// rows as Table, in microseconds, for tooling that plots Fig. 7 timings.
+func (r *Rec) WriteJSON(w io.Writer) error {
+	doc := jsonRec{Label: r.Label}
+	prev := int64(0)
+	for i, s := range r.Stages {
+		d := s.At - prev
+		if i == 0 {
+			d = 0
+		}
+		doc.Stages = append(doc.Stages, jsonStage{
+			Stage:   s.Name,
+			TUs:     float64(s.At) / 1000,
+			DeltaUs: float64(d) / 1000,
+		})
+		prev = s.At
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // Table renders the record as aligned rows of stage, absolute time and

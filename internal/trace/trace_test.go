@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -43,5 +44,40 @@ func TestTableRendersStagesInOrder(t *testing.T) {
 	}
 	if !strings.Contains(tab, "0.65") {
 		t.Errorf("table missing µs conversion:\n%s", tab)
+	}
+}
+
+func TestWriteJSONMatchesTable(t *testing.T) {
+	r := &Rec{Label: "CLIC 1400 B"}
+	r.Mark("syscall", 650)
+	r.Mark("module", 1350)
+	r.Mark("driver", 5350)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Label  string `json:"label"`
+		Stages []struct {
+			Stage   string  `json:"stage"`
+			TUs     float64 `json:"t_us"`
+			DeltaUs float64 `json:"delta_us"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Label != "CLIC 1400 B" {
+		t.Errorf("label = %q", doc.Label)
+	}
+	if len(doc.Stages) != 3 {
+		t.Fatalf("%d stages, want 3", len(doc.Stages))
+	}
+	if s := doc.Stages[0]; s.Stage != "syscall" || s.TUs != 0.65 || s.DeltaUs != 0 {
+		t.Errorf("stage 0 = %+v, want syscall at 0.65 µs with zero delta", s)
+	}
+	if s := doc.Stages[2]; s.Stage != "driver" || s.TUs != 5.35 || s.DeltaUs != 4 {
+		t.Errorf("stage 2 = %+v, want driver at 5.35 µs, delta 4 µs", s)
 	}
 }
