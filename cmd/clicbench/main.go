@@ -12,6 +12,7 @@
 //	paths       Fig. 1 send-path ablation                     (E8)
 //	frag        NIC fragmentation offload                     (E9)
 //	bonding     channel bonding + intra-node                  (E10)
+//	loss        injected-loss sweep: recovery cost            (E12)
 //	all         everything above
 //
 // Usage:
@@ -44,12 +45,13 @@ var experiments = map[string]func(*model.Params) *bench.Report{
 	"collectives": bench.Collectives,
 	"jitter":      bench.Jitter,
 	"latency":     bench.LatencyDistribution,
+	"loss":        bench.LossSweep,
 }
 
 var order = []string{
 	"fig4", "fig5", "fig6", "fig7", "headline",
 	"compare", "interrupts", "paths", "frag", "bonding", "multiprog",
-	"collectives", "jitter", "latency",
+	"collectives", "jitter", "latency", "loss",
 }
 
 func main() {

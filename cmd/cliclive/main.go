@@ -25,6 +25,9 @@ import (
 func main() {
 	var (
 		loss        = flag.Float64("loss", 0.2, "injected datagram loss rate [0,1)")
+		dup         = flag.Float64("dup", 0, "injected datagram duplication rate [0,1)")
+		reorder     = flag.Float64("reorder", 0, "injected datagram reordering rate [0,1)")
+		maxRetries  = flag.Int("max-retries", 8, "retransmissions before a peer is declared dead (0 = unlimited)")
 		size        = flag.Int("size", 100_000, "message size in bytes")
 		count       = flag.Int("count", 20, "messages to transfer")
 		mtu         = flag.Int("mtu", 1500, "datagram MTU")
@@ -52,6 +55,9 @@ func main() {
 	cfg := live.DefaultConfig()
 	cfg.MTU = *mtu
 	cfg.LossRate = *loss
+	cfg.DupRate = *dup
+	cfg.ReorderRate = *reorder
+	cfg.MaxRetries = *maxRetries
 	cfg.Seed = *seed
 	cfg.RetransmitTimeout = 10 * time.Millisecond
 	cfg.Telemetry = reg

@@ -40,6 +40,10 @@ func main() {
 		pingpong   = flag.Bool("pingpong", false, "measure ping-pong latency instead of streaming")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		loss       = flag.Float64("loss", 0, "injected frame loss rate [0,1)")
+		dup        = flag.Float64("dup", 0, "injected frame duplication rate [0,1)")
+		reorder    = flag.Float64("reorder", 0, "injected frame reordering rate [0,1)")
+		corrupt    = flag.Float64("corrupt", 0, "injected frame corruption (FCS-discard) rate [0,1)")
+		maxRetries = flag.Int("max-retries", 0, "CLIC retransmissions before the channel fails (0 = unlimited)")
 		pcapPath   = flag.String("pcap", "", "write the switch's traffic to this libpcap file")
 		tracePath  = flag.String("chrometrace", "", "write resource-occupancy timeline as Chrome Trace JSON")
 		metrics    = flag.String("metrics", "", "dump final telemetry snapshot: prom or json")
@@ -67,6 +71,10 @@ func main() {
 	params.NIC.MTU = *mtu
 	params.NIC.CoalesceUsecs = *coalesceUs
 	params.Link.LossRate = *loss
+	params.Link.DupRate = *dup
+	params.Link.ReorderRate = *reorder
+	params.Link.CorruptRate = *corrupt
+	params.CLIC.MaxRetries = *maxRetries
 
 	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params})
 

@@ -16,18 +16,24 @@ import (
 // message) and stronger than Send returning (fragments merely posted).
 type SendHandle struct {
 	done bool
+	err  error
 	sig  *sim.Signal
 }
 
-// Wait blocks until the send completes.
-func (h *SendHandle) Wait(p *sim.Proc) {
+// Wait blocks until the send completes and returns its outcome: nil, or
+// ErrChannelFailed when the channel died before full acknowledgement.
+func (h *SendHandle) Wait(p *sim.Proc) error {
 	for !h.done {
 		h.sig.Wait(p)
 	}
+	return h.err
 }
 
 // Done reports completion without blocking.
 func (h *SendHandle) Done() bool { return h.done }
+
+// Err returns the send's outcome once Done; nil while in progress.
+func (h *SendHandle) Err() error { return h.err }
 
 type asyncSend struct {
 	dst    NodeID
@@ -58,11 +64,16 @@ func (ep *Endpoint) SendAsync(p *sim.Proc, dst NodeID, port uint16, data []byte)
 func (ep *Endpoint) asyncWorker(p *sim.Proc) {
 	for {
 		as := ep.asyncQ.Get(p)
-		lastSeq := ep.sendMessage(p, as.dst, as.port, proto.TypeData, 0, as.data)
+		lastSeq, err := ep.sendMessage(p, as.dst, as.port, proto.TypeData, 0, as.data)
 		tc := ep.txChanFor(as.dst)
-		for !tc.ackedThrough(lastSeq) {
+		for err == nil && !tc.ackedThrough(lastSeq) {
+			if tc.failed {
+				err = ErrChannelFailed
+				break
+			}
 			tc.slotFree.Wait(p)
 		}
+		as.handle.err = err
 		as.handle.done = true
 		as.handle.sig.Broadcast()
 	}

@@ -7,19 +7,29 @@ import (
 	"repro/internal/nic"
 	"repro/internal/proto"
 	"repro/internal/relwin"
+	"repro/internal/rto"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // txChan is the transmit side of the reliable channel to one destination
-// node: a sliding window of unacknowledged frames plus a retransmission
-// timer (go-back-N) and NACK-triggered fast retransmit.
+// node: a sliding window of unacknowledged frames plus an adaptive
+// retransmission timer (go-back-N with SRTT-tracking backoff, see
+// internal/rto) and NACK-triggered fast retransmit.
 type txChan struct {
 	ep       *Endpoint
 	dst      NodeID
 	win      *relwin.Sender[*ether.Frame]
 	slotFree *sim.Signal
 	rto      *sim.Event
+	ctrl     *rto.Controller
 	lastGoBN sim.Time // last go-back-N, to debounce NACK storms
+	failed   bool     // retry budget exhausted; senders get ErrChannelFailed
+
+	// sampleFloor is the Karn's-rule watermark: sequences below it were
+	// retransmitted at least once, so their ack latencies are ambiguous
+	// and must not feed the RTT estimator.
+	sampleFloor relwin.Seq
 
 	// sentAt remembers each in-flight frame's first push time, feeding
 	// the clic_ack_latency_ns histogram when the cumulative ack lands.
@@ -34,74 +44,133 @@ func (ep *Endpoint) txChanFor(dst NodeID) *txChan {
 			dst:      dst,
 			win:      relwin.NewSender[*ether.Frame](ep.M.CLIC.Window),
 			slotFree: sim.NewSignal(fmt.Sprintf("clic%d->%d:win", ep.Node, dst)),
-			sentAt:   map[relwin.Seq]sim.Time{},
+			ctrl: rto.New(rto.Config{
+				Initial:    int64(ep.M.CLIC.RetransmitTimeout),
+				Min:        int64(ep.M.CLIC.RTOMin),
+				Max:        int64(ep.M.CLIC.RTOMax),
+				MaxRetries: ep.M.CLIC.MaxRetries,
+			}),
+			sentAt: map[relwin.Seq]sim.Time{},
 		}
+		labels := append(append([]telemetry.Label{}, ep.labels...),
+			telemetry.L("peer", fmt.Sprint(dst)))
+		ep.K.Host.Tel.GaugeFunc("clic_rto_ns",
+			"current adaptive retransmission timeout for this channel",
+			func() float64 { return float64(tc.ctrl.RTO()) }, labels...)
 		ep.tx[dst] = tc
 	}
 	return tc
 }
 
 // observeAcked records push→ack latency for every frame the cumulative
-// acknowledgement cum covers and forgets their push times.
+// acknowledgement cum covers and forgets their push times. Frames never
+// retransmitted (at or above the Karn watermark) also feed the channel's
+// RTT estimator.
 func (tc *txChan) observeAcked(cum relwin.Seq) {
 	now := tc.ep.K.Host.Eng.Now()
 	for seq, at := range tc.sentAt {
 		if relwin.Before(seq, cum) {
 			tc.ep.S.AckLatency.Observe(float64(now - at))
+			if !relwin.Before(seq, tc.sampleFloor) {
+				tc.ctrl.Observe(int64(now - at))
+			}
 			delete(tc.sentAt, seq)
 		}
 	}
 }
 
 // armRTO starts the retransmission timer if frames are in flight and it is
-// not already running.
+// not already running, at the controller's current adaptive timeout.
 func (tc *txChan) armRTO() {
-	if tc.rto != nil || tc.win.InFlight() == 0 {
+	if tc.rto != nil || tc.failed || tc.win.InFlight() == 0 {
 		return
 	}
 	eng := tc.ep.K.Host.Eng
-	tc.rto = eng.After(tc.ep.M.CLIC.RetransmitTimeout,
+	tc.rto = eng.After(sim.Time(tc.ctrl.RTO()),
 		fmt.Sprintf("clic%d->%d:rto", tc.ep.Node, tc.dst), tc.fireRTO)
 }
 
 func (tc *txChan) fireRTO() {
 	tc.rto = nil
+	if tc.win.InFlight() == 0 {
+		return
+	}
+	if tc.ctrl.OnTimeout() {
+		tc.fail()
+		return
+	}
+	tc.ep.S.RTOBackoffs.Inc()
 	tc.goBackN()
-	tc.armRTO()
+	tc.armRTO() // the controller's RTO has doubled
+}
+
+// fail marks the channel dead after MaxRetries consecutive timeouts:
+// blocked senders wake and return ErrChannelFailed, confirmation waiters
+// wake empty-handed, and the stale in-flight bookkeeping is dropped.
+func (tc *txChan) fail() {
+	tc.failed = true
+	tc.ep.S.ChannelFailures.Inc()
+	if tc.rto != nil {
+		tc.rto.Cancel()
+		tc.rto = nil
+	}
+	tc.sentAt = map[relwin.Seq]sim.Time{}
+	tc.slotFree.Broadcast()
+	for key, sig := range tc.ep.confirmWait {
+		if key.node == tc.dst {
+			delete(tc.ep.confirmWait, key)
+			sig.Notify()
+		}
+	}
 }
 
 // goBackN reposts the whole unacknowledged tail through the
 // deferred-transmit worker, which charges the driver costs.
 func (tc *txChan) goBackN() {
+	// Unacked's slice aliases the window's internal state and must not be
+	// retained across Push/Ack; it is consumed within this event, before
+	// any sender process can run.
 	unacked, _ := tc.win.Unacked()
 	if len(unacked) == 0 {
 		return
 	}
 	tc.lastGoBN = tc.ep.K.Host.Eng.Now()
+	// Everything at or below the current tail is now retransmitted at
+	// least once: acks for it must not feed the RTT estimator (Karn).
+	tc.sampleFloor = tc.win.NextSeq()
 	for _, f := range unacked {
 		tc.ep.S.Retransmits.Inc()
-		n, _ := tc.ep.pickNIC()
+		// Repost through the adapter the frame was composed for — its Src
+		// MAC is already in the frame, and on bonded endpoints pickNIC()
+		// could repost it through a different adapter, skewing per-NIC
+		// stats and misleading any MAC-learning switch.
+		n := tc.ep.nicByMAC(f.Src)
 		tc.ep.deferredQ.Put(&deferredTx{n: n, req: &nic.TxReq{Frame: f, Mode: nic.TxDMA}})
 	}
 }
 
-// onNack handles a receiver's gap report: resend immediately unless a
-// go-back-N just happened (the NACKs the in-flight tail provokes would
-// otherwise multiply the retransmissions).
+// onNack handles a receiver's gap report. The cumulative part of the NACK
+// is processed unconditionally — freed window slots must wake blocked
+// senders and re-arm the timer no matter what — while the go-back-N it
+// requests is debounced: right after a recovery the in-flight tail
+// provokes a NACK per frame, and honouring each would multiply the
+// retransmissions.
 func (tc *txChan) onNack(cum relwin.Seq) {
-	tc.win.Ack(cum) // a NACK still acknowledges everything before the gap
-	tc.observeAcked(cum)
-	now := tc.ep.K.Host.Eng.Now()
-	if now-tc.lastGoBN < 500*sim.Microsecond {
-		return
+	if tc.win.Ack(cum) > 0 { // a NACK still acknowledges everything before the gap
+		tc.observeAcked(cum)
+		tc.ctrl.OnProgress()
+		if tc.rto != nil {
+			tc.rto.Cancel()
+			tc.rto = nil
+		}
+		tc.slotFree.Broadcast()
 	}
-	tc.goBackN()
-	if tc.rto != nil {
-		tc.rto.Cancel()
-		tc.rto = nil
+	now := tc.ep.K.Host.Eng.Now()
+	debounce := tc.lastGoBN != 0 && now-tc.lastGoBN < 500*sim.Microsecond
+	if !debounce {
+		tc.goBackN()
 	}
 	tc.armRTO()
-	tc.slotFree.Broadcast()
 }
 
 // onAck processes a cumulative acknowledgement arriving from dst.
@@ -110,6 +179,7 @@ func (tc *txChan) onAck(cum relwin.Seq) {
 		return
 	}
 	tc.observeAcked(cum)
+	tc.ctrl.OnProgress()
 	if tc.rto != nil {
 		tc.rto.Cancel()
 		tc.rto = nil

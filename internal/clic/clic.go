@@ -118,6 +118,12 @@ type Stats struct {
 	Deferred    telemetry.Counter
 	SysBufDrops telemetry.Counter
 
+	// RTOBackoffs counts timeout-driven retransmission rounds — each one
+	// doubles the channel's adaptive RTO. ChannelFailures counts channels
+	// declared dead after MaxRetries consecutive timeouts.
+	RTOBackoffs     telemetry.Counter
+	ChannelFailures telemetry.Counter
+
 	// AckLatency is the distribution of data-frame push → cumulative-ack
 	// times, the protocol-level view behind Fig. 7's per-stage table.
 	AckLatency *telemetry.Histogram
@@ -165,6 +171,10 @@ type Endpoint struct {
 
 	tx map[NodeID]*txChan
 	rx map[NodeID]*rxChan
+
+	// labels is the endpoint's metric label set, extended with a peer
+	// label for the per-channel clic_rto_ns gauge.
+	labels []telemetry.Label
 
 	ports   map[uint16]*port
 	regions map[uint16]*Region
@@ -238,6 +248,7 @@ func New(k *kernel.Kernel, node NodeID, nics []*nic.NIC, opt Options,
 		telemetry.L("sendpath", pathLabel(opt.SendPath)),
 		telemetry.L("rxmode", rxLabel(opt.RxMode)),
 	}
+	ep.labels = labels
 	tel := k.Host.Tel
 	tel.RegisterCounter("clic_msgs_sent_total", "messages sent", &ep.S.MsgsSent, labels...)
 	tel.RegisterCounter("clic_msgs_recv_total", "messages delivered", &ep.S.MsgsRecv, labels...)
@@ -248,6 +259,8 @@ func New(k *kernel.Kernel, node NodeID, nics []*nic.NIC, opt Options,
 	tel.RegisterCounter("clic_retransmits_total", "go-back-N frame retransmissions", &ep.S.Retransmits, labels...)
 	tel.RegisterCounter("clic_deferred_total", "sends buffered in system memory on a full transmit ring", &ep.S.Deferred, labels...)
 	tel.RegisterCounter("clic_sysbuf_drops_total", "frames refused by receiver-side flow control", &ep.S.SysBufDrops, labels...)
+	tel.RegisterCounter("clic_rto_backoffs_total", "retransmission-timeout expiries (each doubles the adaptive RTO)", &ep.S.RTOBackoffs, labels...)
+	tel.RegisterCounter("clic_channel_failures_total", "channels declared dead after MaxRetries consecutive timeouts", &ep.S.ChannelFailures, labels...)
 	tel.GaugeFunc("clic_sysbuf_bytes", "system-memory bytes holding unclaimed messages",
 		func() float64 { return float64(ep.sysBufUsed) }, labels...)
 	ep.S.AckLatency = tel.Histogram("clic_ack_latency_ns",
@@ -288,4 +301,23 @@ func (ep *Endpoint) pickNIC() (*nic.NIC, int) {
 	idx := ep.rrNext % len(ep.nics)
 	ep.rrNext++
 	return ep.nics[idx], idx
+}
+
+// nicByMAC returns the adapter owning the given source MAC, so a
+// retransmission leaves through the same adapter the frame was composed
+// for. Falls back to the first adapter for a MAC the endpoint does not
+// own (cannot happen for frames it built itself).
+func (ep *Endpoint) nicByMAC(mac ether.MAC) *nic.NIC {
+	for _, n := range ep.nics {
+		if n.MAC == mac {
+			return n
+		}
+	}
+	return ep.nics[0]
+}
+
+// ChannelRTO returns the current adaptive retransmission timeout of the
+// channel to dst (the clic_rto_ns gauge's value, for tests and tools).
+func (ep *Endpoint) ChannelRTO(dst NodeID) sim.Time {
+	return sim.Time(ep.txChanFor(dst).ctrl.RTO())
 }

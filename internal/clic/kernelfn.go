@@ -55,8 +55,11 @@ func (ep *Endpoint) CallKernelFn(p *sim.Proc, dst NodeID, id uint16, args []byte
 		// Local invocation: run the handler directly in kernel context.
 		ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend+ep.M.CLIC.IntraNodeLatency, sim.PriKernel)
 		ep.handleKernelFn(p, sim.PriKernel, &message{Src: ep.Node, Type: proto.TypeKernelFn, Data: payload})
-	} else {
-		ep.sendMessage(p, dst, 0, proto.TypeKernelFn, 0, payload)
+	} else if _, err := ep.sendMessage(p, dst, 0, proto.TypeKernelFn, 0, payload); err != nil {
+		// Dead channel: the reply can never come; give up empty-handed.
+		delete(ep.kfnWait, callID)
+		ep.K.SyscallExit(p)
+		return nil
 	}
 	for !call.done {
 		call.sig.Wait(p)
@@ -126,6 +129,8 @@ type kfnOut struct {
 func (ep *Endpoint) kfnReplyWorker(p *sim.Proc) {
 	for {
 		out := ep.kfnReplyQ.Get(p)
-		ep.sendMessage(p, out.dst, 0, proto.TypeKernelFn, 0, out.payload)
+		// A dead channel loses the reply; the caller's channel failure
+		// surfaces the condition on its own side.
+		ep.sendMessage(p, out.dst, 0, proto.TypeKernelFn, 0, out.payload) //nolint:errcheck
 	}
 }

@@ -60,8 +60,9 @@ func (r *Region) Wait(p *sim.Proc) {
 const remoteWritePrefix = 8
 
 // RemoteWrite reliably writes data into dst's region on port at the given
-// byte offset, without the receiver issuing any receive call.
-func (ep *Endpoint) RemoteWrite(p *sim.Proc, dst NodeID, port uint16, offset int, data []byte) {
+// byte offset, without the receiver issuing any receive call. It returns
+// ErrChannelFailed if the channel to dst is dead.
+func (ep *Endpoint) RemoteWrite(p *sim.Proc, dst NodeID, port uint16, offset int, data []byte) error {
 	payload := make([]byte, remoteWritePrefix, remoteWritePrefix+len(data))
 	binary.BigEndian.PutUint64(payload, uint64(offset))
 	payload = append(payload, data...)
@@ -72,11 +73,12 @@ func (ep *Endpoint) RemoteWrite(p *sim.Proc, dst NodeID, port uint16, offset int
 		msg := &message{Src: ep.Node, Port: port, Type: proto.TypeRemoteWrite, Data: payload}
 		ep.deliverRemoteWrite(p, sim.PriKernel, msg, nil)
 		ep.K.SyscallExit(p)
-		return
+		return nil
 	}
 	ep.K.SyscallEnter(p)
-	ep.sendMessage(p, dst, port, proto.TypeRemoteWrite, 0, payload)
+	_, err := ep.sendMessage(p, dst, port, proto.TypeRemoteWrite, 0, payload)
 	ep.K.SyscallExit(p)
+	return err
 }
 
 // deliverRemoteWrite lands a completed remote-write message in its region.

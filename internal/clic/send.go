@@ -1,6 +1,8 @@
 package clic
 
 import (
+	"errors"
+
 	"repro/internal/ether"
 	"repro/internal/nic"
 	"repro/internal/proto"
@@ -8,35 +10,52 @@ import (
 	"repro/internal/sim"
 )
 
+// ErrChannelFailed reports that the reliable channel to the destination
+// exhausted its retransmission budget (CLIC.MaxRetries consecutive
+// timeouts with no acknowledgement progress) and was declared dead.
+var ErrChannelFailed = errors.New("clic: channel failed after max retries")
+
 // Send transmits data to (dst, port) reliably and asynchronously: it
 // returns once every fragment has been handed to the driver (or buffered
 // in system memory when the transmit ring is full, §3.1). Delivery is
 // guaranteed by the window/ack/retransmit machinery; use SendConfirm to
-// block until the receiver has the message.
-func (ep *Endpoint) Send(p *sim.Proc, dst NodeID, port uint16, data []byte) {
+// block until the receiver has the message. With a bounded retry budget
+// (CLIC.MaxRetries > 0) it returns ErrChannelFailed once the channel to
+// dst is declared dead.
+func (ep *Endpoint) Send(p *sim.Proc, dst NodeID, port uint16, data []byte) error {
 	if dst == ep.Node {
 		ep.sendLocal(p, port, data)
-		return
+		return nil
 	}
 	ep.K.SyscallEnter(p)
-	ep.sendMessage(p, dst, port, proto.TypeData, 0, data)
+	_, err := ep.sendMessage(p, dst, port, proto.TypeData, 0, data)
 	ep.K.SyscallExit(p)
+	return err
 }
 
 // SendConfirm transmits data and blocks until the receiver's CLIC_MODULE
 // returns a confirmation-of-reception packet ("primitives to send messages
-// with confirmation of reception", §5).
-func (ep *Endpoint) SendConfirm(p *sim.Proc, dst NodeID, port uint16, data []byte) {
+// with confirmation of reception", §5). It returns ErrChannelFailed if
+// the channel dies before the confirmation arrives.
+func (ep *Endpoint) SendConfirm(p *sim.Proc, dst NodeID, port uint16, data []byte) error {
 	if dst == ep.Node {
 		ep.sendLocal(p, port, data)
-		return
+		return nil
 	}
 	ep.K.SyscallEnter(p)
-	lastSeq := ep.sendMessage(p, dst, port, proto.TypeData, proto.FlagConfirm, data)
+	lastSeq, err := ep.sendMessage(p, dst, port, proto.TypeData, proto.FlagConfirm, data)
+	if err != nil {
+		ep.K.SyscallExit(p)
+		return err
+	}
 	sig := sim.NewSignal("clic:confirm")
 	ep.confirmWait[confirmKey{node: dst, seq: lastSeq}] = sig
 	sig.Wait(p)
 	ep.K.SyscallExit(p)
+	if ep.txChanFor(dst).failed {
+		return ErrChannelFailed
+	}
+	return nil
 }
 
 // sendLocal is the intra-node fast path (§5: CLIC "allows communication
@@ -56,11 +75,15 @@ func (ep *Endpoint) sendLocal(p *sim.Proc, port uint16, data []byte) {
 // sendMessage fragments data onto the reliable channel to dst and pushes
 // each fragment down the configured Fig. 1 path. It must run with the
 // syscall already entered. It returns the sequence number of the last
-// fragment (the key a confirmation will echo).
+// fragment (the key a confirmation will echo), or ErrChannelFailed when
+// the channel's retry budget is exhausted.
 func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
-	typ proto.PacketType, flags uint8, data []byte) relwin.Seq {
+	typ proto.PacketType, flags uint8, data []byte) (relwin.Seq, error) {
 
 	tc := ep.txChanFor(dst)
+	if tc.failed {
+		return 0, ErrChannelFailed
+	}
 	total := len(data)
 	off := 0
 	first := true
@@ -74,9 +97,17 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 		last := end == total
 
 		// Window flow control: block until a slot frees (finite
-		// buffering, §1). The wait happens inside the send syscall.
+		// buffering, §1). The wait happens inside the send syscall. A
+		// channel failure broadcasts slotFree, so blocked senders wake
+		// here and surface the error.
 		for !tc.win.CanSend() {
+			if tc.failed {
+				return 0, ErrChannelFailed
+			}
 			tc.slotFree.Wait(p)
+		}
+		if tc.failed {
+			return 0, ErrChannelFailed
 		}
 
 		// CLIC_MODULE composes the level-1 header and the 12-byte CLIC
@@ -135,7 +166,7 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 	}
 	ep.S.MsgsSent.Inc()
 	ep.S.BytesSent.Addn(int64(total))
-	return lastSeq
+	return lastSeq, nil
 }
 
 // chargeSendPath charges the data-movement cost of one fragment for the

@@ -107,7 +107,13 @@ func New(cfg Config) *Cluster {
 			linkName := fmt.Sprintf("link-n%d-%d", id, i)
 			link := ether.NewLink(eng, linkName,
 				c.Params.Link.BitsPerSec, c.Params.Link.PropagationDelay)
-			link.SetLossRate(c.Params.Link.LossRate)
+			link.SetFaults(ether.Faults{
+				Loss:        c.Params.Link.LossRate,
+				Dup:         c.Params.Link.DupRate,
+				Reorder:     c.Params.Link.ReorderRate,
+				ReorderSpan: c.Params.Link.ReorderSpan,
+				Corrupt:     c.Params.Link.CorruptRate,
+			})
 			link.Instrument(c.Tel, linkName)
 			adapter := nic.New(host, fmt.Sprintf("node%d:eth%d", id, i), mac, c.Params.NIC, link)
 			c.Switch.AddPort(link)

@@ -14,16 +14,50 @@ type Link struct {
 	ba  *dir
 }
 
+// Faults configures per-direction fault injection. All rates are
+// probabilities in [0,1), drawn from the engine's seeded random source, so
+// a fault pattern is reproducible from the simulation seed.
+type Faults struct {
+	// Loss drops the frame outright (cable/switch loss).
+	Loss float64
+
+	// Dup delivers the frame twice (switch transient, flooding relearn).
+	Dup float64
+
+	// Reorder adds a random extra delivery delay of up to ReorderSpan,
+	// letting frames sent later overtake this one.
+	Reorder float64
+
+	// ReorderSpan bounds the extra delay of a reordered frame; zero means
+	// the 50 µs default, comfortably wider than a frame's wire time.
+	ReorderSpan sim.Time
+
+	// Corrupt damages the frame's payload in flight. The receiving MAC's
+	// FCS check fails and discards it, so the protocol sees a loss — but
+	// the link counts it separately (ether_corrupts_total).
+	Corrupt float64
+}
+
+// defaultReorderSpan is the extra-delay bound when Faults.ReorderSpan is 0.
+const defaultReorderSpan = 50 * sim.Microsecond
+
 type dir struct {
 	eng    *sim.Engine
 	wire   *sim.Resource
 	bits   int64
 	prop   sim.Time
-	loss   float64
-	peer   Endpoint
-	frames telemetry.Counter
-	bytes  telemetry.Counter
-	drops  telemetry.Counter
+	faults Faults
+	// filter, when set, sees every frame after serialisation and before
+	// fault injection; returning true drops the frame. Tests use it both
+	// as a selective-drop hook and (returning false) as an observer.
+	filter   func(*Frame) bool
+	peer     Endpoint
+	frames   telemetry.Counter
+	bytes    telemetry.Counter
+	drops    telemetry.Counter
+	dups     telemetry.Counter
+	reorders telemetry.Counter
+	corrupts telemetry.Counter
 }
 
 // NewLink creates a link with the given line rate (bits/s) and propagation
@@ -63,13 +97,38 @@ func (d *dir) send(p *sim.Proc, f *Frame) {
 	if peer == nil {
 		panic("ether: link direction has no endpoint attached")
 	}
-	if d.loss > 0 && d.eng.Rand().Float64() < d.loss {
-		// Fault injection: the frame corrupts on the wire (its CRC would
-		// fail at the receiver) and vanishes.
+	if d.filter != nil && d.filter(f) {
 		d.drops.Inc()
 		return
 	}
-	p.Engine().After(d.prop, "deliver", func() { peer.DeliverFrame(f) })
+	rng := d.eng.Rand()
+	if d.faults.Corrupt > 0 && rng.Float64() < d.faults.Corrupt {
+		// The payload is damaged in flight; the receiving MAC's FCS check
+		// fails and the frame is silently discarded.
+		d.corrupts.Inc()
+		return
+	}
+	if d.faults.Loss > 0 && rng.Float64() < d.faults.Loss {
+		d.drops.Inc()
+		return
+	}
+	deliveries := 1
+	if d.faults.Dup > 0 && rng.Float64() < d.faults.Dup {
+		d.dups.Inc()
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		delay := d.prop
+		if d.faults.Reorder > 0 && rng.Float64() < d.faults.Reorder {
+			span := d.faults.ReorderSpan
+			if span <= 0 {
+				span = defaultReorderSpan
+			}
+			delay += sim.Time(rng.Int63n(int64(span))) + 1
+			d.reorders.Inc()
+		}
+		p.Engine().After(delay, "deliver", func() { peer.DeliverFrame(f) })
+	}
 }
 
 // Instrument registers the link's per-direction counters and a
@@ -85,6 +144,9 @@ func (l *Link) Instrument(reg *telemetry.Registry, name string) {
 		reg.RegisterCounter("ether_frames_total", "frames serialised onto this link direction", &dd.frames, labels...)
 		reg.RegisterCounter("ether_bytes_total", "wire bytes (preamble+header+payload+FCS+IFG) serialised", &dd.bytes, labels...)
 		reg.RegisterCounter("ether_drops_total", "frames lost to injected faults", &dd.drops, labels...)
+		reg.RegisterCounter("ether_dups_total", "frames delivered twice by injected duplication", &dd.dups, labels...)
+		reg.RegisterCounter("ether_reorders_total", "frames delayed by injected reordering", &dd.reorders, labels...)
+		reg.RegisterCounter("ether_corrupts_total", "frames discarded by the receiver's FCS after injected corruption", &dd.corrupts, labels...)
 		reg.GaugeFunc("ether_link_utilization", "fraction of simulated time the wire spent serialising",
 			func() float64 {
 				now := dd.eng.Now()
@@ -97,14 +159,41 @@ func (l *Link) Instrument(reg *telemetry.Registry, name string) {
 }
 
 // SetLossRate injects random frame loss on both directions, for fault
-// testing. Rate is a probability in [0,1).
+// testing. Rate is a probability in [0,1). It preserves any other faults
+// already configured.
 func (l *Link) SetLossRate(rate float64) {
-	l.ab.loss = rate
-	l.ba.loss = rate
+	l.ab.faults.Loss = rate
+	l.ba.faults.Loss = rate
 }
+
+// SetFaults configures the full fault-injection set (loss, duplication,
+// reordering, corruption) on both directions.
+func (l *Link) SetFaults(f Faults) {
+	l.ab.faults = f
+	l.ba.faults = f
+}
+
+// FilterFromA installs a hook over frames sent from the A side: it runs
+// after serialisation and before fault injection, and returning true drops
+// the frame. A hook that always returns false is a pure observer. Passing
+// nil removes the hook.
+func (l *Link) FilterFromA(fn func(*Frame) bool) { l.ab.filter = fn }
+
+// FilterFromB is FilterFromA for frames sent from the B side.
+func (l *Link) FilterFromB(fn func(*Frame) bool) { l.ba.filter = fn }
 
 // Drops reports frames lost to injected faults, both directions.
 func (l *Link) Drops() int64 { return l.ab.drops.Value() + l.ba.drops.Value() }
+
+// Dups reports frames duplicated by injection, both directions.
+func (l *Link) Dups() int64 { return l.ab.dups.Value() + l.ba.dups.Value() }
+
+// Reorders reports frames delayed by injected reordering, both directions.
+func (l *Link) Reorders() int64 { return l.ab.reorders.Value() + l.ba.reorders.Value() }
+
+// Corrupts reports frames discarded after injected corruption, both
+// directions.
+func (l *Link) Corrupts() int64 { return l.ab.corrupts.Value() + l.ba.corrupts.Value() }
 
 // FramesAB and FramesBA report per-direction frame counts (for tests).
 func (l *Link) FramesAB() int64 { return l.ab.frames.Value() }

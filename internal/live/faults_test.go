@@ -1,0 +1,85 @@
+package live_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/live"
+)
+
+// TestLiveSoakLossDupReorder drives the UDP stack through every injected
+// fault at once — loss, duplication and reordering — with an unlimited
+// retry budget: delivery must stay exact, in order and duplicate-free.
+// Run under -race this also shakes out locking in the deferred-write
+// reorder path and the RTO timer callbacks.
+func TestLiveSoakLossDupReorder(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.LossRate = 0.15
+	cfg.DupRate = 0.2
+	cfg.ReorderRate = 0.3
+	cfg.ReorderDelay = 2 * time.Millisecond
+	cfg.Seed = 9
+	cfg.RetransmitTimeout = 5 * time.Millisecond
+	cfg.MaxRetries = 0 // the soak must converge, never declare the peer dead
+	a, b := pair(t, cfg)
+	const count = 60
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := a.Send(1, 20, append([]byte{byte(i)}, pattern(1500)...)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		msg, err := b.Recv(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Data[0] != byte(i) || len(msg.Data) != 1501 {
+			t.Fatalf("message %d: header %d len %d (ordering or integrity broken)",
+				i, msg.Data[0], len(msg.Data))
+		}
+	}
+	if _, ok := b.TryRecv(20); ok {
+		t.Error("a duplicate message leaked through the resequencer")
+	}
+	_, _, retrans, _, drops := a.Stats()
+	if drops == 0 || retrans == 0 {
+		t.Errorf("drops=%d retransmits=%d; fault injection never engaged", drops, retrans)
+	}
+}
+
+// TestLiveDeadPeer: once the peer is gone, a bounded retry budget must
+// surface ErrPeerDead instead of retrying forever — first to the
+// confirm-waiter blocked on the channel, then immediately to any
+// subsequent send.
+func TestLiveDeadPeer(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+	cfg.RTOMax = 50 * time.Millisecond
+	cfg.MaxRetries = 3
+	a, b := pair(t, cfg)
+	b.Close() // the peer dies before the first datagram
+
+	done := make(chan error, 1)
+	go func() { done <- a.SendConfirm(1, 21, pattern(100)) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, live.ErrPeerDead) {
+			t.Fatalf("SendConfirm returned %v, want ErrPeerDead", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SendConfirm never failed against a dead peer")
+	}
+	// The channel stays failed: a plain Send errors without waiting out
+	// another retry ladder.
+	start := time.Now()
+	if err := a.Send(1, 21, []byte("x")); !errors.Is(err, live.ErrPeerDead) {
+		t.Fatalf("Send after failure returned %v, want ErrPeerDead", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("send on a failed channel re-ran the retry ladder instead of failing fast")
+	}
+}

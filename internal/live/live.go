@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/relwin"
+	"repro/internal/rto"
 	"repro/internal/telemetry"
 )
 
@@ -37,14 +38,30 @@ type Config struct {
 	// AckDelay is the delayed-ack timer.
 	AckDelay time.Duration
 
-	// RetransmitTimeout is the go-back-N timer.
+	// RetransmitTimeout is the initial go-back-N timeout, used until the
+	// first RTT sample; the per-peer estimator (internal/rto) then adapts
+	// it to SRTT + 4·RTTVAR with exponential backoff on repeat timeouts.
 	RetransmitTimeout time.Duration
 
+	// RTOMin and RTOMax clamp the adaptive timeout; zero derives them
+	// from RetransmitTimeout.
+	RTOMin time.Duration
+	RTOMax time.Duration
+
+	// MaxRetries bounds consecutive retransmission timeouts without ack
+	// progress before the peer is declared dead and senders get
+	// ErrPeerDead. Zero retries forever.
+	MaxRetries int
+
 	// LossRate, DupRate inject datagram loss/duplication on the send
-	// side, in [0,1). Deterministic per Seed.
-	LossRate float64
-	DupRate  float64
-	Seed     int64
+	// side, in [0,1). ReorderRate delays individual datagrams by a random
+	// amount up to ReorderDelay so later traffic overtakes them. All
+	// deterministic per Seed.
+	LossRate     float64
+	DupRate      float64
+	ReorderRate  float64
+	ReorderDelay time.Duration
+	Seed         int64
 
 	// Telemetry, when non-nil, is the registry the node's metrics are
 	// registered into (with a node=<id> label), letting several
@@ -61,6 +78,10 @@ func DefaultConfig() Config {
 		AckEvery:          8,
 		AckDelay:          2 * time.Millisecond,
 		RetransmitTimeout: 20 * time.Millisecond,
+		RTOMin:            5 * time.Millisecond,
+		RTOMax:            2 * time.Second,
+		MaxRetries:        8,
+		ReorderDelay:      2 * time.Millisecond,
 	}
 }
 
@@ -83,7 +104,7 @@ type Node struct {
 	rx      map[int]*liveRxChan
 	ports   map[uint16]chan Message
 	regions map[uint16]*Region
-	confirm map[confirmKey]chan struct{}
+	confirm map[confirmKey]chan error
 	rng     *rand.Rand
 	closed  bool
 
@@ -94,15 +115,18 @@ type Node struct {
 	// goroutine, timer callbacks and sender goroutines may all touch
 	// them without holding mu — the live stack's counters are exactly
 	// the shared state -race used to flag with plain ints.
-	tel           *telemetry.Registry
-	framesSent    telemetry.Counter
-	framesRecv    telemetry.Counter
-	retransmits   telemetry.Counter
-	acksSent      telemetry.Counter
-	dropsInjected telemetry.Counter
-	socketWrites  telemetry.Counter
-	socketReads   telemetry.Counter
-	ackLatency    *telemetry.Histogram
+	tel              *telemetry.Registry
+	framesSent       telemetry.Counter
+	framesRecv       telemetry.Counter
+	retransmits      telemetry.Counter
+	acksSent         telemetry.Counter
+	dropsInjected    telemetry.Counter
+	reordersInjected telemetry.Counter
+	socketWrites     telemetry.Counter
+	socketReads      telemetry.Counter
+	rtoBackoffs      telemetry.Counter
+	channelFailures  telemetry.Counter
+	ackLatency       *telemetry.Histogram
 }
 
 type confirmKey struct {
@@ -114,11 +138,22 @@ type liveTxChan struct {
 	win      *relwin.Sender[[]byte]
 	slotFree *sync.Cond
 	rto      *time.Timer
+	ctrl     *rto.Controller // guarded by n.mu
+	rtoGauge *telemetry.Gauge
+	failed   bool // retry budget exhausted; senders get ErrPeerDead
+
+	// sampleFloor is the Karn's-rule watermark: sequences below it were
+	// retransmitted, so their ack latencies must not feed the estimator.
+	sampleFloor relwin.Seq
 
 	// sentAt remembers each in-flight datagram's first push time for the
 	// ack-latency histogram. Guarded by n.mu.
 	sentAt map[relwin.Seq]time.Time
 }
+
+// publishRTO refreshes the channel's live_rto_ns gauge from the
+// controller. Called with n.mu held after any controller mutation.
+func (tc *liveTxChan) publishRTO() { tc.rtoGauge.Set(tc.ctrl.RTO()) }
 
 type liveRxChan struct {
 	reseq    *relwin.Resequencer[rxDatagram]
@@ -157,7 +192,7 @@ func NewNode(id int, cfg Config) (*Node, error) {
 		rx:      map[int]*liveRxChan{},
 		ports:   map[uint16]chan Message{},
 		regions: map[uint16]*Region{},
-		confirm: map[confirmKey]chan struct{}{},
+		confirm: map[confirmKey]chan error{},
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
 		done:    make(chan struct{}),
 		tel:     cfg.Telemetry,
@@ -171,6 +206,9 @@ func NewNode(id int, cfg Config) (*Node, error) {
 	n.tel.RegisterCounter("live_retransmits_total", "go-back-N datagram retransmissions", &n.retransmits, node)
 	n.tel.RegisterCounter("live_acks_sent_total", "cumulative acknowledgements returned", &n.acksSent, node)
 	n.tel.RegisterCounter("live_loss_injected_total", "datagrams dropped by send-side loss injection", &n.dropsInjected, node)
+	n.tel.RegisterCounter("live_reorders_injected_total", "datagrams delayed by send-side reorder injection", &n.reordersInjected, node)
+	n.tel.RegisterCounter("live_rto_backoffs_total", "retransmission-timeout expiries (each doubles the adaptive RTO)", &n.rtoBackoffs, node)
+	n.tel.RegisterCounter("live_channel_failures_total", "peers declared dead after MaxRetries consecutive timeouts", &n.channelFailures, node)
 	n.tel.RegisterCounter("live_socket_writes_total", "UDP write syscalls issued (including duplicates)", &n.socketWrites, node)
 	n.tel.RegisterCounter("live_socket_reads_total", "UDP datagrams read from the socket", &n.socketReads, node)
 	n.ackLatency = n.tel.Histogram("live_ack_latency_ns",
@@ -203,7 +241,9 @@ func Connect(a, b *Node) {
 }
 
 // Close shuts the node down. In-flight messages may be lost; peers'
-// retransmissions will give up silently.
+// retransmissions will give up after their retry budget. Every pending
+// timer (per-channel rto, per-channel delayed ack) is stopped so no
+// time.AfterFunc callback outlives the node.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -215,8 +255,15 @@ func (n *Node) Close() error {
 	for _, tc := range n.tx {
 		if tc.rto != nil {
 			tc.rto.Stop()
+			tc.rto = nil
 		}
 		tc.slotFree.Broadcast()
+	}
+	for _, rc := range n.rx {
+		if rc.ackTimer != nil {
+			rc.ackTimer.Stop()
+			rc.ackTimer = nil
+		}
 	}
 	n.mu.Unlock()
 	err := n.conn.Close()
@@ -233,6 +280,10 @@ func (n *Node) Stats() (framesSent, framesRecv, retransmits, acksSent, dropsInje
 // ErrClosed reports an operation on a closed node.
 var ErrClosed = errors.New("live: node closed")
 
+// ErrPeerDead reports that the channel to a peer exhausted its
+// MaxRetries retransmission budget with no acknowledgement progress.
+var ErrPeerDead = errors.New("live: peer dead after max retries")
+
 // maxPayload is the CLIC payload per datagram after the header.
 func (n *Node) maxPayload() int { return n.cfg.MTU - proto.HeaderBytes }
 
@@ -240,9 +291,19 @@ func (n *Node) txChanFor(peer int) *liveTxChan {
 	tc, ok := n.tx[peer]
 	if !ok {
 		tc = &liveTxChan{
-			win:    relwin.NewSender[[]byte](n.cfg.Window),
+			win: relwin.NewSender[[]byte](n.cfg.Window),
+			ctrl: rto.New(rto.Config{
+				Initial:    n.cfg.RetransmitTimeout.Nanoseconds(),
+				Min:        n.cfg.RTOMin.Nanoseconds(),
+				Max:        n.cfg.RTOMax.Nanoseconds(),
+				MaxRetries: n.cfg.MaxRetries,
+			}),
 			sentAt: map[relwin.Seq]time.Time{},
 		}
+		tc.rtoGauge = n.tel.Gauge("live_rto_ns",
+			"current adaptive retransmission timeout for this channel",
+			telemetry.L("node", fmt.Sprint(n.ID)), telemetry.L("peer", fmt.Sprint(peer)))
+		tc.publishRTO()
 		tc.slotFree = sync.NewCond(&n.mu)
 		n.tx[peer] = tc
 	}
@@ -274,20 +335,21 @@ func (n *Node) Send(dst int, port uint16, data []byte) error {
 }
 
 // SendConfirm transmits data and blocks until the peer's confirmation of
-// reception arrives (§5's send-with-confirmation primitive).
+// reception arrives (§5's send-with-confirmation primitive). It returns
+// ErrPeerDead if the channel fails before the confirmation lands.
 func (n *Node) SendConfirm(dst int, port uint16, data []byte) error {
 	lastSeq, err := n.send(dst, port, proto.TypeData, proto.FlagConfirm, data)
 	if err != nil {
 		return err
 	}
 	key := confirmKey{peer: dst, seq: lastSeq}
-	ch := make(chan struct{})
+	ch := make(chan error, 1)
 	n.mu.Lock()
 	n.confirm[key] = ch
 	n.mu.Unlock()
 	select {
-	case <-ch:
-		return nil
+	case err := <-ch:
+		return err
 	case <-n.done:
 		return ErrClosed
 	}
@@ -306,6 +368,9 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 		return 0, fmt.Errorf("live: node %d has no peer %d", n.ID, dst)
 	}
 	tc := n.txChanFor(dst)
+	if tc.failed {
+		return 0, ErrPeerDead
+	}
 	total := len(data)
 	off := 0
 	first := true
@@ -316,11 +381,22 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 			end = total
 		}
 		last := end == total
+		// A channel failure broadcasts slotFree, so senders blocked on
+		// window space wake here and surface ErrPeerDead.
 		for !tc.win.CanSend() {
 			if n.closed {
 				return 0, ErrClosed
 			}
+			if tc.failed {
+				return 0, ErrPeerDead
+			}
 			tc.slotFree.Wait()
+		}
+		if n.closed {
+			return 0, ErrClosed
+		}
+		if tc.failed {
+			return 0, ErrPeerDead
 		}
 		hdr := proto.Header{Type: typ, Port: port, Seq: tc.win.NextSeq(), Len: uint32(total)}
 		if first {
@@ -344,29 +420,48 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 	}
 }
 
-// transmit writes one datagram, applying loss/duplication injection.
-// Called with the lock held (UDP writes don't block meaningfully).
+// transmit writes one datagram, applying loss/duplication/reordering
+// injection. Called with the lock held (UDP writes don't block
+// meaningfully). A reordered datagram's write is deferred by a random
+// delay up to ReorderDelay so traffic sent after it overtakes it; the
+// deferred callback touches only the socket and atomic counters, so it is
+// safe even after Close.
 func (n *Node) transmit(addr *net.UDPAddr, dgram []byte) {
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.dropsInjected.Inc()
 		return
 	}
-	n.framesSent.Inc()
-	n.socketWrites.Inc()
-	n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
+	writes := 1
 	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		writes = 2
+	}
+	for i := 0; i < writes; i++ {
+		if n.cfg.ReorderRate > 0 && n.rng.Float64() < n.cfg.ReorderRate {
+			delay := n.cfg.ReorderDelay
+			if delay <= 0 {
+				delay = 2 * time.Millisecond
+			}
+			n.reordersInjected.Inc()
+			time.AfterFunc(time.Duration(n.rng.Int63n(int64(delay)))+time.Microsecond, func() {
+				n.framesSent.Inc()
+				n.socketWrites.Inc()
+				n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
+			})
+			continue
+		}
+		n.framesSent.Inc()
 		n.socketWrites.Inc()
-		n.conn.WriteToUDP(dgram, addr) //nolint:errcheck
+		n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
 	}
 }
 
-// armRTO starts the go-back-N timer for a peer channel if needed. Called
-// with the lock held.
+// armRTO starts the go-back-N timer for a peer channel if needed, at the
+// controller's current adaptive timeout. Called with the lock held.
 func (n *Node) armRTO(peer int, tc *liveTxChan) {
-	if tc.rto != nil || tc.win.InFlight() == 0 {
+	if tc.rto != nil || tc.failed || tc.win.InFlight() == 0 {
 		return
 	}
-	tc.rto = time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.fireRTO(peer) })
+	tc.rto = time.AfterFunc(time.Duration(tc.ctrl.RTO()), func() { n.fireRTO(peer) })
 }
 
 func (n *Node) fireRTO(peer int) {
@@ -376,20 +471,52 @@ func (n *Node) fireRTO(peer int) {
 		return
 	}
 	tc := n.tx[peer]
-	if tc == nil {
+	if tc == nil || tc.failed {
 		return
 	}
 	tc.rto = nil
+	// Unacked's slice aliases the window's internal state and must not be
+	// retained across Push/Ack; it is consumed below, under the same lock
+	// acquisition that read it, so no sender can Push concurrently.
 	unacked, _ := tc.win.Unacked()
 	if len(unacked) == 0 {
 		return
 	}
+	if tc.ctrl.OnTimeout() {
+		n.failChannel(peer, tc)
+		return
+	}
+	n.rtoBackoffs.Inc()
+	tc.publishRTO() // the timeout doubled
+	// Karn's rule: acks for anything below this watermark are ambiguous.
+	tc.sampleFloor = tc.win.NextSeq()
 	addr := n.peers[peer]
 	for _, dgram := range unacked {
 		n.retransmits.Inc()
 		n.transmit(addr, dgram)
 	}
 	n.armRTO(peer, tc)
+}
+
+// failChannel declares a peer dead: blocked senders wake with ErrPeerDead,
+// confirmation waiters fail, and the stale in-flight bookkeeping is
+// dropped so sentAt cannot grow unbounded under persistent loss. Called
+// with the lock held.
+func (n *Node) failChannel(peer int, tc *liveTxChan) {
+	tc.failed = true
+	n.channelFailures.Inc()
+	if tc.rto != nil {
+		tc.rto.Stop()
+		tc.rto = nil
+	}
+	tc.sentAt = map[relwin.Seq]time.Time{}
+	tc.slotFree.Broadcast()
+	for key, ch := range n.confirm {
+		if key.peer == peer {
+			delete(n.confirm, key)
+			ch <- ErrPeerDead
+		}
+	}
 }
 
 // Recv blocks for the next message on port.

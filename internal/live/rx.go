@@ -46,7 +46,7 @@ func (n *Node) handleDatagram(addr *net.UDPAddr, dgram []byte) {
 		key := confirmKey{peer: src, seq: hdr.Seq}
 		if ch, ok := n.confirm[key]; ok {
 			delete(n.confirm, key)
-			close(ch)
+			ch <- nil
 		}
 	default:
 		n.onData(src, hdr, payload)
@@ -71,9 +71,16 @@ func (n *Node) onAck(src int, cum relwin.Seq) {
 	for seq, at := range tc.sentAt {
 		if relwin.Before(seq, cum) {
 			n.ackLatency.Observe(float64(now.Sub(at)))
+			// Karn's rule: only frames never retransmitted (at or above
+			// the watermark) feed the RTT estimator.
+			if !relwin.Before(seq, tc.sampleFloor) {
+				tc.ctrl.Observe(now.Sub(at).Nanoseconds())
+			}
 			delete(tc.sentAt, seq)
 		}
 	}
+	tc.ctrl.OnProgress()
+	tc.publishRTO()
 	if tc.rto != nil {
 		tc.rto.Stop()
 		tc.rto = nil

@@ -171,6 +171,23 @@ type Link struct {
 	// the simulator ("limited fault-handling" networks, §1). Zero (the
 	// default) models a healthy switched LAN.
 	LossRate float64
+
+	// DupRate injects duplicate delivery: a frame arrives twice, as a
+	// misbehaving switch or a spanning-tree transient would produce.
+	DupRate float64
+
+	// ReorderRate delays individual frames by a random extra amount up to
+	// ReorderSpan, letting later frames overtake them.
+	ReorderRate float64
+
+	// ReorderSpan bounds the extra delivery delay of a reordered frame.
+	// Zero means the ether layer's default (50 µs).
+	ReorderSpan sim.Time
+
+	// CorruptRate injects payload corruption. A corrupted frame fails the
+	// receiver's FCS check and is discarded by the MAC, so at the protocol
+	// level it behaves as a loss — but it is counted separately.
+	CorruptRate float64
 }
 
 // Driver describes the unmodified NIC driver both stacks share — CLIC's
@@ -225,8 +242,24 @@ type CLIC struct {
 	// buffering / flow control).
 	Window int
 
-	// RetransmitTimeout is the sender's per-message retransmission timer.
+	// RetransmitTimeout is the sender's initial retransmission timeout,
+	// used until the first RTT sample lands; after that the per-channel
+	// estimator (internal/rto) adapts the timeout to SRTT + 4·RTTVAR.
 	RetransmitTimeout sim.Time
+
+	// RTOMin and RTOMax clamp the adaptive retransmission timeout. RTOMin
+	// must stay above the worst-case strided/delayed-ack latency or clean
+	// bulk traffic retransmits spuriously; RTOMax caps the exponential
+	// backoff. Zero means the rto package derives them from the initial
+	// timeout.
+	RTOMin sim.Time
+	RTOMax sim.Time
+
+	// MaxRetries bounds consecutive retransmission timeouts without ack
+	// progress before the channel is declared failed and senders get an
+	// error. Zero retries forever (the paper's CLIC has no failure
+	// surface; bounded retries are opt-in for fault experiments).
+	MaxRetries int
 
 	// FastRetransmit enables NACK-triggered recovery: a receiver whose
 	// sequence gap persists past NackDelay reports it with a TypeNack
@@ -419,10 +452,18 @@ func Default() Params {
 			AckDelay:          150 * us,
 			Window:            32,
 			RetransmitTimeout: 5 * sim.Millisecond,
-			FastRetransmit:    true,
-			NackDelay:         100 * us,
-			SysBufBytes:       1 << 22,
-			IntraNodeLatency:  2 * us,
+			// RTOMin matches the initial timeout: bulk traffic's strided
+			// acks arrive up to ~5 ms after a frame's push (window-wait
+			// queuing inflates push→ack latency), so a lower floor fires
+			// spurious timeouts on a clean fabric. The estimator therefore
+			// only ever raises the timeout (SRTT inflation, backoff).
+			RTOMin:           5 * sim.Millisecond,
+			RTOMax:           250 * sim.Millisecond,
+			MaxRetries:       0, // unlimited: loss sweeps must converge
+			FastRetransmit:   true,
+			NackDelay:        100 * us,
+			SysBufBytes:      1 << 22,
+			IntraNodeLatency: 2 * us,
 		},
 		TCP: TCP{
 			SocketSend:   4 * us,

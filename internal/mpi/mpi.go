@@ -18,8 +18,10 @@ import (
 // endpoint satisfies it directly; internal/mpi's TCP adapter wraps
 // per-pair byte streams.
 type Transport interface {
-	// Send reliably delivers data to (dst, port).
-	Send(p *sim.Proc, dst int, port uint16, data []byte)
+	// Send reliably delivers data to (dst, port). A non-nil error means
+	// the channel to dst is dead (retry budget exhausted); transports
+	// with unlimited retries never return one.
+	Send(p *sim.Proc, dst int, port uint16, data []byte) error
 	// Recv blocks for the next message on port.
 	Recv(p *sim.Proc, port uint16) (src int, data []byte)
 }

@@ -119,6 +119,10 @@ func New(h *hw.Host, name string, mac ether.MAC, p model.NIC, link *ether.Link) 
 // IRQ.Raise). It must be set before traffic flows.
 func (n *NIC) SetIRQ(raise func()) { n.raiseIRQ = raise }
 
+// Link returns the cable the adapter is attached to (A side), so tests can
+// install fault injection or frame filters on a specific node's uplink.
+func (n *NIC) Link() *ether.Link { return n.link }
+
 // MaxPost returns the largest payload the driver may hand the adapter in
 // one frame: the MTU, or the offload maximum when fragmentation offload
 // is enabled (§2).

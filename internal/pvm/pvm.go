@@ -18,7 +18,9 @@ import (
 // easily mapped to reliable point-to-point communications provided by
 // the CLIC layer", §5).
 type Messenger interface {
-	Send(p *sim.Proc, dst int, port uint16, data []byte)
+	// Send reliably delivers data; a non-nil error means the channel to
+	// dst is dead (bounded-retry transports only).
+	Send(p *sim.Proc, dst int, port uint16, data []byte) error
 	Recv(p *sim.Proc, port uint16) (src int, data []byte)
 }
 

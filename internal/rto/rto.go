@@ -1,0 +1,143 @@
+// Package rto is the retransmission-control state machine shared by the
+// simulated CLIC stack (internal/clic) and the live UDP stack
+// (internal/live): per-channel round-trip estimation (Jacobson/Karels
+// SRTT/RTTVAR, the RFC 6298 recurrences), an adaptive retransmission
+// timeout with exponential backoff and a cap, and a bounded retry budget
+// that turns a persistently unresponsive peer into a channel failure
+// instead of retransmitting forever.
+//
+// The controller is pure state-machine code over int64 nanoseconds — no
+// clocks, timers or locks — so the single-threaded simulation engine and
+// the mutex-guarded live node can both drive it. Callers are responsible
+// for Karn's rule: never feed Observe a sample measured from a
+// retransmitted frame (both stacks gate samples on a retransmission
+// watermark).
+package rto
+
+// Config bounds a controller. All durations are nanoseconds.
+type Config struct {
+	// Initial is the RTO used before the first RTT sample lands
+	// (a conservative, configured guess — RFC 6298's 1 s analogue).
+	Initial int64
+
+	// Min and Max clamp the computed RTO. Min guards against the
+	// estimator collapsing below the ack-delay floor on quiet channels;
+	// Max caps the exponential backoff.
+	Min, Max int64
+
+	// MaxRetries bounds consecutive timeout-driven retransmission rounds
+	// with no acknowledgement progress. When the budget is spent the
+	// channel is declared failed. Zero means retry forever.
+	MaxRetries int
+}
+
+// Controller tracks one channel's retransmission state. The zero value is
+// unusable; construct with New.
+type Controller struct {
+	cfg     Config
+	srtt    int64 // smoothed RTT, 0 until the first sample
+	rttvar  int64 // RTT variance estimate
+	sampled bool
+	retries int // consecutive timeouts since the last progress
+}
+
+// New returns a controller for one channel. Initial must be positive;
+// Min/Max default to Initial/64 and 64×Initial when unset.
+func New(cfg Config) *Controller {
+	if cfg.Initial <= 0 {
+		panic("rto: nonpositive initial timeout")
+	}
+	if cfg.Min <= 0 {
+		cfg.Min = cfg.Initial / 64
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = cfg.Initial * 64
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Observe feeds one round-trip sample (send → cumulative ack covering the
+// frame), in nanoseconds. Samples from retransmitted frames must not be
+// fed (Karn's rule) — a retransmission's ack is ambiguous about which
+// transmission it answers.
+func (c *Controller) Observe(sample int64) {
+	if sample < 0 {
+		return
+	}
+	if !c.sampled {
+		// RFC 6298 (2.2): SRTT := R, RTTVAR := R/2.
+		c.srtt = sample
+		c.rttvar = sample / 2
+		c.sampled = true
+		return
+	}
+	// RFC 6298 (2.3): RTTVAR := 3/4·RTTVAR + 1/4·|SRTT−R|,
+	// SRTT := 7/8·SRTT + 1/8·R.
+	diff := c.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar += (diff - c.rttvar) / 4
+	c.srtt += (sample - c.srtt) / 8
+}
+
+// base returns the un-backed-off RTO: SRTT + 4·RTTVAR clamped to
+// [Min, Max], or Initial before any sample.
+func (c *Controller) base() int64 {
+	if !c.sampled {
+		return clamp(c.cfg.Initial, c.cfg.Min, c.cfg.Max)
+	}
+	return clamp(c.srtt+4*c.rttvar, c.cfg.Min, c.cfg.Max)
+}
+
+// RTO returns the current retransmission timeout: the adaptive base
+// doubled once per consecutive timeout, capped at Max.
+func (c *Controller) RTO() int64 {
+	rto := c.base()
+	for i := 0; i < c.retries && rto < c.cfg.Max; i++ {
+		rto *= 2
+	}
+	if rto > c.cfg.Max {
+		rto = c.cfg.Max
+	}
+	return rto
+}
+
+// OnTimeout records a retransmission timer expiry. It returns true when
+// the retry budget is exhausted and the channel must be failed instead of
+// retransmitted; otherwise the caller retransmits and re-arms with the
+// (now doubled) RTO.
+func (c *Controller) OnTimeout() (failed bool) {
+	c.retries++
+	return c.cfg.MaxRetries > 0 && c.retries > c.cfg.MaxRetries
+}
+
+// OnProgress records acknowledgement progress (the receiver's cumulative
+// ack advanced): the retry budget refills and the backoff collapses back
+// to the adaptive base.
+func (c *Controller) OnProgress() { c.retries = 0 }
+
+// Retries returns the consecutive timeouts since the last progress.
+func (c *Controller) Retries() int { return c.retries }
+
+// SRTT returns the smoothed round-trip estimate (0 before any sample).
+func (c *Controller) SRTT() int64 { return c.srtt }
+
+// RTTVar returns the round-trip variance estimate.
+func (c *Controller) RTTVar() int64 { return c.rttvar }
+
+// Sampled reports whether at least one RTT sample has been observed.
+func (c *Controller) Sampled() bool { return c.sampled }
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

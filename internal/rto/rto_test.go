@@ -1,0 +1,126 @@
+package rto
+
+import "testing"
+
+const ms = int64(1_000_000)
+
+func TestInitialBeforeSamples(t *testing.T) {
+	c := New(Config{Initial: 5 * ms, Min: 1 * ms, Max: 100 * ms})
+	if got := c.RTO(); got != 5*ms {
+		t.Fatalf("RTO before samples = %d, want Initial %d", got, 5*ms)
+	}
+	if c.Sampled() {
+		t.Fatal("Sampled true before any Observe")
+	}
+}
+
+func TestFirstSampleSeedsEstimator(t *testing.T) {
+	c := New(Config{Initial: 5 * ms, Min: 1, Max: 100 * ms})
+	c.Observe(2 * ms)
+	// SRTT = 2ms, RTTVAR = 1ms → RTO = 2 + 4·1 = 6ms.
+	if got := c.RTO(); got != 6*ms {
+		t.Fatalf("RTO after first sample = %d, want %d", got, 6*ms)
+	}
+}
+
+func TestConvergesTowardSteadyRTT(t *testing.T) {
+	c := New(Config{Initial: 50 * ms, Min: 1, Max: 1000 * ms})
+	for i := 0; i < 200; i++ {
+		c.Observe(3 * ms)
+	}
+	// Constant samples: RTTVAR decays toward 0, SRTT toward the sample.
+	if s := c.SRTT(); s < 29*ms/10 || s > 31*ms/10 {
+		t.Fatalf("SRTT = %d, want ≈ %d", s, 3*ms)
+	}
+	if got := c.RTO(); got > 4*ms {
+		t.Fatalf("converged RTO = %d, want ≤ %d", got, 4*ms)
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	c := New(Config{Initial: 5 * ms, Min: 4 * ms, Max: 8 * ms})
+	for i := 0; i < 100; i++ {
+		c.Observe(ms / 100) // far below Min
+	}
+	if got := c.RTO(); got != 4*ms {
+		t.Fatalf("RTO = %d, want Min %d", got, 4*ms)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(50 * ms) // far above Max
+	}
+	if got := c.RTO(); got != 8*ms {
+		t.Fatalf("RTO = %d, want Max %d", got, 8*ms)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	c := New(Config{Initial: 5 * ms, Min: 1 * ms, Max: 35 * ms})
+	want := []int64{10 * ms, 20 * ms, 35 * ms, 35 * ms}
+	for i, w := range want {
+		if failed := c.OnTimeout(); failed {
+			t.Fatalf("timeout %d failed with MaxRetries unset", i+1)
+		}
+		if got := c.RTO(); got != w {
+			t.Fatalf("RTO after %d timeouts = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestProgressResetsBackoff(t *testing.T) {
+	c := New(Config{Initial: 5 * ms, Min: 1 * ms, Max: 100 * ms})
+	c.OnTimeout()
+	c.OnTimeout()
+	if c.Retries() != 2 || c.RTO() != 20*ms {
+		t.Fatalf("retries=%d RTO=%d before progress", c.Retries(), c.RTO())
+	}
+	c.OnProgress()
+	if c.Retries() != 0 || c.RTO() != 5*ms {
+		t.Fatalf("retries=%d RTO=%d after progress, want 0 and %d", c.Retries(), c.RTO(), 5*ms)
+	}
+}
+
+func TestMaxRetriesExhaustion(t *testing.T) {
+	c := New(Config{Initial: 5 * ms, Min: 1 * ms, Max: 100 * ms, MaxRetries: 3})
+	for i := 0; i < 3; i++ {
+		if c.OnTimeout() {
+			t.Fatalf("failed on timeout %d with budget 3", i+1)
+		}
+	}
+	if !c.OnTimeout() {
+		t.Fatal("4th consecutive timeout did not exhaust MaxRetries=3")
+	}
+	// Progress refills the budget.
+	c.OnProgress()
+	if c.OnTimeout() {
+		t.Fatal("timeout after progress failed immediately")
+	}
+}
+
+func TestUnlimitedRetriesNeverFail(t *testing.T) {
+	c := New(Config{Initial: 5 * ms})
+	for i := 0; i < 1000; i++ {
+		if c.OnTimeout() {
+			t.Fatalf("MaxRetries=0 failed after %d timeouts", i+1)
+		}
+	}
+	if got := c.RTO(); got != 64*5*ms {
+		t.Fatalf("capped RTO = %d, want default Max %d", got, 64*5*ms)
+	}
+}
+
+func TestDefaultsDerivedFromInitial(t *testing.T) {
+	c := New(Config{Initial: 64 * ms})
+	c.Observe(1) // ~zero RTT
+	if got := c.RTO(); got != ms {
+		t.Fatalf("RTO = %d, want derived Min %d", got, ms)
+	}
+}
+
+func TestKarnIsCallersJob(t *testing.T) {
+	// Negative samples (clock skew artefacts) are ignored outright.
+	c := New(Config{Initial: 5 * ms})
+	c.Observe(-1)
+	if c.Sampled() {
+		t.Fatal("negative sample was accepted")
+	}
+}

@@ -69,8 +69,9 @@ func (m *Messenger) addConn(peer int, conn *Conn) {
 }
 
 // Send frames and writes one message to (dstNode, port). It satisfies the
-// mpi.Transport contract.
-func (m *Messenger) Send(p *sim.Proc, dst int, port uint16, data []byte) {
+// mpi.Transport contract; TCP retransmits indefinitely, so the error is
+// always nil.
+func (m *Messenger) Send(p *sim.Proc, dst int, port uint16, data []byte) error {
 	conn, ok := m.conns[dst]
 	if !ok {
 		panic(fmt.Sprintf("tcpip: messenger on node %d has no connection to %d", m.st.Node, dst))
@@ -79,6 +80,7 @@ func (m *Messenger) Send(p *sim.Proc, dst int, port uint16, data []byte) {
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(data)))
 	binary.BigEndian.PutUint16(frame[4:6], port)
 	conn.Send(p, append(frame, data...))
+	return nil
 }
 
 // Recv blocks for the next message on port.
