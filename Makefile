@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test lint check bench
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full gate: build, vet, and the test suite under the race
-# detector (the live stack runs real goroutines).
-check:
-	$(GO) build ./...
+# lint runs go vet plus cliclint, the in-tree go/analysis suite that
+# enforces the CLIC invariants (see DESIGN.md, "Static analysis &
+# invariants"): clicerr, simtime, bufown, metricname.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/cliclint ./...
+
+# check is the full gate: build, lint, and the test suite under the race
+# detector (the live stack runs real goroutines).
+check: build lint
 	$(GO) test -race ./...
 
 bench:

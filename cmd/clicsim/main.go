@@ -27,6 +27,15 @@ import (
 	"repro/internal/sim"
 )
 
+// mustSend aborts on a transport send error: the benchmark scenarios
+// run with enough retry budget that a failure means a broken setup, and
+// a dropped error would leave the peer blocked in Recv.
+func mustSend(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func main() {
 	var (
 		stack      = flag.String("stack", "clic", "protocol stack: clic, tcp, via, gamma")
@@ -151,9 +160,9 @@ func main() {
 			opt.RxMode = clic.RxDirectCall
 		}
 		c.EnableCLIC(opt)
-		send = func(p *sim.Proc, d []byte) { c.Nodes[0].CLIC.Send(p, 1, 7, d) }
+		send = func(p *sim.Proc, d []byte) { mustSend(c.Nodes[0].CLIC.Send(p, 1, 7, d)) }
 		recv = func(p *sim.Proc, n int) []byte { _, d := c.Nodes[1].CLIC.Recv(p, 7); return d }
-		sendBack = func(p *sim.Proc, d []byte) { c.Nodes[1].CLIC.Send(p, 0, 7, d) }
+		sendBack = func(p *sim.Proc, d []byte) { mustSend(c.Nodes[1].CLIC.Send(p, 0, 7, d)) }
 		recvBack = func(p *sim.Proc, n int) []byte { _, d := c.Nodes[0].CLIC.Recv(p, 7); return d }
 	case "tcp":
 		c.EnableTCP()

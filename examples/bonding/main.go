@@ -48,7 +48,9 @@ func transfer(nicsPerNode int, linkBps int64) (mbps float64, intact bool) {
 	c.Go("sender", func(p *sim.Proc) {
 		start = p.Now()
 		for i := 0; i < count; i++ {
-			c.Nodes[0].CLIC.Send(p, 1, 30, payload)
+			if err := c.Nodes[0].CLIC.Send(p, 1, 30, payload); err != nil {
+				panic(err)
+			}
 		}
 	})
 	c.Go("receiver", func(p *sim.Proc) {

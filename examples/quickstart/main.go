@@ -22,7 +22,9 @@ func main() {
 	c.Go("pinger", func(p *sim.Proc) {
 		start := p.Now()
 		for i := 0; i < rounds; i++ {
-			c.Nodes[0].CLIC.Send(p, 1, port, nil)
+			if err := c.Nodes[0].CLIC.Send(p, 1, port, nil); err != nil {
+				panic(err)
+			}
 			c.Nodes[0].CLIC.Recv(p, port)
 		}
 		rtt = (p.Now() - start) / rounds
@@ -30,7 +32,9 @@ func main() {
 	c.Go("ponger", func(p *sim.Proc) {
 		for i := 0; i < rounds; i++ {
 			src, _ := c.Nodes[1].CLIC.Recv(p, port)
-			c.Nodes[1].CLIC.Send(p, src, port, nil)
+			if err := c.Nodes[1].CLIC.Send(p, src, port, nil); err != nil {
+				panic(err)
+			}
 		}
 	})
 	c.Run()
@@ -44,7 +48,9 @@ func main() {
 	c2.Go("sender", func(p *sim.Proc) {
 		start = p.Now()
 		for i := 0; i < 8; i++ {
-			c2.Nodes[0].CLIC.Send(p, 1, port, payload)
+			if err := c2.Nodes[0].CLIC.Send(p, 1, port, payload); err != nil {
+				panic(err)
+			}
 		}
 	})
 	c2.Go("receiver", func(p *sim.Proc) {

@@ -52,7 +52,9 @@ func main() {
 		// Confirmed shutdown: SendConfirm returns only after each worker
 		// has the message.
 		for w := 1; w <= workers; w++ {
-			coord.SendConfirm(p, w, donePort, []byte("done"))
+			if err := coord.SendConfirm(p, w, donePort, []byte("done")); err != nil {
+				panic(err)
+			}
 		}
 		fmt.Printf("t=%.1fµs shutdown confirmed by all workers\n", float64(p.Now())/1000)
 	})
@@ -68,7 +70,9 @@ func main() {
 			result := uint64(w) * n
 			// Deposit the result directly in the coordinator's memory.
 			out := binary.BigEndian.AppendUint64(nil, result)
-			ep.RemoteWrite(p, 0, resultPort, (w-1)*resultSize, out)
+			if err := ep.RemoteWrite(p, 0, resultPort, (w-1)*resultSize, out); err != nil {
+				panic(err)
+			}
 			_, bye := ep.Recv(p, donePort)
 			fmt.Printf("t=%.1fµs worker %d: job %d -> %d, got %q\n",
 				float64(p.Now())/1000, w, n, result, bye)

@@ -1,0 +1,125 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/token and go/types packages. The build environment for this
+// repository is hermetic (no module proxy, no vendored third-party code),
+// so the vetting framework the cliclint analyzers plug into lives
+// in-tree. The API deliberately mirrors x/tools: an Analyzer owns a Run
+// function, a Pass carries one type-checked package, and Run reports
+// findings as Diagnostics — so the analyzers port to the upstream
+// framework mechanically if the dependency ever becomes available.
+//
+// The CLIC paper's argument is that the protocol stays correct while
+// deleting layers; what the deleted layers used to enforce structurally
+// (buffer ownership across the zero-copy handoff, monotonic protocol
+// time, errors that cannot vanish) becomes programmer discipline. The
+// analyzers in the sibling packages (clicerr, simtime, bufown,
+// metricname) turn that discipline back into machine-checked invariants.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static check: a name, a help text, and the Run
+// function that inspects a package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //nolint
+	// comments. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text shown by cmd/cliclint.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report/pass.Reportf and returns an error only for internal
+	// failures (not for findings).
+	Run func(pass *Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. The driver and the test harness
+	// install their own sinks.
+	Report func(Diagnostic)
+
+	// comments caches the per-file comment maps used for //nolint
+	// suppression, built lazily.
+	comments map[*ast.File]ast.CommentMap
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos unless a //nolint
+// comment suppresses this analyzer on that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// nolintRe extracts the checker list of a //nolint:a,b comment.
+var nolintRe = regexp.MustCompile(`//\s*nolint:([a-zA-Z0-9_,]+)`)
+
+// suppressed reports whether a //nolint:<name> (or //nolint:all) comment
+// sits on the same line as pos. "errcheck" is honoured as an alias for
+// clicerr so call sites annotated for the conventional linter name stay
+// quiet under cliclint too.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	file := p.fileFor(pos)
+	if file == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if p.Fset.Position(c.Pos()).Line != line {
+				continue
+			}
+			m := nolintRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				switch name {
+				case "all", p.Analyzer.Name:
+					return true
+				case "errcheck":
+					if p.Analyzer.Name == "clicerr" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// fileFor returns the *ast.File containing pos.
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-tree analysis
+// framework. A fixture line carries one or more expectations:
+//
+//	ep.Send(p, 1, 2, data) // want `discards the error`
+//
+// Each expectation is a regular expression that must match the message
+// of a diagnostic reported on that line; every diagnostic must be
+// matched by exactly one expectation and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/loader"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: no caller information")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads each fixture package testdata/<name> under the synthetic
+// import path fixture/<name>, applies the analyzer, and reports
+// mismatches between diagnostics and // want annotations as test
+// failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runOne(t, testdata, a, name)
+		})
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, name string) {
+	t.Helper()
+	ipath := "fixture/" + name
+	dir := filepath.Join(testdata, name)
+	// Load discovers the module root by walking up from Dir, which
+	// anchors import resolution for fixtures that pull in real
+	// repro/... packages.
+	pkgs, err := loader.Load(loader.Config{
+		Dir:    testdata,
+		DirFor: map[string]string{ipath: dir},
+	}, ipath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	pkg := pkgs[0]
+
+	wants := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := lineKey(pos)
+		ws := wants[key]
+		var hit *want
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func lineKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// wantRe pulls the annotation payload off a comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// collectWants parses every // want comment in the fixture package.
+func collectWants(t *testing.T, pkg *loader.Package) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					key := lineKey(pos)
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns parses a want payload: a sequence of Go-quoted or
+// backquoted strings.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"', '`':
+			q, rest, err := cutQuoted(s)
+			if err != nil {
+				t.Fatalf("%s: malformed want annotation %q: %v", pos, s, err)
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(rest)
+		default:
+			t.Fatalf("%s: malformed want annotation near %q", pos, s)
+		}
+	}
+	return out
+}
+
+// cutQuoted splits one leading quoted string off s.
+func cutQuoted(s string) (val, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			val, err = strconv.Unquote(s[:i+1])
+			return val, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}

@@ -1,0 +1,451 @@
+// Package bufown enforces the zero-copy buffer-ownership handoff rule.
+//
+// On the paper's fast path (Fig. 1, path 2) the NIC DMAs the frame
+// payload straight out of the memory the caller handed in: PostTx (and
+// the ether-level SendFromA/SendFromB, and the user-level SendAsync)
+// transfer ownership of the sk_buff-equivalent to the adapter. Until
+// the descriptor completes, the bytes belong to the hardware — the
+// paper's whole 0-copy saving depends on nobody scribbling over them.
+// There is no layer left to copy defensively, so the rule is pure
+// programmer discipline; bufown makes it a machine-checked invariant:
+//
+//   - a buffer (a []byte, or a pointer to a payload-carrying struct
+//     such as *ether.Frame / *nic.TxReq) that has been handed off must
+//     not be mutated later in the same function — no element stores, no
+//     append through it, no copy into it;
+//   - the same buffer must not be handed off twice (the double-post
+//     shape of the PR-2 bonded-retransmit pickNIC bug);
+//   - a buffer returned to a pool (a Put method on a *Pool-named type,
+//     e.g. sync.Pool) must not be used at all afterwards.
+//
+// Reassigning the variable to a fresh buffer clears its taint. The
+// check is intra-procedural and position-ordered: it follows source
+// order within one function body, which matches how the send paths in
+// this repository are written (straight-line per-fragment loops).
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the bufown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc:  "report buffers mutated, re-posted or reused after a zero-copy handoff or pool Put",
+	Run:  run,
+}
+
+// handoffNames are the methods that transfer buffer ownership to the
+// adapter/wire layer.
+var handoffNames = map[string]bool{
+	"PostTx":    true,
+	"SendFromA": true,
+	"SendFromB": true,
+	"SendAsync": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type eventKind int
+
+const (
+	evHandoff eventKind = iota // buffer handed to the NIC/wire
+	evFree                     // buffer returned to a pool
+	evMutate                   // element store / append / copy into buffer
+	evUse                      // any other read of the buffer
+	evReassign                 // variable rebound to a fresh buffer
+)
+
+type event struct {
+	kind eventKind
+	obj  types.Object
+	pos  token.Pos
+	end  token.Pos // for handoff/free: end of the transferring call
+	what string    // call or operation name, for the message
+}
+
+// checkBody collects ownership events in one function body (nested
+// function literals are analyzed separately) and replays them in source
+// order.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []event
+	collect(pass, body, &events)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	aliases := collectAliases(pass, body)
+
+	type taint struct {
+		kind eventKind // evHandoff or evFree
+		what string
+		end  token.Pos // events at or before this position are part of the transfer itself
+	}
+	owned := map[types.Object]taint{}
+	for _, ev := range events {
+		t, tainted := owned[ev.obj]
+		if tainted && ev.pos <= t.end && ev.kind != evReassign {
+			continue // inside the transferring call's own argument list
+		}
+		switch ev.kind {
+		case evHandoff:
+			if tainted {
+				pass.Reportf(ev.pos,
+					"buffer %s is handed off again by %s after %s already transferred ownership (double post: the adapter may still be DMAing from it)",
+					ev.obj.Name(), ev.what, t.what)
+				continue
+			}
+			// The handoff transfers the named buffer and everything it
+			// aliases: posting &TxReq{Frame: frame} gives the adapter
+			// frame and frame.Payload too.
+			for _, obj := range expandAliases(ev.obj, aliases) {
+				if _, dup := owned[obj]; !dup {
+					owned[obj] = taint{kind: evHandoff, what: ev.what, end: ev.end}
+				}
+			}
+		case evFree:
+			if tainted {
+				pass.Reportf(ev.pos,
+					"buffer %s is returned to the pool twice (%s after %s)",
+					ev.obj.Name(), ev.what, t.what)
+				continue
+			}
+			owned[ev.obj] = taint{kind: evFree, what: ev.what, end: ev.end}
+		case evMutate:
+			if !tainted {
+				break
+			}
+			if t.kind == evFree {
+				pass.Reportf(ev.pos,
+					"buffer %s is written (%s) after Put returned it to the pool (use after free: the pool may have handed it to another sender)",
+					ev.obj.Name(), ev.what)
+				break
+			}
+			pass.Reportf(ev.pos,
+				"buffer %s is mutated by %s after %s transferred ownership: the zero-copy path DMAs from the original memory, so the write races the wire",
+				ev.obj.Name(), ev.what, t.what)
+		case evUse:
+			if tainted && t.kind == evFree {
+				pass.Reportf(ev.pos,
+					"buffer %s is used after %s returned it to the pool (use after free: the pool may have handed it to another sender)",
+					ev.obj.Name(), t.what)
+			}
+		case evReassign:
+			delete(owned, ev.obj)
+		}
+	}
+}
+
+// collect walks body (excluding nested FuncLits) and appends ownership
+// events. Assignment left-hand sides are handled structurally — a plain
+// ident LHS is a rebinding, an indexed LHS is a mutation — so their
+// identifiers do not additionally count as reads.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, events *[]event) {
+	skipUse := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, analyzed on its own
+		case *ast.CallExpr:
+			collectCall(pass, node, events, skipUse)
+		case *ast.AssignStmt:
+			collectAssign(pass, node, events, skipUse)
+		case *ast.Ident:
+			if skipUse[node] {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[node]; obj != nil && bufferLike(obj.Type()) {
+				*events = append(*events, event{kind: evUse, obj: obj, pos: node.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// collectCall records handoffs, pool frees, and the mutating builtins.
+func collectCall(pass *analysis.Pass, call *ast.CallExpr, events *[]event, skipUse map[*ast.Ident]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "append", "copy":
+			// append(b, ...) may grow in place; copy(b, ...) writes
+			// through b. Both mutate the first argument's backing array.
+			if len(call.Args) > 0 {
+				if obj := baseObject(pass, call.Args[0]); obj != nil {
+					*events = append(*events, event{kind: evMutate, obj: obj, pos: call.Pos(), what: fun.Name})
+					if root := rootIdent(call.Args[0]); root != nil {
+						skipUse[root] = true
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		switch {
+		case handoffNames[name]:
+			for _, arg := range call.Args {
+				for _, obj := range bufferArgs(pass, arg) {
+					*events = append(*events, event{kind: evHandoff, obj: obj, pos: call.Pos(), end: call.End(), what: name})
+				}
+			}
+		case name == "Put" && poolReceiver(pass, fun.X):
+			for _, arg := range call.Args {
+				if obj := baseObject(pass, arg); obj != nil {
+					*events = append(*events, event{kind: evFree, obj: obj, pos: call.Pos(), end: call.End(), what: "Put"})
+				}
+			}
+		}
+	}
+}
+
+// collectAliases records, for each buffer-like variable assigned in
+// body, the buffer-like variables its initializer references: after
+// req := &TxReq{Frame: frame}, handing off req hands off frame too.
+// The map is position-insensitive — a deliberate over-approximation
+// bounded by the reassign-clears-taint rule.
+func collectAliases(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object][]types.Object {
+	out := map[types.Object][]types.Object{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stmt, ok := n.(*ast.AssignStmt)
+		if !ok || len(stmt.Lhs) != len(stmt.Rhs) {
+			return true
+		}
+		for i, lhs := range stmt.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var obj types.Object
+			if stmt.Tok == token.DEFINE {
+				obj = pass.TypesInfo.Defs[id]
+			} else {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !bufferLike(obj.Type()) {
+				continue
+			}
+			for _, ref := range bufferArgs(pass, stmt.Rhs[i]) {
+				if ref != obj {
+					out[obj] = append(out[obj], ref)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// expandAliases returns obj plus the transitive closure of what it
+// aliases.
+func expandAliases(obj types.Object, aliases map[types.Object][]types.Object) []types.Object {
+	seen := map[types.Object]bool{obj: true}
+	queue := []types.Object{obj}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range aliases[cur] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	out := make([]types.Object, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	return out
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectAssign records element stores (mutations) and whole-variable
+// rebinding (which clears taint). LHS identifiers it accounts for are
+// marked in skipUse so the generic read-event pass ignores them.
+func collectAssign(pass *analysis.Pass, stmt *ast.AssignStmt, events *[]event, skipUse map[*ast.Ident]bool) {
+	for _, lhs := range stmt.Lhs {
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			if obj := baseObject(pass, l.X); obj != nil {
+				*events = append(*events, event{kind: evMutate, obj: obj, pos: l.Pos(), what: "element store"})
+				if root := rootIdent(l.X); root != nil {
+					skipUse[root] = true
+				}
+			}
+		case *ast.Ident:
+			// Plain rebinding: b = freshBuf(). If the RHS still reads b
+			// (b = append(b, ...), b = b[:n]) the backing array is the
+			// same, and the append/use events carry the check, so the
+			// reassignment must not clear taint in that case.
+			obj := pass.TypesInfo.Uses[l]
+			if obj == nil || !bufferLike(obj.Type()) {
+				continue
+			}
+			skipUse[l] = true
+			if stmt.Tok == token.ASSIGN && !rhsMentions(pass, stmt.Rhs, obj) {
+				// Position the reassign after the whole statement so
+				// RHS use events replay first.
+				*events = append(*events, event{kind: evReassign, obj: obj, pos: stmt.End()})
+			}
+		}
+	}
+}
+
+// rhsMentions reports whether any RHS expression references obj.
+func rhsMentions(pass *analysis.Pass, rhs []ast.Expr, obj types.Object) bool {
+	found := false
+	for _, e := range rhs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// bufferArgs returns the buffer-like objects an argument hands over: a
+// plain identifier, the address of one, or identifiers referenced from a
+// composite literal (&TxReq{Frame: frame}).
+func bufferArgs(pass *analysis.Pass, arg ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj != nil && bufferLike(obj.Type()) {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// baseObject resolves the root identifier of an lvalue-ish expression
+// (b, b[i], frame.Payload, (*frame).Payload) when it is buffer-like.
+func baseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj != nil && bufferLike(obj.Type()) {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// bufferLike reports whether t is a byte slice or a pointer to a struct
+// that (transitively, two levels deep) carries one — the payload-owning
+// types the zero-copy path hands to the adapter. Control types like
+// *sim.Proc carry no payload bytes and never taint.
+func bufferLike(t types.Type) bool {
+	return isByteSlice(t) || carriesBytes(t, 3)
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func carriesBytes(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isByteSlice(ft) || carriesBytes(ft, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// poolReceiver reports whether the Put receiver's type name marks it as
+// a buffer pool (FramePool, BufferPool, sync.Pool, ...).
+func poolReceiver(pass *analysis.Pass, recv ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[recv]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(named.Obj().Name(), "Pool")
+}

@@ -1,0 +1,94 @@
+// Package bufown seeds the zero-copy ownership bug class: buffers
+// mutated or reused after the NIC handoff (Fig. 1 path 2) and
+// pool-returned buffers used after Put.
+package bufown
+
+// Frame mimics ether.Frame: a payload-carrying wire unit.
+type Frame struct {
+	Payload []byte
+}
+
+// TxReq mimics nic.TxReq.
+type TxReq struct {
+	Frame *Frame
+}
+
+// NIC mimics the adapter's posting surface.
+type NIC struct{}
+
+func (NIC) PostTx(pri int, req *TxReq) {}
+
+// Link mimics ether.Link.
+type Link struct{}
+
+func (Link) SendFromA(f *Frame) {}
+
+// Endpoint mimics the async user-level send.
+type Endpoint struct{}
+
+func (Endpoint) SendAsync(dst int, data []byte) {}
+
+// FramePool mimics a buffer pool.
+type FramePool struct{}
+
+func (FramePool) Get() []byte  { return nil }
+func (FramePool) Put(b []byte) {}
+
+// mutateAfterPost is the core seeded bug: the descriptor is posted, the
+// NIC may be DMAing, and the CPU scribbles on the payload.
+func mutateAfterPost(n NIC, frame *Frame) {
+	req := &TxReq{Frame: frame}
+	n.PostTx(0, req)
+	frame.Payload[0] = 0xFF // want `buffer frame is mutated by element store after PostTx transferred ownership`
+}
+
+// mutateSliceAfterAsync hands user memory to the async path, then
+// appends over it before the send completes.
+func mutateSliceAfterAsync(ep Endpoint, data []byte) []byte {
+	ep.SendAsync(1, data)
+	data = append(data, 0xAA) // want `buffer data is mutated by append after SendAsync transferred ownership`
+	return data
+}
+
+// copyAfterWireHandoff overwrites a frame the wire layer now owns.
+func copyAfterWireHandoff(l Link, f *Frame, next []byte) {
+	l.SendFromA(f)
+	copy(f.Payload, next) // want `buffer f is mutated by copy after SendFromA transferred ownership`
+}
+
+// doublePost posts the same request to two adapters — the bonded
+// retransmit shape of the PR-2 pickNIC bug.
+func doublePost(a, b NIC, req *TxReq) {
+	a.PostTx(0, req)
+	b.PostTx(0, req) // want `buffer req is handed off again by PostTx after PostTx already transferred ownership`
+}
+
+// useAfterPut reads a pooled buffer after returning it.
+func useAfterPut(p FramePool) byte {
+	buf := p.Get()
+	p.Put(buf)
+	return buf[0] // want `buffer buf is used after Put returned it to the pool`
+}
+
+// writeAfterPut stores into a pooled buffer after returning it.
+func writeAfterPut(p FramePool) {
+	buf := p.Get()
+	p.Put(buf)
+	buf[0] = 1 // want `buffer buf is written \(element store\) after Put returned it to the pool`
+}
+
+// reassignClears rebinds the variable to fresh memory after the
+// handoff: the new backing array is untainted.
+func reassignClears(ep Endpoint, data []byte) {
+	ep.SendAsync(1, data)
+	data = make([]byte, 16)
+	data[0] = 1 // ok: fresh buffer
+	ep.SendAsync(2, data)
+}
+
+// readAfterPostOK: reads of a handed-off buffer are allowed (the driver
+// reads lengths for accounting); only writes race the DMA.
+func readAfterPostOK(n NIC, frame *Frame) int {
+	n.PostTx(0, &TxReq{Frame: frame})
+	return len(frame.Payload)
+}

@@ -1,0 +1,168 @@
+// Package clicerr reports Send-family transport calls whose error
+// result is discarded.
+//
+// PR 2 gave Send, SendConfirm and RemoteWrite (and the mpi.Transport /
+// pvm.Messenger / tcpip.Messenger Send methods) an error result: with a
+// bounded retry budget the reliable channel can be declared dead
+// (clic.ErrChannelFailed, live.ErrPeerDead) and the failure surfaces
+// only through that return value — CLIC has no other layer to report it
+// (§3.1: the 12-byte header rides raw Ethernet; there is no connection
+// teardown to notice). A call site that drops the error silently loses
+// delivery guarantees, which is exactly the hole the signature change
+// opened at every legacy caller. clicerr flags any call to a function
+// or method in the Send family (Send, SendConfirm, RemoteWrite,
+// Broadcast) that returns an error which the caller ignores: expression
+// statements, go/defer statements, and assignments of the error
+// position to the blank identifier.
+//
+// Suppress a deliberate discard with //nolint:clicerr (or the
+// conventional //nolint:errcheck) plus a justification.
+package clicerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the clicerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "clicerr",
+	Doc:  "report Send/SendConfirm/RemoteWrite/Broadcast calls whose error result is discarded",
+	Run:  run,
+}
+
+// family is the set of transport entry points whose errors must not be
+// dropped. Matching is by name plus an error-typed result, so future
+// transports (and test fixtures) are covered without a registry edit.
+var family = map[string]bool{
+	"Send":        true,
+	"SendConfirm": true,
+	"RemoteWrite": true,
+	"Broadcast":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				check(pass, stmt.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				check(pass, stmt.Call, "discarded by defer statement")
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callName returns the Send-family name of a call, or "".
+func callName(call *ast.CallExpr) string {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return ""
+	}
+	if !family[name] {
+		return ""
+	}
+	return name
+}
+
+// errPositions returns the indices of error-typed results of a call, or
+// nil when the callee is not a Send-family function returning an error.
+func errPositions(pass *analysis.Pass, call *ast.CallExpr) (string, []int) {
+	name := callName(call)
+	if name == "" {
+		return "", nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return "", nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return "", nil
+	}
+	var errs []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errs = append(errs, i)
+		}
+	}
+	return name, errs
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// check flags a Send-family call whose entire result set is dropped.
+func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	name, errs := errPositions(pass, call)
+	if len(errs) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is %s: a dead reliable channel (clic.ErrChannelFailed) is reported only here and must be handled",
+		name, how)
+}
+
+// checkAssign flags assignments that route a Send-family error to the
+// blank identifier.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	// Single call, possibly multi-value: x, _ := f().
+	if len(stmt.Rhs) == 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, errs := errPositions(pass, call)
+		if len(errs) == 0 {
+			return
+		}
+		for _, i := range errs {
+			if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
+				pass.Reportf(call.Pos(),
+					"error result of %s is assigned to the blank identifier: handle the failure or annotate //nolint:clicerr with a reason",
+					name)
+			}
+		}
+		return
+	}
+	// Parallel assignment: a, b = f(), g().
+	for i, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name, errs := errPositions(pass, call)
+		if len(errs) == 0 {
+			continue
+		}
+		if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
+			pass.Reportf(call.Pos(),
+				"error result of %s is assigned to the blank identifier: handle the failure or annotate //nolint:clicerr with a reason",
+				name)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package clicerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clicerr"
+)
+
+func TestClicerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clicerr.Analyzer, "clicerr")
+}

@@ -1,0 +1,57 @@
+// Package clicerr seeds the PR-2 bug class: transport Send-family
+// calls grew an error result and legacy call sites silently discard it.
+package clicerr
+
+import "fmt"
+
+// Endpoint mimics the clic.Endpoint / live.Node surface: reliable
+// primitives whose only failure report is the returned error.
+type Endpoint struct{}
+
+func (Endpoint) Send(dst int, port uint16, data []byte) error        { return nil }
+func (Endpoint) SendConfirm(dst int, port uint16, data []byte) error { return nil }
+func (Endpoint) RemoteWrite(dst int, off int, data []byte) error     { return nil }
+func (Endpoint) Broadcast(port uint16, data []byte) error            { return nil }
+
+// Transport mimics mpi.Transport / pvm.Messenger.
+type Transport interface {
+	Send(dst int, port uint16, data []byte) error
+}
+
+// send is a free function in the family.
+func Send(dst int, data []byte) error { return nil }
+
+func dropAll(ep Endpoint, tr Transport) {
+	ep.Send(1, 7, nil)           // want `error result of Send is discarded`
+	ep.SendConfirm(1, 7, nil)    // want `error result of SendConfirm is discarded`
+	ep.RemoteWrite(1, 128, nil)  // want `error result of RemoteWrite is discarded`
+	ep.Broadcast(7, nil)         // want `error result of Broadcast is discarded`
+	tr.Send(1, 7, nil)           // want `error result of Send is discarded`
+	Send(1, nil)                 // want `error result of Send is discarded`
+	go ep.Send(1, 7, nil)        // want `error result of Send is discarded by go statement`
+	defer ep.Send(1, 7, nil)     // want `error result of Send is discarded by defer statement`
+	_ = ep.Send(1, 7, nil)       // want `error result of Send is assigned to the blank identifier`
+	ep.Send(1, 7, nil)           //nolint:clicerr // deliberate: unlimited retries in this configuration
+	ep.Send(1, 7, nil)           //nolint:errcheck // conventional linter alias is honoured
+}
+
+func handledOK(ep Endpoint, tr Transport) error {
+	if err := ep.Send(1, 7, nil); err != nil {
+		return err
+	}
+	err := ep.SendConfirm(1, 7, nil)
+	if err != nil {
+		return fmt.Errorf("confirm: %w", err)
+	}
+	return tr.Send(1, 7, nil)
+}
+
+// Sender has a Send with no error result (the pre-PR-2 shape, or
+// fire-and-forget transports like gamma): nothing to discard.
+type Sender struct{}
+
+func (Sender) Send(dst int, data []byte) {}
+
+func notFlagged(s Sender) {
+	s.Send(1, nil)
+}

@@ -1,0 +1,357 @@
+// Package loader parses and type-checks Go packages from source using
+// only the standard library, replacing golang.org/x/tools/go/packages
+// for the hermetic build environment this repository targets (no module
+// proxy, no vendor tree). It resolves imports three ways: paths under
+// the current module map to directories inside the module, everything
+// else is looked up in GOROOT/src (with the GOROOT vendor prefix as a
+// fallback), and explicit overrides support the analysistest fixture
+// trees. Cgo is disabled so the pure-Go variants of net and os/user are
+// selected, which keeps the whole load runnable from source offline.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package with retained syntax.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config controls a load.
+type Config struct {
+	// Dir is the directory patterns are resolved against; the module
+	// root is discovered by walking up from it. Defaults to the current
+	// working directory.
+	Dir string
+
+	// Tests includes in-package _test.go files of the matched packages.
+	// External test packages (package foo_test) are never loaded.
+	Tests bool
+
+	// DirFor overrides the source directory of specific import paths;
+	// the analysistest harness uses it to mount fixture trees under
+	// synthetic paths like "fixture/clicerr".
+	DirFor map[string]string
+}
+
+// load carries the state of one Load call.
+type load struct {
+	cfg     Config
+	fset    *token.FileSet
+	ctx     build.Context
+	modRoot string
+	modPath string
+	pkgs    map[string]*entry
+	stack   []string // in-progress imports, for cycle reporting
+}
+
+type entry struct {
+	pkg  *types.Package
+	err  error
+	busy bool
+}
+
+// Load type-checks the packages matching patterns ("./...", a relative
+// directory, or an import path) and returns them sorted by import path.
+// Syntax and type information are retained only for the matched
+// packages; dependencies contribute just their type objects.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if cfg.Dir == "" {
+		d, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Dir = d
+	}
+	modRoot, modPath, err := findModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	ctx.CgoEnabled = false // select the pure-Go stdlib variants
+	ld := &load{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    map[string]*entry{},
+	}
+	paths, err := ld.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := ld.loadFull(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expand turns the argument patterns into a list of import paths.
+func (ld *load) expand(patterns []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			root := ld.cfg.Dir
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if !ld.hasGoFiles(p) {
+					return nil
+				}
+				ip, err := ld.dirToImport(p)
+				if err != nil {
+					return nil // outside the module; skip
+				}
+				add(ip)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			dir := filepath.Join(ld.cfg.Dir, pat)
+			ip, err := ld.dirToImport(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(ip)
+		default:
+			add(pat)
+		}
+	}
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains any non-test .go file.
+func (ld *load) hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirToImport maps a directory inside the module to its import path.
+func (ld *load) dirToImport(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(ld.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("loader: %s is outside module %s", dir, ld.modRoot)
+	}
+	if rel == "." {
+		return ld.modPath, nil
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor locates the source directory of an import path.
+func (ld *load) dirFor(path string) (string, error) {
+	if d, ok := ld.cfg.DirFor[path]; ok {
+		return d, nil
+	}
+	if path == ld.modPath {
+		return ld.modRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, ld.modPath+"/"); ok {
+		return filepath.Join(ld.modRoot, filepath.FromSlash(rest)), nil
+	}
+	goroot := runtime.GOROOT()
+	for _, d := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, nil
+		}
+	}
+	return "", fmt.Errorf("loader: cannot locate package %q", path)
+}
+
+// goFiles returns the build-constraint-selected Go files of dir, plus
+// in-package test files when wantTests is set.
+func (ld *load) goFiles(path, dir string, wantTests bool) ([]string, error) {
+	bp, err := ld.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, fmt.Errorf("loader: no buildable Go files for %q in %s", path, dir)
+		}
+		return nil, err
+	}
+	files := append([]string(nil), bp.GoFiles...)
+	if wantTests {
+		files = append(files, bp.TestGoFiles...) // in-package only
+	}
+	for i, f := range files {
+		files[i] = filepath.Join(dir, f)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// parse parses the named files with comments retained.
+func (ld *load) parse(files []string) ([]*ast.File, error) {
+	var out []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Import implements types.Importer for dependency resolution.
+func (ld *load) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := ld.pkgs[path]; ok {
+		if e.busy {
+			return nil, fmt.Errorf("loader: import cycle through %q (stack %v)", path, ld.stack)
+		}
+		return e.pkg, e.err
+	}
+	e := &entry{busy: true}
+	ld.pkgs[path] = e
+	ld.stack = append(ld.stack, path)
+	e.pkg, _, e.err = ld.check(path, false, nil)
+	ld.stack = ld.stack[:len(ld.stack)-1]
+	e.busy = false
+	return e.pkg, e.err
+}
+
+// check parses and type-checks one package. When info is non-nil the
+// checker fills it (a matched target package); dependencies pass nil and
+// keep only the types.Package.
+func (ld *load) check(path string, wantTests bool, info *types.Info) (*types.Package, []*ast.File, error) {
+	dir, err := ld.dirFor(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	names, err := ld.goFiles(path, dir, wantTests)
+	if err != nil {
+		return nil, nil, err
+	}
+	files, err := ld.parse(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("loader: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	return pkg, files, nil
+}
+
+// loadFull loads path as a target package, retaining syntax and type
+// information. Targets are always checked fresh and never placed in the
+// import cache: importers see only the bare (test-free) variant, so a
+// target that includes _test.go files cannot leak test declarations into
+// its importers, and every package's own import graph stays internally
+// consistent.
+func (ld *load) loadFull(path string) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	ld.stack = append(ld.stack, path)
+	pkg, files, err := ld.check(path, ld.cfg.Tests, info)
+	ld.stack = ld.stack[:len(ld.stack)-1]
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: ld.fset, Files: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,121 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot walks up from this file to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+// TestLoadModulePackage checks that a module-internal package
+// type-checks from source with full syntax and type info retained.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load(Config{Dir: repoRoot(t)}, "./internal/proto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "repro/internal/proto" {
+		t.Fatalf("path = %q", p.Path)
+	}
+	if len(p.Files) == 0 || p.Info == nil || p.Types == nil {
+		t.Fatal("missing syntax or type info")
+	}
+	if p.Types.Scope().Lookup("DecodeHeader") == nil {
+		t.Fatal("DecodeHeader not in package scope")
+	}
+	// Uses must be populated: find at least one resolved identifier.
+	if len(p.Info.Uses) == 0 {
+		t.Fatal("empty Uses map")
+	}
+}
+
+// TestLoadStdlibImporter checks that packages importing large stdlib
+// subtrees (net, time via internal/live) type-check offline from GOROOT
+// source with cgo disabled.
+func TestLoadStdlibImporter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads much of the stdlib from source")
+	}
+	pkgs, err := Load(Config{Dir: repoRoot(t)}, "./internal/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := pkgs[0]
+	var sawNet bool
+	for _, imp := range live.Types.Imports() {
+		if imp.Path() == "net" {
+			sawNet = true
+		}
+	}
+	if !sawNet {
+		t.Fatal("live package did not resolve its net import")
+	}
+}
+
+// TestLoadPatternWalk checks ./... expansion skips testdata and finds
+// every package, and that the same dependency instance is shared.
+func TestLoadPatternWalk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := Load(Config{Dir: repoRoot(t)}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		if _, dup := byPath[p.Path]; dup {
+			t.Fatalf("duplicate package %s", p.Path)
+		}
+		byPath[p.Path] = p
+		if filepath.Base(p.Path) == "testdata" {
+			t.Fatalf("testdata package leaked into walk: %s", p.Path)
+		}
+	}
+	for _, want := range []string{
+		"repro/internal/clic", "repro/internal/sim", "repro/cmd/clicsim",
+		"repro/examples/quickstart", "repro/internal/analysis/loader",
+	} {
+		if byPath[want] == nil {
+			t.Fatalf("pattern walk missed %s", want)
+		}
+	}
+}
+
+// TestDirForOverride mounts a fixture tree under a synthetic import path
+// the way the analysistest harness does.
+func TestDirForOverride(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "f.go"), "package fix\n\nfunc F() int { return 1 }\n")
+	pkgs, err := Load(Config{
+		Dir:    repoRoot(t),
+		DirFor: map[string]string{"fixture/fix": dir},
+	}, "fixture/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkgs[0].Types.Scope().Lookup("F") == nil {
+		t.Fatal("fixture function not loaded")
+	}
+}
+
+func writeFile(t *testing.T, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package metricname seeds the telemetry cardinality bug class:
+// runtime-assembled metric names and label keys.
+package metricname
+
+import "fmt"
+
+// Label and Registry mimic the repro/internal/telemetry surface.
+type Label struct{ Key, Value string }
+
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type Counter struct{}
+type Gauge struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter   { return nil }
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge       { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {}
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label)  {}
+
+const goodName = "clic_msgs_sent_total" // constants are fine
+
+func register(r *Registry, peer string, n int) {
+	r.Counter("clic_rto_backoffs_total", "help")
+	r.Counter(goodName, "help")
+	r.Counter(fmt.Sprintf("clic_peer_%s_total", peer), "help") // want `metric name passed to Counter must be a compile-time constant`
+	r.Counter("peer-"+peer, "help")                            // want `metric name passed to Counter must be a compile-time constant`
+	r.Gauge("CamelCaseGauge", "help")                          // want `metric name "CamelCaseGauge" passed to Gauge is not snake_case`
+	r.GaugeFunc("9starts_with_digit", "help", func() float64 { return 0 }) // want `metric name "9starts_with_digit" passed to GaugeFunc is not snake_case`
+	r.RegisterCounter("trailing_", "help", nil)                // want `metric name "trailing_" passed to RegisterCounter is not snake_case`
+
+	r.Counter("ok_name", "help", L("node", "n0"))
+	r.Counter("ok_name2", "help", L(peer, "v"))       // want `label key passed to L must be a compile-time constant`
+	r.Counter("ok_name3", "help", L("Bad-Key", "v"))  // want `label key "Bad-Key" passed to L is not snake_case`
+	_ = Label{Key: "good_key", Value: peer}           // dynamic values are allowed
+	_ = Label{Key: peer, Value: "x"}                  // want `label key passed to Label literal must be a compile-time constant`
+	_ = Label{"UPPER", "x"}                           // want `label key "UPPER" passed to Label literal is not snake_case`
+}

@@ -1,0 +1,122 @@
+// Package simtime reports wall-clock and unseeded-randomness use inside
+// simulation-clock-driven packages.
+//
+// The simulated stack (internal/sim and everything scheduled on its
+// engine: clic, ether, nic, kernel, bench) runs on a virtual clock —
+// sim.Time advances only when events fire. That is what makes fault
+// injection deterministic and experiments resumable: the same seed
+// replays the same interleaving down to the nanosecond. A single
+// time.Now or time.Sleep in that code silently couples results to the
+// host scheduler, and the global math/rand source (process-seeded) does
+// the same to loss patterns. simtime flags:
+//
+//   - references to time.Now, time.Since, time.Until, time.Sleep,
+//     time.After, time.AfterFunc, time.Tick, time.NewTimer and
+//     time.NewTicker (time.Duration values and unit constants are fine
+//     — they are units, not clocks);
+//   - references to package-level math/rand and math/rand/v2 functions,
+//     which draw from the shared global source; construct a seeded
+//     generator instead (rand.New(rand.NewSource(seed)), as
+//     sim.NewEngine does) and thread it through.
+//
+// The live stack (internal/live) intentionally runs on real time and is
+// out of scope.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the simtime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc:  "report wall-clock time and unseeded randomness in sim-clock-driven packages",
+	Run:  run,
+}
+
+// Packages holds the import-path patterns simtime applies to. The
+// default covers every package scheduled on the simulation engine plus
+// the fixture prefix the analysistest harness mounts fixtures under.
+// cmd/cliclint exposes it as -simtime.pkgs.
+var Packages = []string{
+	`^repro/internal/(sim|clic|ether|nic|kernel|bench)(/|$)`,
+	`^fixture/`,
+}
+
+// wallClock is the banned name set per source package.
+var wallClock = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true,
+	},
+}
+
+// seededConstructors are the math/rand names that build an explicitly
+// seeded generator and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch path := obj.Pkg().Path(); path {
+			case "time":
+				if wallClock["time"][obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulation-driven package %s: use the virtual clock (Engine.Now, Proc.Sleep) so runs stay deterministic and replayable",
+						obj.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if isPkgFunc(obj) && !seededConstructors[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand source (%s.%s) in simulation-driven package %s: draw from a seeded generator (Engine.Rand) so fault injection replays byte-for-byte",
+						pkgBase(path), obj.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope reports whether pkg matches any configured pattern.
+func inScope(pkg string) bool {
+	for _, pat := range Packages {
+		if ok, err := regexp.MatchString(pat, pkg); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether obj is a package-level function (methods on
+// an explicitly constructed *rand.Rand are seeded instances and fine).
+func isPkgFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Type().(*types.Signature).Recv() == nil
+}
+
+func pkgBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simtime.Analyzer, "simtime")
+}

@@ -1,0 +1,46 @@
+// Package simtime seeds the determinism bug class: wall-clock reads and
+// global-source randomness inside simulation-clock-driven code, which
+// silently break replayable fault injection.
+package simtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// retransTimer mimics the RTO arming path: stamping a frame with host
+// time instead of the virtual clock.
+func retransTimer() int64 {
+	t := time.Now()            // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	<-time.After(time.Second)  // want `wall-clock time\.After`
+	elapsed := time.Since(t)   // want `wall-clock time\.Since`
+	_ = time.Tick(time.Second) // want `wall-clock time\.Tick`
+	tm := time.NewTimer(1)     // want `wall-clock time\.NewTimer`
+	tm.Stop()
+	return int64(elapsed)
+}
+
+// lossPattern mimics fault injection drawing from the process-global
+// source: every run sees a different drop pattern.
+func lossPattern() bool {
+	return rand.Float64() < 0.01 // want `global math/rand source \(rand\.Float64\)`
+}
+
+func shuffleNICs(order []int) {
+	rand.Shuffle(len(order), func(i, j int) { // want `global math/rand source \(rand\.Shuffle\)`
+		order[i], order[j] = order[j], order[i]
+	})
+}
+
+// seededOK is the sanctioned pattern: an explicit seed threaded through,
+// as sim.NewEngine does.
+func seededOK(seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() < 0.01
+}
+
+// unitsOK uses time only as a unit system, never as a clock.
+func unitsOK(d time.Duration) float64 {
+	return d.Seconds() + float64(3*time.Microsecond)
+}

@@ -448,7 +448,7 @@ func intraNodeLatency(p *model.Params) sim.Time {
 		start := proc.Now()
 		const rounds = 10
 		for i := 0; i < rounds; i++ {
-			ep.Send(proc, 0, 50, nil)
+			mustSend(ep.Send(proc, 0, 50, nil))
 			ep.Recv(proc, 50)
 		}
 		elapsed = (proc.Now() - start) / rounds

@@ -68,7 +68,7 @@ func jitterRun(params *model.Params, opt clic.Options) *sim.Samples {
 	c.Go("bulk", func(p *sim.Proc) {
 		payload := make([]byte, 100_000)
 		for i := 0; i < 60; i++ {
-			c.Nodes[1].CLIC.Send(p, 2, bulkPort, payload)
+			mustSend(c.Nodes[1].CLIC.Send(p, 2, bulkPort, payload))
 		}
 	})
 	c.Go("bulk-sink", func(p *sim.Proc) {
@@ -81,12 +81,12 @@ func jitterRun(params *model.Params, opt clic.Options) *sim.Samples {
 		for i := 0; i < requests && !bulkDone; i++ {
 			p.Sleep(reqGap)
 			start := p.Now()
-			c.Nodes[0].CLIC.Send(p, 2, reqPort, []byte("req"))
+			mustSend(c.Nodes[0].CLIC.Send(p, 2, reqPort, []byte("req")))
 			c.Nodes[0].CLIC.Recv(p, reqPort)
 			dist.AddTime((p.Now() - start) / 2)
 		}
 		// Unblock the responder.
-		c.Nodes[0].CLIC.Send(p, 2, reqPort, []byte("bye"))
+		mustSend(c.Nodes[0].CLIC.Send(p, 2, reqPort, []byte("bye")))
 	})
 	c.Go("responder", func(p *sim.Proc) {
 		for {
@@ -94,7 +94,7 @@ func jitterRun(params *model.Params, opt clic.Options) *sim.Samples {
 			if string(msg) == "bye" {
 				return
 			}
-			c.Nodes[2].CLIC.Send(p, src, reqPort, msg)
+			mustSend(c.Nodes[2].CLIC.Send(p, src, reqPort, msg))
 		}
 	})
 	c.Run()

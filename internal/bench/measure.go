@@ -7,6 +7,16 @@ import (
 	"repro/internal/sim"
 )
 
+// mustSend aborts the benchmark on a transport send error. Benchmarks
+// run over channels configured with enough retry budget that a failure
+// means the scenario itself is broken — a silently dropped error would
+// instead freeze the peer in Recv and corrupt the measurement.
+func mustSend(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("bench: send failed: %v", err))
+	}
+}
+
 // Latency measures one-way latency for messages of the given size by
 // ping-pong: `rounds` round trips after a warmup, reported as mean
 // RTT/2 in nanoseconds — the measurement behind the paper's "36 µs for

@@ -42,12 +42,12 @@ func CLICPair(opt clic.Options) Setup {
 		return &Pair{
 			C:    c,
 			Name: "CLIC",
-			Send: func(p *sim.Proc, data []byte) { c.Nodes[0].CLIC.Send(p, 1, port, data) },
+			Send: func(p *sim.Proc, data []byte) { mustSend(c.Nodes[0].CLIC.Send(p, 1, port, data)) },
 			Recv: func(p *sim.Proc, size int) []byte {
 				_, d := c.Nodes[1].CLIC.Recv(p, port)
 				return d
 			},
-			SendBack: func(p *sim.Proc, data []byte) { c.Nodes[1].CLIC.Send(p, 0, port, data) },
+			SendBack: func(p *sim.Proc, data []byte) { mustSend(c.Nodes[1].CLIC.Send(p, 0, port, data)) },
 			RecvBack: func(p *sim.Proc, size int) []byte {
 				_, d := c.Nodes[0].CLIC.Recv(p, port)
 				return d
@@ -66,12 +66,12 @@ func BondedCLICPair(opt clic.Options, nics int) Setup {
 		return &Pair{
 			C:    c,
 			Name: "CLIC-bonded",
-			Send: func(p *sim.Proc, data []byte) { c.Nodes[0].CLIC.Send(p, 1, port, data) },
+			Send: func(p *sim.Proc, data []byte) { mustSend(c.Nodes[0].CLIC.Send(p, 1, port, data)) },
 			Recv: func(p *sim.Proc, size int) []byte {
 				_, d := c.Nodes[1].CLIC.Recv(p, port)
 				return d
 			},
-			SendBack: func(p *sim.Proc, data []byte) { c.Nodes[1].CLIC.Send(p, 0, port, data) },
+			SendBack: func(p *sim.Proc, data []byte) { mustSend(c.Nodes[1].CLIC.Send(p, 0, port, data)) },
 			RecvBack: func(p *sim.Proc, size int) []byte {
 				_, d := c.Nodes[0].CLIC.Recv(p, port)
 				return d

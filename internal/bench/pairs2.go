@@ -77,7 +77,7 @@ func PVMPair() Setup {
 			return func(p *sim.Proc, data []byte) {
 				t.InitSend(p)
 				t.PkBytes(p, data)
-				t.Send(p, dst, tag)
+				mustSend(t.Send(p, dst, tag))
 			}
 		}
 		return &Pair{

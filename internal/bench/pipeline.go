@@ -26,11 +26,11 @@ func PipelineTrace(params *model.Params, opt clic.Options, size int) *trace.Rec 
 	payload := make([]byte, size)
 	c.Go("sender", func(p *sim.Proc) {
 		// Warm up ports and channels, then trace the second packet.
-		c.Nodes[0].CLIC.Send(p, 1, port, payload)
+		mustSend(c.Nodes[0].CLIC.Send(p, 1, port, payload))
 		p.Sleep(sim.Millisecond)
 		rec.Mark("app:send-call", p.Now())
 		c.Nodes[0].CLIC.TraceNext = rec
-		c.Nodes[0].CLIC.Send(p, 1, port, payload)
+		mustSend(c.Nodes[0].CLIC.Send(p, 1, port, payload))
 		rec.Mark("app:send-return", p.Now())
 	})
 	c.Go("receiver", func(p *sim.Proc) {

@@ -146,6 +146,18 @@ func (r *Rank) libOverhead(p *sim.Proc) {
 	}
 }
 
+// mustSend pushes one envelope through the transport and aborts the job
+// if the reliable channel is dead. MPI's default error handler is
+// MPI_ERRORS_ARE_FATAL: a rank that cannot reach a peer takes the whole
+// communicator down rather than silently losing the message — the
+// Send-family error must never be dropped (cliclint: clicerr).
+func (r *Rank) mustSend(p *sim.Proc, node int, port uint16, env []byte) {
+	if err := r.tr.Send(p, node, port, env); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: transport send to node %d port %d failed: %v",
+			r.rank, node, port, err))
+	}
+}
+
 // Send is the blocking tagged send: eager below the limit, rendezvous
 // (RTS/CTS handshake) above it.
 func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
@@ -156,7 +168,7 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 	dstRank := r.world.ranks[dst]
 	if len(data) <= r.m.MPI.EagerLimit {
 		env := encodeEnv(envHeader{tag: int32(tag), kind: kindEager}, data)
-		r.tr.Send(p, dstRank.node, basePort(dst), env)
+		r.mustSend(p, dstRank.node, basePort(dst), env)
 		return
 	}
 	// Rendezvous: announce, wait for the receiver's buffer, then stream.
@@ -164,13 +176,13 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 	cookie := r.nextCooky<<8 | uint32(r.rank&0xff)
 	rts := encodeEnv(envHeader{tag: int32(tag), kind: kindRTS, cookie: cookie},
 		binary.BigEndian.AppendUint64(nil, uint64(len(data))))
-	r.tr.Send(p, dstRank.node, basePort(dst), rts)
+	r.mustSend(p, dstRank.node, basePort(dst), rts)
 	for !r.cts[cookie] {
 		r.pull(p)
 	}
 	delete(r.cts, cookie)
 	env := encodeEnv(envHeader{tag: int32(tag), kind: kindRData, cookie: cookie}, data)
-	r.tr.Send(p, dstRank.node, basePort(dst), env)
+	r.mustSend(p, dstRank.node, basePort(dst), env)
 }
 
 // Recv is the blocking tagged receive from an explicit source rank.
@@ -196,7 +208,7 @@ func (r *Rank) Recv(p *sim.Proc, src, tag int) []byte {
 func (r *Rank) completeRendezvous(p *sim.Proc, src, tag int, ann pendingRTS) []byte {
 	srcRank := r.world.ranks[src]
 	cts := encodeEnv(envHeader{tag: int32(tag), kind: kindCTS, cookie: ann.cookie}, nil)
-	r.tr.Send(p, srcRank.node, basePort(src), cts)
+	r.mustSend(p, srcRank.node, basePort(src), cts)
 	key := matchKey{src: src, tag: tag}
 	for {
 		if q := r.inbox[key]; len(q) > 0 {
@@ -228,7 +240,7 @@ func (r *Rank) pull(p *sim.Proc) {
 		if req, pending := r.rsendQ[env.cookie]; pending {
 			delete(r.rsendQ, env.cookie)
 			env2 := encodeEnv(envHeader{tag: int32(req.tag), kind: kindRData, cookie: env.cookie}, req.payload)
-			r.tr.Send(p, r.world.ranks[req.dst].node, basePort(req.dst), env2)
+			r.mustSend(p, r.world.ranks[req.dst].node, basePort(req.dst), env2)
 			req.payload = nil
 			req.done = true
 			return

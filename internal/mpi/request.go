@@ -29,14 +29,14 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 	dstRank := r.world.ranks[dst]
 	if len(data) <= r.m.MPI.EagerLimit {
 		env := encodeEnv(envHeader{tag: int32(tag), kind: kindEager}, data)
-		r.tr.Send(p, dstRank.node, basePort(dst), env)
+		r.mustSend(p, dstRank.node, basePort(dst), env)
 		return &Request{rank: r, done: true}
 	}
 	r.nextCooky++
 	cookie := r.nextCooky<<8 | uint32(r.rank&0xff)
 	rts := encodeEnv(envHeader{tag: int32(tag), kind: kindRTS, cookie: cookie},
 		appendUint64(nil, uint64(len(data))))
-	r.tr.Send(p, dstRank.node, basePort(dst), rts)
+	r.mustSend(p, dstRank.node, basePort(dst), rts)
 	req := &Request{rank: r, isRSend: true, cookie: cookie, payload: data, dst: dst, tag: tag}
 	// Register so the pull loop completes the handshake even while this
 	// process is blocked in a Recv (progress-engine behaviour).

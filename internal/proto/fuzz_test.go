@@ -12,6 +12,18 @@ func FuzzDecodeHeader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, HeaderBytes))
 	f.Add(Header{Type: TypeData, Flags: FlagFirst | FlagLast, Port: 7, Seq: 42, Len: 99}.Encode(nil))
+	// Truncated header: one byte short of the fixed size — the boundary
+	// the length check in DecodeHeader guards.
+	f.Add(make([]byte, HeaderBytes-1))
+	f.Add(Header{Type: TypeData, Flags: FlagFirst, Port: 7, Seq: 1, Len: 9}.Encode(nil)[:HeaderBytes-1])
+	// Oversized Len: the 32-bit length field maxed out with no payload
+	// behind it — a reassembler trusting Len for allocation would blow up.
+	f.Add(Header{Type: TypeData, Flags: FlagFirst | FlagLast, Port: 7, Seq: 1, Len: 0xFFFFFFFF}.Encode(nil))
+	// Len larger than the bytes actually present after the header.
+	f.Add(append(Header{Type: TypeData, Flags: FlagFirst, Port: 7, Seq: 1, Len: 1 << 30}.Encode(nil), 0xAA, 0xBB))
+	// Unknown packet type and all-flags-set: decoders must pass these
+	// through, not panic on them.
+	f.Add(Header{Type: 0xFF, Flags: 0xFF, Port: 0xFFFF, Seq: 0xFFFFFFFF, Len: 0}.Encode(nil))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		h, rest, err := DecodeHeader(b)
 		if err != nil {

@@ -69,13 +69,15 @@ func (t *Task) PkBytes(p *sim.Proc, data []byte) {
 	t.sendBuf = append(t.sendBuf, data...)
 }
 
-// Send transmits the packed buffer to (dstTid, tag) (pvm_send).
-func (t *Task) Send(p *sim.Proc, dstTid, tag int) {
+// Send transmits the packed buffer to (dstTid, tag) (pvm_send). Like
+// pvm_send it returns a status: a non-nil error means the messenger's
+// channel to dstTid is dead.
+func (t *Task) Send(p *sim.Proc, dstTid, tag int) error {
 	t.cpuWork(p, t.m.PVM.PerCall)
 	msg := make([]byte, 4, 4+len(t.sendBuf))
 	binary.BigEndian.PutUint32(msg, uint32(tag))
 	msg = append(msg, t.sendBuf...)
-	t.msgr.Send(p, dstTid, pvmPort, msg)
+	return t.msgr.Send(p, dstTid, pvmPort, msg)
 }
 
 // Recv blocks for a message from (srcTid, tag) and unpacks it

@@ -11,6 +11,15 @@ import (
 	"repro/internal/tcpip"
 )
 
+
+// mustSend aborts on a send error: the TCP mesh these tests run over
+// retries without bound, so a non-nil error is a harness bug.
+func mustSend(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func tasks(c *cluster.Cluster) []*pvm.Task {
 	stacks := make([]*tcpip.Stack, len(c.Nodes))
 	for i, n := range c.Nodes {
@@ -45,7 +54,7 @@ func TestPackSendRecv(t *testing.T) {
 	c.Go("t0", func(p *sim.Proc) {
 		ts[0].InitSend(p)
 		ts[0].PkBytes(p, payload)
-		ts[0].Send(p, 1, 99)
+		mustSend(ts[0].Send(p, 1, 99))
 	})
 	c.Go("t1", func(p *sim.Proc) {
 		got = ts[1].Recv(p, 0, 99)
@@ -64,10 +73,10 @@ func TestTagMatching(t *testing.T) {
 	c.Go("t0", func(p *sim.Proc) {
 		ts[0].InitSend(p)
 		ts[0].PkBytes(p, []byte("one"))
-		ts[0].Send(p, 1, 1)
+		mustSend(ts[0].Send(p, 1, 1))
 		ts[0].InitSend(p)
 		ts[0].PkBytes(p, []byte("two"))
-		ts[0].Send(p, 1, 2)
+		mustSend(ts[0].Send(p, 1, 2))
 	})
 	c.Go("t1", func(p *sim.Proc) {
 		a = ts[1].Recv(p, 0, 2) // ask for the later tag first
@@ -88,7 +97,7 @@ func TestMultiplePacks(t *testing.T) {
 		ts[0].InitSend(p)
 		ts[0].PkBytes(p, []byte("hello, "))
 		ts[0].PkBytes(p, []byte("pvm"))
-		ts[0].Send(p, 1, 3)
+		mustSend(ts[0].Send(p, 1, 3))
 	})
 	c.Go("t1", func(p *sim.Proc) { got = ts[1].Recv(p, 0, 3) })
 	c.Run()
@@ -115,7 +124,7 @@ func TestPVMOverCLIC(t *testing.T) {
 	c.Go("t0", func(p *sim.Proc) {
 		ts[0].InitSend(p)
 		ts[0].PkBytes(p, payload)
-		ts[0].Send(p, 1, 7)
+		mustSend(ts[0].Send(p, 1, 7))
 	})
 	c.Go("t1", func(p *sim.Proc) { got = ts[1].Recv(p, 0, 7) })
 	c.Run()

@@ -16,11 +16,26 @@ package telemetry
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
+
+// snakeRe is the naming rule for metric names and label keys: Prometheus
+// snake_case, the same rule the metricname analyzer enforces statically.
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// validateName panics unless s is snake_case. Registration happens once
+// per series, so the regexp cost never touches a hot path; panicking
+// matches the registry's duplicate/kind-mismatch behaviour — a bad name
+// is a programming error, not an operational condition.
+func validateName(what, s string) {
+	if !snakeRe.MatchString(s) {
+		panic(fmt.Sprintf("telemetry: %s %q is not snake_case ([a-z0-9_], starting with a letter)", what, s))
+	}
+}
 
 // Label is one name=value metric tag (node, nic, link, sendpath, ...).
 type Label struct{ Key, Value string }
@@ -113,9 +128,13 @@ func NewRegistry() *Registry {
 	return &Registry{fams: map[string]*family{}}
 }
 
-// sortLabels returns a copy of labels sorted by key.
+// sortLabels validates every label key and returns a copy of labels
+// sorted by key. All registration paths funnel through it.
 func sortLabels(labels []Label) []Label {
 	out := append([]Label(nil), labels...)
+	for _, l := range out {
+		validateName("label key", l.Key)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
@@ -142,6 +161,7 @@ func labelKey(sorted []Label) string {
 func (r *Registry) familyFor(name, help string, kind Kind) *family {
 	f, ok := r.fams[name]
 	if !ok {
+		validateName("metric name", name)
 		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
 		r.fams[name] = f
 		r.order = append(r.order, name)

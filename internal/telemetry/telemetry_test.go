@@ -51,6 +51,34 @@ func TestKindMismatchPanics(t *testing.T) {
 	mustPanic(t, "re-registered", func() { r.Gauge("x_total", "") })
 }
 
+func TestInvalidNamePanics(t *testing.T) {
+	for _, bad := range []string{"CamelCase", "9leading_digit", "trailing_", "has-dash", "has space", ""} {
+		bad := bad
+		r := NewRegistry()
+		mustPanic(t, "not snake_case", func() { r.Counter(bad, "") })
+	}
+	// The same rule applies to every registration path, not just Counter.
+	mustPanic(t, "not snake_case", func() { NewRegistry().Gauge("Bad", "") })
+	mustPanic(t, "not snake_case", func() {
+		NewRegistry().Histogram("Bad", "", []float64{1})
+	})
+	mustPanic(t, "not snake_case", func() {
+		NewRegistry().GaugeFunc("Bad", "", func() float64 { return 0 })
+	})
+	mustPanic(t, "not snake_case", func() {
+		var c Counter
+		NewRegistry().RegisterCounter("Bad", "", &c)
+	})
+}
+
+func TestInvalidLabelKeyPanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "not snake_case", func() { r.Counter("ok_total", "", L("Bad-Key", "v")) })
+	mustPanic(t, "not snake_case", func() { r.Gauge("ok_depth", "", L("", "v")) })
+	// Label values are unrestricted: they carry instance identity.
+	r.Counter("ok_total2", "", L("node", "Node-0/EXTRA weird"))
+}
+
 func TestLabelOrderIsCanonical(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("y_total", "", L("node", "0"), L("nic", "eth0"))
