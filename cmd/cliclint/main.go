@@ -18,6 +18,8 @@
 //	            global rand source
 //	bufown      zero-copy buffers must not be touched after handoff
 //	metricname  telemetry names/label keys constant and snake_case
+//	tracestage  trace marks and flight-journal stage names must be
+//	            the named constants from repro/internal/trace
 //
 // cliclint complements `go vet` (which make lint also runs); it does
 // not replace it.
@@ -35,6 +37,7 @@ import (
 	"repro/internal/analysis/loader"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/simtime"
+	"repro/internal/analysis/tracestage"
 )
 
 // analyzers is the suite, in report order.
@@ -43,6 +46,7 @@ var analyzers = []*analysis.Analyzer{
 	simtime.Analyzer,
 	bufown.Analyzer,
 	metricname.Analyzer,
+	tracestage.Analyzer,
 }
 
 func main() {

@@ -15,9 +15,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/live"
 	"repro/internal/telemetry"
 )
@@ -32,9 +34,10 @@ func main() {
 		count       = flag.Int("count", 20, "messages to transfer")
 		mtu         = flag.Int("mtu", 1500, "datagram MTU")
 		seed        = flag.Int64("seed", 1, "loss-injection seed")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/vars on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, /debug/flight and /debug/pprof on this address")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the transfer")
 		metrics     = flag.String("metrics", "", "dump final telemetry snapshot to stdout: prom or json")
+		flightOn    = flag.Bool("flight", false, "record per-datagram lifecycle spans (wall clock); served at /debug/flight as Chrome Trace JSON")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
@@ -43,13 +46,34 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("clic")
+	var journal *flight.Journal
+	if *flightOn {
+		journal = flight.New(0)
+		journal.InstrumentStages(reg)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("metrics: http://%s/metrics (JSON at /metrics.json, expvar at /debug/vars)\n", ln.Addr())
-		go http.Serve(ln, reg.Mux()) //nolint:errcheck // dies with the process
+		mux := reg.Mux()
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+			if journal == nil {
+				http.Error(w, "flight recorder disabled; run with -flight", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			flight.WriteChromeTrace(w, journal.Snapshot()) //nolint:errcheck // client went away
+		})
+		// The default pprof handlers register on http.DefaultServeMux; this
+		// server uses its own mux, so mount them explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("metrics: http://%s/metrics (JSON at /metrics.json, expvar at /debug/vars, flight at /debug/flight, pprof at /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
 	}
 
 	cfg := live.DefaultConfig()
@@ -61,6 +85,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.RetransmitTimeout = 10 * time.Millisecond
 	cfg.Telemetry = reg
+	cfg.Flight = journal
 
 	a, err := live.NewNode(0, cfg)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/chrometrace"
 	"repro/internal/clic"
 	"repro/internal/cluster"
+	"repro/internal/flight"
 	"repro/internal/model"
 	"repro/internal/pcap"
 	"repro/internal/sim"
@@ -55,6 +56,7 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "CLIC retransmissions before the channel fails (0 = unlimited)")
 		pcapPath   = flag.String("pcap", "", "write the switch's traffic to this libpcap file")
 		tracePath  = flag.String("chrometrace", "", "write resource-occupancy timeline as Chrome Trace JSON")
+		flightOut  = flag.String("flight-out", "", "record every frame's lifecycle and write the journal as Chrome Trace JSON")
 		metrics    = flag.String("metrics", "", "dump final telemetry snapshot: prom or json")
 		metricsOut = flag.String("metrics-out", "", "write metrics to this file instead of stdout")
 		metricsUs  = flag.Int64("metrics-every-us", 0, "also dump a JSON snapshot every N simulated µs")
@@ -85,7 +87,43 @@ func main() {
 	params.Link.CorruptRate = *corrupt
 	params.CLIC.MaxRetries = *maxRetries
 
-	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params})
+	var journal *flight.Journal
+	if *flightOut != "" {
+		journal = flight.New(0)
+	}
+	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params,
+		Flight: journal})
+	if journal != nil {
+		journal.InstrumentStages(c.Tel)
+		if *tracePath == "" {
+			// Fold the resource-occupancy timeline into the flight trace so
+			// frame spans and CPU/PCI/memory-bus busy spans share one view.
+			// Each resource has a single OnSpan slot, so -chrometrace keeps
+			// priority over it when both flags are given.
+			for _, n := range c.Nodes {
+				for _, r := range []*sim.Resource{n.Host.CPU, n.Host.PCI, n.Host.MemBus} {
+					res := r
+					res.OnSpan = func(start, end sim.Time) {
+						journal.Resource(res.Name(), int64(start), int64(end))
+					}
+				}
+			}
+		}
+		defer func() {
+			file, err := os.Create(*flightOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer file.Close()
+			if err := flight.WriteChromeTrace(file, journal.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d flight events to %s (open in ui.perfetto.dev)\n",
+				journal.Len(), *flightOut)
+		}()
+	}
 
 	// runMeasured drives the measurement phase. With -metrics-every-us it
 	// steps the engine in fixed simulated-time slices and dumps a JSON

@@ -1,20 +1,31 @@
-// Command clictrace prints the per-stage pipeline timing of one CLIC
-// packet (the Fig. 7 instrumentation) for an arbitrary size and
-// configuration — the microscope next to clicbench's fixed 1400 B view.
+// Command clictrace prints the per-stage pipeline timing of CLIC packets
+// (the Fig. 7 instrumentation) for an arbitrary size and configuration —
+// the microscope next to clicbench's fixed 1400 B view.
+//
+// By default it traces one packet and prints its stage checkpoints. With
+// -frames N it instead streams N messages through the flight recorder and
+// prints the per-stage latency breakdown (p50/p99/mean/max — the automated
+// Fig. 7a/7b attribution), the slowest frames as span trees, and any
+// receive-path stalls; -flight-out also writes the journal as a Chrome
+// Trace JSON viewable in Perfetto.
 //
 // Usage:
 //
 //	clictrace [-size 1400] [-mtu 1500] [-rx bh|direct] [-path 1..4] [-coalesce-us 40] [-json]
+//	clictrace -frames 200 [-slowest 3] [-stall-us 100] [-flight-out trace.json] [...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/clic"
+	"repro/internal/flight"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -25,6 +36,10 @@ func main() {
 		path       = flag.Int("path", 2, "send path 1-4 (Fig. 1)")
 		coalesceUs = flag.Int("coalesce-us", 40, "interrupt coalescing window, µs")
 		asJSON     = flag.Bool("json", false, "emit the stage timings as JSON instead of a table")
+		frames     = flag.Int("frames", 0, "flight-recorder mode: stream this many messages and print the per-stage latency breakdown")
+		slowest    = flag.Int("slowest", 3, "with -frames: show the N slowest frames as span trees")
+		stallUs    = flag.Int("stall-us", 100, "with -frames: flag receive-path queueing spans longer than this, µs")
+		flightOut  = flag.String("flight-out", "", "with -frames: write the journal as Chrome Trace JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +57,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *frames > 0 {
+		flightMode(&params, opt, *size, *frames, *slowest, *stallUs, *flightOut, *rxMode)
+		return
+	}
+
 	rec := bench.PipelineTrace(&params, opt, *size)
 	if *asJSON {
 		if err := rec.WriteJSON(os.Stdout); err != nil {
@@ -52,7 +72,58 @@ func main() {
 	}
 	fmt.Println(rec.Label)
 	fmt.Print(rec.Table())
-	if end, ok := rec.Find("app:recv-return"); ok {
+	if end, ok := rec.Find(trace.StageAppRecvReturn); ok {
 		fmt.Printf("one-way total: %.2f µs\n", float64(end)/1000)
+	}
+}
+
+// flightMode runs the always-on recorder over a message stream and prints
+// the journal-derived latency attribution.
+func flightMode(params *model.Params, opt clic.Options, size, frames, slowest, stallUs int, flightOut, rxMode string) {
+	j := bench.FlightRun(params, opt, size, frames)
+	a := flight.Analyze(j.Snapshot())
+
+	mode := "bottom-half"
+	if rxMode == "direct" {
+		mode = "direct-call"
+	}
+	fmt.Printf("CLIC %d B x %d messages, %s receive — per-stage latency from the flight recorder\n",
+		size, frames, mode)
+	fmt.Print(a.BreakdownTable())
+
+	if slowest > 0 {
+		fmt.Printf("\nslowest %d frames (end-to-end):\n", slowest)
+		for _, fs := range a.SlowestFrames(slowest) {
+			fmt.Print(fs.Tree())
+		}
+	}
+
+	threshold := time.Duration(stallUs) * time.Microsecond
+	if stalls := a.Stalls(int64(threshold)); len(stalls) > 0 {
+		fmt.Printf("\nstalls (receive-path queueing > %d µs): %d\n", stallUs, len(stalls))
+		for i, s := range stalls {
+			if i == 10 {
+				fmt.Printf("  ... and %d more\n", len(stalls)-10)
+				break
+			}
+			fmt.Printf("  frame %d  %-12s %8.2f µs on %s\n",
+				s.Frame, s.Stage, float64(s.Dur())/1000, s.Node)
+		}
+	}
+
+	if flightOut != "" {
+		f, err := os.Create(flightOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clictrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := flight.WriteChromeTrace(f, j.Snapshot()); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clictrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome Trace JSON to %s (open in Perfetto: ui.perfetto.dev)\n", flightOut)
 	}
 }

@@ -1,0 +1,12 @@
+package tracestage_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracestage"
+)
+
+func TestTracestage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tracestage.Analyzer, "tracestage")
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/clic"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // base returns a copy of the cost model to mutate per configuration.
@@ -199,14 +200,14 @@ func Fig7(params *model.Params) *Report {
 		for _, line := range splitLines(rec.Table()) {
 			r.Notef("%s", line)
 		}
-		if d, ok := rec.Between("clic:isr-skb", "clic:copied-to-user"); ok {
+		if d, ok := rec.Between(trace.StageISRSkb, trace.StageCopiedToUser); ok {
 			r.Notef("receiver post-ISR stages: %.1f µs", float64(d)/1000)
 		}
 	}
 	a := PipelineTrace(params, clic.Options{RxMode: clic.RxBottomHalf, SendPath: clic.Path2ZeroCopy}, 1400)
 	b := PipelineTrace(params, clic.Options{RxMode: clic.RxDirectCall, SendPath: clic.Path2ZeroCopy}, 1400)
-	ta, _ := a.Find("app:recv-return")
-	tb, _ := b.Find("app:recv-return")
+	ta, _ := a.Find(trace.StageAppRecvReturn)
+	tb, _ := b.Find(trace.StageAppRecvReturn)
 	r.Notef("end-to-end 1400 B: bottom-half %.1f µs, direct-call %.1f µs (improvement %.1f µs)",
 		float64(ta)/1000, float64(tb)/1000, float64(ta-tb)/1000)
 	return r

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/flight"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// FlightRun streams a number of messages of the given size through a
+// two-node cluster with the flight recorder attached and returns the
+// journal. Where PipelineTrace times one hand-picked packet, FlightRun
+// captures every frame's lifecycle, so the caller can compute per-stage
+// latency distributions (the automated Fig. 7 attribution) or export a
+// Chrome trace. The journal's stage histograms are registered in the
+// cluster's telemetry registry.
+func FlightRun(params *model.Params, opt clic.Options, size, messages int) *flight.Journal {
+	j := flight.New(0)
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: params, Flight: j})
+	j.InstrumentStages(c.Tel)
+	c.EnableCLIC(opt)
+	const port = 40
+	payload := make([]byte, size)
+	c.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < messages; i++ {
+			mustSend(c.Nodes[0].CLIC.Send(p, 1, port, payload))
+		}
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		for i := 0; i < messages; i++ {
+			c.Nodes[1].CLIC.Recv(p, port)
+		}
+	})
+	c.Run()
+	return j
+}

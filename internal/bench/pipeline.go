@@ -28,20 +28,20 @@ func PipelineTrace(params *model.Params, opt clic.Options, size int) *trace.Rec 
 		// Warm up ports and channels, then trace the second packet.
 		mustSend(c.Nodes[0].CLIC.Send(p, 1, port, payload))
 		p.Sleep(sim.Millisecond)
-		rec.Mark("app:send-call", p.Now())
+		rec.Mark(trace.StageAppSendCall, p.Now())
 		c.Nodes[0].CLIC.TraceNext = rec
 		mustSend(c.Nodes[0].CLIC.Send(p, 1, port, payload))
-		rec.Mark("app:send-return", p.Now())
+		rec.Mark(trace.StageAppSendReturn, p.Now())
 	})
 	c.Go("receiver", func(p *sim.Proc) {
 		c.Nodes[1].CLIC.Recv(p, port)
 		c.Nodes[1].CLIC.Recv(p, port)
-		rec.Mark("app:recv-return", p.Now())
+		rec.Mark(trace.StageAppRecvReturn, p.Now())
 	})
 	c.Run()
 
 	// Rebase timestamps to the traced send call.
-	base, ok := rec.Find("app:send-call")
+	base, ok := rec.Find(trace.StageAppSendCall)
 	if !ok {
 		panic("bench: trace did not capture the send call")
 	}

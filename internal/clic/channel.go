@@ -10,6 +10,7 @@ import (
 	"repro/internal/rto"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // txChan is the transmit side of the reliable channel to one destination
@@ -100,6 +101,10 @@ func (tc *txChan) fireRTO() {
 		return
 	}
 	tc.ep.S.RTOBackoffs.Inc()
+	// Channel-level event (frame 0); the per-frame PointRetransmit events
+	// goBackN emits next identify which frames the expiry replays.
+	tc.ep.fr.Point(tc.ep.nodeName, 0, trace.PointRTOBackoff,
+		int64(tc.ep.K.Host.Eng.Now()), tc.ctrl.RTO())
 	tc.goBackN()
 	tc.armRTO() // the controller's RTO has doubled
 }
@@ -110,6 +115,8 @@ func (tc *txChan) fireRTO() {
 func (tc *txChan) fail() {
 	tc.failed = true
 	tc.ep.S.ChannelFailures.Inc()
+	tc.ep.fr.Point(tc.ep.nodeName, 0, trace.PointChannelFailed,
+		int64(tc.ep.K.Host.Eng.Now()), int64(tc.dst))
 	if tc.rto != nil {
 		tc.rto.Cancel()
 		tc.rto = nil
@@ -140,6 +147,10 @@ func (tc *txChan) goBackN() {
 	tc.sampleFloor = tc.win.NextSeq()
 	for _, f := range unacked {
 		tc.ep.S.Retransmits.Inc()
+		if f.FlightID != 0 {
+			tc.ep.fr.Point(tc.ep.nodeName, f.FlightID, trace.PointRetransmit,
+				int64(tc.lastGoBN), int64(len(f.Payload)))
+		}
 		// Repost through the adapter the frame was composed for — its Src
 		// MAC is already in the frame, and on bonded endpoints pickNIC()
 		// could repost it through a different adapter, skewing per-NIC
@@ -166,6 +177,7 @@ func (tc *txChan) onNack(cum relwin.Seq) {
 		tc.slotFree.Broadcast()
 	}
 	now := tc.ep.K.Host.Eng.Now()
+	tc.ep.fr.Point(tc.ep.nodeName, 0, trace.PointNackRecv, int64(now), int64(cum))
 	debounce := tc.lastGoBN != 0 && now-tc.lastGoBN < 500*sim.Microsecond
 	if !debounce {
 		tc.goBackN()

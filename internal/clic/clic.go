@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/ether"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/nic"
@@ -198,6 +199,15 @@ type Endpoint struct {
 	// TraceNext, when non-nil, is attached to the next data frame sent
 	// and collects Fig. 7 pipeline timestamps end to end.
 	TraceNext *trace.Rec
+
+	// fr caches the host's flight recorder (nil when disabled) and
+	// nodeName the host name, so hot paths avoid the double indirection.
+	fr       *flight.Journal
+	nodeName string
+
+	// lastFlight is the flight id of the most recent data fragment this
+	// endpoint composed; the send syscall span is attributed to it.
+	lastFlight uint64
 }
 
 type confirmKey struct {
@@ -242,6 +252,8 @@ func New(k *kernel.Kernel, node NodeID, nics []*nic.NIC, opt Options,
 		deferredQ:   sim.NewQueue[*deferredTx](fmt.Sprintf("clic%d:deferred", node)),
 		ackQ:        sim.NewQueue[ackReq](fmt.Sprintf("clic%d:acks", node)),
 		asyncQ:      sim.NewQueue[asyncSend](fmt.Sprintf("clic%d:async", node)),
+		fr:          k.Host.FR,
+		nodeName:    k.Host.Name,
 	}
 	labels := []telemetry.Label{
 		telemetry.L("node", k.Host.Name),

@@ -7,6 +7,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // wireISR registers the receive interrupt handler for one adapter,
@@ -24,22 +25,40 @@ func (ep *Endpoint) wireISR(n *nic.NIC) {
 			// (≈15 µs for 1400 B), then defers to CLIC_MODULE through the
 			// bottom halves.
 			for _, f := range frames {
+				i0 := p.Now()
 				ep.K.Host.CPUWork(p, ep.M.Driver.RxISRTime(len(f.Payload)), sim.PriIRQ)
-				f.Trace.Mark("clic:isr-skb", p.Now())
+				f.Trace.Mark(trace.StageISRSkb, p.Now())
+				if f.FlightID != 0 {
+					ep.fr.Span(ep.nodeName, f.FlightID, trace.SpanISR, int64(i0), int64(p.Now()))
+					// The bh-queue span measures how long the frame sits
+					// between the ISR handoff and its bottom-half run.
+					ep.fr.Begin(ep.nodeName, f.FlightID, trace.SpanBHQueue, int64(p.Now()))
+				}
 			}
 			batch := frames
 			ep.K.BottomHalf(func(bp *sim.Proc) {
 				for _, f := range batch {
-					f.Trace.Mark("clic:bh-entry", bp.Now())
+					if f.FlightID != 0 {
+						ep.fr.End(ep.nodeName, f.FlightID, trace.SpanBHQueue, int64(bp.Now()))
+					}
+					f.Trace.Mark(trace.StageBHEntry, bp.Now())
+					b0 := bp.Now()
 					ep.moduleRx(bp, sim.PriKernel, f)
+					if f.FlightID != 0 {
+						ep.fr.Span(ep.nodeName, f.FlightID, trace.SpanBottomHalf, int64(b0), int64(bp.Now()))
+					}
 				}
 			})
 		case RxDirectCall:
 			// Fig. 8b: the slimmed ISR calls CLIC_MODULE directly,
 			// skipping the SK_BUFF routine and the bottom halves.
 			for _, f := range frames {
+				i0 := p.Now()
 				ep.K.Host.CPUWork(p, ep.M.Driver.RxDirect, sim.PriIRQ)
-				f.Trace.Mark("clic:isr-direct", p.Now())
+				f.Trace.Mark(trace.StageISRDirect, p.Now())
+				if f.FlightID != 0 {
+					ep.fr.Span(ep.nodeName, f.FlightID, trace.SpanISR, int64(i0), int64(p.Now()))
+				}
 				ep.moduleRx(p, sim.PriIRQ, f)
 			}
 		}
@@ -51,8 +70,14 @@ func (ep *Endpoint) wireISR(n *nic.NIC) {
 // information in the header and execute the function corresponding to the
 // type of packet received (§3.1).
 func (ep *Endpoint) moduleRx(p *sim.Proc, pri int, f *ether.Frame) {
+	r0 := p.Now()
 	ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleRecv, pri)
-	f.Trace.Mark("clic:module-rx", p.Now())
+	f.Trace.Mark(trace.StageModuleRx, p.Now())
+	if f.FlightID != 0 {
+		// The span covers only the header-inspection CPU work so the
+		// copy-to-user stage stays separately attributed, as in Fig. 7.
+		ep.fr.Span(ep.nodeName, f.FlightID, trace.SpanModuleRx, int64(r0), int64(p.Now()))
+	}
 
 	hdr, payload, err := proto.DecodeHeader(f.Payload)
 	if err != nil {
@@ -93,6 +118,9 @@ func (ep *Endpoint) rxData(p *sim.Proc, pri int, src NodeID,
 	// retransmission recovers once Recv calls drain the backlog.
 	if ep.sysBufUsed >= ep.M.CLIC.SysBufBytes {
 		ep.S.SysBufDrops.Inc()
+		if f.FlightID != 0 {
+			ep.fr.Point(ep.nodeName, f.FlightID, trace.PointDrop, int64(p.Now()), int64(len(payload)))
+		}
 		return
 	}
 
@@ -186,6 +214,8 @@ func (ep *Endpoint) ackWorker(p *sim.Proc) {
 		switch {
 		case req.nack:
 			if req.rc.reseq.Buffered() > 0 {
+				ep.fr.Point(ep.nodeName, 0, trace.PointNackSent,
+					int64(p.Now()), int64(req.rc.reseq.CumAck()))
 				ep.sendControl(p, sim.PriKernel, req.rc.src, proto.TypeNack,
 					req.rc.reseq.CumAck(), 0, 0)
 			}
@@ -212,7 +242,7 @@ func (ep *Endpoint) deliverMessage2(p *sim.Proc, pri int, msg *message, f *ether
 		ep.handleKernelFn(p, pri, msg)
 	default:
 		if f != nil {
-			f.Trace.Mark("clic:msg-complete", p.Now())
+			f.Trace.Mark(trace.StageMsgComplete, p.Now())
 		}
 		ep.deliverToPort(p, pri, msg, f, copied)
 	}
@@ -227,11 +257,15 @@ func (ep *Endpoint) deliverToPort(p *sim.Proc, pri int, msg *message, f *ether.F
 	if len(pt.waiters) > 0 {
 		w := pt.waiters[0]
 		pt.waiters = pt.waiters[1:]
+		c0 := p.Now()
 		if !copied {
 			ep.K.Host.Memcpy(p, len(msg.Data), pri) // system → user memory
 		}
 		if f != nil {
-			f.Trace.Mark("clic:copied-to-user", p.Now())
+			f.Trace.Mark(trace.StageCopiedToUser, p.Now())
+			if f.FlightID != 0 {
+				ep.fr.Span(ep.nodeName, f.FlightID, trace.SpanCopyToUser, int64(c0), int64(p.Now()))
+			}
 		}
 		w.msg = msg
 		ep.K.Wake(p, w.sig)

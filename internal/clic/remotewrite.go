@@ -7,6 +7,7 @@ import (
 	"repro/internal/ether"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Region is a receiver-side user-memory window that remote nodes can
@@ -100,7 +101,7 @@ func (ep *Endpoint) deliverRemoteWrite(p *sim.Proc, pri int, msg *message, f *et
 	ep.K.Host.Memcpy(p, len(data), pri)
 	copy(r.buf[offset:], data)
 	if f != nil {
-		f.Trace.Mark("clic:remote-write-done", p.Now())
+		f.Trace.Mark(trace.StageRemoteWriteDone, p.Now())
 	}
 	r.writes++
 	if r.sig.Waiting() > 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrChannelFailed reports that the reliable channel to the destination
@@ -27,10 +28,20 @@ func (ep *Endpoint) Send(p *sim.Proc, dst NodeID, port uint16, data []byte) erro
 		ep.sendLocal(p, port, data)
 		return nil
 	}
+	t0 := p.Now()
 	ep.K.SyscallEnter(p)
 	_, err := ep.sendMessage(p, dst, port, proto.TypeData, 0, data)
 	ep.K.SyscallExit(p)
+	ep.flightSyscall(t0, p.Now(), err)
 	return err
+}
+
+// flightSyscall journals the send-syscall span — the Fig. 7 top-of-stack
+// stage — attributed to the last data fragment the call composed.
+func (ep *Endpoint) flightSyscall(begin, end sim.Time, err error) {
+	if ep.fr != nil && err == nil && ep.lastFlight != 0 {
+		ep.fr.Span(ep.nodeName, ep.lastFlight, trace.SpanSendSyscall, int64(begin), int64(end))
+	}
 }
 
 // SendConfirm transmits data and blocks until the receiver's CLIC_MODULE
@@ -42,6 +53,7 @@ func (ep *Endpoint) SendConfirm(p *sim.Proc, dst NodeID, port uint16, data []byt
 		ep.sendLocal(p, port, data)
 		return nil
 	}
+	t0 := p.Now()
 	ep.K.SyscallEnter(p)
 	lastSeq, err := ep.sendMessage(p, dst, port, proto.TypeData, proto.FlagConfirm, data)
 	if err != nil {
@@ -52,6 +64,9 @@ func (ep *Endpoint) SendConfirm(p *sim.Proc, dst NodeID, port uint16, data []byt
 	ep.confirmWait[confirmKey{node: dst, seq: lastSeq}] = sig
 	sig.Wait(p)
 	ep.K.SyscallExit(p)
+	// The confirm variant blocks in the syscall until the receiver's
+	// confirmation returns, so its span truthfully spans the round trip.
+	ep.flightSyscall(t0, p.Now(), nil)
 	if ep.txChanFor(dst).failed {
 		return ErrChannelFailed
 	}
@@ -96,15 +111,29 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 		}
 		last := end == total
 
+		// The flight id is allocated before the window wait so the
+		// fragment's stall on flow control is attributed to it.
+		var fid uint64
+		if ep.fr != nil {
+			fid = ep.fr.NewFrameID()
+			ep.lastFlight = fid
+		}
+
 		// Window flow control: block until a slot frees (finite
 		// buffering, §1). The wait happens inside the send syscall. A
 		// channel failure broadcasts slotFree, so blocked senders wake
 		// here and surface the error.
-		for !tc.win.CanSend() {
-			if tc.failed {
-				return 0, ErrChannelFailed
+		if !tc.win.CanSend() {
+			w0 := p.Now()
+			for !tc.win.CanSend() {
+				if tc.failed {
+					return 0, ErrChannelFailed
+				}
+				tc.slotFree.Wait(p)
 			}
-			tc.slotFree.Wait(p)
+			if fid != 0 {
+				ep.fr.Span(ep.nodeName, fid, trace.SpanWinWait, int64(w0), int64(p.Now()))
+			}
 		}
 		if tc.failed {
 			return 0, ErrChannelFailed
@@ -112,6 +141,7 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 
 		// CLIC_MODULE composes the level-1 header and the 12-byte CLIC
 		// header and updates the SK_BUFF (§3.1, Fig. 7: ≈0.7 µs).
+		m0 := p.Now()
 		ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleSend, sim.PriKernel)
 
 		hdr := proto.Header{Type: typ, Port: port, Seq: tc.win.NextSeq(), Len: uint32(total)}
@@ -126,26 +156,33 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 		payload = append(payload, data[off:end]...)
 		frame := &ether.Frame{
 			Dst: ep.resolve(dst, stripe), Src: n.MAC,
-			Type: ether.TypeCLIC, Payload: payload,
+			Type: ether.TypeCLIC, Payload: payload, FlightID: fid,
 		}
 		if ep.TraceNext != nil {
 			frame.Trace = ep.TraceNext
 			ep.TraceNext = nil
-			frame.Trace.Mark("clic:module-send", p.Now())
+			frame.Trace.Mark(trace.StageModuleSend, p.Now())
 		}
 		lastSeq = tc.win.Push(frame)
 		tc.sentAt[lastSeq] = p.Now()
 		tc.armRTO()
 
 		mode := ep.chargeSendPath(p, end-off)
+		if fid != 0 {
+			ep.fr.Span(ep.nodeName, fid, trace.SpanModuleSend, int64(m0), int64(p.Now()))
+		}
 		if n.CanTx() {
 			// The driver maps the SK_BUFF and posts the descriptor
 			// (Fig. 7: ≈4 µs); the NIC then pulls the data as bus master
 			// and "CLIC_MODULE and the driver can finish before the data
 			// transference starts" (§3.1).
+			d0 := p.Now()
 			ep.K.Host.CPUWork(p, ep.M.Driver.Send, sim.PriKernel)
-			frame.Trace.Mark("clic:driver-posted", p.Now())
+			frame.Trace.Mark(trace.StageDriverPosted, p.Now())
 			n.PostTx(p, sim.PriKernel, &nic.TxReq{Frame: frame, Mode: mode})
+			if fid != 0 {
+				ep.fr.Span(ep.nodeName, fid, trace.SpanDriverTx, int64(d0), int64(p.Now()))
+			}
 		} else {
 			// "If the data cannot be sent at the present moment,
 			// CLIC_MODULE copies the data in the system memory" and the
@@ -154,6 +191,9 @@ func (ep *Endpoint) sendMessage(p *sim.Proc, dst NodeID, port uint16,
 				ep.K.Host.Memcpy(p, end-off, sim.PriKernel)
 			}
 			ep.S.Deferred.Inc()
+			if fid != 0 {
+				ep.fr.Point(ep.nodeName, fid, trace.PointDeferred, int64(p.Now()), int64(end-off))
+			}
 			ep.deferredQ.Put(&deferredTx{n: n, req: &nic.TxReq{Frame: frame, Mode: mode}})
 		}
 		ep.S.FramesSent.Inc()
@@ -202,8 +242,14 @@ func (ep *Endpoint) deferredWorker(p *sim.Proc) {
 		for !d.n.CanTx() {
 			d.n.TxFree.Wait(p)
 		}
+		d0 := p.Now()
 		ep.K.Host.CPUWork(p, ep.M.Driver.Send, sim.PriKernel)
 		d.n.PostTx(p, sim.PriKernel, d.req)
+		if fid := d.req.Frame.FlightID; fid != 0 {
+			// A second driver-tx span for the same frame marks a deferred
+			// post or a go-back-N retransmission; the frame tree shows both.
+			ep.fr.Span(ep.nodeName, fid, trace.SpanDriverTx, int64(d0), int64(p.Now()))
+		}
 	}
 }
 
@@ -218,6 +264,9 @@ func (ep *Endpoint) sendControl(p *sim.Proc, pri int, dst NodeID,
 	frame := &ether.Frame{
 		Dst: ep.resolve(dst, stripe), Src: n.MAC,
 		Type: ether.TypeCLIC, Payload: hdr.Encode(nil),
+		// Control frames get flight ids too, so acks and confirmations
+		// show their wire spans alongside the data frames they answer.
+		FlightID: ep.fr.NewFrameID(),
 	}
 	req := &nic.TxReq{Frame: frame, Mode: nic.TxDMA}
 	if n.CanTx() {

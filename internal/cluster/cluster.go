@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clic"
 	"repro/internal/ether"
+	"repro/internal/flight"
 	"repro/internal/gamma"
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -33,6 +34,12 @@ type Config struct {
 
 	// Seed feeds the deterministic random source.
 	Seed int64
+
+	// Flight, when non-nil, is shared by every node and link as the
+	// cluster-wide flight recorder: per-frame lifecycle spans from the
+	// send syscall to the copy to user memory land in one journal, so
+	// cross-node spans stitch in a single export. Nil disables recording.
+	Flight *flight.Journal
 }
 
 // Node is one cluster machine.
@@ -97,6 +104,7 @@ func New(cfg Config) *Cluster {
 		// Replace the host's private registry with the shared cluster one
 		// before any subsystem registers metrics into it.
 		host.Tel = c.Tel
+		host.FR = cfg.Flight
 		node := &Node{
 			ID:     id,
 			Host:   host,
@@ -115,6 +123,7 @@ func New(cfg Config) *Cluster {
 				Corrupt:     c.Params.Link.CorruptRate,
 			})
 			link.Instrument(c.Tel, linkName)
+			link.SetFlight(cfg.Flight)
 			adapter := nic.New(host, fmt.Sprintf("node%d:eth%d", id, i), mac, c.Params.NIC, link)
 			c.Switch.AddPort(link)
 			node.NICs = append(node.NICs, adapter)

@@ -80,6 +80,13 @@ type Frame struct {
 	// Trace, when non-nil, collects pipeline stage timestamps for this
 	// frame (the Fig. 7 instrumentation). Components mark as it passes.
 	Trace *trace.Rec
+
+	// FlightID is the flight recorder's correlation key, assigned by the
+	// sending CLIC_MODULE when a journal is attached. The id rides the
+	// shared frame pointer through links and the switch, so sender-side
+	// and receiver-side spans stitch into one lifecycle. Zero means the
+	// frame is not being recorded.
+	FlightID uint64
 }
 
 // PayloadOnWire returns the payload size after minimum-frame padding.

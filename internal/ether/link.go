@@ -1,8 +1,10 @@
 package ether
 
 import (
+	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Link is a full-duplex point-to-point Gigabit Ethernet cable between two
@@ -47,6 +49,7 @@ type dir struct {
 	bits   int64
 	prop   sim.Time
 	faults Faults
+	fr     *flight.Journal
 	// filter, when set, sees every frame after serialisation and before
 	// fault injection; returning true drops the frame. Tests use it both
 	// as a selective-drop hook and (returning false) as an observer.
@@ -87,8 +90,16 @@ func (l *Link) SendFromA(p *sim.Proc, f *Frame) { l.ab.send(p, f) }
 func (l *Link) SendFromB(p *sim.Proc, f *Frame) { l.ba.send(p, f) }
 
 func (d *dir) send(p *sim.Proc, f *Frame) {
+	if f.FlightID != 0 {
+		// Begin is idempotent per (frame, stage): the span opens at the
+		// first hop (sender NIC → switch) and stays open through the
+		// second (switch → receiver NIC); the receiving adapter ends it.
+		d.fr.Begin(d.wire.Name(), f.FlightID, trace.SpanWire, int64(p.Now()))
+	}
 	d.wire.Acquire(p)
-	f.Trace.Mark("wire:"+d.wire.Name(), p.Now())
+	// The per-link mark name is intentionally dynamic: the single-packet
+	// table shows which physical hop each serialisation used.
+	f.Trace.Mark("wire:"+d.wire.Name(), p.Now()) //nolint:tracestage
 	p.Sleep(f.WireTime(d.bits))
 	d.wire.Release(p.Engine())
 	d.frames.Inc()
@@ -156,6 +167,16 @@ func (l *Link) Instrument(reg *telemetry.Registry, name string) {
 				return float64(dd.wire.BusyTime()) / float64(now)
 			}, labels...)
 	}
+}
+
+// SetFlight attaches a flight recorder journal to both directions: each
+// recorded frame's wire span opens when the frame reaches the wire
+// (including any wait for an ongoing serialisation) and is closed by the
+// receiving adapter, so the span covers serialisation, switching and
+// propagation end to end.
+func (l *Link) SetFlight(j *flight.Journal) {
+	l.ab.fr = j
+	l.ba.fr = j
 }
 
 // SetLossRate injects random frame loss on both directions, for fault

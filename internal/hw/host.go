@@ -17,6 +17,7 @@
 package hw
 
 import (
+	"repro/internal/flight"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -34,6 +35,12 @@ type Host struct {
 	// whole cluster before attaching subsystems, so a single export
 	// carries every node, distinguished by a node=... label.
 	Tel *telemetry.Registry
+
+	// FR is the node's flight recorder. Nil (the default) disables
+	// recording at the cost of a nil check per instrumentation site;
+	// cluster.New points every host at one shared journal when
+	// Config.Flight is set, so cross-node spans stitch in one export.
+	FR *flight.Journal
 
 	// CPU is the single processor; kernel and interrupt work queue-jumps
 	// via sim.PriKernel / sim.PriIRQ.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Kernel is one node's operating system.
@@ -94,6 +95,17 @@ func (irq *IRQ) Raise() { irq.pending.Put(struct{}{}) }
 // BottomHalf queues fn to run in softirq context after the current
 // interrupt work, the Fig. 8a receive path.
 func (k *Kernel) BottomHalf(fn func(*sim.Proc)) {
+	if j := k.Host.FR; j != nil {
+		at := int64(k.Host.Eng.Now())
+		inner := fn
+		fn = func(p *sim.Proc) {
+			// The span covers the softirq queue wait plus the dispatch
+			// overhead the worker charged before invoking us — the latency
+			// the Fig. 8b direct-call path exists to remove.
+			j.Span(k.Host.Name, 0, trace.SpanBHDispatch, at, int64(p.Now()))
+			inner(p)
+		}
+	}
 	k.bhQueue.Put(fn)
 }
 

@@ -17,10 +17,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/rto"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config tunes a live node.
@@ -68,6 +70,13 @@ type Config struct {
 	// in-process nodes share one export surface. Nil creates a private
 	// registry, reachable through Node.Telemetry().
 	Telemetry *telemetry.Registry
+
+	// Flight, when non-nil, records per-datagram lifecycle spans
+	// (module-send, wire, module-rx) and protocol point events on wall
+	// clocks. Both ends of a link must share the journal for wire spans
+	// to stitch; the frame id is derived from (sender, sequence) so the
+	// two ends agree without any extra bytes on the wire.
+	Flight *flight.Journal
 }
 
 // DefaultConfig returns sensible loopback settings.
@@ -127,6 +136,11 @@ type Node struct {
 	rtoBackoffs      telemetry.Counter
 	channelFailures  telemetry.Counter
 	ackLatency       *telemetry.Histogram
+
+	// fr is the optional flight recorder (nil disables); nodeName labels
+	// this node's spans in the shared journal.
+	fr       *flight.Journal
+	nodeName string
 }
 
 type confirmKey struct {
@@ -193,9 +207,11 @@ func NewNode(id int, cfg Config) (*Node, error) {
 		ports:   map[uint16]chan Message{},
 		regions: map[uint16]*Region{},
 		confirm: map[confirmKey]chan error{},
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
-		done:    make(chan struct{}),
-		tel:     cfg.Telemetry,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
+		done:     make(chan struct{}),
+		tel:      cfg.Telemetry,
+		fr:       cfg.Flight,
+		nodeName: fmt.Sprintf("live%d", id),
 	}
 	if n.tel == nil {
 		n.tel = telemetry.NewRegistry()
@@ -406,12 +422,22 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 			hdr.Flags |= proto.FlagLast
 			hdr.Flags |= flags & proto.FlagConfirm
 		}
+		m0 := time.Now()
 		dgram := hdr.Encode(make([]byte, 0, proto.HeaderBytes+end-off))
 		dgram = append(dgram, data[off:end]...)
 		lastSeq = tc.win.Push(dgram)
 		tc.sentAt[lastSeq] = time.Now()
 		n.armRTO(dst, tc)
-		n.transmit(addr, dgram)
+		var fid uint64
+		if n.fr != nil {
+			// Both ends derive the frame id from (sender, sequence), so
+			// sender-side and receiver-side spans stitch without any extra
+			// bytes on the wire.
+			fid = flight.FrameID(n.ID, lastSeq)
+			n.fr.Span(n.nodeName, fid, trace.SpanModuleSend,
+				m0.UnixNano(), time.Now().UnixNano())
+		}
+		n.transmit(addr, dgram, fid)
 		off = end
 		first = false
 		if last {
@@ -426,9 +452,13 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 // delay up to ReorderDelay so traffic sent after it overtakes it; the
 // deferred callback touches only the socket and atomic counters, so it is
 // safe even after Close.
-func (n *Node) transmit(addr *net.UDPAddr, dgram []byte) {
+func (n *Node) transmit(addr *net.UDPAddr, dgram []byte, fid uint64) {
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.dropsInjected.Inc()
+		if fid != 0 {
+			n.fr.Point(n.nodeName, fid, trace.PointDrop,
+				time.Now().UnixNano(), int64(len(dgram)))
+		}
 		return
 	}
 	writes := 1
@@ -445,13 +475,25 @@ func (n *Node) transmit(addr *net.UDPAddr, dgram []byte) {
 			time.AfterFunc(time.Duration(n.rng.Int63n(int64(delay)))+time.Microsecond, func() {
 				n.framesSent.Inc()
 				n.socketWrites.Inc()
+				n.flightWire(fid)
 				n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
 			})
 			continue
 		}
 		n.framesSent.Inc()
 		n.socketWrites.Inc()
+		n.flightWire(fid)
 		n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
+	}
+}
+
+// flightWire opens the wire span at the moment the datagram actually hits
+// the socket. Begin is idempotent per frame, so an injected duplicate or a
+// retransmission of a still-open frame extends the original span — which
+// then truthfully covers the loss and recovery.
+func (n *Node) flightWire(fid uint64) {
+	if fid != 0 {
+		n.fr.Begin(n.nodeName, fid, trace.SpanWire, time.Now().UnixNano())
 	}
 }
 
@@ -478,7 +520,7 @@ func (n *Node) fireRTO(peer int) {
 	// Unacked's slice aliases the window's internal state and must not be
 	// retained across Push/Ack; it is consumed below, under the same lock
 	// acquisition that read it, so no sender can Push concurrently.
-	unacked, _ := tc.win.Unacked()
+	unacked, base := tc.win.Unacked()
 	if len(unacked) == 0 {
 		return
 	}
@@ -487,13 +529,23 @@ func (n *Node) fireRTO(peer int) {
 		return
 	}
 	n.rtoBackoffs.Inc()
+	if n.fr != nil {
+		n.fr.Point(n.nodeName, 0, trace.PointRTOBackoff,
+			time.Now().UnixNano(), tc.ctrl.RTO())
+	}
 	tc.publishRTO() // the timeout doubled
 	// Karn's rule: acks for anything below this watermark are ambiguous.
 	tc.sampleFloor = tc.win.NextSeq()
 	addr := n.peers[peer]
-	for _, dgram := range unacked {
+	for i, dgram := range unacked {
 		n.retransmits.Inc()
-		n.transmit(addr, dgram)
+		var fid uint64
+		if n.fr != nil {
+			fid = flight.FrameID(n.ID, base+relwin.Seq(i))
+			n.fr.Point(n.nodeName, fid, trace.PointRetransmit,
+				time.Now().UnixNano(), int64(len(dgram)))
+		}
+		n.transmit(addr, dgram, fid)
 	}
 	n.armRTO(peer, tc)
 }
@@ -505,6 +557,10 @@ func (n *Node) fireRTO(peer int) {
 func (n *Node) failChannel(peer int, tc *liveTxChan) {
 	tc.failed = true
 	n.channelFailures.Inc()
+	if n.fr != nil {
+		n.fr.Point(n.nodeName, 0, trace.PointChannelFailed,
+			time.Now().UnixNano(), int64(peer))
+	}
 	if tc.rto != nil {
 		tc.rto.Stop()
 		tc.rto = nil

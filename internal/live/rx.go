@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/proto"
 	"repro/internal/relwin"
+	"repro/internal/trace"
 )
 
 // rxLoop reads datagrams and runs them through the receive path — the
@@ -49,6 +51,18 @@ func (n *Node) handleDatagram(addr *net.UDPAddr, dgram []byte) {
 			ch <- nil
 		}
 	default:
+		if n.fr != nil {
+			// Close the wire span the sender opened — the id derives from
+			// (sender, sequence) identically on both ends — and wrap the
+			// protocol processing in a module-rx span.
+			fid := flight.FrameID(src, hdr.Seq)
+			n.fr.End(n.nodeName, fid, trace.SpanWire, time.Now().UnixNano())
+			r0 := time.Now()
+			n.onData(src, hdr, payload)
+			n.fr.Span(n.nodeName, fid, trace.SpanModuleRx,
+				r0.UnixNano(), time.Now().UnixNano())
+			return
+		}
 		n.onData(src, hdr, payload)
 	}
 }
@@ -197,7 +211,9 @@ func (n *Node) sendControl(dst int, typ proto.PacketType, seq relwin.Seq) {
 		return
 	}
 	hdr := proto.Header{Type: typ, Seq: seq}
-	n.transmit(addr, hdr.Encode(nil))
+	// Control datagrams carry no flight id (0): their sequence numbers
+	// live in the peer's space, so deriving an id here would collide.
+	n.transmit(addr, hdr.Encode(nil), 0)
 }
 
 // Region is a remote-write window (the live analogue of clic.Region).

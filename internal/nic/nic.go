@@ -13,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // TxMode says how a frame's payload reaches the adapter (Fig. 1).
@@ -169,8 +170,12 @@ func (n *NIC) txEngine(p *sim.Proc) {
 		}
 		if req.Mode == TxDMA {
 			// One scatter/gather transaction pulls header + payload.
-			f.Trace.Mark("nic:tx-dma", p.Now())
+			t0 := p.Now()
+			f.Trace.Mark(trace.StageTxDMA, t0)
 			n.Host.DMA(p, need)
+			if f.FlightID != 0 {
+				n.Host.FR.Span(n.Host.Name, f.FlightID, trace.SpanTxDMA, int64(t0), int64(p.Now()))
+			}
 		}
 		n.txBufUsed += need
 		// The descriptor is complete once the data is on board.
@@ -232,18 +237,33 @@ func (n *NIC) DeliverFrame(f *ether.Frame) {
 		n.RxFiltered.Inc()
 		return
 	}
+	if f.FlightID != 0 {
+		// The frame reached its adapter: the wire span that opened at the
+		// sender's link closes here, whatever happens to the frame next.
+		n.Host.FR.End(n.Host.Name, f.FlightID, trace.SpanWire, int64(n.Host.Eng.Now()))
+	}
 	if len(f.Payload) > n.P.MTU {
 		// An oversize (giant) frame: a standard-MTU adapter discards a
 		// jumbo frame at the MAC — the §2 interoperability hazard ("both
 		// communicating computers have to use Jumbo frames").
 		n.RxOversize.Inc()
+		n.flightDrop(f)
 		return
 	}
 	if n.rxRingUsed+n.rxQ.Len() >= n.P.RxRing {
 		n.RxDrops.Inc()
+		n.flightDrop(f)
 		return
 	}
 	n.rxQ.Put(f)
+}
+
+// flightDrop journals a receive-side frame drop (oversize or ring-full).
+func (n *NIC) flightDrop(f *ether.Frame) {
+	if f.FlightID != 0 {
+		n.Host.FR.Point(n.Host.Name, f.FlightID, trace.PointDrop,
+			int64(n.Host.Eng.Now()), int64(len(f.Payload)))
+	}
 }
 
 func (n *NIC) rxEngine(p *sim.Proc) {
@@ -285,12 +305,16 @@ func (n *NIC) reassemble(f *ether.Frame) *ether.Frame {
 // dmaToHost moves a received frame into the host's receive-ring buffers in
 // system memory and runs the interrupt-coalescing decision.
 func (n *NIC) dmaToHost(p *sim.Proc, f *ether.Frame) {
-	f.Trace.Mark("nic:rx-dma", p.Now())
+	t0 := p.Now()
+	f.Trace.Mark(trace.StageRxDMA, t0)
 	n.Host.DMA(p, ether.HeaderBytes+len(f.Payload))
 	n.RxFrames.Inc()
 	n.rxRingUsed++
 	n.completed = append(n.completed, f)
-	f.Trace.Mark("nic:rx-complete", p.Now())
+	f.Trace.Mark(trace.StageRxComplete, p.Now())
+	if f.FlightID != 0 {
+		n.Host.FR.Span(n.Host.Name, f.FlightID, trace.SpanRxDMA, int64(t0), int64(p.Now()))
+	}
 	n.sinceIRQ++
 	// Adaptive coalescing ("the drivers of present NICs usually allow the
 	// dynamic adjustment of time intervals in coalesced interrupts", §2):
@@ -310,6 +334,10 @@ func (n *NIC) dmaToHost(p *sim.Proc, f *ether.Frame) {
 			func() {
 				n.coalesceEv = nil
 				if n.sinceIRQ > 0 {
+					// The coalescing window expired with frames parked:
+					// journal the flush with the batch size it announces.
+					n.Host.FR.Point(n.Host.Name, 0, trace.PointCoalesceFlush,
+						int64(n.Host.Eng.Now()), int64(n.sinceIRQ))
 					n.fireIRQ(n.Host.Eng.Now())
 				}
 			})

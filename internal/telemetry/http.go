@@ -3,6 +3,7 @@ package telemetry
 import (
 	"expvar"
 	"net/http"
+	"strings"
 )
 
 // Handler serves the registry over HTTP: the Prometheus text format at
@@ -10,8 +11,11 @@ import (
 // with ?format=json or an Accept: application/json header.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Containment, not equality: real clients send lists with
+		// parameters ("application/json, text/plain;q=0.5"), which an
+		// exact match would misroute to the Prometheus branch.
 		if req.URL.Query().Get("format") == "json" ||
-			req.Header.Get("Accept") == "application/json" {
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
 			w.Header().Set("Content-Type", "application/json")
 			r.WriteJSON(w) //nolint:errcheck // client went away
 			return

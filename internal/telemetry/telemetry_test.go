@@ -131,9 +131,23 @@ func TestHistogramQuantiles(t *testing.T) {
 	if h.Quantile(1) != h.Max() {
 		t.Errorf("q=1 gave %g, want max %g", h.Quantile(1), h.Max())
 	}
+	if q0 := h.Quantile(0); q0 < h.Min() || q0 > h.Max() {
+		t.Errorf("q=0 gave %g outside [min=%g, max=%g]", q0, h.Min(), h.Max())
+	}
 	empty := NewHistogram([]float64{1})
 	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
 		t.Error("empty histogram should report zeros")
+	}
+
+	// Single bucket, all mass in it: every quantile must stay clamped to
+	// the observed range rather than interpolating below min or above max.
+	one := NewHistogram([]float64{100})
+	one.Observe(40)
+	one.Observe(60)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := one.Quantile(q); v < one.Min() || v > one.Max() {
+			t.Errorf("single-bucket q=%g gave %g outside [%g, %g]", q, v, one.Min(), one.Max())
+		}
 	}
 }
 
@@ -246,6 +260,16 @@ func TestHandlerFormats(t *testing.T) {
 	}
 	if body, _ := get("/metrics", "application/json"); !strings.Contains(body, `"metrics"`) {
 		t.Errorf("Accept: application/json gave %q", body)
+	}
+	// Real clients send accept lists with parameters; the header check is
+	// containment, not equality, so this must still route to JSON.
+	if body, ct := get("/metrics", "application/json, text/plain;q=0.5"); !strings.Contains(body, `"metrics"`) ||
+		ct != "application/json" {
+		t.Errorf("Accept list gave %q (%s), want JSON", body, ct)
+	}
+	if body, ct := get("/metrics", "text/html"); !strings.Contains(body, "c_total 1") ||
+		!strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Accept: text/html gave %q (%s), want Prometheus text", body, ct)
 	}
 	if body, ct := get("/metrics.json", ""); !strings.Contains(body, `"c_total"`) ||
 		ct != "application/json" {
