@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint check bench bench-live
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,12 @@ check: build lint
 
 bench:
 	$(GO) run ./cmd/clicbench all
+
+# bench-live measures the real loopback datapath (E15) and appends a
+# labeled entry to BENCH_live.json. The 0-alloc guards run first: a
+# steady-state allocation regression fails the target before it can
+# skew the throughput numbers.
+LIVE_LABEL ?= local
+bench-live:
+	$(GO) test -count=1 -run 'TestSteadyState' ./internal/live/
+	$(GO) run ./cmd/clicbench -live-out BENCH_live.json -live-label "$(LIVE_LABEL)" live

@@ -13,11 +13,16 @@
 //	frag        NIC fragmentation offload                     (E9)
 //	bonding     channel bonding + intra-node                  (E10)
 //	loss        injected-loss sweep: recovery cost            (E12)
+//	live        real-sockets loopback perf trajectory         (E15)
 //	all         everything above
+//
+// The live experiment runs wall-clock goroutines over loopback UDP and,
+// with -live-out, appends its numbers to a JSON trajectory file
+// (BENCH_live.json) that future changes regress against.
 //
 // Usage:
 //
-//	clicbench [-chart] [-csv dir] <experiment> [<experiment>...]
+//	clicbench [-chart] [-csv dir] [-live-out BENCH_live.json] [-live-label name] <experiment>...
 package main
 
 import (
@@ -46,17 +51,20 @@ var experiments = map[string]func(*model.Params) *bench.Report{
 	"jitter":      bench.Jitter,
 	"latency":     bench.LatencyDistribution,
 	"loss":        bench.LossSweep,
+	"live":        bench.Live,
 }
 
 var order = []string{
 	"fig4", "fig5", "fig6", "fig7", "headline",
 	"compare", "interrupts", "paths", "frag", "bonding", "multiprog",
-	"collectives", "jitter", "latency", "loss",
+	"collectives", "jitter", "latency", "loss", "live",
 }
 
 func main() {
 	chart := flag.Bool("chart", false, "also render ASCII charts for sweep figures")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files into")
+	liveOut := flag.String("live-out", "", "append the live experiment's numbers to this JSON trajectory file")
+	liveLabel := flag.String("live-label", "dev", "label for the live trajectory entry")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: clicbench [-chart] [-csv dir] <experiment>...\nexperiments: %v, all\n", order)
 	}
@@ -79,7 +87,25 @@ func main() {
 		names = append(names, a)
 	}
 	for _, name := range names {
-		rep := experiments[name](nil)
+		var rep *bench.Report
+		if name == "live" {
+			var entry *bench.LiveEntry
+			var err error
+			rep, entry, err = bench.LiveRun(*liveLabel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clicbench: live experiment: %v\n", err)
+				os.Exit(1)
+			}
+			if *liveOut != "" {
+				if err := bench.AppendLiveEntry(*liveOut, entry); err != nil {
+					fmt.Fprintf(os.Stderr, "clicbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("   appended trajectory entry %q to %s\n\n", *liveLabel, *liveOut)
+			}
+		} else {
+			rep = experiments[name](nil)
+		}
 		fmt.Println(rep.Table())
 		if *chart {
 			if c := rep.Chart(72, 18); c != "" {

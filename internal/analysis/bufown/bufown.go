@@ -16,7 +16,14 @@
 //   - the same buffer must not be handed off twice (the double-post
 //     shape of the PR-2 bonded-retransmit pickNIC bug);
 //   - a buffer returned to a pool (a Put method on a *Pool-named type,
-//     e.g. sync.Pool) must not be used at all afterwards.
+//     e.g. sync.Pool) must not be used at all afterwards;
+//   - a buffer pushed into a retransmit window (a Push method on a
+//     *Sender/*Window-named type, e.g. relwin.Sender) is retained: the
+//     window may retransmit from it until the cumulative ack releases
+//     it, so mutating it, double-pushing it, or returning it to a pool
+//     afterwards is reported. Reads — including the wire handoff that
+//     sends the retained bytes — stay legal; retention and handoff are
+//     the compatible halves of the live 0-copy TX path.
 //
 // Reassigning the variable to a fresh buffer clears its taint. The
 // check is intra-procedural and position-ordered: it follows source
@@ -50,6 +57,13 @@ var handoffNames = map[string]bool{
 	"SendAsync": true,
 }
 
+// retainNames are the methods that lend a buffer to a retransmit
+// window: the caller keeps read access (the wire transmits from the
+// retained bytes) but must not mutate or recycle until release.
+var retainNames = map[string]bool{
+	"Push": true,
+}
+
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -72,6 +86,7 @@ type eventKind int
 const (
 	evHandoff eventKind = iota // buffer handed to the NIC/wire
 	evFree                     // buffer returned to a pool
+	evRetain                   // buffer lent to a retransmit window (Push)
 	evMutate                   // element store / append / copy into buffer
 	evUse                      // any other read of the buffer
 	evReassign                 // variable rebound to a fresh buffer
@@ -108,6 +123,11 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		switch ev.kind {
 		case evHandoff:
 			if tainted {
+				if t.kind == evRetain {
+					// Handoff of a window-retained buffer is the live TX
+					// design: the wire reads the bytes the window keeps.
+					continue
+				}
 				pass.Reportf(ev.pos,
 					"buffer %s is handed off again by %s after %s already transferred ownership (double post: the adapter may still be DMAing from it)",
 					ev.obj.Name(), ev.what, t.what)
@@ -123,12 +143,39 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			}
 		case evFree:
 			if tainted {
+				if t.kind == evRetain {
+					pass.Reportf(ev.pos,
+						"buffer %s is returned to the pool while the retransmit window retains it (%s after %s): the ack-driven release would free it a second time",
+						ev.obj.Name(), ev.what, t.what)
+					continue
+				}
 				pass.Reportf(ev.pos,
 					"buffer %s is returned to the pool twice (%s after %s)",
 					ev.obj.Name(), ev.what, t.what)
 				continue
 			}
 			owned[ev.obj] = taint{kind: evFree, what: ev.what, end: ev.end}
+		case evRetain:
+			if tainted {
+				switch t.kind {
+				case evFree:
+					pass.Reportf(ev.pos,
+						"buffer %s is pushed into a retransmit window by %s after %s returned it to the pool (use after free: the pool may have handed it to another sender)",
+						ev.obj.Name(), ev.what, t.what)
+				case evRetain:
+					pass.Reportf(ev.pos,
+						"buffer %s is pushed again by %s after %s already retained it (double push: two window slots would release the same buffer)",
+						ev.obj.Name(), ev.what, t.what)
+				}
+				// Handoff taint stays as-is: retention and handoff are
+				// compatible, and the stricter handoff rules keep applying.
+				continue
+			}
+			for _, obj := range expandAliases(ev.obj, aliases) {
+				if _, dup := owned[obj]; !dup {
+					owned[obj] = taint{kind: evRetain, what: ev.what, end: ev.end}
+				}
+			}
 		case evMutate:
 			if !tainted {
 				break
@@ -137,6 +184,12 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				pass.Reportf(ev.pos,
 					"buffer %s is written (%s) after Put returned it to the pool (use after free: the pool may have handed it to another sender)",
 					ev.obj.Name(), ev.what)
+				break
+			}
+			if t.kind == evRetain {
+				pass.Reportf(ev.pos,
+					"buffer %s is mutated by %s while the retransmit window retains it for %s: a timeout would retransmit the scribbled bytes",
+					ev.obj.Name(), ev.what, t.what)
 				break
 			}
 			pass.Reportf(ev.pos,
@@ -210,6 +263,15 @@ func collectCall(pass *analysis.Pass, call *ast.CallExpr, events *[]event, skipU
 			for _, arg := range call.Args {
 				if obj := baseObject(pass, arg); obj != nil {
 					*events = append(*events, event{kind: evFree, obj: obj, pos: call.Pos(), end: call.End(), what: "Put"})
+				}
+			}
+		case retainNames[name] && windowReceiver(pass, fun.X):
+			for _, arg := range call.Args {
+				if obj := baseObject(pass, arg); obj != nil {
+					*events = append(*events, event{kind: evRetain, obj: obj, pos: call.Pos(), end: call.End(), what: name})
+					if root := rootIdent(arg); root != nil {
+						skipUse[root] = true
+					}
 				}
 			}
 		}
@@ -435,6 +497,17 @@ func carriesBytes(t types.Type, depth int) bool {
 // poolReceiver reports whether the Put receiver's type name marks it as
 // a buffer pool (FramePool, BufferPool, sync.Pool, ...).
 func poolReceiver(pass *analysis.Pass, recv ast.Expr) bool {
+	return receiverNamed(pass, recv, "Pool")
+}
+
+// windowReceiver reports whether the Push receiver's type name marks it
+// as a retransmit window (relwin.Sender, a SendWindow, ...). The gate
+// keeps unrelated Push methods (stacks, heaps) out of the retain rule.
+func windowReceiver(pass *analysis.Pass, recv ast.Expr) bool {
+	return receiverNamed(pass, recv, "Sender") || receiverNamed(pass, recv, "Window")
+}
+
+func receiverNamed(pass *analysis.Pass, recv ast.Expr, marker string) bool {
 	tv, ok := pass.TypesInfo.Types[recv]
 	if !ok {
 		return false
@@ -447,5 +520,5 @@ func poolReceiver(pass *analysis.Pass, recv ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	return strings.Contains(named.Obj().Name(), "Pool")
+	return strings.Contains(named.Obj().Name(), marker)
 }

@@ -92,3 +92,60 @@ func readAfterPostOK(n NIC, frame *Frame) int {
 	n.PostTx(0, &TxReq{Frame: frame})
 	return len(frame.Payload)
 }
+
+// SendWindow mimics relwin.Sender: Push lends the buffer to the
+// retransmit window until the cumulative ack releases it.
+type SendWindow struct{}
+
+func (SendWindow) Push(b []byte) uint32 { return 0 }
+
+// Stack is a decoy: its Push has nothing to do with retransmit windows
+// and must not trigger the retain rule.
+type Stack struct{}
+
+func (Stack) Push(b []byte) {}
+
+// mutateWhileRetained scribbles on a buffer the window may retransmit.
+func mutateWhileRetained(w SendWindow, p FramePool) {
+	buf := p.Get()
+	w.Push(buf)
+	buf[0] = 1 // want `buffer buf is mutated by element store while the retransmit window retains it for Push: a timeout would retransmit the scribbled bytes`
+}
+
+// putWhileRetained recycles a buffer the window still owns — the
+// static twin of framePool.Put's runtime retained panic.
+func putWhileRetained(w SendWindow, p FramePool) {
+	buf := p.Get()
+	w.Push(buf)
+	p.Put(buf) // want `buffer buf is returned to the pool while the retransmit window retains it \(Put after Push\): the ack-driven release would free it a second time`
+}
+
+// doublePush enrolls the same buffer in two window slots; both their
+// releases would recycle it.
+func doublePush(w SendWindow, buf []byte) {
+	w.Push(buf)
+	w.Push(buf) // want `buffer buf is pushed again by Push after Push already retained it \(double push: two window slots would release the same buffer\)`
+}
+
+// pushAfterPut retains memory the pool may already have handed to
+// another sender.
+func pushAfterPut(w SendWindow, p FramePool) {
+	buf := p.Get()
+	p.Put(buf)
+	w.Push(buf) // want `buffer buf is pushed into a retransmit window by Push after Put returned it to the pool \(use after free: the pool may have handed it to another sender\)`
+}
+
+// handoffWhileRetainedOK is the live TX design itself: the window
+// retains the buffer and the wire transmits from those same bytes.
+func handoffWhileRetainedOK(w SendWindow, ep Endpoint, buf []byte) {
+	w.Push(buf)
+	ep.SendAsync(1, buf) // ok: retention and handoff are compatible
+	_ = len(buf)         // ok: reads of a retained buffer are legal
+}
+
+// stackPushOK: a Push on a non-window type carries no ownership
+// semantics.
+func stackPushOK(s Stack, buf []byte) {
+	s.Push(buf)
+	buf[0] = 1 // ok: Stack is not a retransmit window
+}

@@ -20,7 +20,11 @@
 //     sim.NewEngine does) and thread it through.
 //
 // The live stack (internal/live) intentionally runs on real time and is
-// out of scope.
+// out of scope. A file inside a sim-driven package that deliberately
+// measures the real-time stack (the live loopback benchmark in
+// internal/bench) can opt out with a `//simtime:wallclock` comment; the
+// directive is per-file, so the package's simulation experiments stay
+// covered.
 package simtime
 
 import (
@@ -68,6 +72,9 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		if wallClockFile(f) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -95,6 +102,20 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// wallClockFile reports whether f carries the `//simtime:wallclock`
+// opt-out directive: the file deliberately measures the real-time
+// stack, so the virtual-clock rule does not apply to it.
+func wallClockFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == "//simtime:wallclock" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // inScope reports whether pkg matches any configured pattern.

@@ -1,0 +1,15 @@
+//simtime:wallclock
+
+// This file deliberately measures the real-time stack (the live
+// loopback benchmark shape): the per-file directive above opts it out
+// of the virtual-clock rule while the rest of the package stays
+// covered.
+package simtime
+
+import "time"
+
+func wallClockBenchmark() time.Duration {
+	start := time.Now() // ok: file is simtime:wallclock
+	time.Sleep(time.Millisecond)
+	return time.Since(start) // ok: file is simtime:wallclock
+}

@@ -1,0 +1,247 @@
+//simtime:wallclock
+
+// This file measures the real-time live stack over loopback UDP:
+// wall-clock timing is the measurement, not a determinism leak.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// The live experiment (E15) measures the real-sockets CLIC stack the way
+// the paper measures the kernel one: a streaming bandwidth sweep at
+// standard and jumbo MTU (claims C2/C6) and a 0-byte ping-pong latency
+// distribution, plus allocations per operation — the Go analogue of the
+// paper's "no copies on the fast path" accounting. Unlike every other
+// experiment this one runs wall-clock goroutines over loopback UDP, so
+// its numbers are hardware-dependent; they are tracked as a trajectory
+// (BENCH_live.json) rather than compared against the paper.
+
+// LiveStream is one streaming measurement point.
+type LiveStream struct {
+	MTU          int     `json:"mtu"`
+	MsgBytes     int     `json:"msg_bytes"`
+	Messages     int     `json:"messages"`
+	Mbps         float64 `json:"mbps"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	Retransmits  int64   `json:"retransmits"`
+}
+
+// LivePingPong is the 0-byte latency measurement (one-way = RTT/2, like
+// the simulator's latency experiment and the paper's §4 numbers).
+type LivePingPong struct {
+	Rounds      int     `json:"rounds"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	AllocsPerRT float64 `json:"allocs_per_rt"`
+}
+
+// LiveEntry is one point on the BENCH_live.json performance trajectory.
+type LiveEntry struct {
+	Label     string       `json:"label"`
+	Go        string       `json:"go"`
+	Streaming []LiveStream `json:"streaming"`
+	PingPong  LivePingPong `json:"pingpong"`
+}
+
+// livePair builds a connected loopback node pair.
+func livePair(cfg live.Config) (*live.Node, *live.Node, error) {
+	a, err := live.NewNode(0, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := live.NewNode(1, cfg)
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	live.Connect(a, b)
+	return a, b, nil
+}
+
+// liveStreamRun pushes count messages of size bytes one way and returns
+// throughput plus allocations per message (total heap allocations across
+// both nodes' goroutines during the measured phase, send through
+// delivery).
+func liveStreamRun(mtu, size, count int) (LiveStream, error) {
+	cfg := live.DefaultConfig()
+	cfg.MTU = mtu
+	cfg.Window = 64
+	a, b, err := livePair(cfg)
+	if err != nil {
+		return LiveStream{}, err
+	}
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	run := func(msgs int) error {
+		errs := make(chan error, 1)
+		go func() {
+			for i := 0; i < msgs; i++ {
+				if err := a.Send(1, 1, payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+		for i := 0; i < msgs; i++ {
+			if _, err := b.Recv(1); err != nil {
+				return err
+			}
+		}
+		return <-errs
+	}
+	if err := run(count / 10); err != nil { // warmup: pools, windows, route caches
+		return LiveStream{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := run(count); err != nil {
+		return LiveStream{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	_, _, retrans, _, _ := a.Stats()
+	return LiveStream{
+		MTU:          mtu,
+		MsgBytes:     size,
+		Messages:     count,
+		Mbps:         float64(count) * float64(size) * 8 / elapsed.Seconds() / 1e6,
+		AllocsPerMsg: float64(after.Mallocs-before.Mallocs) / float64(count),
+		Retransmits:  retrans,
+	}, nil
+}
+
+// livePingPongRun measures rounds empty-payload round trips.
+func livePingPongRun(rounds int) (LivePingPong, *telemetry.Histogram, error) {
+	cfg := live.DefaultConfig()
+	a, b, err := livePair(cfg)
+	if err != nil {
+		return LivePingPong{}, nil, err
+	}
+	defer a.Close()
+	defer b.Close()
+	h := telemetry.NewHistogram(telemetry.DefLatencyBuckets())
+	errs := make(chan error, 1)
+	total := rounds + rounds/10 // leading tenth is warmup
+	go func() {
+		for i := 0; i < total; i++ {
+			msg, err := b.Recv(2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := b.Send(0, 2, msg.Data); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	var before, after runtime.MemStats
+	measured := 0
+	for i := 0; i < total; i++ {
+		if i == total-rounds {
+			runtime.ReadMemStats(&before)
+		}
+		start := time.Now()
+		if err := a.Send(1, 2, nil); err != nil {
+			return LivePingPong{}, nil, err
+		}
+		if _, err := a.Recv(2); err != nil {
+			return LivePingPong{}, nil, err
+		}
+		if i >= total-rounds {
+			h.Observe(float64(time.Since(start)) / 2) // one-way
+			measured++
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if err := <-errs; err != nil {
+		return LivePingPong{}, nil, err
+	}
+	return LivePingPong{
+		Rounds:      measured,
+		P50us:       h.P50() / 1000,
+		P99us:       h.P99() / 1000,
+		AllocsPerRT: float64(after.Mallocs-before.Mallocs) / float64(measured),
+	}, h, nil
+}
+
+// LiveRun executes the full live sweep and returns both the terminal
+// report and the trajectory entry for BENCH_live.json.
+func LiveRun(label string) (*Report, *LiveEntry, error) {
+	rep := &Report{
+		ID:       "live",
+		Title:    "live UDP loopback: streaming bandwidth + 0-byte latency",
+		PaperRef: "C2/C6 (MTU 1500 vs 9000), Fig. 1 path 2 (0-copy send path)",
+		XLabel:   "MTU (B)",
+		YLabel:   "Mb/s",
+		Columns:  []string{"Mb/s", "allocs/msg", "retransmits"},
+	}
+	entry := &LiveEntry{Label: label, Go: runtime.Version()}
+	const msgSize = 64 * 1024
+	const msgCount = 1000
+	for _, mtu := range []int{1500, 9000} {
+		st, err := liveStreamRun(mtu, msgSize, msgCount)
+		if err != nil {
+			return nil, nil, fmt.Errorf("live stream mtu=%d: %w", mtu, err)
+		}
+		entry.Streaming = append(entry.Streaming, st)
+		rep.AddRow(float64(mtu), st.Mbps, st.AllocsPerMsg, float64(st.Retransmits))
+	}
+	const rounds = 3000
+	pp, _, err := livePingPongRun(rounds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("live pingpong: %w", err)
+	}
+	entry.PingPong = pp
+	rep.Notef("%d x %d KiB messages per MTU point; wall-clock loopback UDP, window 64", msgCount, msgSize/1024)
+	rep.Notef("0-byte ping-pong over %d rounds: one-way p50 %.1f µs, p99 %.1f µs, %.1f allocs/round-trip",
+		pp.Rounds, pp.P50us, pp.P99us, pp.AllocsPerRT)
+	return rep, entry, nil
+}
+
+// Live adapts LiveRun to the experiment-table signature (the params are
+// unused: this experiment runs on the wall clock, not the model).
+func Live(*model.Params) *Report {
+	rep, _, err := LiveRun("adhoc")
+	if err != nil {
+		rep = &Report{ID: "live", Title: "live UDP loopback"}
+		rep.Notef("FAILED: %v", err)
+	}
+	return rep
+}
+
+// AppendLiveEntry appends entry to the JSON trajectory at path (an array
+// of labelled LiveEntry points, newest last), creating the file if
+// missing. The trajectory is the regression baseline: future changes to
+// the live datapath compare against the entries recorded here.
+func AppendLiveEntry(path string, entry *LiveEntry) error {
+	var trajectory []LiveEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &trajectory); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a trajectory array: %w", path, err)
+		}
+	}
+	trajectory = append(trajectory, *entry)
+	out, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,109 @@
+//go:build !race
+
+package live
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+)
+
+// The alloc guards pin the tentpole's core claim — steady-state TX and
+// RX are allocation-free — with testing.AllocsPerRun, so a regression
+// fails `go test` instead of quietly eroding the datapath. They are
+// excluded under -race (the detector instruments allocations) and run
+// with the GC disabled: sync.Pool drops its victim cache on every GC
+// cycle, which would charge the guard for refills the steady state
+// never pays.
+
+// streamQuiesce waits until src's in-flight window drains so one
+// guard's leftover acks don't land inside the next measurement.
+func streamQuiesce(t *testing.T, src *Node, dst int) {
+	t.Helper()
+	tc, err := src.txFor(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tc.mu.Lock()
+		inflight := tc.win.InFlight()
+		tc.mu.Unlock()
+		if inflight == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window never drained: %d frames in flight", inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSteadyStateSendZeroAlloc drives the full transport — fragment,
+// encode, pool, window, socket burst, receive burst, resequence, ack,
+// ack processing, release — and asserts zero allocations per message.
+// The destination port queue is pre-filled so delivery takes the
+// drop-before-copy path: the one allocation the API owes (the
+// delivered Message.Data copy) is excluded, everything the transport
+// itself does is measured.
+func TestSteadyStateSendZeroAlloc(t *testing.T) {
+	a, b := wbPair(t, DefaultConfig())
+	const port = 20
+	payload := wbPattern(1024) // single fragment at MTU 1500
+
+	fill := b.portChan(port)
+	for len(fill) < cap(fill) {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm every resident structure (pool, stage, ack scratch, timers).
+	for i := 0; i < 128; i++ {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamQuiesce(t, a, 1)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	avg := testing.AllocsPerRun(200, func() {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state send allocates %.2f allocs/msg; the 0-copy datapath regressed", avg)
+	}
+}
+
+// TestSteadyStateRoundTripZeroAlloc measures a complete 0-byte
+// round trip through Send and Recv — the paper's C6 ping-pong shape.
+// A zero-length message makes the delivery copy itself free, so this
+// guard covers the receive API path the send guard deliberately
+// bypasses.
+func TestSteadyStateRoundTripZeroAlloc(t *testing.T) {
+	a, b := wbPair(t, DefaultConfig())
+	const port = 21
+	for i := 0; i < 64; i++ {
+		if err := a.Send(1, port, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamQuiesce(t, a, 1)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	avg := testing.AllocsPerRun(200, func() {
+		if err := a.Send(1, port, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(port); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state round trip allocates %.2f allocs; the 0-copy datapath regressed", avg)
+	}
+}

@@ -1,12 +1,25 @@
-// Package live is the functional (not performance) CLIC implementation:
-// the same wire format (internal/proto) and reliability core
-// (internal/relwin) as the simulated protocol, run over real UDP sockets
-// on the loopback interface — the closest raw-socket approximation to a
-// kernel Ethernet protocol available to a pure-Go process. It exists to
-// demonstrate that the protocol logic itself (framing, fragmentation,
-// sequencing, cumulative acks, go-back-N retransmission, remote write,
-// confirmation) delivers correctly over a real, lossy, reordering
-// channel, with injectable loss/duplication for tests.
+// Package live is the wire-accurate CLIC implementation run over real
+// UDP sockets: the same wire format (internal/proto) and reliability
+// core (internal/relwin) as the simulated protocol, on the loopback
+// interface — the closest raw-socket approximation to a kernel Ethernet
+// protocol available to a pure-Go process. Beyond functional fidelity
+// (framing, fragmentation, sequencing, cumulative acks, go-back-N
+// retransmission, remote write, confirmation, injectable faults), the
+// datapath mirrors the paper's three Gigabit upgrades (§4):
+//
+//   - 0-copy framing: a sync.Pool of MTU-sized frame buffers is shared
+//     by TX and RX; headers are encoded in place (proto.Header.Put) and
+//     the retransmit window retains the pooled buffer itself — the
+//     bytes on the wire are the bytes the window would retransmit, with
+//     no intermediate copy (Fig. 1 path 2).
+//   - Interrupt coalescing: the receive loop drains datagram bursts
+//     (recvmmsg on Linux) and answers each burst with at most one
+//     cumulative ack per peer, the way the NIC's interrupt moderation
+//     amortises per-frame cost (§4.2).
+//   - Lock sharding: each peer channel has its own lock; the node-level
+//     lock only guards the registration tables, so concurrent senders
+//     to different peers never serialise, and no lock is held across a
+//     socket write on the TX fast path.
 package live
 
 import (
@@ -14,21 +27,23 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/flight"
 	"repro/internal/proto"
 	"repro/internal/relwin"
-	"repro/internal/rto"
 	"repro/internal/telemetry"
-	"repro/internal/trace"
 )
 
 // Config tunes a live node.
 type Config struct {
 	// MTU bounds the CLIC payload per datagram (header included), like
-	// the Ethernet MTU bounds a frame.
+	// the Ethernet MTU bounds a frame. It is also the frame-pool buffer
+	// class (with a small floor).
 	MTU int
 
 	// Window is the per-peer sliding window in frames.
@@ -54,6 +69,14 @@ type Config struct {
 	// progress before the peer is declared dead and senders get
 	// ErrPeerDead. Zero retries forever.
 	MaxRetries int
+
+	// SockBuf requests SO_RCVBUF/SO_SNDBUF for the node's socket, in
+	// bytes (best effort: the kernel clamps to rmem_max/wmem_max). Zero
+	// asks for 4 MiB — a full jumbo-frame window per peer otherwise
+	// overruns the default ~200 KiB receive buffer, and every overrun is
+	// an invisible loss the sender recovers from only by RTO. Negative
+	// leaves the OS default.
+	SockBuf int
 
 	// LossRate, DupRate inject datagram loss/duplication on the send
 	// side, in [0,1). ReorderRate delays individual datagrams by a random
@@ -90,6 +113,7 @@ func DefaultConfig() Config {
 		RTOMin:            5 * time.Millisecond,
 		RTOMax:            2 * time.Second,
 		MaxRetries:        8,
+		SockBuf:           4 << 20,
 		ReorderDelay:      2 * time.Millisecond,
 	}
 }
@@ -102,28 +126,57 @@ type Message struct {
 }
 
 // Node is one live CLIC endpoint bound to a UDP socket.
+//
+// Locking is sharded the way the datapath is: pmu (read-mostly) guards
+// the registration tables only; each peer channel carries its own
+// mutex; the confirmation rendezvous has its own small lock; counters
+// are atomic. No lock is held across a socket write on the TX fast
+// path, and no lock is shared between traffic to different peers.
 type Node struct {
 	ID   int
 	cfg  Config
 	conn *net.UDPConn
 
-	mu      sync.Mutex
-	peers   map[int]*net.UDPAddr
+	// rawConn drives the batched syscalls (sendmmsg/recvmmsg on Linux)
+	// through the runtime poller.
+	rawConn syscall.RawConn
+
+	// pool recycles MTU-class frame buffers across the TX path (encode →
+	// window retention → ack release) and the RX out-of-order parking.
+	pool *framePool
+
+	// pmu guards the registration tables below. All four maps are
+	// written only on registration (AddPeer, first use of a channel or
+	// port) and read on fast paths via RLock.
+	pmu     sync.RWMutex
+	peers   map[int]netip.AddrPort
+	peerIDs map[netip.AddrPort]int
 	tx      map[int]*liveTxChan
 	rx      map[int]*liveRxChan
 	ports   map[uint16]chan Message
 	regions map[uint16]*Region
-	confirm map[confirmKey]chan error
-	rng     *rand.Rand
-	closed  bool
 
-	wg   sync.WaitGroup
-	done chan struct{}
+	// cmu guards the confirmation rendezvous table (§5 send-with-
+	// confirmation). Lock order: a peer channel's mutex may wrap cmu
+	// (failChannel), never the reverse.
+	cmu     sync.Mutex
+	confirm map[confirmKey]chan error
+
+	// imu guards the fault-injection randomness; faulty caches whether
+	// any injection rate is non-zero so the clean fast path never takes
+	// the lock.
+	imu    sync.Mutex
+	rng    *rand.Rand
+	faulty bool
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	done   chan struct{}
 
 	// Metrics. Counters are atomic (telemetry.Counter), so the rxLoop
 	// goroutine, timer callbacks and sender goroutines may all touch
-	// them without holding mu — the live stack's counters are exactly
-	// the shared state -race used to flag with plain ints.
+	// them without holding any lock — the live stack's counters are
+	// exactly the shared state -race used to flag with plain ints.
 	tel              *telemetry.Registry
 	framesSent       telemetry.Counter
 	framesRecv       telemetry.Counter
@@ -135,6 +188,11 @@ type Node struct {
 	socketReads      telemetry.Counter
 	rtoBackoffs      telemetry.Counter
 	channelFailures  telemetry.Counter
+	poolGets         telemetry.Counter
+	poolPuts         telemetry.Counter
+	poolAllocs       telemetry.Counter
+	rxBursts         telemetry.Counter
+	rxBurstFrames    telemetry.Counter
 	ackLatency       *telemetry.Histogram
 
 	// fr is the optional flight recorder (nil disables); nodeName labels
@@ -148,48 +206,10 @@ type confirmKey struct {
 	seq  relwin.Seq
 }
 
-type liveTxChan struct {
-	win      *relwin.Sender[[]byte]
-	slotFree *sync.Cond
-	rto      *time.Timer
-	ctrl     *rto.Controller // guarded by n.mu
-	rtoGauge *telemetry.Gauge
-	failed   bool // retry budget exhausted; senders get ErrPeerDead
-
-	// sampleFloor is the Karn's-rule watermark: sequences below it were
-	// retransmitted, so their ack latencies must not feed the estimator.
-	sampleFloor relwin.Seq
-
-	// sentAt remembers each in-flight datagram's first push time for the
-	// ack-latency histogram. Guarded by n.mu.
-	sentAt map[relwin.Seq]time.Time
-}
-
-// publishRTO refreshes the channel's live_rto_ns gauge from the
-// controller. Called with n.mu held after any controller mutation.
-func (tc *liveTxChan) publishRTO() { tc.rtoGauge.Set(tc.ctrl.RTO()) }
-
-type liveRxChan struct {
-	reseq    *relwin.Resequencer[rxDatagram]
-	asm      liveAsm
-	sinceAck int
-	ackTimer *time.Timer
-}
-
-type rxDatagram struct {
-	hdr     proto.Header
-	payload []byte
-}
-
-type liveAsm struct {
-	buf     []byte
-	want    int
-	typ     proto.PacketType
-	port    uint16
-	flags   uint8
-	started bool
-	lastSeq relwin.Seq
-}
+// poolBufClassFloor keeps the frame-buffer class usefully sized even
+// under tiny test MTUs, so out-of-order parking of a peer's slightly
+// larger datagrams stays on the pooled path.
+const poolBufClassFloor = 2048
 
 // NewNode binds a node to 127.0.0.1 on an ephemeral port.
 func NewNode(id int, cfg Config) (*Node, error) {
@@ -197,17 +217,35 @@ func NewNode(id int, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: bind: %w", err)
 	}
+	rawConn, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: raw conn: %w", err)
+	}
+	sockBuf := cfg.SockBuf
+	if sockBuf == 0 {
+		sockBuf = 4 << 20
+	}
+	if sockBuf > 0 {
+		// Best effort: without this a single jumbo-MTU window overruns
+		// the default receive buffer and the stream crawls on RTO stalls.
+		conn.SetReadBuffer(sockBuf)  //nolint:errcheck // kernel clamps; degraded perf, not correctness
+		conn.SetWriteBuffer(sockBuf) //nolint:errcheck // kernel clamps; degraded perf, not correctness
+	}
 	n := &Node{
-		ID:      id,
-		cfg:     cfg,
-		conn:    conn,
-		peers:   map[int]*net.UDPAddr{},
-		tx:      map[int]*liveTxChan{},
-		rx:      map[int]*liveRxChan{},
-		ports:   map[uint16]chan Message{},
-		regions: map[uint16]*Region{},
-		confirm: map[confirmKey]chan error{},
+		ID:       id,
+		cfg:      cfg,
+		conn:     conn,
+		rawConn:  rawConn,
+		peers:    map[int]netip.AddrPort{},
+		peerIDs:  map[netip.AddrPort]int{},
+		tx:       map[int]*liveTxChan{},
+		rx:       map[int]*liveRxChan{},
+		ports:    map[uint16]chan Message{},
+		regions:  map[uint16]*Region{},
+		confirm:  map[confirmKey]chan error{},
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
+		faulty:   cfg.LossRate > 0 || cfg.DupRate > 0 || cfg.ReorderRate > 0,
 		done:     make(chan struct{}),
 		tel:      cfg.Telemetry,
 		fr:       cfg.Flight,
@@ -227,9 +265,19 @@ func NewNode(id int, cfg Config) (*Node, error) {
 	n.tel.RegisterCounter("live_channel_failures_total", "peers declared dead after MaxRetries consecutive timeouts", &n.channelFailures, node)
 	n.tel.RegisterCounter("live_socket_writes_total", "UDP write syscalls issued (including duplicates)", &n.socketWrites, node)
 	n.tel.RegisterCounter("live_socket_reads_total", "UDP datagrams read from the socket", &n.socketReads, node)
+	n.tel.RegisterCounter("live_pool_gets_total", "frame buffers taken from the shared pool", &n.poolGets, node)
+	n.tel.RegisterCounter("live_pool_puts_total", "frame buffers returned to the shared pool", &n.poolPuts, node)
+	n.tel.RegisterCounter("live_pool_allocs_total", "frame buffers newly allocated on pool miss", &n.poolAllocs, node)
+	n.tel.RegisterCounter("live_rx_bursts_total", "receive wakeups, each draining a burst of one or more datagrams", &n.rxBursts, node)
+	n.tel.RegisterCounter("live_rx_burst_frames_total", "datagrams drained by burst receives", &n.rxBurstFrames, node)
 	n.ackLatency = n.tel.Histogram("live_ack_latency_ns",
 		"datagram push to cumulative-ack latency, wall-clock ns",
 		telemetry.DefLatencyBuckets(), node)
+	size := cfg.MTU
+	if size < poolBufClassFloor {
+		size = poolBufClassFloor
+	}
+	n.pool = newFramePool(size, &n.poolGets, &n.poolPuts, &n.poolAllocs)
 	n.wg.Add(1)
 	go n.rxLoop()
 	return n, nil
@@ -242,12 +290,38 @@ func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
 // Addr returns the node's UDP address for peer registration.
 func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
 
+// canonAddrPort normalises an address for the peer tables: IPv4-mapped
+// IPv6 forms (what net.IPv4 produces) and plain IPv4 forms (what the
+// socket reports on receive) must hash identically.
+func canonAddrPort(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
 // AddPeer registers a peer node's address (the live analogue of the
 // static MAC table).
 func (n *Node) AddPeer(id int, addr *net.UDPAddr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.peers[id] = addr
+	ap := canonAddrPort(addr.AddrPort())
+	n.pmu.Lock()
+	if old, ok := n.peers[id]; ok && old != ap {
+		delete(n.peerIDs, old)
+	}
+	n.peers[id] = ap
+	n.peerIDs[ap] = id
+	tc := n.tx[id]
+	rc := n.rx[id]
+	n.pmu.Unlock()
+	// Channels cache the peer address so fast paths skip the table; keep
+	// the caches coherent on re-registration.
+	if tc != nil {
+		tc.mu.Lock()
+		tc.addr = ap
+		tc.mu.Unlock()
+	}
+	if rc != nil {
+		rc.mu.Lock()
+		rc.addr = ap
+		rc.mu.Unlock()
+	}
 }
 
 // Connect registers two nodes with each other.
@@ -259,29 +333,37 @@ func Connect(a, b *Node) {
 // Close shuts the node down. In-flight messages may be lost; peers'
 // retransmissions will give up after their retry budget. Every pending
 // timer (per-channel rto, per-channel delayed ack) is stopped so no
-// time.AfterFunc callback outlives the node.
+// timer callback outlives the node, and blocked senders and region
+// waiters are woken.
 func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	n.closed = true
 	close(n.done)
+	n.pmu.Lock()
 	for _, tc := range n.tx {
-		if tc.rto != nil {
+		tc.mu.Lock()
+		if tc.rtoArmed {
 			tc.rto.Stop()
-			tc.rto = nil
+			tc.rtoArmed = false
 		}
 		tc.slotFree.Broadcast()
+		tc.mu.Unlock()
 	}
 	for _, rc := range n.rx {
-		if rc.ackTimer != nil {
+		rc.mu.Lock()
+		if rc.ackArmed {
 			rc.ackTimer.Stop()
-			rc.ackTimer = nil
+			rc.ackArmed = false
 		}
+		rc.mu.Unlock()
 	}
-	n.mu.Unlock()
+	for _, r := range n.regions {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+	n.pmu.Unlock()
 	err := n.conn.Close()
 	n.wg.Wait()
 	return err
@@ -303,283 +385,69 @@ var ErrPeerDead = errors.New("live: peer dead after max retries")
 // maxPayload is the CLIC payload per datagram after the header.
 func (n *Node) maxPayload() int { return n.cfg.MTU - proto.HeaderBytes }
 
-func (n *Node) txChanFor(peer int) *liveTxChan {
-	tc, ok := n.tx[peer]
-	if !ok {
-		tc = &liveTxChan{
-			win: relwin.NewSender[[]byte](n.cfg.Window),
-			ctrl: rto.New(rto.Config{
-				Initial:    n.cfg.RetransmitTimeout.Nanoseconds(),
-				Min:        n.cfg.RTOMin.Nanoseconds(),
-				Max:        n.cfg.RTOMax.Nanoseconds(),
-				MaxRetries: n.cfg.MaxRetries,
-			}),
-			sentAt: map[relwin.Seq]time.Time{},
-		}
-		tc.rtoGauge = n.tel.Gauge("live_rto_ns",
-			"current adaptive retransmission timeout for this channel",
-			telemetry.L("node", fmt.Sprint(n.ID)), telemetry.L("peer", fmt.Sprint(peer)))
-		tc.publishRTO()
-		tc.slotFree = sync.NewCond(&n.mu)
-		n.tx[peer] = tc
+// txFor returns (creating on first use) the transmit channel to peer.
+func (n *Node) txFor(peer int) (*liveTxChan, error) {
+	n.pmu.RLock()
+	tc := n.tx[peer]
+	n.pmu.RUnlock()
+	if tc != nil {
+		return tc, nil
 	}
-	return tc
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if tc := n.tx[peer]; tc != nil {
+		return tc, nil
+	}
+	addr, ok := n.peers[peer]
+	if !ok {
+		return nil, fmt.Errorf("live: node %d has no peer %d", n.ID, peer)
+	}
+	tc = newTxChan(n, peer, addr)
+	n.tx[peer] = tc
+	return tc, nil
 }
 
-func (n *Node) rxChanFor(peer int) *liveRxChan {
-	rc, ok := n.rx[peer]
-	if !ok {
-		rc = &liveRxChan{reseq: relwin.NewResequencer[rxDatagram](n.cfg.Window)}
-		n.rx[peer] = rc
+// rxFor returns (creating on first use) the receive channel from peer.
+// Callers have already resolved peer through the address table, so the
+// peer is known to be registered.
+func (n *Node) rxFor(peer int) *liveRxChan {
+	n.pmu.RLock()
+	rc := n.rx[peer]
+	n.pmu.RUnlock()
+	if rc != nil {
+		return rc
 	}
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if rc := n.rx[peer]; rc != nil {
+		return rc
+	}
+	rc = newRxChan(n, peer, n.peers[peer])
+	n.rx[peer] = rc
 	return rc
 }
 
+// portChan returns (creating on first use) the delivery queue for port.
 func (n *Node) portChan(port uint16) chan Message {
-	ch, ok := n.ports[port]
-	if !ok {
-		ch = make(chan Message, 64)
-		n.ports[port] = ch
+	n.pmu.RLock()
+	ch := n.ports[port]
+	n.pmu.RUnlock()
+	if ch != nil {
+		return ch
 	}
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if ch := n.ports[port]; ch != nil {
+		return ch
+	}
+	ch = make(chan Message, 64)
+	n.ports[port] = ch
 	return ch
-}
-
-// Send reliably transmits data to (dst, port), blocking on window space.
-func (n *Node) Send(dst int, port uint16, data []byte) error {
-	_, err := n.send(dst, port, proto.TypeData, 0, data)
-	return err
-}
-
-// SendConfirm transmits data and blocks until the peer's confirmation of
-// reception arrives (§5's send-with-confirmation primitive). It returns
-// ErrPeerDead if the channel fails before the confirmation lands.
-func (n *Node) SendConfirm(dst int, port uint16, data []byte) error {
-	lastSeq, err := n.send(dst, port, proto.TypeData, proto.FlagConfirm, data)
-	if err != nil {
-		return err
-	}
-	key := confirmKey{peer: dst, seq: lastSeq}
-	ch := make(chan error, 1)
-	n.mu.Lock()
-	n.confirm[key] = ch
-	n.mu.Unlock()
-	select {
-	case err := <-ch:
-		return err
-	case <-n.done:
-		return ErrClosed
-	}
-}
-
-// send fragments and transmits one message, returning the last fragment's
-// sequence number.
-func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, data []byte) (relwin.Seq, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return 0, ErrClosed
-	}
-	addr, ok := n.peers[dst]
-	if !ok {
-		return 0, fmt.Errorf("live: node %d has no peer %d", n.ID, dst)
-	}
-	tc := n.txChanFor(dst)
-	if tc.failed {
-		return 0, ErrPeerDead
-	}
-	total := len(data)
-	off := 0
-	first := true
-	var lastSeq relwin.Seq
-	for {
-		end := off + n.maxPayload()
-		if end > total {
-			end = total
-		}
-		last := end == total
-		// A channel failure broadcasts slotFree, so senders blocked on
-		// window space wake here and surface ErrPeerDead.
-		for !tc.win.CanSend() {
-			if n.closed {
-				return 0, ErrClosed
-			}
-			if tc.failed {
-				return 0, ErrPeerDead
-			}
-			tc.slotFree.Wait()
-		}
-		if n.closed {
-			return 0, ErrClosed
-		}
-		if tc.failed {
-			return 0, ErrPeerDead
-		}
-		hdr := proto.Header{Type: typ, Port: port, Seq: tc.win.NextSeq(), Len: uint32(total)}
-		if first {
-			hdr.Flags |= proto.FlagFirst
-		}
-		if last {
-			hdr.Flags |= proto.FlagLast
-			hdr.Flags |= flags & proto.FlagConfirm
-		}
-		m0 := time.Now()
-		dgram := hdr.Encode(make([]byte, 0, proto.HeaderBytes+end-off))
-		dgram = append(dgram, data[off:end]...)
-		lastSeq = tc.win.Push(dgram)
-		tc.sentAt[lastSeq] = time.Now()
-		n.armRTO(dst, tc)
-		var fid uint64
-		if n.fr != nil {
-			// Both ends derive the frame id from (sender, sequence), so
-			// sender-side and receiver-side spans stitch without any extra
-			// bytes on the wire.
-			fid = flight.FrameID(n.ID, lastSeq)
-			n.fr.Span(n.nodeName, fid, trace.SpanModuleSend,
-				m0.UnixNano(), time.Now().UnixNano())
-		}
-		n.transmit(addr, dgram, fid)
-		off = end
-		first = false
-		if last {
-			return lastSeq, nil
-		}
-	}
-}
-
-// transmit writes one datagram, applying loss/duplication/reordering
-// injection. Called with the lock held (UDP writes don't block
-// meaningfully). A reordered datagram's write is deferred by a random
-// delay up to ReorderDelay so traffic sent after it overtakes it; the
-// deferred callback touches only the socket and atomic counters, so it is
-// safe even after Close.
-func (n *Node) transmit(addr *net.UDPAddr, dgram []byte, fid uint64) {
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-		n.dropsInjected.Inc()
-		if fid != 0 {
-			n.fr.Point(n.nodeName, fid, trace.PointDrop,
-				time.Now().UnixNano(), int64(len(dgram)))
-		}
-		return
-	}
-	writes := 1
-	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
-		writes = 2
-	}
-	for i := 0; i < writes; i++ {
-		if n.cfg.ReorderRate > 0 && n.rng.Float64() < n.cfg.ReorderRate {
-			delay := n.cfg.ReorderDelay
-			if delay <= 0 {
-				delay = 2 * time.Millisecond
-			}
-			n.reordersInjected.Inc()
-			time.AfterFunc(time.Duration(n.rng.Int63n(int64(delay)))+time.Microsecond, func() {
-				n.framesSent.Inc()
-				n.socketWrites.Inc()
-				n.flightWire(fid)
-				n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
-			})
-			continue
-		}
-		n.framesSent.Inc()
-		n.socketWrites.Inc()
-		n.flightWire(fid)
-		n.conn.WriteToUDP(dgram, addr) //nolint:errcheck // lossy channel by design
-	}
-}
-
-// flightWire opens the wire span at the moment the datagram actually hits
-// the socket. Begin is idempotent per frame, so an injected duplicate or a
-// retransmission of a still-open frame extends the original span — which
-// then truthfully covers the loss and recovery.
-func (n *Node) flightWire(fid uint64) {
-	if fid != 0 {
-		n.fr.Begin(n.nodeName, fid, trace.SpanWire, time.Now().UnixNano())
-	}
-}
-
-// armRTO starts the go-back-N timer for a peer channel if needed, at the
-// controller's current adaptive timeout. Called with the lock held.
-func (n *Node) armRTO(peer int, tc *liveTxChan) {
-	if tc.rto != nil || tc.failed || tc.win.InFlight() == 0 {
-		return
-	}
-	tc.rto = time.AfterFunc(time.Duration(tc.ctrl.RTO()), func() { n.fireRTO(peer) })
-}
-
-func (n *Node) fireRTO(peer int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
-	}
-	tc := n.tx[peer]
-	if tc == nil || tc.failed {
-		return
-	}
-	tc.rto = nil
-	// Unacked's slice aliases the window's internal state and must not be
-	// retained across Push/Ack; it is consumed below, under the same lock
-	// acquisition that read it, so no sender can Push concurrently.
-	unacked, base := tc.win.Unacked()
-	if len(unacked) == 0 {
-		return
-	}
-	if tc.ctrl.OnTimeout() {
-		n.failChannel(peer, tc)
-		return
-	}
-	n.rtoBackoffs.Inc()
-	if n.fr != nil {
-		n.fr.Point(n.nodeName, 0, trace.PointRTOBackoff,
-			time.Now().UnixNano(), tc.ctrl.RTO())
-	}
-	tc.publishRTO() // the timeout doubled
-	// Karn's rule: acks for anything below this watermark are ambiguous.
-	tc.sampleFloor = tc.win.NextSeq()
-	addr := n.peers[peer]
-	for i, dgram := range unacked {
-		n.retransmits.Inc()
-		var fid uint64
-		if n.fr != nil {
-			fid = flight.FrameID(n.ID, base+relwin.Seq(i))
-			n.fr.Point(n.nodeName, fid, trace.PointRetransmit,
-				time.Now().UnixNano(), int64(len(dgram)))
-		}
-		n.transmit(addr, dgram, fid)
-	}
-	n.armRTO(peer, tc)
-}
-
-// failChannel declares a peer dead: blocked senders wake with ErrPeerDead,
-// confirmation waiters fail, and the stale in-flight bookkeeping is
-// dropped so sentAt cannot grow unbounded under persistent loss. Called
-// with the lock held.
-func (n *Node) failChannel(peer int, tc *liveTxChan) {
-	tc.failed = true
-	n.channelFailures.Inc()
-	if n.fr != nil {
-		n.fr.Point(n.nodeName, 0, trace.PointChannelFailed,
-			time.Now().UnixNano(), int64(peer))
-	}
-	if tc.rto != nil {
-		tc.rto.Stop()
-		tc.rto = nil
-	}
-	tc.sentAt = map[relwin.Seq]time.Time{}
-	tc.slotFree.Broadcast()
-	for key, ch := range n.confirm {
-		if key.peer == peer {
-			delete(n.confirm, key)
-			ch <- ErrPeerDead
-		}
-	}
 }
 
 // Recv blocks for the next message on port.
 func (n *Node) Recv(port uint16) (Message, error) {
-	n.mu.Lock()
 	ch := n.portChan(port)
-	n.mu.Unlock()
 	select {
 	case msg := <-ch:
 		return msg, nil
@@ -590,9 +458,7 @@ func (n *Node) Recv(port uint16) (Message, error) {
 
 // TryRecv returns the next message on port if one is waiting.
 func (n *Node) TryRecv(port uint16) (Message, bool) {
-	n.mu.Lock()
 	ch := n.portChan(port)
-	n.mu.Unlock()
 	select {
 	case msg := <-ch:
 		return msg, true

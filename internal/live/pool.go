@@ -1,0 +1,90 @@
+package live
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// frameBuf is one pooled datagram buffer — the sk_buff of the live
+// stack. The backing array b is allocated once at full pool size and
+// recycled for the node's lifetime; fb.b[:fb.n] is the current wire
+// view (header + payload).
+//
+// Ownership protocol (machine-checked by the cliclint bufown analyzer
+// and asserted at runtime by framePool.Put):
+//
+//   - TX: the send path encodes into the buffer, then hands it to the
+//     retransmit window (relwin.Sender.Push), which owns it — and may
+//     retransmit from it — until the cumulative ack or channel failure
+//     releases it back to the pool. This is the Go analogue of the
+//     paper's 0-copy send path (Fig. 1 path 2): the bytes the wire
+//     reads are the bytes the window retains, with no defensive copy
+//     in between.
+//   - RX: in-order datagrams are consumed in place from the read
+//     buffer and never touch the pool; only out-of-order datagrams are
+//     copied into a pooled buffer while parked in the resequencer.
+type frameBuf struct {
+	b []byte
+	n int // valid wire bytes: the datagram is b[:n]
+
+	// retained marks the buffer as owned by a retransmit window or a
+	// resequencer park; pooled marks it as inside the pool. Both are
+	// manipulated under the owning channel's lock (or while the buffer
+	// is exclusively held), and exist to turn ownership bugs —
+	// recycling a buffer the window may still retransmit, double
+	// frees — into immediate panics instead of silent data corruption.
+	retained bool
+	pooled   bool
+}
+
+// framePool is a sync.Pool-backed frame-buffer pool shared by the TX
+// and RX paths of one node. Buffers are MTU-sized (with a floor): big
+// enough for any datagram this node frames or parks, small enough that
+// a GC-cleared pool refills cheaply.
+type framePool struct {
+	size               int
+	pool               sync.Pool
+	gets, puts, allocs *telemetry.Counter
+}
+
+func newFramePool(size int, gets, puts, allocs *telemetry.Counter) *framePool {
+	p := &framePool{size: size, gets: gets, puts: puts, allocs: allocs}
+	p.pool.New = func() any {
+		p.allocs.Inc()
+		return &frameBuf{b: make([]byte, size)}
+	}
+	return p
+}
+
+// Get returns an exclusively owned buffer with len(b) == pool size.
+func (p *framePool) Get() *frameBuf {
+	p.gets.Inc()
+	fb := p.pool.Get().(*frameBuf)
+	fb.pooled = false
+	fb.n = 0
+	return fb
+}
+
+// Put recycles a buffer. It panics on a double free or on a buffer a
+// retransmit window / resequencer still retains — the two ownership
+// violations that would otherwise surface as corrupted datagrams when
+// the pool hands the bytes to another sender.
+func (p *framePool) Put(fb *frameBuf) {
+	if fb.pooled {
+		panic("live: pooled frame buffer freed twice")
+	}
+	if fb.retained {
+		panic("live: frame buffer returned to the pool while a window retains it")
+	}
+	if len(fb.b) != p.size {
+		// Oversized one-off (a foreign datagram larger than the pool
+		// class): never entered through Get, so don't count it — gets
+		// and puts stay balanced at quiesce — and don't let it poison
+		// the pool; the GC reclaims it.
+		return
+	}
+	p.puts.Inc()
+	fb.pooled = true
+	p.pool.Put(fb)
+}

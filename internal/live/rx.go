@@ -2,7 +2,7 @@ package live
 
 import (
 	"encoding/binary"
-	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -12,45 +12,145 @@ import (
 	"repro/internal/trace"
 )
 
-// rxLoop reads datagrams and runs them through the receive path — the
-// live analogue of the driver ISR + CLIC_MODULE.
+// liveRxChan is the receive side of one peer channel, guarded by its
+// own mutex. It is driven almost exclusively by the rxLoop goroutine;
+// the lock exists for the delayed-ack timer and AddPeer.
+type liveRxChan struct {
+	src int
+
+	mu    sync.Mutex
+	addr  netip.AddrPort // peer address for acks, cached from the peer table
+	reseq *relwin.Resequencer[rxDatagram]
+	asm   liveAsm
+
+	// emit is the persistent resequencer delivery hook: allocated once
+	// so the in-order fast path creates no closures.
+	emit func(rxDatagram)
+
+	// Ack coalescing state: sinceAck counts delivered-but-unacked
+	// frames; ackNow forces a flush at burst end (duplicates and drops,
+	// where a prompt re-ack unsticks the peer); inBurst dedupes this
+	// channel into the rxLoop's touched set.
+	sinceAck int
+	ackNow   bool
+	inBurst  bool
+
+	// confirms collects sequence numbers whose messages completed with
+	// FlagConfirm during the current burst (§5); flushed with the acks.
+	confirms []relwin.Seq
+
+	// ackTimer is a persistent delayed-ack timer (re-armed with Reset);
+	// ackArmed is its logical state, as for the TX rto timer.
+	ackTimer *time.Timer
+	ackArmed bool
+
+	// ackBuf is the preframed ack datagram: acks are encoded in place
+	// and written under mu, so the hot path allocates nothing.
+	ackBuf [proto.HeaderBytes]byte
+}
+
+// rxDatagram is one sequenced datagram in flight through the
+// resequencer. On the in-order fast path payload aliases the socket
+// read buffer and fb is nil; a parked out-of-order datagram owns a
+// pooled copy through fb, returned to the pool as the gap fills.
+type rxDatagram struct {
+	hdr     proto.Header
+	payload []byte
+	fb      *frameBuf
+}
+
+func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
+	rc := &liveRxChan{
+		src:   src,
+		addr:  addr,
+		reseq: relwin.NewResequencer[rxDatagram](n.cfg.Window),
+	}
+	rc.ackTimer = time.AfterFunc(time.Hour, func() { n.fireDelayedAck(rc) })
+	rc.ackTimer.Stop()
+	rc.emit = func(d rxDatagram) {
+		rc.sinceAck++
+		if view, owned, done := rc.asm.add(d); done {
+			if rc.asm.flags&proto.FlagConfirm != 0 {
+				rc.confirms = append(rc.confirms, rc.asm.lastSeq)
+			}
+			n.deliver(rc.src, rc.asm.port, rc.asm.typ, view, owned)
+		}
+		if d.fb != nil {
+			d.fb.retained = false
+			n.pool.Put(d.fb)
+		}
+	}
+	return rc
+}
+
+// rxLoop reads datagram bursts and runs them through the receive path —
+// the live analogue of the driver ISR + CLIC_MODULE, with the paper's
+// interrupt coalescing: each wakeup drains up to a full batch (recvmmsg
+// on Linux), and ack decisions are deferred to the end of the burst so
+// a burst of data frames answers with one cumulative ack, not one per
+// frame.
 func (n *Node) rxLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 65536)
+	br, err := newBatchReader(n.conn)
+	if err != nil {
+		return
+	}
+	var touched []*liveRxChan // channels with pending ack decisions; reused across bursts
 	for {
-		size, addr, err := n.conn.ReadFromUDP(buf)
+		cnt, err := br.readBatch()
 		if err != nil {
 			return // socket closed
 		}
-		dgram := make([]byte, size)
-		copy(dgram, buf[:size])
-		n.handleDatagram(addr, dgram)
+		n.socketReads.Addn(int64(cnt))
+		n.rxBursts.Inc()
+		n.rxBurstFrames.Addn(int64(cnt))
+		for i := 0; i < cnt; i++ {
+			dgram, from := br.datagram(i)
+			touched = n.handleDatagram(dgram, from, touched)
+		}
+		touched = n.flushAcks(touched)
 	}
 }
 
-func (n *Node) handleDatagram(addr *net.UDPAddr, dgram []byte) {
+// handleDatagram dispatches one datagram. Control frames (acks,
+// confirmations) are decoded and consumed entirely in place — no copy,
+// no retention. Data frames run the resequencer under the channel lock;
+// the channel is added to touched for the burst-end ack flush.
+func (n *Node) handleDatagram(dgram []byte, from netip.AddrPort, touched []*liveRxChan) []*liveRxChan {
 	hdr, payload, err := proto.DecodeHeader(dgram)
 	if err != nil {
-		return // runt datagram
+		return touched // runt datagram
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.framesRecv.Inc()
-	n.socketReads.Inc()
-	src, ok := n.peerByAddr(addr)
+	n.pmu.RLock()
+	src, ok := n.peerIDs[from]
+	n.pmu.RUnlock()
 	if !ok {
-		return // not from a registered peer
+		return touched // not from a registered peer
 	}
 	switch hdr.Type {
 	case proto.TypeAck:
-		n.onAck(src, hdr.Seq)
+		n.pmu.RLock()
+		tc := n.tx[src]
+		n.pmu.RUnlock()
+		if tc != nil {
+			n.onAck(tc, hdr.Seq)
+		}
 	case proto.TypeConfirm:
 		key := confirmKey{peer: src, seq: hdr.Seq}
+		n.cmu.Lock()
 		if ch, ok := n.confirm[key]; ok {
 			delete(n.confirm, key)
 			ch <- nil
 		}
+		n.cmu.Unlock()
 	default:
+		rc := n.rxFor(src)
+		rc.mu.Lock()
+		if !rc.inBurst {
+			rc.inBurst = true
+			touched = append(touched, rc)
+		}
 		if n.fr != nil {
 			// Close the wire span the sender opened — the id derives from
 			// (sender, sequence) identically on both ends — and wrap the
@@ -58,182 +158,253 @@ func (n *Node) handleDatagram(addr *net.UDPAddr, dgram []byte) {
 			fid := flight.FrameID(src, hdr.Seq)
 			n.fr.End(n.nodeName, fid, trace.SpanWire, time.Now().UnixNano())
 			r0 := time.Now()
-			n.onData(src, hdr, payload)
+			n.onData(rc, hdr, payload)
 			n.fr.Span(n.nodeName, fid, trace.SpanModuleRx,
 				r0.UnixNano(), time.Now().UnixNano())
-			return
+		} else {
+			n.onData(rc, hdr, payload)
 		}
-		n.onData(src, hdr, payload)
+		rc.mu.Unlock()
 	}
-}
-
-func (n *Node) peerByAddr(addr *net.UDPAddr) (int, bool) {
-	for id, a := range n.peers {
-		if a.Port == addr.Port && a.IP.Equal(addr.IP) {
-			return id, true
-		}
-	}
-	return 0, false
-}
-
-func (n *Node) onAck(src int, cum relwin.Seq) {
-	tc := n.txChanFor(src)
-	if tc.win.Ack(cum) == 0 {
-		return
-	}
-	now := time.Now()
-	for seq, at := range tc.sentAt {
-		if relwin.Before(seq, cum) {
-			n.ackLatency.Observe(float64(now.Sub(at)))
-			// Karn's rule: only frames never retransmitted (at or above
-			// the watermark) feed the RTT estimator.
-			if !relwin.Before(seq, tc.sampleFloor) {
-				tc.ctrl.Observe(now.Sub(at).Nanoseconds())
-			}
-			delete(tc.sentAt, seq)
-		}
-	}
-	tc.ctrl.OnProgress()
-	tc.publishRTO()
-	if tc.rto != nil {
-		tc.rto.Stop()
-		tc.rto = nil
-	}
-	n.armRTO(src, tc)
-	tc.slotFree.Broadcast()
+	return touched
 }
 
 // onData runs a data-bearing datagram through the reliable channel.
-// Called with the lock held.
-func (n *Node) onData(src int, hdr proto.Header, payload []byte) {
-	rc := n.rxChanFor(src)
-	delivered, accepted := rc.reseq.Accept(hdr.Seq, rxDatagram{hdr: hdr, payload: payload})
-	if !accepted {
-		// Duplicate: re-ack so a lost ack doesn't stall the sender.
-		n.sendAck(src, rc)
-		return
-	}
-	var confirmSeq relwin.Seq
-	confirm := false
-	for _, d := range delivered {
-		if msg, last := rc.asm.add(src, d); msg != nil {
-			if rc.asm.flags&proto.FlagConfirm != 0 {
-				confirm = true
-				confirmSeq = last
-			}
-			n.deliver(*msg, rc.asm.typ)
+// Called with rc.mu held.
+func (n *Node) onData(rc *liveRxChan, hdr proto.Header, payload []byte) {
+	cum := rc.reseq.CumAck()
+	switch {
+	case hdr.Seq == cum:
+		// In-order fast path: zero copy. The payload aliases the socket
+		// read buffer; the emit hook consumes it synchronously (into the
+		// assembly or the delivered message) before the next socket read
+		// can overwrite it.
+		rc.reseq.AcceptFunc(hdr.Seq, rxDatagram{hdr: hdr, payload: payload}, rc.emit)
+	case relwin.Before(hdr.Seq, cum):
+		// Duplicate of a delivered frame (retransmission overlap): flush
+		// a prompt re-ack at burst end so a lost ack doesn't stall the
+		// peer.
+		rc.ackNow = true
+	default:
+		// A gap: park a copy in a pooled buffer until a retransmission
+		// fills the hole. The copy is unavoidable — the park outlives
+		// the read buffer — but it is the cold path by construction.
+		var d rxDatagram
+		if len(payload) <= n.pool.size {
+			fb := n.pool.Get()
+			fb.n = copy(fb.b, payload)
+			fb.retained = true
+			d = rxDatagram{hdr: hdr, payload: fb.b[:fb.n], fb: fb}
+		} else {
+			// Oversized foreign datagram: a one-off buffer the pool will
+			// decline to keep.
+			fb := &frameBuf{b: append([]byte(nil), payload...), retained: true}
+			fb.n = len(fb.b)
+			d = rxDatagram{hdr: hdr, payload: fb.b, fb: fb}
 		}
-	}
-	rc.sinceAck += len(delivered)
-	if rc.sinceAck >= n.cfg.AckEvery {
-		n.sendAck(src, rc)
-	} else if rc.sinceAck > 0 && rc.ackTimer == nil {
-		rc.ackTimer = time.AfterFunc(n.cfg.AckDelay, func() {
-			n.mu.Lock()
-			defer n.mu.Unlock()
-			rc.ackTimer = nil
-			if rc.sinceAck > 0 && !n.closed {
-				n.sendAck(src, rc)
-			}
-		})
-	}
-	if confirm {
-		n.sendControl(src, proto.TypeConfirm, confirmSeq)
+		if !rc.reseq.AcceptFunc(hdr.Seq, d, rc.emit) {
+			// Duplicate park or parking limit reached: drop and re-ack.
+			d.fb.retained = false
+			n.pool.Put(d.fb)
+			rc.ackNow = true
+		}
 	}
 }
 
-// add mirrors the simulator's assembly: returns the completed message and
-// its final sequence number.
-func (a *liveAsm) add(src int, d rxDatagram) (*Message, relwin.Seq) {
-	if d.hdr.Flags&proto.FlagFirst != 0 {
+// flushAcks ends a burst: every touched channel sends at most one
+// cumulative ack (coalescing the per-frame acks a naive receiver would
+// emit), arms the delayed-ack timer for sub-stride remainders, and
+// flushes any confirmations collected during the burst.
+func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
+	for _, rc := range touched {
+		rc.mu.Lock()
+		rc.inBurst = false
+		flush := rc.ackNow || rc.sinceAck >= n.cfg.AckEvery
+		if flush {
+			rc.sinceAck = 0
+			rc.ackNow = false
+			if rc.ackArmed {
+				rc.ackTimer.Stop()
+				rc.ackArmed = false
+			}
+			n.sendAckLocked(rc)
+		} else if rc.sinceAck > 0 && !rc.ackArmed {
+			rc.ackTimer.Reset(n.cfg.AckDelay)
+			rc.ackArmed = true
+		}
+		confirms := rc.confirms
+		rc.confirms = nil
+		rc.mu.Unlock()
+		for _, seq := range confirms {
+			n.sendControl(rc.src, proto.TypeConfirm, seq)
+		}
+	}
+	return touched[:0]
+}
+
+// sendAckLocked frames the cumulative ack into the channel's resident
+// ack buffer and writes it. Called with rc.mu held (both the burst
+// flush and the delayed-ack timer), which also serialises use of the
+// buffer.
+func (n *Node) sendAckLocked(rc *liveRxChan) {
+	hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
+	hdr.Put(rc.ackBuf[:])
+	n.acksSent.Inc()
+	// Control datagrams carry no flight id (0): their sequence numbers
+	// live in the peer's space, so deriving an id here would collide.
+	n.transmit(rc.addr, rc.ackBuf[:], 0)
+}
+
+// fireDelayedAck is the delayed-ack timer callback: flush the
+// outstanding sub-stride ack if the burst path hasn't already.
+func (n *Node) fireDelayedAck(rc *liveRxChan) {
+	if n.closed.Load() {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if !rc.ackArmed {
+		return // a burst flush won the race with this fire
+	}
+	rc.ackArmed = false
+	if rc.sinceAck == 0 {
+		return
+	}
+	rc.sinceAck = 0
+	rc.ackNow = false
+	n.sendAckLocked(rc)
+}
+
+// liveAsm reassembles fragments into messages.
+type liveAsm struct {
+	buf     []byte
+	typ     proto.PacketType
+	port    uint16
+	flags   uint8
+	started bool
+	lastSeq relwin.Seq
+}
+
+// add feeds one in-order fragment to the assembler. When a message
+// completes it returns (view, owned, true). A single-fragment message
+// (the latency path) returns a borrowed view aliasing the datagram
+// payload, valid only until the caller returns up the receive path. A
+// multi-fragment message hands its assembly buffer off outright
+// (owned=true) — delivery keeps it as the message data with no final
+// copy, and the next assembly starts a fresh buffer; the ownership
+// transfer costs the same one allocation per message the copy would,
+// and saves the memcpy of the whole message body.
+func (a *liveAsm) add(d rxDatagram) (view []byte, owned, done bool) {
+	f := d.hdr.Flags
+	if f&proto.FlagFirst != 0 {
+		if f&proto.FlagLast != 0 {
+			// Complete in one fragment: bypass the assembly buffer.
+			a.started = false
+			a.typ, a.port, a.flags, a.lastSeq = d.hdr.Type, d.hdr.Port, f, d.hdr.Seq
+			return d.payload, false, true
+		}
 		a.buf = a.buf[:0]
-		a.want = int(d.hdr.Len)
+		if cap(a.buf) == 0 && d.hdr.Len > 0 {
+			a.buf = make([]byte, 0, d.hdr.Len)
+		}
 		a.typ = d.hdr.Type
 		a.port = d.hdr.Port
 		a.flags = 0
 		a.started = true
 	}
 	if !a.started {
-		return nil, 0
+		return nil, false, false
 	}
 	a.buf = append(a.buf, d.payload...)
-	a.flags |= d.hdr.Flags
+	a.flags |= f
 	a.lastSeq = d.hdr.Seq
-	if d.hdr.Flags&proto.FlagLast == 0 {
-		return nil, 0
+	if f&proto.FlagLast == 0 {
+		return nil, false, false
 	}
 	a.started = false
-	data := make([]byte, len(a.buf))
-	copy(data, a.buf)
-	return &Message{Src: src, Port: a.port, Data: data}, a.lastSeq
+	view = a.buf
+	a.buf = nil // ownership moves to the delivered message
+	return view, true, true
 }
 
-// deliver routes a completed message by type. Called with the lock held.
-func (n *Node) deliver(msg Message, typ proto.PacketType) {
-	// Remote writes land straight in their region, no receive needed.
-	if typ != proto.TypeRemoteWrite {
-		ch := n.portChan(msg.Port)
-		select {
-		case ch <- msg:
-		default:
-			// Port queue full: the kernel-buffer analogue overran; this
-			// is an application-level overrun, dropped here.
-		}
+// deliver routes a completed message by type. Unless owned (an
+// assembly-buffer handoff), view is borrowed — it aliases a read
+// buffer — and deliver copies it only once it knows the message will
+// actually be enqueued. Called from the rxLoop goroutine only — which
+// is what makes the occupancy check sound: no other goroutine sends on
+// port channels, so a non-full channel cannot become full under us.
+func (n *Node) deliver(src int, port uint16, typ proto.PacketType, view []byte, owned bool) {
+	if typ == proto.TypeRemoteWrite {
+		n.remoteWrite(port, view)
 		return
 	}
-	if r, ok := n.regions[msg.Port]; ok && len(msg.Data) >= remoteWritePrefix {
-		offset := int(binary.BigEndian.Uint64(msg.Data[:remoteWritePrefix]))
-		data := msg.Data[remoteWritePrefix:]
-		if offset >= 0 && offset+len(data) <= len(r.buf) {
-			copy(r.buf[offset:], data)
-			r.writes++
-			r.cond.Broadcast()
-		}
+	ch := n.portChan(port)
+	if len(ch) == cap(ch) {
+		// Port queue full: the kernel-buffer analogue overran; this is
+		// an application-level overrun, dropped here — before the copy.
 		return
 	}
-}
-
-func (n *Node) sendAck(src int, rc *liveRxChan) {
-	rc.sinceAck = 0
-	if rc.ackTimer != nil {
-		rc.ackTimer.Stop()
-		rc.ackTimer = nil
+	data := view
+	if !owned {
+		data = make([]byte, len(view))
+		copy(data, view)
 	}
-	n.acksSent.Inc()
-	n.sendControl(src, proto.TypeAck, rc.reseq.CumAck())
+	ch <- Message{Src: src, Port: port, Data: data}
 }
 
-// sendControl emits an unsequenced internal packet. Called with the lock
-// held.
+// sendControl emits an unsequenced internal packet (confirmations).
 func (n *Node) sendControl(dst int, typ proto.PacketType, seq relwin.Seq) {
+	n.pmu.RLock()
 	addr, ok := n.peers[dst]
+	n.pmu.RUnlock()
 	if !ok {
 		return
 	}
 	hdr := proto.Header{Type: typ, Seq: seq}
-	// Control datagrams carry no flight id (0): their sequence numbers
-	// live in the peer's space, so deriving an id here would collide.
 	n.transmit(addr, hdr.Encode(nil), 0)
 }
 
-// Region is a remote-write window (the live analogue of clic.Region).
+// Region is a remote-write window (the live analogue of clic.Region),
+// with its own lock so remote writes never contend with unrelated
+// node state.
 type Region struct {
 	n      *Node
+	mu     sync.Mutex
+	cond   *sync.Cond
 	buf    []byte
 	writes int
-	cond   *sync.Cond
 }
 
 const remoteWritePrefix = 8
 
 // OpenRegion registers a remote-write window on port.
 func (n *Node) OpenRegion(port uint16, size int) *Region {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	r := &Region{n: n, buf: make([]byte, size)}
-	r.cond = sync.NewCond(&n.mu)
+	r.cond = sync.NewCond(&r.mu)
+	n.pmu.Lock()
 	n.regions[port] = r
+	n.pmu.Unlock()
 	return r
+}
+
+// remoteWrite lands a remote-write message straight in its region —
+// directly from the borrowed view, with no intermediate message copy.
+func (n *Node) remoteWrite(port uint16, view []byte) {
+	n.pmu.RLock()
+	r := n.regions[port]
+	n.pmu.RUnlock()
+	if r == nil || len(view) < remoteWritePrefix {
+		return
+	}
+	offset := int(binary.BigEndian.Uint64(view[:remoteWritePrefix]))
+	data := view[remoteWritePrefix:]
+	r.mu.Lock()
+	if offset >= 0 && offset+len(data) <= len(r.buf) {
+		copy(r.buf[offset:], data)
+		r.writes++
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
 }
 
 // RemoteWrite writes data into dst's region at offset, with no receive
@@ -242,23 +413,23 @@ func (n *Node) RemoteWrite(dst int, port uint16, offset int, data []byte) error 
 	payload := make([]byte, remoteWritePrefix, remoteWritePrefix+len(data))
 	binary.BigEndian.PutUint64(payload, uint64(offset))
 	payload = append(payload, data...)
-	_, err := n.send(dst, port, proto.TypeRemoteWrite, 0, payload)
+	_, err := n.send(dst, port, proto.TypeRemoteWrite, 0, payload, nil)
 	return err
 }
 
 // WaitWrites blocks until at least k remote writes have landed.
 func (r *Region) WaitWrites(k int) {
-	r.n.mu.Lock()
-	defer r.n.mu.Unlock()
-	for r.writes < k && !r.n.closed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.writes < k && !r.n.closed.Load() {
 		r.cond.Wait()
 	}
 }
 
 // Snapshot copies the region contents.
 func (r *Region) Snapshot() []byte {
-	r.n.mu.Lock()
-	defer r.n.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]byte, len(r.buf))
 	copy(out, r.buf)
 	return out
@@ -266,7 +437,7 @@ func (r *Region) Snapshot() []byte {
 
 // Writes returns the number of completed remote writes.
 func (r *Region) Writes() int {
-	r.n.mu.Lock()
-	defer r.n.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.writes
 }

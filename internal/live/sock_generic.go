@@ -1,0 +1,58 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package live
+
+import (
+	"net"
+	"net/netip"
+)
+
+// batchReader is the portable receive path: one datagram per wakeup via
+// the net package (itself allocation-free with ReadFromUDPAddrPort).
+// The Linux build replaces this with a recvmmsg burst reader; the rest
+// of the receive path is shared and simply sees bursts of size one.
+type batchReader struct {
+	conn *net.UDPConn
+	buf  [65536]byte
+	from netip.AddrPort
+	n    int
+}
+
+func newBatchReader(conn *net.UDPConn) (*batchReader, error) {
+	return &batchReader{conn: conn}, nil
+}
+
+// readBatch blocks for one datagram.
+func (r *batchReader) readBatch() (int, error) {
+	n, from, err := r.conn.ReadFromUDPAddrPort(r.buf[:])
+	if err != nil {
+		return 0, err
+	}
+	r.n = n
+	r.from = canonAddrPort(from)
+	return 1, nil
+}
+
+// datagram returns the i'th datagram of the current batch and its
+// source. The slice aliases the reader's buffer and is valid until the
+// next readBatch.
+func (r *batchReader) datagram(int) ([]byte, netip.AddrPort) {
+	return r.buf[:r.n], r.from
+}
+
+// txBatcher carries no state on the portable path: staged fragments are
+// written one datagram at a time.
+type txBatcher struct{}
+
+func newTxBatcher() *txBatcher { return &txBatcher{} }
+
+// writeBurst flushes the first cnt staged fragments of tc to addr, one
+// write syscall per datagram (no sendmmsg outside Linux), returning the
+// syscall count.
+func writeBurst(n *Node, tc *liveTxChan, addr netip.AddrPort, cnt int) int {
+	for i := 0; i < cnt; i++ {
+		fb := tc.stageFb[i]
+		n.conn.WriteToUDPAddrPort(fb.b[:fb.n], addr) //nolint:errcheck // lossy channel by design
+	}
+	return cnt
+}

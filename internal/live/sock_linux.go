@@ -1,0 +1,286 @@
+//go:build linux && (amd64 || arm64)
+
+package live
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// rxBatchSize is the recvmmsg burst: how many datagrams one receive
+// wakeup may drain. The paper's NIC coalesces interrupts at a similar
+// depth (§4.2); past ~8 the syscall amortisation flattens while the
+// resident buffer cost keeps growing.
+const rxBatchSize = 16
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>: a msghdr plus the
+// kernel-reported datagram length, padded to 8-byte alignment (64 bytes
+// total on linux/amd64 and linux/arm64, whose syscall.Msghdr is 56).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// batchReader drains datagram bursts with recvmmsg(2) through the
+// runtime poller: the raw fd callback issues a non-blocking recvmmsg
+// and, on EAGAIN, yields back to the poller instead of spinning. All
+// per-message state (iovecs, sockaddr storage, buffers) is resident, so
+// steady-state receive is allocation-free.
+type batchReader struct {
+	rc     syscall.RawConn
+	msgs   [rxBatchSize]mmsghdr
+	iovecs [rxBatchSize]syscall.Iovec
+	names  [rxBatchSize]syscall.RawSockaddrInet4
+	bufs   [rxBatchSize][]byte
+	froms  [rxBatchSize]netip.AddrPort
+	lens   [rxBatchSize]int
+
+	// readFn is the persistent poller callback (a per-call closure would
+	// allocate on every wakeup); it reports through count/errno.
+	readFn func(uintptr) bool
+	count  int
+	errno  syscall.Errno
+}
+
+func newBatchReader(conn *net.UDPConn) (*batchReader, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	r := &batchReader{rc: rc}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, 65536) // any UDP datagram fits: never MSG_TRUNC
+		r.iovecs[i].Base = &r.bufs[i][0]
+		r.iovecs[i].SetLen(len(r.bufs[i]))
+		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+		r.msgs[i].hdr.Iov = &r.iovecs[i]
+		r.msgs[i].hdr.Iovlen = 1
+	}
+	r.readFn = func(fd uintptr) bool {
+		for {
+			nn, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&r.msgs[0])), rxBatchSize,
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				r.count, r.errno = int(nn), 0
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // nothing queued: let the poller wait for readability
+			default:
+				r.count, r.errno = 0, errno
+				return true
+			}
+		}
+	}
+	return r, nil
+}
+
+// readBatch blocks until at least one datagram is queued and drains up
+// to rxBatchSize of them in a single recvmmsg — the interrupt-
+// coalescing analogue: one wakeup, one syscall, a burst of frames.
+func (r *batchReader) readBatch() (int, error) {
+	for i := range r.msgs {
+		// msg_namelen is value-result: the kernel shrank it to the
+		// actual sockaddr size on the previous batch.
+		r.msgs[i].hdr.Namelen = uint32(unsafe.Sizeof(r.names[0]))
+	}
+	if err := r.rc.Read(r.readFn); err != nil {
+		return 0, err // socket closed
+	}
+	if r.errno != 0 {
+		return 0, r.errno
+	}
+	for i := 0; i < r.count; i++ {
+		r.lens[i] = int(r.msgs[i].len)
+		sa := &r.names[i]
+		// in_port_t is big-endian in memory regardless of host order.
+		pb := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		r.froms[i] = netip.AddrPortFrom(netip.AddrFrom4(sa.Addr),
+			uint16(pb[0])<<8|uint16(pb[1]))
+	}
+	return r.count, nil
+}
+
+// datagram returns the i'th datagram of the current batch and its
+// source. The slice aliases the reader's resident buffer and is valid
+// until the next readBatch.
+func (r *batchReader) datagram(i int) ([]byte, netip.AddrPort) {
+	return r.bufs[i][:r.lens[i]], r.froms[i]
+}
+
+// UDP generalized segmentation offload (linux ≥4.18): a cmsg of level
+// SOL_UDP / type UDP_SEGMENT carrying a uint16 segment size makes one
+// sendmsg(2) carry a whole burst, which the kernel splits into
+// per-segment datagrams far below the syscall layer. The constants are
+// spelled out because the frozen syscall package predates them.
+const (
+	solUDP      = 17    // IPPROTO_UDP as a sockopt level
+	udpSegment  = 103   // UDP_SEGMENT cmsg type / sockopt
+	gsoMaxBytes = 65000 // stay clear of the 64 KiB skb payload ceiling
+	gsoMaxSegs  = 32    // well under the kernel's UDP_MAX_SEGMENTS
+)
+
+// gso support is probed on first use: the feature predates some
+// container runtimes' seccomp allow-lists, so the first EINVAL/ENOTSUP
+// from the kernel latches the fallback to plain sendmmsg.
+type gsoState uint8
+
+const (
+	gsoUntried gsoState = iota
+	gsoOn
+	gsoOff
+)
+
+// txBatcher is the coalescing TX side: one resident set of
+// mmsghdrs/iovecs per peer channel (all fragments of a burst share the
+// destination, so one sockaddr serves the whole batch), flushed through
+// the poller with MSG_DONTWAIT + wait-for-writability. Bursts of
+// equal-sized fragments take the GSO superframe path — a single
+// sendmsg whose iovec array gathers every staged buffer, segmented by
+// the kernel at fragment boundaries — and mixed-size bursts fall back
+// to one sendmmsg covering the batch.
+type txBatcher struct {
+	msgs   [txBatchSize]mmsghdr
+	iovecs [txBatchSize]syscall.Iovec
+	name   syscall.RawSockaddrInet4
+
+	// GSO superframe state: one msghdr gathering all staged iovecs,
+	// with the segment-size control message resident beside it.
+	gso     gsoState
+	gsoHdr  syscall.Msghdr
+	gsoCtrl [24]byte // CmsgSpace(2): 16-byte cmsghdr + uint16 + padding
+
+	// writeFn/gsoFn are the persistent poller callbacks (per-call
+	// closures would allocate on every flush); off/cnt track flush
+	// progress across partial sends, calls counts syscalls issued.
+	writeFn func(uintptr) bool
+	gsoFn   func(uintptr) bool
+	off     int
+	cnt     int
+	calls   int
+	gsoErr  syscall.Errno
+}
+
+func newTxBatcher() *txBatcher {
+	t := &txBatcher{}
+	for i := range t.msgs {
+		t.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&t.name))
+		t.msgs[i].hdr.Namelen = uint32(unsafe.Sizeof(t.name))
+		t.msgs[i].hdr.Iov = &t.iovecs[i]
+		t.msgs[i].hdr.Iovlen = 1
+	}
+	t.gsoHdr.Name = (*byte)(unsafe.Pointer(&t.name))
+	t.gsoHdr.Namelen = uint32(unsafe.Sizeof(t.name))
+	t.gsoHdr.Iov = &t.iovecs[0]
+	t.gsoHdr.Control = &t.gsoCtrl[0]
+	t.gsoHdr.SetControllen(len(t.gsoCtrl))
+	// cmsghdr{len, level, type} in host order; len covers header + data.
+	*(*uint64)(unsafe.Pointer(&t.gsoCtrl[0])) = 16 + 2 // CmsgLen(2)
+	*(*int32)(unsafe.Pointer(&t.gsoCtrl[8])) = solUDP
+	*(*int32)(unsafe.Pointer(&t.gsoCtrl[12])) = udpSegment
+	t.writeFn = func(fd uintptr) bool {
+		for t.off < t.cnt {
+			nn, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&t.msgs[t.off])), uintptr(t.cnt-t.off),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				t.calls++
+				t.off += int(nn)
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // kernel send buffer full: wait for writability
+			default:
+				// Drop the rest of the burst: a lossy channel by design;
+				// go-back-N recovers whatever mattered.
+				t.off = t.cnt
+				return true
+			}
+		}
+		return true
+	}
+	t.gsoFn = func(fd uintptr) bool {
+		for {
+			_, _, errno := syscall.Syscall6(syscall.SYS_SENDMSG, fd,
+				uintptr(unsafe.Pointer(&t.gsoHdr)), syscall.MSG_DONTWAIT, 0, 0, 0)
+			switch errno {
+			case 0:
+				t.calls++
+				t.gsoErr = 0
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // kernel send buffer full: wait for writability
+			default:
+				t.gsoErr = errno
+				return true
+			}
+		}
+	}
+	return t
+}
+
+// gsoEligible reports whether the first cnt staged fragments form a
+// valid GSO superframe: every fragment but the last exactly segsize
+// bytes (the kernel segments at fixed offsets; only the final segment
+// may run short), within the skb payload and segment-count ceilings.
+func gsoEligible(tc *liveTxChan, cnt, segsize int) bool {
+	if cnt < 2 || cnt > gsoMaxSegs {
+		return false
+	}
+	total := 0
+	for i := 0; i < cnt; i++ {
+		m := tc.stageFb[i].n
+		total += m
+		if m != segsize && (i != cnt-1 || m > segsize) {
+			return false
+		}
+	}
+	return total <= gsoMaxBytes
+}
+
+// writeBurst flushes the first cnt staged fragments of tc to addr in as
+// few syscalls as the kernel allows — one GSO sendmsg when the burst
+// is uniform, one sendmmsg otherwise — returning the syscall count.
+// Guarded by tc.sendMu (stage and batcher have the same owner).
+func writeBurst(n *Node, tc *liveTxChan, addr netip.AddrPort, cnt int) int {
+	t := tc.batcher
+	t.name.Family = syscall.AF_INET
+	t.name.Addr = addr.Addr().As4()
+	// in_port_t is big-endian in memory regardless of host order.
+	pb := (*[2]byte)(unsafe.Pointer(&t.name.Port))
+	port := addr.Port()
+	pb[0], pb[1] = byte(port>>8), byte(port)
+	total := 0
+	for i := 0; i < cnt; i++ {
+		fb := tc.stageFb[i]
+		t.iovecs[i].Base = &fb.b[0]
+		t.iovecs[i].SetLen(fb.n)
+		total += fb.n
+	}
+	t.calls = 0
+	segsize := tc.stageFb[0].n
+	if t.gso != gsoOff && gsoEligible(tc, cnt, segsize) {
+		t.gsoHdr.Iovlen = uint64(cnt)
+		*(*uint16)(unsafe.Pointer(&t.gsoCtrl[16])) = uint16(segsize)
+		n.rawConn.Write(t.gsoFn) //nolint:errcheck // lossy channel by design
+		if t.gsoErr == 0 {
+			t.gso = gsoOn
+			return t.calls
+		}
+		// First rejection latches the sendmmsg fallback (old kernel or
+		// seccomp filter); resend this burst the portable way.
+		t.gso = gsoOff
+	}
+	t.off, t.cnt = 0, cnt
+	n.rawConn.Write(t.writeFn) //nolint:errcheck // lossy channel by design
+	return t.calls
+}

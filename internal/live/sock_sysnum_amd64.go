@@ -1,0 +1,8 @@
+//go:build linux
+
+package live
+
+// sysSendmmsg is sendmmsg(2) on linux/amd64. The number is spelled out
+// because the standard library's frozen syscall table predates the
+// syscall (SYS_RECVMMSG made it in at 299; sendmmsg, 307, did not).
+const sysSendmmsg uintptr = 307

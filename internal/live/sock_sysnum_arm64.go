@@ -1,0 +1,9 @@
+//go:build linux
+
+package live
+
+import "syscall"
+
+// sysSendmmsg is sendmmsg(2) on linux/arm64, where the standard
+// library's syscall table does carry it.
+const sysSendmmsg uintptr = syscall.SYS_SENDMMSG

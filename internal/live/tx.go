@@ -1,0 +1,556 @@
+package live
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/proto"
+	"repro/internal/relwin"
+	"repro/internal/rto"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// liveTxChan is the transmit side of one peer channel. Everything below
+// mu is guarded by it; the node-level locks are never required on the
+// send fast path, so senders to different peers proceed in parallel.
+type liveTxChan struct {
+	peer int
+
+	// sendMu serialises whole messages: fragments of concurrent sends to
+	// the same peer must not interleave in the sequence space or the
+	// receiver's assembler would splice them. It is a different lock
+	// from mu precisely so that holding it across the fragment loop
+	// (socket writes included) never blocks ack processing.
+	sendMu sync.Mutex
+
+	mu       sync.Mutex
+	addr     netip.AddrPort // peer destination, cached from the peer table
+	win      *relwin.Sender[*frameBuf]
+	slotFree *sync.Cond // window space or channel failure; on mu
+
+	// slots is a power-of-two ring of per-sequence bookkeeping indexed
+	// by seq & mask. Ring size >= window keeps every in-flight sequence
+	// on a distinct slot (a span of at most Window consecutive uint32s
+	// cannot collide modulo a power of two >= Window — which is also why
+	// the ring must be a power of two: 2^32 is divisible by it, so slot
+	// identity survives sequence wraparound).
+	slots []txSlot
+	mask  uint32
+
+	// release is the persistent relwin release hook (AckFunc/Drain).
+	// Allocated once here so the ack fast path creates no closures; its
+	// per-call context (relNowNs, relObserve) rides in fields under mu.
+	release    func(relwin.Seq, *frameBuf)
+	relNowNs   int64
+	relObserve bool
+
+	// rto is a persistent timer, re-armed with Reset instead of being
+	// reallocated per flight; rtoArmed is the logical armed state (a
+	// stale fire after a Stop-lost race checks it and leaves).
+	rto      *time.Timer
+	rtoArmed bool
+	ctrl     *rto.Controller
+	rtoGauge *telemetry.Gauge
+	failed   bool // retry budget exhausted; senders get ErrPeerDead
+
+	// sampleFloor is the Karn's-rule watermark: sequences below it were
+	// retransmitted, so their ack latencies must not feed the estimator.
+	sampleFloor relwin.Seq
+
+	// Fragment staging for coalesced writes, guarded by sendMu: the
+	// fragmentation loop stages up to txBatchSize pinned buffers and
+	// flushes them with one sendmmsg (on Linux) — the TX mirror of the
+	// receive burst. stageCnt is always zero between send calls.
+	stageFb  [txBatchSize]*frameBuf
+	stageSeq [txBatchSize]relwin.Seq
+	stageFid [txBatchSize]uint64
+	stageCnt int
+	batcher  *txBatcher
+}
+
+// txBatchSize is the TX coalescing burst: fragments staged per
+// sendmmsg flush. A 64 KiB message at MTU 1500 (44 fragments) flushes
+// in three syscalls instead of forty-four.
+const txBatchSize = 16
+
+// txSlot remembers one in-flight datagram's first-send time (for the
+// ack-latency histogram and the RTT estimator — replacing the per-push
+// map insert/delete churn of a sentAt map) and the buffer-pin handshake
+// with the socket writer.
+type txSlot struct {
+	seq    relwin.Seq
+	sentNs int64
+
+	// pinned marks the buffer as being written to the socket outside the
+	// lock; if the ack overtakes the write, the release hook parks the
+	// buffer in released instead of recycling it, and the writer returns
+	// it when done.
+	pinned   bool
+	released *frameBuf
+}
+
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+func newTxChan(n *Node, peer int, addr netip.AddrPort) *liveTxChan {
+	tc := &liveTxChan{
+		peer: peer,
+		addr: addr,
+		win:  relwin.NewSender[*frameBuf](n.cfg.Window),
+		ctrl: rto.New(rto.Config{
+			Initial:    n.cfg.RetransmitTimeout.Nanoseconds(),
+			Min:        n.cfg.RTOMin.Nanoseconds(),
+			Max:        n.cfg.RTOMax.Nanoseconds(),
+			MaxRetries: n.cfg.MaxRetries,
+		}),
+	}
+	ring := nextPow2(n.cfg.Window)
+	tc.slots = make([]txSlot, ring)
+	tc.mask = uint32(ring - 1)
+	tc.batcher = newTxBatcher()
+	tc.rtoGauge = n.tel.Gauge("live_rto_ns",
+		"current adaptive retransmission timeout for this channel",
+		telemetry.L("node", fmt.Sprint(n.ID)), telemetry.L("peer", fmt.Sprint(peer)))
+	tc.publishRTO()
+	tc.slotFree = sync.NewCond(&tc.mu)
+	// The persistent timer is created stopped; armRTO only ever Resets it.
+	tc.rto = time.AfterFunc(time.Hour, func() { n.fireRTO(tc) })
+	tc.rto.Stop()
+	tc.release = func(seq relwin.Seq, fb *frameBuf) {
+		// Runs with tc.mu held, from AckFunc (ack progress) or Drain
+		// (channel failure). The slot still belongs to seq: recycling it
+		// requires window space, which only this very release creates.
+		fb.retained = false
+		slot := &tc.slots[seq&tc.mask]
+		if slot.seq == seq {
+			if tc.relObserve {
+				if lat := tc.relNowNs - slot.sentNs; lat > 0 {
+					n.ackLatency.Observe(float64(lat))
+					// Karn's rule: only frames never retransmitted (at or
+					// above the watermark) feed the RTT estimator.
+					if !relwin.Before(seq, tc.sampleFloor) {
+						tc.ctrl.Observe(lat)
+					}
+				}
+			}
+			if slot.pinned {
+				slot.released = fb
+				return
+			}
+		}
+		n.pool.Put(fb)
+	}
+	return tc
+}
+
+// publishRTO refreshes the channel's live_rto_ns gauge from the
+// controller. Called with tc.mu held after any controller mutation.
+func (tc *liveTxChan) publishRTO() { tc.rtoGauge.Set(tc.ctrl.RTO()) }
+
+// Send reliably transmits data to (dst, port), blocking on window space.
+func (n *Node) Send(dst int, port uint16, data []byte) error {
+	_, err := n.send(dst, port, proto.TypeData, 0, data, nil)
+	return err
+}
+
+// SendConfirm transmits data and blocks until the peer's confirmation of
+// reception arrives (§5's send-with-confirmation primitive). It returns
+// ErrPeerDead if the channel fails before the confirmation lands.
+func (n *Node) SendConfirm(dst int, port uint16, data []byte) error {
+	ch := make(chan error, 1)
+	if _, err := n.send(dst, port, proto.TypeData, proto.FlagConfirm, data, ch); err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// send fragments and transmits one message, returning the last
+// fragment's sequence number. When confirmCh is non-nil the waiter is
+// registered against the final sequence before that fragment reaches
+// the wire, so the peer's confirmation cannot outrun the registration.
+//
+// The fast path is allocation-free and coalesced: payload bytes are
+// staged into pooled buffers with headers encoded in place before the
+// channel lock is taken; under the lock the work is one window push,
+// slot bookkeeping and a timer re-arm; the socket writes happen after
+// the lock is dropped — up to txBatchSize fragments per sendmmsg flush
+// — with each slot pinned so an ack racing the write cannot recycle
+// the buffer out from under the syscall.
+func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, data []byte, confirmCh chan error) (relwin.Seq, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	tc, err := n.txFor(dst)
+	if err != nil {
+		return 0, err
+	}
+	tc.sendMu.Lock()
+	defer tc.sendMu.Unlock()
+	maxP := n.maxPayload()
+	total := len(data)
+	off := 0
+	first := true
+	for {
+		end := off + maxP
+		if end > total {
+			end = total
+		}
+		last := end == total
+		dlen := proto.HeaderBytes + (end - off)
+		fb := n.pool.Get()
+		copy(fb.b[proto.HeaderBytes:dlen], data[off:end])
+		hdr := proto.Header{Type: typ, Port: port, Len: uint32(total)}
+		if first {
+			hdr.Flags |= proto.FlagFirst
+		}
+		if last {
+			hdr.Flags |= proto.FlagLast
+			hdr.Flags |= flags & proto.FlagConfirm
+		}
+
+		tc.mu.Lock()
+		// A channel failure broadcasts slotFree, so senders blocked on
+		// window space wake here and surface ErrPeerDead. Anything still
+		// staged must hit the wire before sleeping: the acks that free
+		// the window can only come from those bytes.
+		for !tc.win.CanSend() && !tc.failed && !n.closed.Load() {
+			if tc.stageCnt > 0 {
+				tc.mu.Unlock()
+				n.flushTx(tc)
+				tc.mu.Lock()
+				continue
+			}
+			tc.slotFree.Wait()
+		}
+		if n.closed.Load() || tc.failed {
+			failed := tc.failed
+			tc.mu.Unlock()
+			n.flushTx(tc) // unpin whatever was staged
+			if failed && !n.closed.Load() {
+				return 0, n.discard(fb, ErrPeerDead)
+			}
+			return 0, n.discard(fb, ErrClosed)
+		}
+		now := time.Now()
+		hdr.Seq = tc.win.NextSeq()
+		hdr.Put(fb.b)
+		fb.n = dlen
+		fb.retained = true
+		seq := tc.win.Push(fb)
+		slot := &tc.slots[seq&tc.mask]
+		slot.seq, slot.sentNs, slot.pinned, slot.released = seq, now.UnixNano(), true, nil
+		n.armRTO(tc)
+		tc.mu.Unlock()
+
+		var fid uint64
+		if n.fr != nil {
+			// Both ends derive the frame id from (sender, sequence), so
+			// sender-side and receiver-side spans stitch without any extra
+			// bytes on the wire.
+			fid = flight.FrameID(n.ID, seq)
+			n.fr.Span(n.nodeName, fid, trace.SpanModuleSend,
+				now.UnixNano(), time.Now().UnixNano())
+		}
+		i := tc.stageCnt
+		tc.stageFb[i], tc.stageSeq[i], tc.stageFid[i] = fb, seq, fid
+		tc.stageCnt = i + 1
+		if last && confirmCh != nil {
+			// Registered before the flush puts the fragment on the wire,
+			// so the confirmation cannot outrun the waiter.
+			n.cmu.Lock()
+			n.confirm[confirmKey{peer: dst, seq: seq}] = confirmCh
+			n.cmu.Unlock()
+		}
+		if tc.stageCnt == txBatchSize || last {
+			n.flushTx(tc)
+		}
+		if last {
+			if confirmCh != nil {
+				tc.mu.Lock()
+				dead := tc.failed
+				tc.mu.Unlock()
+				if dead {
+					// The channel died between the push and now;
+					// failChannel may have drained the table before the
+					// registration landed, so withdraw the waiter.
+					n.cmu.Lock()
+					delete(n.confirm, confirmKey{peer: dst, seq: seq})
+					n.cmu.Unlock()
+					return 0, ErrPeerDead
+				}
+			}
+			return seq, nil
+		}
+		off = end
+		first = false
+	}
+}
+
+// discard recycles a staged buffer the window never took ownership of
+// and passes err through.
+func (n *Node) discard(fb *frameBuf, err error) error {
+	n.pool.Put(fb)
+	return err
+}
+
+// flushTx writes the staged fragment burst and completes the pin
+// handshake. Clean traffic goes through the platform burst writer (one
+// sendmmsg on Linux); fault injection and flight recording take the
+// per-datagram path, which needs no burst semantics. Afterwards every
+// staged slot is unpinned under a single lock acquisition: if the
+// cumulative ack (or a channel failure) released a buffer mid-write,
+// the release hook parked it on its slot and it is recycled here; if a
+// slot was already recycled by a later push, the park was lost — but
+// then the window no longer retains the buffer and the writer holds
+// the only reference, so it is recycled directly. Guarded by sendMu.
+func (n *Node) flushTx(tc *liveTxChan) {
+	cnt := tc.stageCnt
+	if cnt == 0 {
+		return
+	}
+	tc.stageCnt = 0
+	tc.mu.Lock()
+	addr := tc.addr
+	tc.mu.Unlock()
+	if n.faulty || n.fr != nil {
+		for i := 0; i < cnt; i++ {
+			fb := tc.stageFb[i]
+			n.transmit(addr, fb.b[:fb.n], tc.stageFid[i])
+		}
+	} else {
+		syscalls := writeBurst(n, tc, addr, cnt)
+		n.framesSent.Addn(int64(cnt))
+		n.socketWrites.Addn(int64(syscalls))
+	}
+	var rel [txBatchSize]*frameBuf
+	nrel := 0
+	tc.mu.Lock()
+	for i := 0; i < cnt; i++ {
+		fb, seq := tc.stageFb[i], tc.stageSeq[i]
+		slot := &tc.slots[seq&tc.mask]
+		if slot.seq == seq {
+			slot.pinned = false
+			if slot.released != nil {
+				rel[nrel] = slot.released
+				nrel++
+				slot.released = nil
+			}
+		} else if !fb.retained {
+			rel[nrel] = fb
+			nrel++
+		}
+		tc.stageFb[i] = nil
+	}
+	tc.mu.Unlock()
+	for i := 0; i < nrel; i++ {
+		n.pool.Put(rel[i])
+	}
+}
+
+// transmit writes one datagram. The clean path is two atomic increments
+// and the syscall; fault injection (loss/duplication/reordering) lives
+// on a separate path that is only entered when configured, so tests pay
+// for the rng lock and the hot path does not.
+func (n *Node) transmit(addr netip.AddrPort, dgram []byte, fid uint64) {
+	if n.faulty {
+		n.transmitFaulty(addr, dgram, fid)
+		return
+	}
+	n.framesSent.Inc()
+	n.socketWrites.Inc()
+	n.flightWire(fid)
+	n.conn.WriteToUDPAddrPort(dgram, addr) //nolint:errcheck // lossy channel by design
+}
+
+// transmitFaulty applies loss/duplication/reordering injection. A
+// reordered datagram's write is deferred by a random delay up to
+// ReorderDelay so traffic sent after it overtakes it; because the
+// caller reclaims its buffer as soon as transmit returns, the deferred
+// write snapshots the datagram into a pooled buffer of its own. The
+// deferred callback touches only the socket, the pool and atomic
+// counters, so it is safe even after Close.
+func (n *Node) transmitFaulty(addr netip.AddrPort, dgram []byte, fid uint64) {
+	n.imu.Lock()
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.imu.Unlock()
+		n.dropsInjected.Inc()
+		if fid != 0 {
+			n.fr.Point(n.nodeName, fid, trace.PointDrop,
+				time.Now().UnixNano(), int64(len(dgram)))
+		}
+		return
+	}
+	writes := 1
+	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		writes = 2
+	}
+	var delays [2]time.Duration
+	reorders := 0
+	for i := 0; i < writes; i++ {
+		if n.cfg.ReorderRate > 0 && n.rng.Float64() < n.cfg.ReorderRate {
+			delay := n.cfg.ReorderDelay
+			if delay <= 0 {
+				delay = 2 * time.Millisecond
+			}
+			delays[i] = time.Duration(n.rng.Int63n(int64(delay))) + time.Microsecond
+			reorders++
+		}
+	}
+	n.imu.Unlock()
+	for i := 0; i < writes; i++ {
+		if delays[i] > 0 {
+			n.reordersInjected.Inc()
+			cp := n.pool.Get()
+			var held []byte
+			if len(dgram) <= len(cp.b) {
+				cp.n = copy(cp.b, dgram)
+				held = cp.b[:cp.n]
+			} else {
+				held = append([]byte(nil), dgram...)
+			}
+			time.AfterFunc(delays[i], func() {
+				n.framesSent.Inc()
+				n.socketWrites.Inc()
+				n.flightWire(fid)
+				n.conn.WriteToUDPAddrPort(held, addr) //nolint:errcheck // lossy channel by design
+				n.pool.Put(cp)
+			})
+			continue
+		}
+		n.framesSent.Inc()
+		n.socketWrites.Inc()
+		n.flightWire(fid)
+		n.conn.WriteToUDPAddrPort(dgram, addr) //nolint:errcheck // lossy channel by design
+	}
+}
+
+// flightWire opens the wire span at the moment the datagram actually hits
+// the socket. Begin is idempotent per frame, so an injected duplicate or a
+// retransmission of a still-open frame extends the original span — which
+// then truthfully covers the loss and recovery.
+func (n *Node) flightWire(fid uint64) {
+	if fid != 0 {
+		n.fr.Begin(n.nodeName, fid, trace.SpanWire, time.Now().UnixNano())
+	}
+}
+
+// armRTO re-arms the channel's go-back-N timer if needed, at the
+// controller's current adaptive timeout. Called with tc.mu held.
+func (n *Node) armRTO(tc *liveTxChan) {
+	if tc.rtoArmed || tc.failed || tc.win.InFlight() == 0 {
+		return
+	}
+	tc.rto.Reset(time.Duration(tc.ctrl.RTO()))
+	tc.rtoArmed = true
+}
+
+// fireRTO is the timer callback: go-back-N retransmission of the whole
+// unacked tail. This is the slow path, so — unlike send — it keeps
+// tc.mu across its socket writes: dropping the lock here would let the
+// ack path recycle exactly the buffers being retransmitted.
+func (n *Node) fireRTO(tc *liveTxChan) {
+	if n.closed.Load() {
+		return
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.failed || !tc.rtoArmed {
+		return // channel died, or a Stop lost the race with this fire
+	}
+	tc.rtoArmed = false
+	// Unacked's slice aliases the window's internal state and must not be
+	// retained across Push/Ack; it is consumed below, under the same lock
+	// acquisition that read it, so no sender can Push concurrently.
+	unacked, base := tc.win.Unacked()
+	if len(unacked) == 0 {
+		return
+	}
+	if tc.ctrl.OnTimeout() {
+		n.failChannel(tc)
+		return
+	}
+	n.rtoBackoffs.Inc()
+	if n.fr != nil {
+		n.fr.Point(n.nodeName, 0, trace.PointRTOBackoff,
+			time.Now().UnixNano(), tc.ctrl.RTO())
+	}
+	tc.publishRTO() // the timeout doubled
+	// Karn's rule: acks for anything below this watermark are ambiguous.
+	tc.sampleFloor = tc.win.NextSeq()
+	for i, fb := range unacked {
+		n.retransmits.Inc()
+		var fid uint64
+		if n.fr != nil {
+			fid = flight.FrameID(n.ID, base+relwin.Seq(i))
+			n.fr.Point(n.nodeName, fid, trace.PointRetransmit,
+				time.Now().UnixNano(), int64(fb.n))
+		}
+		n.transmit(tc.addr, fb.b[:fb.n], fid)
+	}
+	n.armRTO(tc)
+}
+
+// failChannel declares a peer dead: blocked senders wake with
+// ErrPeerDead, confirmation waiters fail, and the window is drained so
+// its retained buffers return to the pool instead of leaking with the
+// dead channel. Called with tc.mu held.
+func (n *Node) failChannel(tc *liveTxChan) {
+	tc.failed = true
+	n.channelFailures.Inc()
+	if n.fr != nil {
+		n.fr.Point(n.nodeName, 0, trace.PointChannelFailed,
+			time.Now().UnixNano(), int64(tc.peer))
+	}
+	if tc.rtoArmed {
+		tc.rto.Stop()
+		tc.rtoArmed = false
+	}
+	tc.relObserve = false
+	tc.win.Drain(tc.release)
+	tc.slotFree.Broadcast()
+	n.cmu.Lock()
+	for key, ch := range n.confirm {
+		if key.peer == tc.peer {
+			delete(n.confirm, key)
+			ch <- ErrPeerDead
+		}
+	}
+	n.cmu.Unlock()
+}
+
+// onAck processes a cumulative acknowledgement from peer: release the
+// acknowledged prefix back to the pool (observing ack latency and RTT),
+// reset the retry budget, re-arm the timer for whatever is still in
+// flight, and wake window-blocked senders.
+func (n *Node) onAck(tc *liveTxChan, cum relwin.Seq) {
+	tc.mu.Lock()
+	tc.relNowNs = time.Now().UnixNano()
+	tc.relObserve = true
+	if tc.win.AckFunc(cum, tc.release) == 0 {
+		tc.mu.Unlock()
+		return
+	}
+	tc.ctrl.OnProgress()
+	tc.publishRTO()
+	if tc.rtoArmed {
+		tc.rto.Stop()
+		tc.rtoArmed = false
+	}
+	n.armRTO(tc)
+	tc.slotFree.Broadcast()
+	tc.mu.Unlock()
+}

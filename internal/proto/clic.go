@@ -55,12 +55,22 @@ type Header struct {
 // extended slice.
 func (h Header) Encode(dst []byte) []byte {
 	var b [HeaderBytes]byte
+	h.Put(b[:])
+	return append(dst, b[:]...)
+}
+
+// Put writes the 12-byte wire form of h into b[:HeaderBytes] in place —
+// the zero-copy framing primitive: a pooled datagram buffer receives its
+// header without any intermediate slice or append. b must have room for
+// HeaderBytes (the bounds check below panics otherwise, matching slice
+// semantics).
+func (h Header) Put(b []byte) {
+	_ = b[HeaderBytes-1]
 	b[0] = byte(h.Type)
 	b[1] = h.Flags
 	binary.BigEndian.PutUint16(b[2:4], h.Port)
 	binary.BigEndian.PutUint32(b[4:8], h.Seq)
 	binary.BigEndian.PutUint32(b[8:12], h.Len)
-	return append(dst, b[:]...)
 }
 
 // ErrShortHeader reports a buffer smaller than a CLIC header.

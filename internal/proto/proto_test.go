@@ -127,3 +127,30 @@ func TestChecksumOddSplitEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCLICHeaderPutMatchesEncode(t *testing.T) {
+	f := func(typ, flags uint8, port uint16, seq, length uint32) bool {
+		h := Header{Type: PacketType(typ), Flags: flags, Port: port, Seq: seq, Len: length}
+		buf := make([]byte, HeaderBytes+4)
+		for i := range buf {
+			buf[i] = 0xEE // canary: Put must touch exactly HeaderBytes
+		}
+		h.Put(buf)
+		if !bytes.Equal(buf[:HeaderBytes], h.Encode(nil)) {
+			return false
+		}
+		return buf[HeaderBytes] == 0xEE && buf[HeaderBytes+3] == 0xEE
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLICHeaderPutShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Put into an 11-byte buffer did not panic")
+		}
+	}()
+	Header{}.Put(make([]byte, HeaderBytes-1))
+}

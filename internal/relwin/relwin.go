@@ -55,7 +55,14 @@ func (s *Sender[T]) Push(item T) Seq {
 // Ack processes a cumulative acknowledgement: cum is the receiver's next
 // expected sequence, so everything before it is released. It returns the
 // number of frames freed. Stale or duplicate acks free nothing.
-func (s *Sender[T]) Ack(cum Seq) int {
+func (s *Sender[T]) Ack(cum Seq) int { return s.AckFunc(cum, nil) }
+
+// AckFunc is Ack with a release hook: for every frame the acknowledgement
+// frees, release(seq, frame) runs before the window drops its reference,
+// oldest first. This is how a pooled-buffer transport recycles frame
+// memory the moment the peer confirms reception — the window is the last
+// owner of the bytes on the retransmission path. A nil release is Ack.
+func (s *Sender[T]) AckFunc(cum Seq, release func(Seq, T)) int {
 	if Before(s.next, cum) {
 		// Ack beyond anything we sent: ignore (corrupt or very stale).
 		return 0
@@ -64,14 +71,33 @@ func (s *Sender[T]) Ack(cum Seq) int {
 	if n <= 0 || n > len(s.unacked) {
 		return 0
 	}
-	// Release references so the payloads can be collected.
+	// Release references so the payloads can be collected (or recycled).
 	var zero T
 	for i := 0; i < n; i++ {
+		if release != nil {
+			release(s.base+Seq(i), s.unacked[i])
+		}
 		s.unacked[i] = zero
 	}
 	s.unacked = append(s.unacked[:0], s.unacked[n:]...)
 	s.base = cum
 	return n
+}
+
+// Drain releases every unacknowledged frame, oldest first, and empties
+// the window without advancing the sequence space. Used on channel
+// teardown (peer declared dead) so retained pooled buffers return to
+// their pool instead of leaking with the dead channel.
+func (s *Sender[T]) Drain(release func(Seq, T)) {
+	var zero T
+	for i := range s.unacked {
+		if release != nil {
+			release(s.base+Seq(i), s.unacked[i])
+		}
+		s.unacked[i] = zero
+	}
+	s.unacked = s.unacked[:0]
+	s.base = s.next
 }
 
 // Unacked returns the frames to resend on a go-back-N recovery, oldest

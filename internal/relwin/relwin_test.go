@@ -155,3 +155,61 @@ func TestLossyChannelProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAckFuncReleasesOldestFirst(t *testing.T) {
+	s := NewSender[int](8)
+	for i := 0; i < 5; i++ {
+		s.Push(100 + i)
+	}
+	var seqs []Seq
+	var items []int
+	n := s.AckFunc(3, func(seq Seq, item int) {
+		seqs = append(seqs, seq)
+		items = append(items, item)
+	})
+	if n != 3 {
+		t.Fatalf("AckFunc freed %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if seqs[i] != Seq(i) || items[i] != 100+i {
+			t.Fatalf("release %d = (seq %d, item %d), want (%d, %d)",
+				i, seqs[i], items[i], i, 100+i)
+		}
+	}
+	if s.InFlight() != 2 {
+		t.Fatalf("in flight after ack = %d, want 2", s.InFlight())
+	}
+	// Stale ack releases nothing.
+	if n := s.AckFunc(2, func(Seq, int) { t.Error("stale ack invoked release") }); n != 0 {
+		t.Fatalf("stale ack freed %d", n)
+	}
+	// Ack beyond the sent range releases nothing.
+	if n := s.AckFunc(99, func(Seq, int) { t.Error("wild ack invoked release") }); n != 0 {
+		t.Fatalf("wild ack freed %d", n)
+	}
+}
+
+func TestDrainReleasesEverythingAndEmptiesWindow(t *testing.T) {
+	s := NewSender[string](4)
+	s.Push("a")
+	s.Push("b")
+	s.Ack(1) // "a" released normally
+	s.Push("c")
+	var got []string
+	var seqs []Seq
+	s.Drain(func(seq Seq, item string) {
+		seqs = append(seqs, seq)
+		got = append(got, item)
+	})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("drain released %v at %v, want [b c] at [1 2]", got, seqs)
+	}
+	if s.InFlight() != 0 || !s.CanSend() {
+		t.Fatal("window not empty after drain")
+	}
+	// The sequence space keeps advancing: the next push continues where
+	// the drained frames left off.
+	if seq := s.Push("d"); seq != 3 {
+		t.Fatalf("push after drain got seq %d, want 3", seq)
+	}
+}

@@ -24,9 +24,19 @@ func NewResequencer[T any](limit int) *Resequencer[T] {
 // deliverable, in sequence order (possibly empty). ok is false when the
 // frame was dropped as a duplicate or because the buffer is full.
 func (q *Resequencer[T]) Accept(seq Seq, item T) (deliver []T, ok bool) {
+	ok = q.AcceptFunc(seq, item, func(t T) { deliver = append(deliver, t) })
+	return deliver, ok
+}
+
+// AcceptFunc is Accept in callback form: every frame that becomes
+// deliverable is passed to emit, in sequence order, instead of being
+// collected into a freshly allocated slice. This is the hot-path entry —
+// for the common in-order case it runs one comparison, one map lookup
+// and the callback, with zero allocations. ok follows Accept's contract.
+func (q *Resequencer[T]) AcceptFunc(seq Seq, item T, emit func(T)) bool {
 	switch q.r.Accept(seq) {
 	case Deliver:
-		deliver = append(deliver, item)
+		emit(item)
 		// Drain any parked successors.
 		for {
 			next, present := q.buf[q.r.expected]
@@ -35,20 +45,20 @@ func (q *Resequencer[T]) Accept(seq Seq, item T) (deliver []T, ok bool) {
 			}
 			delete(q.buf, q.r.expected)
 			q.r.expected++
-			deliver = append(deliver, next)
+			emit(next)
 		}
-		return deliver, true
+		return true
 	case Duplicate:
-		return nil, false
+		return false
 	default: // OutOfOrder
 		if _, present := q.buf[seq]; present {
-			return nil, false
+			return false
 		}
 		if len(q.buf) >= q.limit {
-			return nil, false
+			return false
 		}
 		q.buf[seq] = item
-		return nil, true
+		return true
 	}
 }
 

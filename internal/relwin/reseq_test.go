@@ -84,3 +84,44 @@ func TestResequencerPermutationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAcceptFuncMatchesAccept(t *testing.T) {
+	// The callback form must classify and deliver identically to Accept
+	// across in-order, parked, duplicate and overflow arrivals.
+	q := NewResequencer[int](2)
+	var got []int
+	emit := func(v int) { got = append(got, v) }
+	if !q.AcceptFunc(0, 0, emit) || len(got) != 1 {
+		t.Fatalf("in-order accept: got %v", got)
+	}
+	if !q.AcceptFunc(2, 2, emit) || len(got) != 1 {
+		t.Fatalf("park ahead: got %v", got)
+	}
+	if q.AcceptFunc(2, 2, emit) {
+		t.Fatal("duplicate park accepted")
+	}
+	if !q.AcceptFunc(3, 3, emit) {
+		t.Fatal("second park rejected")
+	}
+	if q.AcceptFunc(4, 4, emit) {
+		t.Fatal("park over limit accepted")
+	}
+	// Filling the gap drains the parked successors through emit.
+	if !q.AcceptFunc(1, 1, emit) {
+		t.Fatal("gap fill rejected")
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %v, want 0..3", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivered %v out of order", got)
+		}
+	}
+	if q.AcceptFunc(0, 0, emit) {
+		t.Fatal("stale duplicate accepted")
+	}
+	if q.Buffered() != 0 {
+		t.Fatalf("buffered = %d after drain", q.Buffered())
+	}
+}
