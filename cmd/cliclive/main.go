@@ -6,13 +6,14 @@
 //
 //	cliclive [-loss 0.2] [-size 1000000] [-count 20] [-mtu 1500]
 //	    [-metrics-addr 127.0.0.1:9090] [-linger 30s] [-metrics prom|json]
+//	    [-log-level info] [-log-format text|json]
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -20,9 +21,17 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/health"
 	"repro/internal/live"
 	"repro/internal/telemetry"
 )
+
+// die reports a fatal error through the same structured handler the
+// protocol events use, then exits.
+func die(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, slog.Any("err", err))
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -34,14 +43,23 @@ func main() {
 		count       = flag.Int("count", 20, "messages to transfer")
 		mtu         = flag.Int("mtu", 1500, "datagram MTU")
 		seed        = flag.Int64("seed", 1, "loss-injection seed")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, /debug/flight and /debug/pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, /debug/clic, /debug/flight and /debug/pprof on this address")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the transfer")
 		metrics     = flag.String("metrics", "", "dump final telemetry snapshot to stdout: prom or json")
 		flightOn    = flag.Bool("flight", false, "record per-datagram lifecycle spans (wall clock); served at /debug/flight as Chrome Trace JSON")
+		logLevel    = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		eventRate   = flag.Int("event-rate", 0, "protocol event rate limit per second (0 = default)")
 	)
 	flag.Parse()
+	logger, err := health.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
-		log.Fatalf("unknown metrics format %q (want prom or json)", *metrics)
+		die(logger, "unknown metrics format (want prom or json)", fmt.Errorf("got %q", *metrics))
 	}
 
 	reg := telemetry.NewRegistry()
@@ -51,12 +69,51 @@ func main() {
 		journal = flight.New(0)
 		journal.InstrumentStages(reg)
 	}
+	events := health.NewLog(logger, *eventRate)
+
+	cfg := live.DefaultConfig()
+	cfg.MTU = *mtu
+	cfg.LossRate = *loss
+	cfg.DupRate = *dup
+	cfg.ReorderRate = *reorder
+	cfg.MaxRetries = *maxRetries
+	cfg.Seed = *seed
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+	cfg.Telemetry = reg
+	cfg.Flight = journal
+	cfg.Health = events
+
+	a, err := live.NewNode(0, cfg)
+	if err != nil {
+		die(logger, "node 0 start failed", err)
+	}
+	defer a.Close()
+	b, err := live.NewNode(1, cfg)
+	if err != nil {
+		die(logger, "node 1 start failed", err)
+	}
+	defer b.Close()
+	live.Connect(a, b)
+
+	// The stall watchdog scans both nodes' snapshots on the wall clock,
+	// classifying window stalls, RTO storms, pool leaks and RX
+	// starvation into clic_health_* metrics and watchdog_verdict events.
+	wd := health.NewWatchdog(health.WatchdogConfig{}, nil, events, reg)
+	wd.Watch(a, b)
+	wdDone := make(chan struct{})
+	defer close(wdDone)
+	go wd.Run(wdDone)
+
+	capture := func() health.Doc {
+		return health.Capture("wall", time.Now().UnixNano(), a, b)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			log.Fatal(err)
+			die(logger, "metrics listener failed", err)
 		}
 		mux := reg.Mux()
+		mux.Handle("/debug/clic", health.Handler(capture))
 		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
 			if journal == nil {
 				http.Error(w, "flight recorder disabled; run with -flight", http.StatusNotFound)
@@ -72,32 +129,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		fmt.Printf("metrics: http://%s/metrics (JSON at /metrics.json, expvar at /debug/vars, flight at /debug/flight, pprof at /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("metrics: http://%s/metrics (JSON at /metrics.json, health at /debug/clic, expvar at /debug/vars, flight at /debug/flight, pprof at /debug/pprof/)\n", ln.Addr())
 		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
 	}
-
-	cfg := live.DefaultConfig()
-	cfg.MTU = *mtu
-	cfg.LossRate = *loss
-	cfg.DupRate = *dup
-	cfg.ReorderRate = *reorder
-	cfg.MaxRetries = *maxRetries
-	cfg.Seed = *seed
-	cfg.RetransmitTimeout = 10 * time.Millisecond
-	cfg.Telemetry = reg
-	cfg.Flight = journal
-
-	a, err := live.NewNode(0, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer a.Close()
-	b, err := live.NewNode(1, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer b.Close()
-	live.Connect(a, b)
 
 	payload := make([]byte, *size)
 	for i := range payload {
@@ -108,7 +142,7 @@ func main() {
 	go func() {
 		for i := 0; i < *count; i++ {
 			if err := a.Send(1, 1, payload); err != nil {
-				log.Printf("send %d: %v", i, err)
+				logger.Error("send failed", slog.Int("msg", i), slog.Any("err", err))
 				return
 			}
 		}
@@ -117,7 +151,7 @@ func main() {
 	for i := 0; i < *count; i++ {
 		msg, err := b.Recv(1)
 		if err != nil {
-			log.Fatalf("recv %d: %v", i, err)
+			die(logger, "recv failed", err)
 		}
 		if !bytes.Equal(msg.Data, payload) {
 			bad++
@@ -133,7 +167,7 @@ func main() {
 		sent, drops, 100*float64(drops)/float64(sent+drops), retrans)
 	fmt.Printf("receiver: %d datagrams received, %d acknowledgements returned\n", recvd, acksSent)
 	if bad != 0 {
-		log.Fatal("integrity failure")
+		die(logger, "integrity failure", fmt.Errorf("%d corrupted messages", bad))
 	}
 	fmt.Println("go-back-N recovered every loss; delivery was exact and in order.")
 
@@ -144,11 +178,11 @@ func main() {
 	switch *metrics {
 	case "prom":
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
-			log.Fatal(err)
+			die(logger, "prometheus dump failed", err)
 		}
 	case "json":
 		if err := reg.WriteJSON(os.Stdout); err != nil {
-			log.Fatal(err)
+			die(logger, "json dump failed", err)
 		}
 	}
 }

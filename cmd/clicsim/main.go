@@ -11,18 +11,22 @@
 //	clicsim -stack gamma -size 0 -count 100 -pingpong
 //	clicsim -stack clic -metrics prom
 //	clicsim -stack clic -metrics json -metrics-every-us 500
+//	clicsim -stack clic -loss 0.3 -health-out health.json -health-scan-us 1000
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/chrometrace"
 	"repro/internal/clic"
 	"repro/internal/cluster"
 	"repro/internal/flight"
+	"repro/internal/health"
 	"repro/internal/model"
 	"repro/internal/pcap"
 	"repro/internal/sim"
@@ -60,19 +64,32 @@ func main() {
 		metrics    = flag.String("metrics", "", "dump final telemetry snapshot: prom or json")
 		metricsOut = flag.String("metrics-out", "", "write metrics to this file instead of stdout")
 		metricsUs  = flag.Int64("metrics-every-us", 0, "also dump a JSON snapshot every N simulated µs")
+		healthOut  = flag.String("health-out", "", "write the final cluster health document (clicstat format) to this file")
+		healthUs   = flag.Int64("health-scan-us", 0, "run the stall watchdog every N simulated µs (CLIC only)")
+		logLevel   = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 
+	logger, err := health.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	die := func(err error) {
+		logger.Error("clicsim failed", slog.Any("err", err))
+		os.Exit(1)
+	}
+
 	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
-		fmt.Fprintf(os.Stderr, "clicsim: unknown metrics format %q (want prom or json)\n", *metrics)
-		os.Exit(2)
+		die(fmt.Errorf("unknown metrics format %q (want prom or json)", *metrics))
 	}
 	metricsW := io.Writer(os.Stdout)
 	if *metricsOut != "" {
 		file, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer file.Close()
 		metricsW = file
@@ -91,8 +108,12 @@ func main() {
 	if *flightOut != "" {
 		journal = flight.New(0)
 	}
+	// The protocol event log stamps every event with simulated time;
+	// the engine clock is attached right after the cluster builds it.
+	events := health.NewLog(logger, 0)
 	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params,
-		Flight: journal})
+		Flight: journal, Health: events})
+	events.WithClock(func() int64 { return int64(c.Eng.Now()) })
 	if journal != nil {
 		journal.InstrumentStages(c.Tel)
 		if *tracePath == "" {
@@ -112,54 +133,83 @@ func main() {
 		defer func() {
 			file, err := os.Create(*flightOut)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-				os.Exit(1)
+				die(err)
 			}
 			defer file.Close()
 			if err := flight.WriteChromeTrace(file, journal.Snapshot()); err != nil {
-				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-				os.Exit(1)
+				die(err)
 			}
 			fmt.Printf("wrote %d flight events to %s (open in ui.perfetto.dev)\n",
 				journal.Len(), *flightOut)
 		}()
 	}
 
-	// runMeasured drives the measurement phase. With -metrics-every-us it
-	// steps the engine in fixed simulated-time slices and dumps a JSON
-	// snapshot at each boundary; a self-rescheduling dump event would keep
-	// the queue non-empty and Run would never return.
+	// The sim watchdog reads engine time and is driven by Scan calls
+	// between stepped RunUntil slices — a self-rescheduling scan event
+	// would keep the queue non-empty and Run would never return.
+	var wd *health.Watchdog
+	if *healthUs > 0 {
+		wd = health.NewWatchdog(health.WatchdogConfig{},
+			func() int64 { return int64(c.Eng.Now()) }, events, c.Tel)
+	}
+
+	// runMeasured drives the measurement phase. With -metrics-every-us or
+	// -health-scan-us it steps the engine in fixed simulated-time slices,
+	// dumping a JSON snapshot or scanning the watchdog at each boundary.
 	runMeasured := func() {
-		if *metricsUs <= 0 {
+		type tick struct {
+			every sim.Time
+			next  sim.Time
+			fn    func()
+		}
+		var ticks []tick
+		if *metricsUs > 0 {
+			ticks = append(ticks, tick{every: sim.Time(*metricsUs) * sim.Microsecond, fn: func() {
+				if err := c.Tel.WriteJSONAt(metricsW, float64(c.Eng.Now())/1000); err != nil {
+					die(err)
+				}
+			}})
+		}
+		if wd != nil {
+			ticks = append(ticks, tick{every: sim.Time(*healthUs) * sim.Microsecond, fn: func() { wd.Scan() }})
+		}
+		if len(ticks) == 0 {
 			c.Run()
 			return
 		}
-		every := sim.Time(*metricsUs) * sim.Microsecond
-		limit := c.Eng.Now() + every
+		for i := range ticks {
+			ticks[i].next = c.Eng.Now() + ticks[i].every
+		}
 		for {
+			limit := ticks[0].next
+			for _, t := range ticks[1:] {
+				if t.next < limit {
+					limit = t.next
+				}
+			}
 			c.Eng.RunUntil(limit)
 			if c.Eng.Pending() == 0 {
 				return
 			}
-			if err := c.Tel.WriteJSONAt(metricsW, float64(c.Eng.Now())/1000); err != nil {
-				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-				os.Exit(1)
+			now := c.Eng.Now()
+			for i := range ticks {
+				if now >= ticks[i].next {
+					ticks[i].fn()
+					ticks[i].next += ticks[i].every
+				}
 			}
-			limit += every
 		}
 	}
 
 	if *pcapPath != "" {
 		file, err := os.Create(*pcapPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer file.Close()
 		capture, err := pcap.NewWriter(file)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		pcap.Tap(c.Eng, c.Switch, capture)
 		defer func() {
@@ -173,13 +223,11 @@ func main() {
 		defer func() {
 			file, err := os.Create(*tracePath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-				os.Exit(1)
+				die(err)
 			}
 			defer file.Close()
 			if err := rec.Flush(file); err != nil {
-				fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-				os.Exit(1)
+				die(err)
 			}
 			fmt.Printf("wrote %d timeline events to %s (open in ui.perfetto.dev)\n",
 				rec.Events(), *tracePath)
@@ -198,6 +246,11 @@ func main() {
 			opt.RxMode = clic.RxDirectCall
 		}
 		c.EnableCLIC(opt)
+		if wd != nil {
+			for _, n := range c.Nodes {
+				wd.Watch(n.CLIC)
+			}
+		}
 		send = func(p *sim.Proc, d []byte) { mustSend(c.Nodes[0].CLIC.Send(p, 1, 7, d)) }
 		recv = func(p *sim.Proc, n int) []byte { _, d := c.Nodes[1].CLIC.Recv(p, 7); return d }
 		sendBack = func(p *sim.Proc, d []byte) { mustSend(c.Nodes[1].CLIC.Send(p, 0, 7, d)) }
@@ -231,8 +284,7 @@ func main() {
 		sendBack = func(p *sim.Proc, d []byte) { c.Nodes[1].GAMMA.Send(p, 0, 7, d) }
 		recvBack = func(p *sim.Proc, n int) []byte { return c.Nodes[0].GAMMA.Recv(p, 7) }
 	default:
-		fmt.Fprintf(os.Stderr, "clicsim: unknown stack %q\n", *stack)
-		os.Exit(2)
+		die(fmt.Errorf("unknown stack %q", *stack))
 	}
 
 	payload := make([]byte, *size)
@@ -276,6 +328,30 @@ func main() {
 			*stack, *count, *size, secs*1000, bits/secs/1e6)
 	}
 
+	if wd != nil {
+		// One final scan so conditions present at quiesce are reported.
+		for _, v := range wd.Scan() {
+			fmt.Printf("watchdog: %s on %s peer %d: %s\n", v.Condition, v.Node, v.Peer, v.Detail)
+		}
+	}
+	if *healthOut != "" {
+		doc := c.HealthDoc()
+		file, err := os.Create(*healthOut)
+		if err != nil {
+			die(err)
+		}
+		enc := json.NewEncoder(file)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			die(err)
+		}
+		if err := file.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote health document (%d nodes, %d link dirs) to %s\n",
+			len(doc.Nodes), len(doc.Links), *healthOut)
+	}
+
 	for i, n := range c.Nodes {
 		fmt.Printf("node%d: %d syscalls, %d interrupts, %d bottom halves, %d wakeups, cpu busy %.2f ms\n",
 			i, n.Kernel.Syscalls.Value(), n.Kernel.Interrupts.Value(),
@@ -288,7 +364,6 @@ func main() {
 		}
 	}
 
-	var err error
 	switch *metrics {
 	case "prom":
 		err = c.Tel.WritePrometheus(metricsW)
@@ -296,7 +371,6 @@ func main() {
 		err = c.Tel.WriteJSONAt(metricsW, float64(c.Eng.Now())/1000)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "clicsim: %v\n", err)
-		os.Exit(1)
+		die(err)
 	}
 }

@@ -19,6 +19,13 @@
 // not a constant snake_case string. Label values stay free: they carry
 // bounded per-node/per-NIC identity, which is the registry's job to
 // hold.
+//
+// The same discipline covers the structured event log (internal/health):
+// event names at Event/Warn/EventAttrs/WarnAttrs call sites on a Log
+// must be constant snake_case strings — log pipelines index on the
+// message the way dashboards index on the family name — and the slog
+// attr keys passed to EventAttrs/WarnAttrs must be constant snake_case
+// too. Attr values stay free, like label values.
 package metricname
 
 import (
@@ -47,6 +54,22 @@ var registerMethods = map[string]int{
 	"RegisterCounter":   0,
 	"RegisterGauge":     0,
 	"RegisterHistogram": 0,
+}
+
+// eventMethods maps health.Log method names to the index of their event
+// name argument.
+var eventMethods = map[string]int{
+	"Event":      0,
+	"Warn":       0,
+	"EventAttrs": 0,
+	"WarnAttrs":  0,
+}
+
+// attrMethods names the Log methods whose trailing arguments are slog
+// attrs, each with a key that must be constant snake_case.
+var attrMethods = map[string]bool{
+	"EventAttrs": true,
+	"WarnAttrs":  true,
 }
 
 var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
@@ -92,8 +115,23 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		}
 		return
 	}
+	if argIdx, ok := eventMethods[name]; ok && recv != nil && receiverNamed(pass, recv, "Log") {
+		if argIdx < len(call.Args) {
+			checkNameArg(pass, call.Args[argIdx], "event name", name)
+		}
+		if attrMethods[name] {
+			// Each trailing argument is a slog attr; its constructor's
+			// first argument is the key (slog.String("peer", ...)).
+			for _, arg := range call.Args[1:] {
+				if ac, ok := arg.(*ast.CallExpr); ok && returnsNamed(pass, ac, "Attr") && len(ac.Args) >= 1 {
+					checkNameArg(pass, ac.Args[0], "attr key", name)
+				}
+			}
+		}
+		return
+	}
 	// telemetry.L(key, value) — or any L constructor returning a Label.
-	if name == "L" && returnsLabel(pass, call) && len(call.Args) >= 1 {
+	if name == "L" && returnsNamed(pass, call, "Label") && len(call.Args) >= 1 {
 		checkNameArg(pass, call.Args[0], "label key", "L")
 	}
 }
@@ -168,15 +206,15 @@ func receiverNamed(pass *analysis.Pass, expr ast.Expr, name string) bool {
 	return ok && named.Obj().Name() == name
 }
 
-// returnsLabel reports whether the call's result type is a named type
-// called Label.
-func returnsLabel(pass *analysis.Pass, call *ast.CallExpr) bool {
+// returnsNamed reports whether the call's result type is a named type
+// with the given name (Label for telemetry.L, Attr for slog attrs).
+func returnsNamed(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
 	tv, ok := pass.TypesInfo.Types[call]
 	if !ok {
 		return false
 	}
 	named, ok := derefNamed(tv.Type)
-	return ok && named.Obj().Name() == "Label"
+	return ok && named.Obj().Name() == name
 }
 
 func derefNamed(t types.Type) (*types.Named, bool) {

@@ -35,6 +35,11 @@ type txChan struct {
 	// sentAt remembers each in-flight frame's first push time, feeding
 	// the clic_ack_latency_ns histogram when the cumulative ack lands.
 	sentAt map[relwin.Seq]sim.Time
+
+	// lastProgress is the simulated time the cumulative ack last
+	// advanced (channel creation until then); health snapshots expose it
+	// and the watchdog's window-stall deadline runs against it.
+	lastProgress sim.Time
 }
 
 func (ep *Endpoint) txChanFor(dst NodeID) *txChan {
@@ -51,7 +56,8 @@ func (ep *Endpoint) txChanFor(dst NodeID) *txChan {
 				Max:        int64(ep.M.CLIC.RTOMax),
 				MaxRetries: ep.M.CLIC.MaxRetries,
 			}),
-			sentAt: map[relwin.Seq]sim.Time{},
+			sentAt:       map[relwin.Seq]sim.Time{},
+			lastProgress: ep.K.Host.Eng.Now(),
 		}
 		labels := append(append([]telemetry.Label{}, ep.labels...),
 			telemetry.L("peer", fmt.Sprint(dst)))
@@ -105,6 +111,8 @@ func (tc *txChan) fireRTO() {
 	// goBackN emits next identify which frames the expiry replays.
 	tc.ep.fr.Point(tc.ep.nodeName, 0, trace.PointRTOBackoff,
 		int64(tc.ep.K.Host.Eng.Now()), tc.ctrl.RTO())
+	tc.ep.hl.Event("rto_backoff", tc.dst, tc.win.Base(), tc.ctrl.RTO())
+	tc.ep.hl.Event("retransmit", tc.dst, tc.win.Base(), int64(tc.win.InFlight()))
 	tc.goBackN()
 	tc.armRTO() // the controller's RTO has doubled
 }
@@ -117,6 +125,7 @@ func (tc *txChan) fail() {
 	tc.ep.S.ChannelFailures.Inc()
 	tc.ep.fr.Point(tc.ep.nodeName, 0, trace.PointChannelFailed,
 		int64(tc.ep.K.Host.Eng.Now()), int64(tc.dst))
+	tc.ep.hl.Warn("channel_failed", tc.dst, tc.win.Base(), int64(tc.ctrl.Retries()))
 	if tc.rto != nil {
 		tc.rto.Cancel()
 		tc.rto = nil
@@ -170,6 +179,7 @@ func (tc *txChan) onNack(cum relwin.Seq) {
 	if tc.win.Ack(cum) > 0 { // a NACK still acknowledges everything before the gap
 		tc.observeAcked(cum)
 		tc.ctrl.OnProgress()
+		tc.lastProgress = tc.ep.K.Host.Eng.Now()
 		if tc.rto != nil {
 			tc.rto.Cancel()
 			tc.rto = nil
@@ -178,6 +188,7 @@ func (tc *txChan) onNack(cum relwin.Seq) {
 	}
 	now := tc.ep.K.Host.Eng.Now()
 	tc.ep.fr.Point(tc.ep.nodeName, 0, trace.PointNackRecv, int64(now), int64(cum))
+	tc.ep.hl.Event("nack", tc.dst, cum, int64(tc.win.InFlight()))
 	debounce := tc.lastGoBN != 0 && now-tc.lastGoBN < 500*sim.Microsecond
 	if !debounce {
 		tc.goBackN()
@@ -192,6 +203,7 @@ func (tc *txChan) onAck(cum relwin.Seq) {
 	}
 	tc.observeAcked(cum)
 	tc.ctrl.OnProgress()
+	tc.lastProgress = tc.ep.K.Host.Eng.Now()
 	if tc.rto != nil {
 		tc.rto.Cancel()
 		tc.rto = nil
@@ -272,6 +284,10 @@ type rxChan struct {
 	sinceAck  int
 	ackTimer  *sim.Event
 	nackTimer *sim.Event // gap-persistence timer (fast retransmit)
+
+	// lastProgress is the simulated time the cumulative ack point last
+	// advanced (channel creation until then), for health snapshots.
+	lastProgress sim.Time
 }
 
 // ackReq asks the ack worker to emit a cumulative ack or a gap report.
@@ -284,8 +300,9 @@ func (ep *Endpoint) rxChanFor(src NodeID) *rxChan {
 	rc, ok := ep.rx[src]
 	if !ok {
 		rc = &rxChan{
-			src:   src,
-			reseq: relwin.NewResequencer[rxFrame](ep.M.CLIC.Window),
+			src:          src,
+			reseq:        relwin.NewResequencer[rxFrame](ep.M.CLIC.Window),
+			lastProgress: ep.K.Host.Eng.Now(),
 		}
 		ep.rx[src] = rc
 	}

@@ -1,0 +1,68 @@
+package clic
+
+import (
+	"sort"
+
+	"repro/internal/health"
+)
+
+// HealthSnapshot captures the endpoint's per-channel protocol state for
+// the health layer (clicsim -health-out, the sim-driven watchdog). The
+// simulator is single-threaded, so the snapshot must be taken from
+// outside the engine's event loop — between RunUntil slices, the same
+// seam clicsim's periodic metrics sampling uses — and needs no locks.
+// Timestamps are simulated nanoseconds (Doc.Clock == "sim").
+func (ep *Endpoint) HealthSnapshot() health.NodeSnapshot {
+	now := ep.K.Host.Eng.Now()
+	snap := health.NodeSnapshot{
+		Node:       ep.nodeName,
+		CapturedNs: int64(now),
+		MTU:        ep.M.NIC.MTU,
+		Window:     ep.M.CLIC.Window,
+		SockBuf:    ep.M.CLIC.SysBufBytes,
+		Counters: map[string]int64{
+			health.CounterTxFrames: ep.S.FramesSent.Value(),
+			"msgs_sent":            ep.S.MsgsSent.Value(),
+			"msgs_recv":            ep.S.MsgsRecv.Value(),
+			"retransmits":          ep.S.Retransmits.Value(),
+			"acks_sent":            ep.S.AcksSent.Value(),
+			"rto_backoffs":         ep.S.RTOBackoffs.Value(),
+			"channel_failures":     ep.S.ChannelFailures.Value(),
+			"sysbuf_drops":         ep.S.SysBufDrops.Value(),
+		},
+	}
+	for dst, tc := range ep.tx {
+		snap.Channels = append(snap.Channels, health.ChannelSnapshot{
+			Peer:           dst,
+			Dir:            "tx",
+			Window:         tc.win.Window(),
+			InFlight:       tc.win.InFlight(),
+			NextSeq:        tc.win.NextSeq(),
+			AckedSeq:       tc.win.Base(),
+			RTONs:          tc.ctrl.RTO(),
+			SRTTNs:         tc.ctrl.SRTT(),
+			RTTVarNs:       tc.ctrl.RTTVar(),
+			Retries:        tc.ctrl.Retries(),
+			Failed:         tc.failed,
+			LastProgressNs: int64(tc.lastProgress),
+		})
+	}
+	for src, rc := range ep.rx {
+		snap.Channels = append(snap.Channels, health.ChannelSnapshot{
+			Peer:           src,
+			Dir:            "rx",
+			CumAck:         rc.reseq.CumAck(),
+			Parked:         rc.reseq.Buffered(),
+			SinceAck:       rc.sinceAck,
+			LastProgressNs: int64(rc.lastProgress),
+		})
+	}
+	sort.Slice(snap.Channels, func(i, j int) bool {
+		a, b := &snap.Channels[i], &snap.Channels[j]
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Dir < b.Dir
+	})
+	return snap
+}

@@ -149,6 +149,7 @@ func (ep *Endpoint) rxData(p *sim.Proc, pri int, src NodeID,
 		}
 		return
 	}
+	rc.lastProgress = p.Now() // delivered > 0: the cumulative point advanced
 	if rc.nackTimer != nil && rc.reseq.Buffered() == 0 {
 		// The gap filled by itself: plain reordering, not loss.
 		rc.nackTimer.Cancel()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ether"
 	"repro/internal/flight"
 	"repro/internal/gamma"
+	"repro/internal/health"
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/model"
@@ -40,6 +41,11 @@ type Config struct {
 	// send syscall to the copy to user memory land in one journal, so
 	// cross-node spans stitch in a single export. Nil disables recording.
 	Flight *flight.Journal
+
+	// Health, when non-nil, is shared by every node as the cluster-wide
+	// structured protocol event log (retransmits, backoffs, failures),
+	// the slog analogue of Flight. Nil disables it.
+	Health *health.Log
 }
 
 // Node is one cluster machine.
@@ -75,6 +81,15 @@ type Cluster struct {
 	Tel *telemetry.Registry
 
 	macToNode map[ether.MAC]int
+
+	// links retains every node uplink with its registered name, so
+	// HealthDoc can report per-link counters alongside node snapshots.
+	links []namedLink
+}
+
+type namedLink struct {
+	name string
+	link *ether.Link
 }
 
 // New builds hosts, adapters, links and the switch. Protocol stacks are
@@ -105,6 +120,7 @@ func New(cfg Config) *Cluster {
 		// before any subsystem registers metrics into it.
 		host.Tel = c.Tel
 		host.FR = cfg.Flight
+		host.HL = cfg.Health
 		node := &Node{
 			ID:     id,
 			Host:   host,
@@ -126,6 +142,7 @@ func New(cfg Config) *Cluster {
 			link.SetFlight(cfg.Flight)
 			adapter := nic.New(host, fmt.Sprintf("node%d:eth%d", id, i), mac, c.Params.NIC, link)
 			c.Switch.AddPort(link)
+			c.links = append(c.links, namedLink{name: linkName, link: link})
 			node.NICs = append(node.NICs, adapter)
 			c.macToNode[mac] = id
 		}
@@ -186,6 +203,25 @@ func (c *Cluster) assertBare(n *Node) {
 	if n.CLIC != nil || n.TCP != nil || n.VIA != nil || n.GAMMA != nil {
 		panic("cluster: node already runs a stack; build a separate cluster per stack")
 	}
+}
+
+// HealthDoc captures the whole cluster's health document: one node
+// snapshot per CLIC endpoint plus per-direction link counters, stamped
+// with simulated time. The simulator is single-threaded, so call it
+// only from outside the engine — between RunUntil slices, the same seam
+// periodic metrics sampling uses.
+func (c *Cluster) HealthDoc() health.Doc {
+	sources := make([]health.Source, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if n.CLIC != nil {
+			sources = append(sources, n.CLIC)
+		}
+	}
+	doc := health.Capture("sim", int64(c.Eng.Now()), sources...)
+	for _, nl := range c.links {
+		doc.Links = append(doc.Links, nl.link.HealthSnapshot(nl.name)...)
+	}
+	return doc
 }
 
 // Run drives the simulation until the event queue drains or Stop is

@@ -1,0 +1,102 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/ether"
+	"repro/internal/health"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// TestHealthDocCapturesCluster runs a clean transfer and checks the
+// aggregated document: sim clock, one node snapshot per endpoint, link
+// counters for every uplink direction, JSON round-trip.
+func TestHealthDocCapturesCluster(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	c.EnableCLIC(clic.DefaultOptions())
+	c.Go("sender", func(p *sim.Proc) {
+		c.Nodes[0].CLIC.Send(p, 1, 9, make([]byte, 100_000)) //nolint:errcheck
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		c.Nodes[1].CLIC.Recv(p, 9)
+	})
+	c.Run()
+
+	doc := c.HealthDoc()
+	if doc.Clock != "sim" {
+		t.Errorf("clock %q, want sim", doc.Clock)
+	}
+	if doc.CapturedNs != int64(c.Eng.Now()) {
+		t.Errorf("captured at %d, engine at %d", doc.CapturedNs, c.Eng.Now())
+	}
+	if len(doc.Nodes) != 2 {
+		t.Fatalf("%d node snapshots, want 2", len(doc.Nodes))
+	}
+	if got := doc.Nodes[0].Counters["tx_frames"]; got == 0 {
+		t.Error("sender snapshot shows no transmitted frames")
+	}
+	// 2 nodes x 1 NIC x 2 directions.
+	if len(doc.Links) != 4 {
+		t.Fatalf("%d link snapshots, want 4", len(doc.Links))
+	}
+	frames := int64(0)
+	for _, l := range doc.Links {
+		frames += l.Frames
+	}
+	if frames == 0 {
+		t.Error("link snapshots carried no frames")
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatalf("health doc does not marshal: %v", err)
+	}
+}
+
+// TestWatchdogOnSimClock blackholes every data frame leaving node 0 and
+// drives the watchdog on simulated time between RunUntil slices: the
+// unlimited-retry sender pins its window and backs off, and the scan
+// must classify both the storm and the stall without any wall-clock
+// dependency.
+func TestWatchdogOnSimClock(t *testing.T) {
+	params := cluster.New(cluster.Config{Nodes: 1}).Params
+	params.CLIC.RetransmitTimeout = sim.Millisecond
+	params.CLIC.RTOMin = sim.Millisecond
+	params.CLIC.RTOMax = 10 * sim.Millisecond
+	params.CLIC.MaxRetries = 0 // unlimited: storm, don't fail
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1, Params: &params})
+	c.EnableCLIC(clic.DefaultOptions())
+	c.Nodes[0].NICs[0].Link().FilterFromA(func(f *ether.Frame) bool {
+		if f.Type != ether.TypeCLIC {
+			return false
+		}
+		hdr, _, err := proto.DecodeHeader(f.Payload)
+		return err == nil && hdr.Type == proto.TypeData
+	})
+
+	c.Go("sender", func(p *sim.Proc) {
+		// Larger than the window so it pins full and blocks forever.
+		c.Nodes[0].CLIC.Send(p, 1, 7, make([]byte, 200_000)) //nolint:errcheck
+	})
+
+	wd := health.NewWatchdog(
+		health.WatchdogConfig{StallRTOs: 2, StormRetries: 3},
+		func() int64 { return int64(c.Eng.Now()) }, nil, nil)
+	wd.Watch(c.Nodes[0].CLIC)
+
+	deadline := 500 * sim.Millisecond
+	for limit := 5 * sim.Millisecond; limit <= deadline; limit += 5 * sim.Millisecond {
+		c.Eng.RunUntil(limit)
+		got := map[string]bool{}
+		for _, v := range wd.Scan() {
+			got[v.Condition] = true
+		}
+		if got[health.CondWindowStall] && got[health.CondRTOStorm] {
+			return
+		}
+	}
+	snap := c.Nodes[0].CLIC.HealthSnapshot()
+	t.Fatalf("watchdog missed the blackholed channel by t=%v: %+v", c.Eng.Now(), snap.Channels)
+}

@@ -2,6 +2,7 @@ package ether
 
 import (
 	"repro/internal/flight"
+	"repro/internal/health"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -167,6 +168,35 @@ func (l *Link) Instrument(reg *telemetry.Registry, name string) {
 				return float64(dd.wire.BusyTime()) / float64(now)
 			}, labels...)
 	}
+}
+
+// HealthSnapshot reports both directions' counters and utilization for
+// the health document, under the given link name. Utilization is wire
+// busy time over elapsed simulated time, as for ether_link_utilization.
+func (l *Link) HealthSnapshot(name string) []health.LinkSnapshot {
+	out := make([]health.LinkSnapshot, 0, 2)
+	for _, d := range []struct {
+		d   *dir
+		tag string
+	}{{l.ab, "a->b"}, {l.ba, "b->a"}} {
+		dd := d.d
+		var util float64
+		if now := dd.eng.Now(); now > 0 {
+			util = float64(dd.wire.BusyTime()) / float64(now)
+		}
+		out = append(out, health.LinkSnapshot{
+			Link:        name,
+			Dir:         d.tag,
+			Frames:      dd.frames.Value(),
+			Bytes:       dd.bytes.Value(),
+			Drops:       dd.drops.Value(),
+			Dups:        dd.dups.Value(),
+			Reorders:    dd.reorders.Value(),
+			Corrupts:    dd.corrupts.Value(),
+			Utilization: util,
+		})
+	}
+	return out
 }
 
 // SetFlight attaches a flight recorder journal to both directions: each

@@ -1,0 +1,33 @@
+//go:build !race
+
+package health_test
+
+import (
+	"testing"
+
+	"repro/internal/health"
+)
+
+// The protocol slow paths call Log.Event unconditionally — live tx
+// retransmission, sim backoff, channel failure — counting on the
+// disabled (nil) handle costing one nil check and nothing else, the
+// same contract the flight recorder's guards pin. Excluded under -race
+// (the detector instruments allocations).
+
+func TestDisabledEventAllocs(t *testing.T) {
+	var l *health.Log
+	if n := testing.AllocsPerRun(1000, func() {
+		l.Event("retransmit", 1, 42, 7)
+		l.Warn("peer_dead", 1, 42, 7)
+	}); n != 0 {
+		t.Fatalf("disabled Event/Warn allocate %.1f times per call pair, want 0", n)
+	}
+}
+
+func BenchmarkDisabledEvent(b *testing.B) {
+	var l *health.Log
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Event("retransmit", 1, uint32(i), 7)
+	}
+}

@@ -1,0 +1,218 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Log is the structured protocol event channel: retransmits, NACKs,
+// backoffs, channel failures, pool anomalies and watchdog verdicts flow
+// through it as slog records with per-peer/channel attributes. A nil
+// *Log is the disabled log — every method is a nil-check no-op, so the
+// stacks carry the instrumentation unconditionally the way they carry
+// the flight recorder (the disabled Event path is AllocsPerRun-guarded
+// at 0 allocs in events_test.go).
+//
+// Events are rate-limited by a token bucket refilled on the wall clock
+// (the clock log flooding happens on, even for the sim stack): when the
+// budget is spent, events are counted in Dropped instead of emitted, so
+// a retransmission storm cannot melt the process down a second time by
+// way of its own diagnostics.
+type Log struct {
+	s *slog.Logger
+
+	// now, when non-nil, is the owning stack's clock; its value is
+	// attached to every event as t_ns (simulated time for the sim
+	// cluster, where slog's own wall timestamps mean nothing).
+	now func() int64
+
+	mu        sync.Mutex
+	tokens    float64
+	burst     float64
+	perNs     float64 // tokens per wall nanosecond
+	lastNs    int64
+	unlimited bool
+
+	dropped atomic.Int64
+}
+
+// DefaultEventsPerSec bounds the event rate when NewLog is given a
+// non-positive budget: generous for bring-up, harmless in a tight loop.
+const DefaultEventsPerSec = 200
+
+// NewLog wraps logger as a protocol event log emitting at most
+// eventsPerSec events per second (bursts up to one second's budget;
+// <= 0 means DefaultEventsPerSec). A nil logger returns a nil *Log —
+// the disabled log — so call sites need no conditional wiring.
+func NewLog(logger *slog.Logger, eventsPerSec int) *Log {
+	if logger == nil {
+		return nil
+	}
+	if eventsPerSec <= 0 {
+		eventsPerSec = DefaultEventsPerSec
+	}
+	return &Log{
+		s:      logger,
+		tokens: float64(eventsPerSec),
+		burst:  float64(eventsPerSec),
+		perNs:  float64(eventsPerSec) / float64(time.Second),
+		lastNs: time.Now().UnixNano(),
+	}
+}
+
+// Unlimited removes the rate limit (tests asserting exact event
+// sequences). Returns l for chaining; a nil receiver stays nil.
+func (l *Log) Unlimited() *Log {
+	if l != nil {
+		l.unlimited = true
+	}
+	return l
+}
+
+// WithClock attaches the owning stack's clock: every event gains a t_ns
+// attribute with its value. The sim cluster passes the engine's
+// simulated now; the live stack leaves it unset (slog's own timestamp
+// is already the wall clock). Returns l for chaining; nil stays nil.
+func (l *Log) WithClock(now func() int64) *Log {
+	if l != nil {
+		l.now = now
+	}
+	return l
+}
+
+// Dropped reports events suppressed by the rate limit.
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// take spends one rate-limit token, refilling by wall-clock elapsed
+// time. Reports false (and counts the drop) when the budget is spent.
+func (l *Log) take() bool {
+	if l.unlimited {
+		return true
+	}
+	now := time.Now().UnixNano()
+	l.mu.Lock()
+	l.tokens += float64(now-l.lastNs) * l.perNs
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.lastNs = now
+	ok := l.tokens >= 1
+	if ok {
+		l.tokens--
+	}
+	l.mu.Unlock()
+	if !ok {
+		l.dropped.Add(1)
+	}
+	return ok
+}
+
+// Event records one protocol event against a peer channel: event is the
+// snake_case event name (machine-enforced by the metricname analyzer),
+// seq the relevant sequence number and arg event-specific detail (a
+// retransmitted-frame count, the doubled RTO, a retry total — each
+// event name documents its arg). The signature is deliberately
+// fixed-arity scalars: a disabled (nil) log costs one nil check and
+// zero allocations, so the protocol slow paths (retransmission, backoff,
+// failure) call it unconditionally.
+func (l *Log) Event(event string, peer int, seq uint32, arg int64) {
+	if l == nil {
+		return
+	}
+	l.emit(slog.LevelInfo, event, peer, seq, arg)
+}
+
+// Warn is Event at warning severity, for events that indicate the
+// protocol is in trouble rather than merely working (channel failures,
+// peer death).
+func (l *Log) Warn(event string, peer int, seq uint32, arg int64) {
+	if l == nil {
+		return
+	}
+	l.emit(slog.LevelWarn, event, peer, seq, arg)
+}
+
+func (l *Log) emit(level slog.Level, event string, peer int, seq uint32, arg int64) {
+	ctx := context.Background()
+	if !l.s.Enabled(ctx, level) || !l.take() {
+		return
+	}
+	if l.now != nil {
+		l.s.LogAttrs(ctx, level, event,
+			slog.Int("peer", peer), slog.Int64("seq", int64(seq)),
+			slog.Int64("arg", arg), slog.Int64("t_ns", l.now()))
+		return
+	}
+	l.s.LogAttrs(ctx, level, event,
+		slog.Int("peer", peer), slog.Int64("seq", int64(seq)),
+		slog.Int64("arg", arg))
+}
+
+// EventAttrs records an event with free-form attributes, for cold paths
+// that need richer context than Event's scalars (watchdog verdicts,
+// anomaly reports). Attr keys are snake_case, enforced like event names.
+func (l *Log) EventAttrs(event string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.emitAttrs(slog.LevelInfo, event, attrs)
+}
+
+// WarnAttrs is EventAttrs at warning severity.
+func (l *Log) WarnAttrs(event string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.emitAttrs(slog.LevelWarn, event, attrs)
+}
+
+func (l *Log) emitAttrs(level slog.Level, event string, attrs []slog.Attr) {
+	ctx := context.Background()
+	if !l.s.Enabled(ctx, level) || !l.take() {
+		return
+	}
+	if l.now != nil {
+		attrs = append(attrs, slog.Int64("t_ns", l.now()))
+	}
+	l.s.LogAttrs(ctx, level, event, attrs...)
+}
+
+// NewLogger builds a slog.Logger from the conventional -log-level and
+// -log-format flag values (level: debug|info|warn|error, format:
+// text|json). This is the one handler cliclive and clicsim route both
+// protocol events and their own diagnostics through.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("health: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("health: unknown log format %q (want text or json)", format)
+	}
+}

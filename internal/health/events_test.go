@@ -1,0 +1,147 @@
+package health_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/health"
+)
+
+// record is one decoded JSON log line.
+type record map[string]any
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []record {
+	t.Helper()
+	var out []record
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestNilLogIsDisabled(t *testing.T) {
+	if l := health.NewLog(nil, 0); l != nil {
+		t.Fatal("NewLog(nil) must return the nil (disabled) log")
+	}
+	var l *health.Log
+	// Every method must be a nil-check no-op.
+	l.Event("retransmit", 1, 2, 3)
+	l.Warn("peer_dead", 1, 2, 3)
+	l.EventAttrs("watchdog_verdict", slog.String("condition", "x"))
+	l.WarnAttrs("watchdog_verdict", slog.String("condition", "x"))
+	if l.Unlimited() != nil || l.WithClock(func() int64 { return 0 }) != nil {
+		t.Fatal("chaining on a nil log must stay nil")
+	}
+	if l.Dropped() != 0 {
+		t.Fatal("nil log reports drops")
+	}
+}
+
+func TestEventEmission(t *testing.T) {
+	var buf bytes.Buffer
+	l := health.NewLog(slog.New(slog.NewJSONHandler(&buf, nil)), 0).Unlimited()
+	l.Event("retransmit", 3, 41, 7)
+	l.Warn("channel_failed", 2, 9, 16)
+	recs := decodeLines(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0]["msg"] != "retransmit" || recs[0]["level"] != "INFO" {
+		t.Fatalf("event record: %v", recs[0])
+	}
+	if recs[0]["peer"] != float64(3) || recs[0]["seq"] != float64(41) || recs[0]["arg"] != float64(7) {
+		t.Fatalf("event attrs: %v", recs[0])
+	}
+	if recs[1]["msg"] != "channel_failed" || recs[1]["level"] != "WARN" {
+		t.Fatalf("warn record: %v", recs[1])
+	}
+	if _, hasClock := recs[0]["t_ns"]; hasClock {
+		t.Fatal("t_ns attached without WithClock")
+	}
+}
+
+func TestWithClockStampsSimTime(t *testing.T) {
+	var buf bytes.Buffer
+	now := int64(12345)
+	l := health.NewLog(slog.New(slog.NewJSONHandler(&buf, nil)), 0).
+		Unlimited().WithClock(func() int64 { return now })
+	l.Event("nack", 1, 2, 3)
+	now = 67890
+	l.EventAttrs("watchdog_clear", slog.String("condition", "rto_storm"))
+	recs := decodeLines(t, &buf)
+	if recs[0]["t_ns"] != float64(12345) || recs[1]["t_ns"] != float64(67890) {
+		t.Fatalf("t_ns stamps: %v / %v", recs[0]["t_ns"], recs[1]["t_ns"])
+	}
+}
+
+func TestRateLimitDropsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	// Budget of 1/s: the full bucket admits one event, the rest of the
+	// burst is dropped (the test runs far faster than the refill).
+	l := health.NewLog(slog.New(slog.NewJSONHandler(&buf, nil)), 1)
+	for i := 0; i < 5; i++ {
+		l.Event("retransmit", 1, uint32(i), 0)
+	}
+	if got := len(decodeLines(t, &buf)); got != 1 {
+		t.Fatalf("emitted %d events, want 1", got)
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("dropped %d, want 4", l.Dropped())
+	}
+}
+
+func TestLevelFilterSkipsRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	h := slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn})
+	l := health.NewLog(slog.New(h), 1)
+	for i := 0; i < 5; i++ {
+		l.Event("retransmit", 1, uint32(i), 0) // info: filtered before the bucket
+	}
+	l.Warn("peer_dead", 1, 0, 0)
+	if got := len(decodeLines(t, &buf)); got != 1 {
+		t.Fatalf("emitted %d events, want only the warn", got)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("level-filtered events consumed rate budget: dropped=%d", l.Dropped())
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := health.NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hello")
+	if recs := decodeLines(t, &buf); len(recs) != 1 || recs[0]["msg"] != "hello" {
+		t.Fatalf("json debug output: %q", buf.String())
+	}
+
+	buf.Reset()
+	logger, err = health.NewLogger(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("filtered") // default level is info
+	logger.Info("shown")
+	if out := buf.String(); strings.Contains(out, "filtered") || !strings.Contains(out, "shown") {
+		t.Fatalf("default text output: %q", out)
+	}
+
+	if _, err := health.NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := health.NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the health document as indented JSON — the
+// /debug/clic endpoint. capture runs per request, so the response is
+// always a fresh point-in-time snapshot of every registered source.
+func Handler(capture func() Doc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(capture()) //nolint:errcheck // client went away
+	})
+}

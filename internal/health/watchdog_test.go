@@ -1,0 +1,195 @@
+package health_test
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+
+	"repro/internal/health"
+	"repro/internal/telemetry"
+)
+
+// fakeSource serves a settable snapshot.
+type fakeSource struct{ snap health.NodeSnapshot }
+
+func (f *fakeSource) HealthSnapshot() health.NodeSnapshot { return f.snap }
+
+// wdHarness is a watchdog over one fake source with a settable clock.
+type wdHarness struct {
+	src *fakeSource
+	wd  *health.Watchdog
+	now int64
+	reg *telemetry.Registry
+	buf *bytes.Buffer
+}
+
+func newHarness(t *testing.T, cfg health.WatchdogConfig) *wdHarness {
+	t.Helper()
+	h := &wdHarness{
+		src: &fakeSource{},
+		reg: telemetry.NewRegistry(),
+		buf: &bytes.Buffer{},
+	}
+	log := health.NewLog(slog.New(slog.NewJSONHandler(h.buf, nil)), 0).Unlimited()
+	h.wd = health.NewWatchdog(cfg, func() int64 { return h.now }, log, h.reg)
+	h.wd.Watch(h.src)
+	return h
+}
+
+func conditions(vs []health.Verdict) map[string]bool {
+	got := map[string]bool{}
+	for _, v := range vs {
+		got[v.Condition] = true
+	}
+	return got
+}
+
+func TestWatchdogWindowStall(t *testing.T) {
+	h := newHarness(t, health.WatchdogConfig{StallRTOs: 3})
+	h.src.snap = health.NodeSnapshot{
+		Node: "n0",
+		Channels: []health.ChannelSnapshot{{
+			Peer: 1, Dir: "tx", Window: 4, InFlight: 4,
+			RTONs: 1_000_000, LastProgressNs: 0,
+		}},
+	}
+	h.now = 2_000_000 // 2 RTOs idle: under the deadline
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("stall raised too early: %v", vs)
+	}
+	h.now = 3_500_000 // past 3 RTOs
+	vs := h.wd.Scan()
+	if !conditions(vs)[health.CondWindowStall] {
+		t.Fatalf("window stall not raised: %v", vs)
+	}
+	if vs[0].Peer != 1 || vs[0].Node != "n0" {
+		t.Fatalf("verdict identity: %+v", vs[0])
+	}
+
+	// Progress clears it.
+	h.src.snap.Channels[0].InFlight = 1
+	h.src.snap.Channels[0].LastProgressNs = h.now
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("stall not cleared: %v", vs)
+	}
+	out := h.buf.String()
+	if !bytes.Contains([]byte(out), []byte("watchdog_verdict")) ||
+		!bytes.Contains([]byte(out), []byte("watchdog_clear")) {
+		t.Fatalf("transition events missing: %s", out)
+	}
+}
+
+func TestWatchdogRTOStorm(t *testing.T) {
+	h := newHarness(t, health.WatchdogConfig{StormRetries: 3})
+	h.src.snap = health.NodeSnapshot{
+		Node: "n0",
+		Channels: []health.ChannelSnapshot{{
+			Peer: 2, Dir: "tx", Window: 4, InFlight: 1, Retries: 2,
+			RTONs: 1_000_000, LastProgressNs: 0,
+		}},
+	}
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("storm raised below threshold: %v", vs)
+	}
+	h.src.snap.Channels[0].Retries = 3
+	if vs := h.wd.Scan(); !conditions(vs)[health.CondRTOStorm] {
+		t.Fatalf("storm not raised: %v", vs)
+	}
+
+	// A failed channel is dead, not storming: nothing left to watch.
+	h.src.snap.Channels[0].Failed = true
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("failed channel still reported: %v", vs)
+	}
+}
+
+func TestWatchdogPoolLeakNeedsPersistence(t *testing.T) {
+	h := newHarness(t, health.WatchdogConfig{PoolSlack: 10, PoolScans: 2})
+	h.src.snap = health.NodeSnapshot{
+		Node: "n0",
+		Pool: &health.PoolSnapshot{Gets: 100, Puts: 0, Outstanding: 100},
+	}
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("leak raised on first scan (capture skew not tolerated): %v", vs)
+	}
+	if vs := h.wd.Scan(); !conditions(vs)[health.CondPoolLeak] {
+		t.Fatalf("persistent leak not raised: %v", vs)
+	}
+
+	// Channels accounting for the buffers absolve the ledger.
+	h.src.snap.Channels = []health.ChannelSnapshot{
+		{Peer: 1, Dir: "tx", Window: 128, InFlight: 60},
+		{Peer: 1, Dir: "rx", Parked: 40},
+	}
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("accounted buffers still flagged: %v", vs)
+	}
+}
+
+func TestWatchdogRxStarvation(t *testing.T) {
+	h := newHarness(t, health.WatchdogConfig{})
+	snap := func(tx, wake int64) health.NodeSnapshot {
+		return health.NodeSnapshot{
+			Node: "n0",
+			Counters: map[string]int64{
+				health.CounterTxFrames:  tx,
+				health.CounterRxWakeups: wake,
+			},
+			Channels: []health.ChannelSnapshot{
+				{Peer: 1, Dir: "tx", Window: 4, InFlight: 2, RTONs: 1_000_000},
+			},
+		}
+	}
+	h.src.snap = snap(100, 5)
+	if vs := h.wd.Scan(); len(vs) != 0 { // first scan: no baseline yet
+		t.Fatalf("starvation without a baseline: %v", vs)
+	}
+	h.src.snap = snap(200, 5) // sent 100 frames, zero wakeups, frames in flight
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("starvation raised on a single interval (burst skew not tolerated): %v", vs)
+	}
+	h.src.snap = snap(300, 5) // still starved: persists past StarveScans
+	if vs := h.wd.Scan(); !conditions(vs)[health.CondRxStarvation] {
+		t.Fatalf("persistent starvation not raised: %v", vs)
+	}
+	h.src.snap = snap(400, 6) // rx woke: healthy
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("starvation not cleared: %v", vs)
+	}
+
+	// Stacks without the counters never trip the condition.
+	h.src.snap.Counters = nil
+	h.wd.Scan()
+	if vs := h.wd.Scan(); len(vs) != 0 {
+		t.Fatalf("starvation without counters: %v", vs)
+	}
+}
+
+func TestWatchdogMetrics(t *testing.T) {
+	h := newHarness(t, health.WatchdogConfig{StormRetries: 1})
+	h.src.snap = health.NodeSnapshot{
+		Node: "n0",
+		Channels: []health.ChannelSnapshot{{
+			Peer: 1, Dir: "tx", Window: 4, InFlight: 1, Retries: 5, RTONs: 1_000_000,
+		}},
+	}
+	h.wd.Scan()
+	h.wd.Scan() // persisting condition must not re-count
+	var scans, verdicts, active int64
+	for _, m := range h.reg.Snapshot() {
+		if m.Value == nil {
+			continue
+		}
+		switch m.Name {
+		case "clic_health_scans_total":
+			scans = int64(*m.Value)
+		case "clic_health_verdicts_total":
+			verdicts = int64(*m.Value)
+		case "clic_health_active_conditions":
+			active = int64(*m.Value)
+		}
+	}
+	if scans != 2 || verdicts != 1 || active != 1 {
+		t.Fatalf("scans=%d verdicts=%d active=%d, want 2/1/1", scans, verdicts, active)
+	}
+}

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/health"
+)
+
+// HealthSnapshot captures the node's full per-peer/channel state for
+// the health layer (/debug/clic, clicstat, the stall watchdog). It is
+// lock-narrow by construction: the registration table is read under one
+// RLock to collect the channel pointers, then each channel is visited
+// under its own mutex — the same sharding the datapath uses, so a
+// snapshot of a busy node briefly touches each channel instead of
+// freezing the node. Counters are atomics and read without any lock.
+func (n *Node) HealthSnapshot() health.NodeSnapshot {
+	sockBuf := n.cfg.SockBuf
+	if sockBuf == 0 {
+		sockBuf = 4 << 20
+	}
+	// Puts read before gets: every Put's Get bumped the counter first,
+	// so this order keeps Outstanding ≥ 0 under concurrent recycling
+	// (the reverse order can observe a put whose get it missed).
+	puts := n.poolPuts.Value()
+	gets := n.poolGets.Value()
+	snap := health.NodeSnapshot{
+		Node:       n.nodeName,
+		CapturedNs: time.Now().UnixNano(),
+		MTU:        n.cfg.MTU,
+		Window:     n.cfg.Window,
+		SockBuf:    sockBuf,
+		Pool: &health.PoolSnapshot{
+			Gets:        gets,
+			Puts:        puts,
+			Allocs:      n.poolAllocs.Value(),
+			Outstanding: gets - puts,
+		},
+		Counters: map[string]int64{
+			health.CounterTxFrames:  n.framesSent.Value(),
+			health.CounterRxWakeups: n.rxBursts.Value(),
+			"rx_frames":             n.framesRecv.Value(),
+			"retransmits":           n.retransmits.Value(),
+			"acks_sent":             n.acksSent.Value(),
+			"rto_backoffs":          n.rtoBackoffs.Value(),
+			"channel_failures":      n.channelFailures.Value(),
+		},
+	}
+	n.pmu.RLock()
+	txs := make([]*liveTxChan, 0, len(n.tx))
+	for _, tc := range n.tx {
+		txs = append(txs, tc)
+	}
+	rxs := make([]*liveRxChan, 0, len(n.rx))
+	for _, rc := range n.rx {
+		rxs = append(rxs, rc)
+	}
+	n.pmu.RUnlock()
+	for _, tc := range txs {
+		tc.mu.Lock()
+		snap.Channels = append(snap.Channels, health.ChannelSnapshot{
+			Peer:           tc.peer,
+			Dir:            "tx",
+			Window:         tc.win.Window(),
+			InFlight:       tc.win.InFlight(),
+			NextSeq:        tc.win.NextSeq(),
+			AckedSeq:       tc.win.Base(),
+			RTONs:          tc.ctrl.RTO(),
+			SRTTNs:         tc.ctrl.SRTT(),
+			RTTVarNs:       tc.ctrl.RTTVar(),
+			Retries:        tc.ctrl.Retries(),
+			Failed:         tc.failed,
+			LastProgressNs: tc.lastProgressNs,
+		})
+		tc.mu.Unlock()
+	}
+	for _, rc := range rxs {
+		rc.mu.Lock()
+		snap.Channels = append(snap.Channels, health.ChannelSnapshot{
+			Peer:           rc.src,
+			Dir:            "rx",
+			CumAck:         rc.reseq.CumAck(),
+			Parked:         rc.reseq.Buffered(),
+			SinceAck:       rc.sinceAck,
+			LastProgressNs: rc.lastProgressNs,
+		})
+		rc.mu.Unlock()
+	}
+	sort.Slice(snap.Channels, func(i, j int) bool {
+		a, b := &snap.Channels[i], &snap.Channels[j]
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Dir < b.Dir
+	})
+	return snap
+}

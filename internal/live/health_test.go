@@ -1,0 +1,240 @@
+package live_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/live"
+	"repro/internal/telemetry"
+)
+
+// checkSnapshotInvariants asserts the structural invariants every
+// capture must satisfy, no matter when it raced the datapath.
+func checkSnapshotInvariants(t *testing.T, snap *health.NodeSnapshot, lastProgress map[string]int64) {
+	t.Helper()
+	if snap.Pool != nil {
+		if snap.Pool.Outstanding != snap.Pool.Gets-snap.Pool.Puts {
+			t.Errorf("%s: pool ledger inconsistent: %d outstanding, %d gets - %d puts",
+				snap.Node, snap.Pool.Outstanding, snap.Pool.Gets, snap.Pool.Puts)
+		}
+		if snap.Pool.Outstanding < 0 {
+			t.Errorf("%s: negative pool outstanding %d (double put)", snap.Node, snap.Pool.Outstanding)
+		}
+	}
+	for _, ch := range snap.Channels {
+		key := fmt.Sprintf("%s/%d/%s", snap.Node, ch.Peer, ch.Dir)
+		if ch.LastProgressNs < lastProgress[key] {
+			t.Errorf("%s: last progress went backwards: %d -> %d", key, lastProgress[key], ch.LastProgressNs)
+		}
+		lastProgress[key] = ch.LastProgressNs
+		if ch.Dir != "tx" {
+			continue
+		}
+		if ch.InFlight < 0 || ch.InFlight > ch.Window {
+			t.Errorf("%s: in-flight %d outside window %d", key, ch.InFlight, ch.Window)
+		}
+		if diff := ch.NextSeq - ch.AckedSeq; diff != uint32(ch.InFlight) {
+			t.Errorf("%s: next %d - acked %d = %d, want in-flight %d",
+				key, ch.NextSeq, ch.AckedSeq, diff, ch.InFlight)
+		}
+	}
+}
+
+// TestHealthSnapshotChurn hammers two nodes with bidirectional traffic
+// under loss, duplication and reordering while snapshotting both
+// concurrently — the soak that makes snapshot locking race-visible
+// (run it under -race) and checks every capture's invariants.
+func TestHealthSnapshotChurn(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.LossRate = 0.1
+	cfg.DupRate = 0.05
+	cfg.ReorderRate = 0.05
+	cfg.RetransmitTimeout = 5 * time.Millisecond
+	cfg.Seed = 7
+	a, b := pair(t, cfg)
+
+	const (
+		msgs    = 60
+		msgSize = 20_000
+	)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	stream := func(src *live.Node, dst int, port uint16) {
+		defer wg.Done()
+		payload := pattern(msgSize)
+		for i := 0; i < msgs; i++ {
+			if err := src.Send(dst, port, payload); err != nil {
+				t.Errorf("send to %d: %v", dst, err)
+				return
+			}
+		}
+	}
+	drain := func(dst *live.Node, port uint16) {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			if _, err := dst.Recv(port); err != nil {
+				t.Errorf("recv on %d: %v", dst.ID, err)
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go stream(a, 1, 11)
+	go stream(b, 0, 12)
+	go drain(b, 11)
+	go drain(a, 12)
+
+	// Snapshot both nodes as fast as they'll go while traffic churns.
+	snapDone := make(chan int)
+	go func() {
+		captures := 0
+		lastProgress := map[string]int64{}
+		for !done.Load() {
+			for _, n := range []*live.Node{a, b} {
+				snap := n.HealthSnapshot()
+				checkSnapshotInvariants(t, &snap, lastProgress)
+			}
+			captures++
+		}
+		snapDone <- captures
+	}()
+
+	wg.Wait()
+	done.Store(true)
+	if captures := <-snapDone; captures < 10 {
+		t.Fatalf("only %d concurrent captures during the soak", captures)
+	}
+
+	// At quiesce the pool ledger must balance: every pooled buffer the
+	// windows and resequencers retained has been released.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		balanced := true
+		for _, n := range []*live.Node{a, b} {
+			snap := n.HealthSnapshot()
+			inflight := 0
+			for _, ch := range snap.Channels {
+				inflight += ch.InFlight + ch.Parked
+			}
+			if inflight != 0 || (snap.Pool != nil && snap.Pool.Outstanding != 0) {
+				balanced = false
+			}
+		}
+		if balanced {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, n := range []*live.Node{a, b} {
+				snap := n.HealthSnapshot()
+				t.Logf("%s: pool %+v channels %+v", snap.Node, snap.Pool, snap.Channels)
+			}
+			t.Fatal("pool ledger never balanced after quiesce")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchdogDetectsBlackholePeer points a sender at a UDP address
+// nobody listens on: sends succeed (unconnected sockets ignore ICMP
+// unreachable), no acks ever arrive, so the window pins full and the
+// RTO backs off exponentially. The watchdog must classify both the
+// storm and the stall within a few RTOs.
+func TestWatchdogDetectsBlackholePeer(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.RetransmitTimeout = 5 * time.Millisecond
+	cfg.RTOMin = 5 * time.Millisecond
+	cfg.MaxRetries = 0 // unlimited: the channel must stay alive to storm
+	a, err := live.NewNode(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+
+	// A dead port: bind, read the address, close.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.LocalAddr().(*net.UDPAddr)
+	dead.Close()
+	a.AddPeer(1, addr)
+
+	reg := telemetry.NewRegistry()
+	wd := health.NewWatchdog(health.WatchdogConfig{StallRTOs: 2, StormRetries: 3}, nil, nil, reg)
+	wd.Watch(a)
+
+	// The send blocks forever on the pinned window; Close unblocks it.
+	go a.Send(1, 5, pattern(200_000)) //nolint:errcheck // blackholed by design
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := conditions(wd.Scan())
+		if got[health.CondWindowStall] && got[health.CondRTOStorm] {
+			return
+		}
+		if time.Now().After(deadline) {
+			snap := a.HealthSnapshot()
+			t.Fatalf("watchdog missed the blackhole: verdicts %v, snapshot %+v", got, snap.Channels)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchdogCleanRun asserts no false positives: mildly lossy but
+// progressing traffic must never trip a verdict.
+func TestWatchdogCleanRun(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.LossRate = 0.03
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+	cfg.Seed = 3
+	a, b := pair(t, cfg)
+
+	wd := health.NewWatchdog(health.WatchdogConfig{StallRTOs: 4, StormRetries: 4}, nil, nil, nil)
+	wd.Watch(a, b)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload := pattern(30_000)
+		for i := 0; i < 30; i++ {
+			if err := a.Send(1, 6, payload); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		for i := 0; i < 30; i++ {
+			if _, err := b.Recv(6); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if vs := wd.Scan(); len(vs) != 0 {
+				t.Fatalf("false positives on clean traffic: %+v", vs)
+			}
+			return
+		default:
+			if vs := wd.Scan(); len(vs) != 0 {
+				t.Fatalf("false positives on clean traffic: %+v", vs)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func conditions(vs []health.Verdict) map[string]bool {
+	got := map[string]bool{}
+	for _, v := range vs {
+		got[v.Condition] = true
+	}
+	return got
+}

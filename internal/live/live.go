@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/health"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/telemetry"
@@ -100,6 +101,12 @@ type Config struct {
 	// to stitch; the frame id is derived from (sender, sequence) so the
 	// two ends agree without any extra bytes on the wire.
 	Flight *flight.Journal
+
+	// Health, when non-nil, is the structured protocol event log:
+	// retransmission rounds, RTO backoffs and channel failures are
+	// emitted with per-peer attributes. Nil (the default) disables
+	// event logging at the cost of a nil check on the slow paths.
+	Health *health.Log
 }
 
 // DefaultConfig returns sensible loopback settings.
@@ -196,8 +203,10 @@ type Node struct {
 	ackLatency       *telemetry.Histogram
 
 	// fr is the optional flight recorder (nil disables); nodeName labels
-	// this node's spans in the shared journal.
+	// this node's spans in the shared journal. hl is the optional
+	// structured event log (nil disables), carried the same way.
 	fr       *flight.Journal
+	hl       *health.Log
 	nodeName string
 }
 
@@ -249,6 +258,7 @@ func NewNode(id int, cfg Config) (*Node, error) {
 		done:     make(chan struct{}),
 		tel:      cfg.Telemetry,
 		fr:       cfg.Flight,
+		hl:       cfg.Health,
 		nodeName: fmt.Sprintf("live%d", id),
 	}
 	if n.tel == nil {

@@ -44,6 +44,13 @@ type liveRxChan struct {
 	ackTimer *time.Timer
 	ackArmed bool
 
+	// lastCum and lastProgressNs track receive progress for health
+	// snapshots: lastProgressNs advances (at burst granularity, in
+	// flushAcks — never per frame) whenever the cumulative ack moved
+	// past lastCum. Guarded by mu.
+	lastCum        relwin.Seq
+	lastProgressNs int64
+
 	// ackBuf is the preframed ack datagram: acks are encoded in place
 	// and written under mu, so the hot path allocates nothing.
 	ackBuf [proto.HeaderBytes]byte
@@ -61,9 +68,10 @@ type rxDatagram struct {
 
 func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 	rc := &liveRxChan{
-		src:   src,
-		addr:  addr,
-		reseq: relwin.NewResequencer[rxDatagram](n.cfg.Window),
+		src:            src,
+		addr:           addr,
+		reseq:          relwin.NewResequencer[rxDatagram](n.cfg.Window),
+		lastProgressNs: time.Now().UnixNano(),
 	}
 	rc.ackTimer = time.AfterFunc(time.Hour, func() { n.fireDelayedAck(rc) })
 	rc.ackTimer.Stop()
@@ -216,9 +224,17 @@ func (n *Node) onData(rc *liveRxChan, hdr proto.Header, payload []byte) {
 // emit), arms the delayed-ack timer for sub-stride remainders, and
 // flushes any confirmations collected during the burst.
 func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
+	var nowNs int64 // lazily stamped once per burst
 	for _, rc := range touched {
 		rc.mu.Lock()
 		rc.inBurst = false
+		if cum := rc.reseq.CumAck(); cum != rc.lastCum {
+			if nowNs == 0 {
+				nowNs = time.Now().UnixNano()
+			}
+			rc.lastCum = cum
+			rc.lastProgressNs = nowNs
+		}
 		flush := rc.ackNow || rc.sinceAck >= n.cfg.AckEvery
 		if flush {
 			rc.sinceAck = 0

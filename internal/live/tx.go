@@ -61,6 +61,12 @@ type liveTxChan struct {
 	// retransmitted, so their ack latencies must not feed the estimator.
 	sampleFloor relwin.Seq
 
+	// lastProgressNs is when the cumulative ack last advanced (channel
+	// creation time until then), on the wall clock; health snapshots
+	// expose it and the watchdog's window-stall deadline runs against
+	// it. Guarded by mu.
+	lastProgressNs int64
+
 	// Fragment staging for coalesced writes, guarded by sendMu: the
 	// fragmentation loop stages up to txBatchSize pinned buffers and
 	// flushes them with one sendmmsg (on Linux) — the TX mirror of the
@@ -113,6 +119,7 @@ func newTxChan(n *Node, peer int, addr netip.AddrPort) *liveTxChan {
 			MaxRetries: n.cfg.MaxRetries,
 		}),
 	}
+	tc.lastProgressNs = time.Now().UnixNano()
 	ring := nextPow2(n.cfg.Window)
 	tc.slots = make([]txSlot, ring)
 	tc.mask = uint32(ring - 1)
@@ -488,6 +495,8 @@ func (n *Node) fireRTO(tc *liveTxChan) {
 		n.fr.Point(n.nodeName, 0, trace.PointRTOBackoff,
 			time.Now().UnixNano(), tc.ctrl.RTO())
 	}
+	n.hl.Event("rto_backoff", tc.peer, base, tc.ctrl.RTO())
+	n.hl.Event("retransmit", tc.peer, base, int64(len(unacked)))
 	tc.publishRTO() // the timeout doubled
 	// Karn's rule: acks for anything below this watermark are ambiguous.
 	tc.sampleFloor = tc.win.NextSeq()
@@ -511,6 +520,7 @@ func (n *Node) fireRTO(tc *liveTxChan) {
 func (n *Node) failChannel(tc *liveTxChan) {
 	tc.failed = true
 	n.channelFailures.Inc()
+	n.hl.Warn("peer_dead", tc.peer, tc.win.Base(), int64(tc.ctrl.Retries()))
 	if n.fr != nil {
 		n.fr.Point(n.nodeName, 0, trace.PointChannelFailed,
 			time.Now().UnixNano(), int64(tc.peer))
@@ -545,6 +555,7 @@ func (n *Node) onAck(tc *liveTxChan, cum relwin.Seq) {
 		return
 	}
 	tc.ctrl.OnProgress()
+	tc.lastProgressNs = tc.relNowNs
 	tc.publishRTO()
 	if tc.rtoArmed {
 		tc.rto.Stop()

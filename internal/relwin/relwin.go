@@ -108,6 +108,14 @@ func (s *Sender[T]) Unacked() ([]T, Seq) { return s.unacked, s.base }
 // NextSeq returns the sequence number the next Push will assign.
 func (s *Sender[T]) NextSeq() Seq { return s.next }
 
+// Base returns the oldest unacknowledged sequence — the cumulative-ack
+// point the peer has confirmed (== NextSeq when nothing is in flight).
+// Health snapshots expose it as the channel's acked watermark.
+func (s *Sender[T]) Base() Seq { return s.base }
+
+// Window returns the configured window size in frames.
+func (s *Sender[T]) Window() int { return s.window }
+
 // Receiver tracks the receive side: it accepts exactly the next expected
 // sequence and asks for retransmission otherwise.
 type Receiver struct {
