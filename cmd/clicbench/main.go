@@ -13,6 +13,7 @@
 //	frag        NIC fragmentation offload                     (E9)
 //	bonding     channel bonding + intra-node                  (E10)
 //	loss        injected-loss sweep: recovery cost            (E12)
+//	rxmode      adaptive RX ladder: bh/direct/poll            (E16)
 //	live        real-sockets loopback perf trajectory         (E15)
 //	all         everything above
 //
@@ -51,13 +52,14 @@ var experiments = map[string]func(*model.Params) *bench.Report{
 	"jitter":      bench.Jitter,
 	"latency":     bench.LatencyDistribution,
 	"loss":        bench.LossSweep,
+	"rxmode":      bench.RxModes,
 	"live":        bench.Live,
 }
 
 var order = []string{
 	"fig4", "fig5", "fig6", "fig7", "headline",
 	"compare", "interrupts", "paths", "frag", "bonding", "multiprog",
-	"collectives", "jitter", "latency", "loss", "live",
+	"collectives", "jitter", "latency", "loss", "rxmode", "live",
 }
 
 func main() {

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	clictrace [-size 1400] [-mtu 1500] [-rx bh|direct] [-path 1..4] [-coalesce-us 40] [-json]
+//	clictrace [-size 1400] [-mtu 1500] [-rx bh|direct|poll] [-path 1..4] [-coalesce-us 40] [-json]
 //	clictrace -frames 200 [-slowest 3] [-stall-us 100] [-flight-out trace.json] [...]
 package main
 
@@ -32,7 +32,7 @@ func main() {
 	var (
 		size       = flag.Int("size", 1400, "packet size in bytes (the paper uses 1400)")
 		mtu        = flag.Int("mtu", 1500, "link MTU")
-		rxMode     = flag.String("rx", "bh", "receive mode: bh (Fig. 8a) or direct (Fig. 8b)")
+		rxMode     = flag.String("rx", "bh", "receive mode: bh (Fig. 8a), direct (Fig. 8b) or poll (NAPI-style)")
 		path       = flag.Int("path", 2, "send path 1-4 (Fig. 1)")
 		coalesceUs = flag.Int("coalesce-us", 40, "interrupt coalescing window, µs")
 		asJSON     = flag.Bool("json", false, "emit the stage timings as JSON instead of a table")
@@ -52,6 +52,8 @@ func main() {
 	case "bh":
 	case "direct":
 		opt.RxMode = clic.RxDirectCall
+	case "poll":
+		opt.RxMode = clic.RxPoll
 	default:
 		fmt.Fprintf(os.Stderr, "clictrace: unknown rx mode %q\n", *rxMode)
 		os.Exit(2)
@@ -84,8 +86,11 @@ func flightMode(params *model.Params, opt clic.Options, size, frames, slowest, s
 	a := flight.Analyze(j.Snapshot())
 
 	mode := "bottom-half"
-	if rxMode == "direct" {
+	switch rxMode {
+	case "direct":
 		mode = "direct-call"
+	case "poll":
+		mode = "polled"
 	}
 	fmt.Printf("CLIC %d B x %d messages, %s receive — per-stage latency from the flight recorder\n",
 		size, frames, mode)

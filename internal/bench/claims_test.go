@@ -77,4 +77,42 @@ func TestPaperClaims(t *testing.T) {
 	if improvement := float64(ta-tb) / 1000; improvement < 8 || improvement > 20 {
 		t.Errorf("C7: direct-call improvement %.1f µs, paper ≈ 13 µs (15+2 → 5+2 plus BH)", improvement)
 	}
+
+	// C7': the adaptive RX ladder. Polling must beat both interrupt-driven
+	// modes on interrupts per frame at bulk load — that is the mode's whole
+	// point — without giving back the sparse-ping latency the interrupt
+	// path preserves (the poller unmasks quickly when traffic is sparse).
+	pollOpt := clic.DefaultOptions()
+	pollOpt.RxMode = clic.RxPoll
+	directOpt := clic.DefaultOptions()
+	directOpt.RxMode = clic.RxDirectCall
+	pBulk := model.Default()
+	_, _, bhIRQ := irqRateAndBWOpt(clic.DefaultOptions(), &pBulk)
+	pBulk = model.Default()
+	_, _, dcIRQ := irqRateAndBWOpt(directOpt, &pBulk)
+	pBulk = model.Default()
+	_, _, pollIRQ := irqRateAndBWOpt(pollOpt, &pBulk)
+	if pollIRQ >= dcIRQ || pollIRQ >= bhIRQ {
+		t.Errorf("C7': poll bulk IRQ/frame %.3f must beat direct %.3f and bh %.3f",
+			pollIRQ, dcIRQ, bhIRQ)
+	}
+	if pollIRQ > 0.5*dcIRQ {
+		t.Errorf("C7': poll bulk IRQ/frame %.3f — expected well under half of direct's %.3f",
+			pollIRQ, dcIRQ)
+	}
+	pollLat := float64(Latency(CLICPair(pollOpt), nil, 0, 20)) / 1000
+	bhLat := float64(Latency(CLICPair(clic.DefaultOptions()), nil, 0, 20)) / 1000
+	if pollLat > bhLat+1 {
+		t.Errorf("C7': poll sparse latency %.1f µs regresses bottom-half's %.1f µs", pollLat, bhLat)
+	}
+
+	// C7'': the poll path's Fig. 7 attribution carries the new stages — a
+	// traced sparse packet is announced by the session-opening interrupt.
+	pr := PipelineTrace(nil, pollOpt, 1400)
+	if _, ok := pr.Find("clic:isr-poll"); !ok {
+		t.Errorf("C7'': polled pipeline trace lacks the clic:isr-poll stage")
+	}
+	if _, ok := pr.Find("app:recv-return"); !ok {
+		t.Errorf("C7'': polled pipeline trace did not complete")
+	}
 }

@@ -19,8 +19,11 @@ func PipelineTrace(params *model.Params, opt clic.Options, size int) *trace.Rec 
 	c.EnableCLIC(opt)
 	const port = 40
 	mode := "bottom-half"
-	if opt.RxMode == clic.RxDirectCall {
+	switch opt.RxMode {
+	case clic.RxDirectCall:
 		mode = "direct-call"
+	case clic.RxPoll:
+		mode = "polled"
 	}
 	rec := &trace.Rec{Label: fmt.Sprintf("CLIC %d B, %s receive", size, mode)}
 	payload := make([]byte, size)

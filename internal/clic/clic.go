@@ -51,6 +51,17 @@ const (
 	// calls CLIC_MODULE directly from the ISR, cutting the receiver
 	// driver stage from ~15 µs to ~5 µs for a 1400 B packet (Fig. 7b).
 	RxDirectCall
+
+	// RxPoll is the adaptive ladder's top rung (NAPI-style): the first
+	// interrupt pays only the slim Fig. 8b ISR, masks the line and hands
+	// the completion ring to a budgeted polled drain loop in softirq
+	// context. Later arrivals are picked up by polling at zero per-frame
+	// interrupt cost, with adjacent in-order data frames aggregated
+	// (GRO-style) into single CLIC_MODULE invocations; interrupts are
+	// re-enabled after Driver.PollIdleExit consecutive empty checks, so
+	// sparse traffic keeps interrupt latency. Tuned by the
+	// model.Driver.PollCheck/PollBudget/PollIdleExit parameters.
+	RxPoll
 )
 
 // SendPath selects how data reaches the NIC (Fig. 1).
@@ -126,6 +137,14 @@ type Stats struct {
 	RTOBackoffs     telemetry.Counter
 	ChannelFailures telemetry.Counter
 
+	// PollSessions counts IRQ→poll transitions (RxPoll mode): each is one
+	// real interrupt that opened a polled drain session. GROBatches and
+	// GROFrames count aggregated receive runs and the frames they carried;
+	// frames/batches is the achieved aggregation factor.
+	PollSessions telemetry.Counter
+	GROBatches   telemetry.Counter
+	GROFrames    telemetry.Counter
+
 	// AckLatency is the distribution of data-frame push → cumulative-ack
 	// times, the protocol-level view behind Fig. 7's per-stage table.
 	AckLatency *telemetry.Histogram
@@ -148,8 +167,11 @@ func pathLabel(p SendPath) string {
 
 // rxLabel names an RxMode for metric labels.
 func rxLabel(m RxMode) string {
-	if m == RxDirectCall {
+	switch m {
+	case RxDirectCall:
 		return "direct"
+	case RxPoll:
+		return "poll"
 	}
 	return "bh"
 }
@@ -279,6 +301,9 @@ func New(k *kernel.Kernel, node NodeID, nics []*nic.NIC, opt Options,
 	tel.RegisterCounter("clic_sysbuf_drops_total", "frames refused by receiver-side flow control", &ep.S.SysBufDrops, labels...)
 	tel.RegisterCounter("clic_rto_backoffs_total", "retransmission-timeout expiries (each doubles the adaptive RTO)", &ep.S.RTOBackoffs, labels...)
 	tel.RegisterCounter("clic_channel_failures_total", "channels declared dead after MaxRetries consecutive timeouts", &ep.S.ChannelFailures, labels...)
+	tel.RegisterCounter("clic_rx_poll_sessions_total", "interrupts that opened a polled drain session (RxPoll)", &ep.S.PollSessions, labels...)
+	tel.RegisterCounter("clic_gro_batches_total", "aggregated receive runs handed to CLIC_MODULE in one call", &ep.S.GROBatches, labels...)
+	tel.RegisterCounter("clic_gro_frames_total", "data frames carried by aggregated receive runs", &ep.S.GROFrames, labels...)
 	tel.GaugeFunc("clic_sysbuf_bytes", "system-memory bytes holding unclaimed messages",
 		func() float64 { return float64(ep.sysBufUsed) }, labels...)
 	ep.S.AckLatency = tel.Histogram("clic_ack_latency_ns",

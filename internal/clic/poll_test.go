@@ -1,0 +1,82 @@
+package clic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// bulkStream pushes msgs messages of size bytes from node 0 to node 1,
+// verifying every payload, and returns the cluster for counter checks.
+func bulkStream(t *testing.T, opt clic.Options, msgs, size int) *cluster.Cluster {
+	t.Helper()
+	c := twoNodes(t, opt)
+	payload := pattern(size)
+	c.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			c.Nodes[0].CLIC.Send(p, 1, 7, payload)
+		}
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			_, d := c.Nodes[1].CLIC.Recv(p, 7)
+			if !bytes.Equal(d, payload) {
+				t.Errorf("message %d corrupted (%d bytes)", i, len(d))
+			}
+		}
+	})
+	c.Run()
+	return c
+}
+
+func TestPollModeDeliversAndCutsInterrupts(t *testing.T) {
+	pollOpt := clic.DefaultOptions()
+	pollOpt.RxMode = clic.RxPoll
+	poll := bulkStream(t, pollOpt, 8, 64_000)
+	bh := bulkStream(t, clic.DefaultOptions(), 8, 64_000)
+
+	if v := poll.Nodes[1].CLIC.S.PollSessions.Value(); v == 0 {
+		t.Error("poll mode streamed 512 kB without opening a poll session")
+	}
+	if v := poll.Nodes[1].Kernel.IRQsMasked.Value(); v == 0 {
+		t.Error("no raises were absorbed by the masked line during bulk traffic")
+	}
+	pollIRQ := poll.Nodes[1].Kernel.Interrupts.Value()
+	bhIRQ := bh.Nodes[1].Kernel.Interrupts.Value()
+	if pollIRQ*2 >= bhIRQ {
+		t.Errorf("poll dispatched %d interrupts vs bottom-half's %d — expected under half",
+			pollIRQ, bhIRQ)
+	}
+}
+
+func TestPollModeSparsePing(t *testing.T) {
+	// A lone small message must survive the poll ladder: the interrupt
+	// opens a session, the loop drains one frame and exits quickly.
+	pollOpt := clic.DefaultOptions()
+	pollOpt.RxMode = clic.RxPoll
+	c := bulkStream(t, pollOpt, 1, 64)
+	if v := c.Nodes[1].CLIC.S.PollSessions.Value(); v == 0 {
+		t.Error("no poll session for the lone message")
+	}
+	// A single in-flight frame must never be counted as a GRO batch.
+	if v := c.Nodes[1].CLIC.S.GROBatches.Value(); v != 0 {
+		t.Errorf("%d GRO batches for a single-frame exchange", v)
+	}
+}
+
+func TestGROAggregatesBulkRuns(t *testing.T) {
+	pollOpt := clic.DefaultOptions()
+	pollOpt.RxMode = clic.RxPoll
+	c := bulkStream(t, pollOpt, 4, 128_000)
+	batches := c.Nodes[1].CLIC.S.GROBatches.Value()
+	frames := c.Nodes[1].CLIC.S.GROFrames.Value()
+	if batches == 0 {
+		t.Fatal("bulk polled stream produced no GRO batches")
+	}
+	if frames < 2*batches {
+		t.Errorf("GRO frames %d vs batches %d — a batch must aggregate >= 2 frames", frames, batches)
+	}
+}

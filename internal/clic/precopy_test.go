@@ -1,0 +1,51 @@
+package clic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clic"
+	"repro/internal/sim"
+)
+
+// TestRecvTimeoutMidMessageStopsPrecopy: a posted receiver turns on the
+// per-fragment pre-copy to user memory. If it withdraws mid-message
+// (RecvTimeout expires), the module must stop pre-copying — otherwise
+// every remaining fragment is copied once on arrival AND the whole
+// message is copied again when the eventual Recv drains it from system
+// memory, a ~2x memcpy charge for one message. Host.MemcpyBytes is the
+// observable.
+func TestRecvTimeoutMidMessageStopsPrecopy(t *testing.T) {
+	c := twoNodes(t, clic.DefaultOptions())
+	const size = 200_000 // ~3.5 ms on the wire at MTU 1500: far outlives the timeout
+	payload := pattern(size)
+	var got []byte
+	timedOut := false
+	c.Go("sender", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Microsecond) // let the receiver post first
+		c.Nodes[0].CLIC.Send(p, 1, 7, payload)
+	})
+	c.Go("receiver", func(p *sim.Proc) {
+		_, _, ok := c.Nodes[1].CLIC.RecvTimeout(p, 7, 200*sim.Microsecond)
+		timedOut = !ok
+		p.Sleep(20 * sim.Millisecond) // message completes and parks in system memory
+		_, got = c.Nodes[1].CLIC.Recv(p, 7)
+	})
+	c.Run()
+	if !timedOut {
+		t.Fatal("RecvTimeout did not expire mid-message; the scenario never happened")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("re-posted Recv got %d corrupted bytes", len(got))
+	}
+	copied := c.Nodes[1].Host.MemcpyBytes.Value()
+	if copied < size {
+		t.Errorf("receiver copied %d bytes, below the message size %d", copied, size)
+	}
+	// Fixed behaviour: pre-timeout fragments (a few %) + one full drain
+	// copy. The double-charge bug lands at ~2x.
+	if copied > size*17/10 {
+		t.Errorf("receiver copied %d bytes for a %d byte message — precopy kept charging after the waiter withdrew",
+			copied, size)
+	}
+}

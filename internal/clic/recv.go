@@ -4,15 +4,21 @@ import (
 	"fmt"
 
 	"repro/internal/ether"
+	"repro/internal/kernel"
 	"repro/internal/nic"
 	"repro/internal/proto"
+	"repro/internal/relwin"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // wireISR registers the receive interrupt handler for one adapter,
-// implementing both Fig. 8 variants.
+// implementing the Fig. 8 variants plus the NAPI-style poll rung.
 func (ep *Endpoint) wireISR(n *nic.NIC) {
+	if ep.Opt.RxMode == RxPoll {
+		ep.wirePollISR(n)
+		return
+	}
 	irq := ep.K.RegisterIRQ(fmt.Sprintf("clic%d:%s", ep.Node, n.Name), func(p *sim.Proc) {
 		frames := n.DrainCompleted()
 		if len(frames) == 0 {
@@ -66,6 +72,174 @@ func (ep *Endpoint) wireISR(n *nic.NIC) {
 	n.SetIRQ(irq.Raise)
 }
 
+// wirePollISR registers the adaptive poll receive path (RxPoll): the
+// first interrupt pays one slim ISR, masks the line and hands the
+// completion ring to a budgeted drain loop in softirq context; further
+// arrivals are picked up by polling at zero per-frame interrupt cost, and
+// the line is unmasked only once the ring has stayed empty for
+// PollIdleExit consecutive checks — so bulk load converges to zero
+// interrupts per frame while a sparse ping still gets interrupt latency.
+func (ep *Endpoint) wirePollISR(n *nic.NIC) {
+	polling := false
+	var irq *kernel.IRQ
+	irq = ep.K.RegisterIRQ(fmt.Sprintf("clic%d:%s", ep.Node, n.Name), func(p *sim.Proc) {
+		if polling || n.CompletedCount() == 0 {
+			return // poller already owns the ring / spurious dispatch
+		}
+		// The slim ISR does no per-frame work: acknowledge the device,
+		// mask the line, schedule the poller.
+		ep.K.Host.CPUWork(p, ep.M.Driver.RxDirect, sim.PriIRQ)
+		polling = true
+		irq.Mask()
+		ep.S.PollSessions.Inc()
+		ep.K.BottomHalf(func(bp *sim.Proc) {
+			ep.pollLoop(bp, n)
+			polling = false
+			if n.CompletedCount() == 0 {
+				// Raises absorbed during the session announced frames the
+				// loop already drained; replaying one now would only cost
+				// a spurious dispatch. A frame that lands after this check
+				// raises the (unmasked) line itself.
+				irq.ClearDeferred()
+			}
+			irq.Unmask()
+		})
+	})
+	n.SetIRQ(irq.Raise)
+}
+
+// pollLoop drains the adapter's completion ring in budgeted batches until
+// it stays empty for PollIdleExit consecutive checks. Each iteration
+// charges one PollCheck (the device-state read) and hands at most
+// PollBudget frames to GRO dispatch, so a single pass cannot monopolise
+// the CPU past its frame budget.
+func (ep *Endpoint) pollLoop(p *sim.Proc, n *nic.NIC) {
+	budget := ep.M.Driver.PollBudget
+	if budget <= 0 {
+		budget = 16
+	}
+	idleExit := ep.M.Driver.PollIdleExit
+	if idleExit <= 0 {
+		idleExit = 2
+	}
+	empty, drained, first := 0, 0, true
+	for empty < idleExit {
+		ep.K.Host.CPUWork(p, ep.M.Driver.PollCheck, sim.PriKernel)
+		frames := n.DrainBudget(budget)
+		if len(frames) == 0 {
+			empty++
+			first = false
+			// Load-adaptive exit: a session that only ever saw a single
+			// frame is a sparse arrival (a ping) — give up after two
+			// empty checks so the post-delivery spin stays off the reply
+			// path. Bulk sessions (multiple frames drained) hold the
+			// line masked across the full idle window, bridging the
+			// inter-frame gaps of line-rate traffic.
+			if drained <= 1 && empty >= 2 {
+				break
+			}
+			continue
+		}
+		empty = 0
+		drained += len(frames)
+		// The first batch was announced by the interrupt that opened this
+		// session; everything after it is picked up by pure polling.
+		stage := trace.StagePollEntry
+		if first {
+			stage = trace.StageISRPoll
+			first = false
+		}
+		t0 := p.Now()
+		for _, f := range frames {
+			f.Trace.Mark(stage, t0) //nolint:tracestage // ISR-poll vs poll-entry, both named constants chosen above
+			if f.FlightID != 0 {
+				ep.fr.Begin(ep.nodeName, f.FlightID, trace.SpanPoll, int64(t0))
+			}
+		}
+		ep.dispatchPolled(p, frames)
+		for _, f := range frames {
+			if f.FlightID != 0 {
+				ep.fr.End(ep.nodeName, f.FlightID, trace.SpanPoll, int64(p.Now()))
+			}
+		}
+	}
+}
+
+// dispatchPolled hands one drained batch to CLIC_MODULE, aggregating
+// GRO-style: adjacent in-order unicast data frames from the same source
+// enter through a single moduleRxBatch call (one header-walk charge, one
+// cumulative pass through the channel's ack machinery). Control frames,
+// broadcasts and singletons keep the per-frame path.
+func (ep *Endpoint) dispatchPolled(p *sim.Proc, frames []*ether.Frame) {
+	i := 0
+	for i < len(frames) {
+		f := frames[i]
+		hdr, payload, err := proto.DecodeHeader(f.Payload)
+		var src NodeID
+		known := false
+		if err == nil {
+			src, known = ep.nodeOf(f.Src)
+		}
+		if !known || f.Dst.IsBroadcast() || f.Dst.IsMulticast() || isControl(hdr.Type) {
+			ep.moduleRx(p, sim.PriKernel, f)
+			i++
+			continue
+		}
+		hdrs := []proto.Header{hdr}
+		payloads := [][]byte{payload}
+		j := i + 1
+		for j < len(frames) {
+			nf := frames[j]
+			if nf.Src != f.Src || nf.Dst.IsBroadcast() || nf.Dst.IsMulticast() {
+				break
+			}
+			nh, np, nerr := proto.DecodeHeader(nf.Payload)
+			if nerr != nil || isControl(nh.Type) || nh.Seq != hdrs[len(hdrs)-1].Seq+1 {
+				break
+			}
+			hdrs = append(hdrs, nh)
+			payloads = append(payloads, np)
+			j++
+		}
+		if len(hdrs) == 1 {
+			ep.moduleRx(p, sim.PriKernel, f)
+		} else {
+			ep.moduleRxBatch(p, sim.PriKernel, src, frames[i:j], hdrs, payloads)
+		}
+		i = j
+	}
+}
+
+// isControl reports whether a packet type is channel control traffic,
+// which is never aggregated (each ack/nack must reach its handler alone).
+func isControl(t proto.PacketType) bool {
+	return t == proto.TypeAck || t == proto.TypeNack || t == proto.TypeConfirm
+}
+
+// moduleRxBatch is moduleRx for a GRO run: the whole run pays a single
+// ModuleRecv charge (one header walk — the headers were already decoded
+// while forming the run) and takes one cumulative pass through the
+// resequencer/ack machinery instead of len(frames) of them.
+func (ep *Endpoint) moduleRxBatch(p *sim.Proc, pri int, src NodeID,
+	frames []*ether.Frame, hdrs []proto.Header, payloads [][]byte) {
+
+	r0 := p.Now()
+	ep.K.Host.CPUWork(p, ep.M.CLIC.ModuleRecv, pri)
+	in := make([]rxFrame, len(frames))
+	for i, f := range frames {
+		f.Trace.Mark(trace.StageModuleRx, p.Now())
+		if f.FlightID != 0 {
+			ep.fr.Span(ep.nodeName, f.FlightID, trace.SpanModuleRx, int64(r0), int64(p.Now()))
+		}
+		in[i] = rxFrame{hdr: hdrs[i], payload: payloads[i], frame: f}
+	}
+	ep.S.GROBatches.Inc()
+	ep.S.GROFrames.Addn(int64(len(frames)))
+	ep.fr.Point(ep.nodeName, frames[0].FlightID, trace.PointGROBatch,
+		int64(p.Now()), int64(len(frames)))
+	ep.rxDataBatch(p, pri, src, in)
+}
+
 // moduleRx is CLIC_MODULE's per-packet receive entry: check the type
 // information in the header and execute the function corresponding to the
 // type of packet received (§3.1).
@@ -112,73 +286,103 @@ func (ep *Endpoint) moduleRx(p *sim.Proc, pri int, f *ether.Frame) {
 // rxData runs a data-bearing frame through the reliable channel from src.
 func (ep *Endpoint) rxData(p *sim.Proc, pri int, src NodeID,
 	hdr proto.Header, payload []byte, f *ether.Frame) {
+	ep.rxDataBatch(p, pri, src, []rxFrame{{hdr: hdr, payload: payload, frame: f}})
+}
 
-	// Receiver-side flow control: when kernel buffering is exhausted,
-	// refuse the frame before it enters the window; the sender's
-	// retransmission recovers once Recv calls drain the backlog.
-	if ep.sysBufUsed >= ep.M.CLIC.SysBufBytes {
-		ep.S.SysBufDrops.Inc()
-		if f.FlightID != 0 {
-			ep.fr.Point(ep.nodeName, f.FlightID, trace.PointDrop, int64(p.Now()), int64(len(payload)))
-		}
-		return
-	}
-
-	rc := ep.rxChanFor(src)
-	delivered, accepted := rc.reseq.Accept(hdr.Seq, rxFrame{hdr: hdr, payload: payload, frame: f})
-	if !accepted {
-		// Duplicate (a retransmission overlap): re-acknowledge so the
-		// sender's window advances even if the original ack was lost.
-		ep.sendAck(p, pri, rc)
-		return
-	}
-	if len(delivered) == 0 {
-		// The frame parked out of order: a frame ahead of it is missing.
-		// Arm the gap-persistence timer; benign reordering (bonded links)
-		// fills the gap in microseconds and cancels it, while a real loss
-		// survives to trigger a NACK — far sooner than the sender's
-		// retransmission timeout (fast retransmit).
-		if ep.M.CLIC.FastRetransmit && rc.nackTimer == nil {
-			rc.nackTimer = ep.K.Host.Eng.After(ep.M.CLIC.NackDelay, "clic:nack",
-				func() {
-					rc.nackTimer = nil
-					if rc.reseq.Buffered() > 0 {
-						ep.ackQ.Put(ackReq{rc: rc, nack: true})
-					}
-				})
-		}
-		return
-	}
-	rc.lastProgress = p.Now() // delivered > 0: the cumulative point advanced
-	if rc.nackTimer != nil && rc.reseq.Buffered() == 0 {
-		// The gap filled by itself: plain reordering, not loss.
-		rc.nackTimer.Cancel()
-		rc.nackTimer = nil
-	}
-	confirm := false
-	for _, rf := range delivered {
-		first := rf.hdr.Flags&proto.FlagFirst != 0
-		msg := rc.asm.add(src, rf)
-		if first {
-			pt := ep.portState(rc.asm.port)
-			rc.asm.precopy = rc.asm.typ == proto.TypeData && len(pt.waiters) > 0
-		}
-		if rc.asm.precopy {
-			// Receiver already posted: move this packet to user memory
-			// now, overlapping the copy with reception of the rest.
-			ep.K.Host.Memcpy(p, len(rf.payload), pri)
-		}
-		if msg != nil {
-			if rc.asm.flags&proto.FlagConfirm != 0 {
-				confirm = true
+// rxDataBatch runs one or more data-bearing frames from the same source
+// through the reliable channel. The per-frame admission work (flow
+// control, resequencer accept, delivery) still happens per frame, but the
+// tail — progress stamp, ack stride/delayed-ack decision, confirmations —
+// runs once for the whole batch, which is the cumulative-advance half of
+// the GRO aggregation win.
+func (ep *Endpoint) rxDataBatch(p *sim.Proc, pri int, src NodeID, in []rxFrame) {
+	var rc *rxChan
+	totalDelivered := 0
+	reack := false
+	var confirms []relwin.Seq
+	for _, rf := range in {
+		// Receiver-side flow control: when kernel buffering is exhausted,
+		// refuse the frame before it enters the window; the sender's
+		// retransmission recovers once Recv calls drain the backlog.
+		if ep.sysBufUsed >= ep.M.CLIC.SysBufBytes {
+			ep.S.SysBufDrops.Inc()
+			if rf.frame.FlightID != 0 {
+				ep.fr.Point(ep.nodeName, rf.frame.FlightID, trace.PointDrop,
+					int64(p.Now()), int64(len(rf.payload)))
 			}
-			ep.deliverMessage2(p, pri, msg, rf.frame, rc.asm.precopy)
+			continue
+		}
+		if rc == nil {
+			rc = ep.rxChanFor(src)
+		}
+		delivered, accepted := rc.reseq.Accept(rf.hdr.Seq, rf)
+		if !accepted {
+			// Duplicate (a retransmission overlap): re-acknowledge so the
+			// sender's window advances even if the original ack was lost.
+			reack = true
+			continue
+		}
+		if len(delivered) == 0 {
+			// The frame parked out of order: a frame ahead of it is missing.
+			// Arm the gap-persistence timer; benign reordering (bonded links)
+			// fills the gap in microseconds and cancels it, while a real loss
+			// survives to trigger a NACK — far sooner than the sender's
+			// retransmission timeout (fast retransmit).
+			if ep.M.CLIC.FastRetransmit && rc.nackTimer == nil {
+				rc.nackTimer = ep.K.Host.Eng.After(ep.M.CLIC.NackDelay, "clic:nack",
+					func() {
+						rc.nackTimer = nil
+						if rc.reseq.Buffered() > 0 {
+							ep.ackQ.Put(ackReq{rc: rc, nack: true})
+						}
+					})
+			}
+			continue
+		}
+		totalDelivered += len(delivered)
+		for _, df := range delivered {
+			first := df.hdr.Flags&proto.FlagFirst != 0
+			msg := rc.asm.add(src, df)
+			if first {
+				pt := ep.portState(rc.asm.port)
+				rc.asm.precopy = rc.asm.typ == proto.TypeData && len(pt.waiters) > 0
+			}
+			if rc.asm.precopy && len(ep.portState(rc.asm.port).waiters) == 0 {
+				// The posted receiver withdrew mid-message (RecvTimeout):
+				// stop paying the per-fragment copy, or the message parks
+				// in system memory and Recv pays the full copy again.
+				rc.asm.precopy = false
+			}
+			if rc.asm.precopy {
+				// Receiver already posted: move this packet to user memory
+				// now, overlapping the copy with reception of the rest.
+				ep.K.Host.Memcpy(p, len(df.payload), pri)
+			}
+			if msg != nil {
+				if rc.asm.flags&proto.FlagConfirm != 0 {
+					confirms = append(confirms, rc.asm.lastSeq)
+				}
+				ep.deliverMessage2(p, pri, msg, df.frame, rc.asm.precopy)
+			}
 		}
 	}
-	rc.sinceAck += len(delivered)
-	if rc.sinceAck >= ep.M.CLIC.AckEvery {
+	if rc == nil {
+		return // every frame was refused by flow control
+	}
+	if totalDelivered > 0 {
+		rc.lastProgress = p.Now() // the cumulative point advanced
+		if rc.nackTimer != nil && rc.reseq.Buffered() == 0 {
+			// The gap filled by itself: plain reordering, not loss.
+			rc.nackTimer.Cancel()
+			rc.nackTimer = nil
+		}
+	}
+	rc.sinceAck += totalDelivered
+	if reack || rc.sinceAck >= ep.M.CLIC.AckEvery {
 		// Strided cumulative ack: one internal packet per AckEvery
-		// frames keeps the sender's window turning during bulk traffic.
+		// frames keeps the sender's window turning during bulk traffic
+		// (and a duplicate is re-acknowledged so the sender's window
+		// advances even if the original ack was lost).
 		ep.sendAck(p, pri, rc)
 	} else if rc.sinceAck > 0 && rc.ackTimer == nil {
 		// Delayed ack: a sparse exchange (e.g. one request) is
@@ -192,8 +396,8 @@ func (ep *Endpoint) rxData(p *sim.Proc, pri int, src NodeID,
 				}
 			})
 	}
-	if confirm {
-		ep.sendControl(p, pri, src, proto.TypeConfirm, rc.asm.lastSeq, 0, 0)
+	for _, seq := range confirms {
+		ep.sendControl(p, pri, src, proto.TypeConfirm, seq, 0, 0)
 	}
 }
 

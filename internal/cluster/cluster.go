@@ -121,6 +121,7 @@ func New(cfg Config) *Cluster {
 		host.Tel = c.Tel
 		host.FR = cfg.Flight
 		host.HL = cfg.Health
+		host.Instrument()
 		node := &Node{
 			ID:     id,
 			Host:   host,

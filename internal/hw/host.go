@@ -61,6 +61,11 @@ type Host struct {
 	// copies cost bandwidth even when the CPU is otherwise idle.
 	// Lock order: CPU → PCI → MemBus, always.
 	MemBus *sim.Resource
+
+	// MemcpyBytes counts every byte moved by Memcpy — the observable that
+	// exposes double-charged copies (a message copied to user memory once
+	// should add its size here once). Registered by Instrument.
+	MemcpyBytes telemetry.Counter
 }
 
 // NewHost creates a host with its CPU(s) and PCI bus.
@@ -78,6 +83,14 @@ func NewHost(eng *sim.Engine, name string, m *model.Params) *Host {
 		PCI:    sim.NewResource(name+":pci", 1),
 		MemBus: sim.NewResource(name+":membus", 1),
 	}
+}
+
+// Instrument registers the host's own metrics into its current registry.
+// Called after cluster.New swaps in the shared cluster registry (the
+// counters work unregistered too — registration only affects export).
+func (h *Host) Instrument() {
+	h.Tel.RegisterCounter("host_memcpy_bytes_total", "bytes moved by CPU memory copies",
+		&h.MemcpyBytes, telemetry.L("node", h.Name))
 }
 
 // CPUWork charges d nanoseconds of CPU at the given priority.
@@ -101,6 +114,7 @@ const copyChunk = 64 << 10
 // granularity, so a copy does not block a DMA for its whole duration —
 // only for its share of bus cycles).
 func (h *Host) Memcpy(p *sim.Proc, n int, pri int) {
+	h.MemcpyBytes.Addn(int64(n))
 	for n > 0 {
 		chunk := n
 		if chunk > copyChunk {

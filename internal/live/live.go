@@ -200,6 +200,11 @@ type Node struct {
 	poolAllocs       telemetry.Counter
 	rxBursts         telemetry.Counter
 	rxBurstFrames    telemetry.Counter
+	rxPolls          telemetry.Counter
+	rxPollEmpty      telemetry.Counter
+	rxAggRuns        telemetry.Counter
+	rxAggFrames      telemetry.Counter
+	portDrops        telemetry.Counter
 	ackLatency       *telemetry.Histogram
 
 	// fr is the optional flight recorder (nil disables); nodeName labels
@@ -280,6 +285,11 @@ func NewNode(id int, cfg Config) (*Node, error) {
 	n.tel.RegisterCounter("live_pool_allocs_total", "frame buffers newly allocated on pool miss", &n.poolAllocs, node)
 	n.tel.RegisterCounter("live_rx_bursts_total", "receive wakeups, each draining a burst of one or more datagrams", &n.rxBursts, node)
 	n.tel.RegisterCounter("live_rx_burst_frames_total", "datagrams drained by burst receives", &n.rxBurstFrames, node)
+	n.tel.RegisterCounter("live_rx_polls_total", "non-blocking poll probes that drained datagrams (adaptive poll rung)", &n.rxPolls, node)
+	n.tel.RegisterCounter("live_rx_poll_empty_total", "non-blocking poll probes that found the socket empty", &n.rxPollEmpty, node)
+	n.tel.RegisterCounter("live_rx_agg_runs_total", "aggregated same-peer data runs dispatched under one lock hold", &n.rxAggRuns, node)
+	n.tel.RegisterCounter("live_rx_agg_frames_total", "datagrams carried by aggregated same-peer runs", &n.rxAggFrames, node)
+	n.tel.RegisterCounter("live_port_drops_total", "completed messages dropped because the port queue was full", &n.portDrops, node)
 	n.ackLatency = n.tel.Histogram("live_ack_latency_ns",
 		"datagram push to cumulative-ack latency, wall-clock ns",
 		telemetry.DefLatencyBuckets(), node)

@@ -3,6 +3,7 @@ package live
 import (
 	"encoding/binary"
 	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -81,7 +82,7 @@ func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 			if rc.asm.flags&proto.FlagConfirm != 0 {
 				rc.confirms = append(rc.confirms, rc.asm.lastSeq)
 			}
-			n.deliver(rc.src, rc.asm.port, rc.asm.typ, view, owned)
+			n.deliver(rc.src, rc.asm.port, rc.asm.typ, rc.asm.lastSeq, view, owned)
 		}
 		if d.fb != nil {
 			d.fb.retained = false
@@ -91,12 +92,38 @@ func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 	return rc
 }
 
+// rxPollIdleExit is how many consecutive empty non-blocking probes the
+// poll rung tolerates before falling back to a blocking read. Two
+// probes with a scheduler yield between them bridge the gap a sender
+// needs to stage its next burst; anything longer just burns the core.
+const rxPollIdleExit = 2
+
+// burstScratch is the rxLoop's per-burst decode state: headers and
+// payload views for every datagram of the current batch, predecoded in
+// one pass so the dispatch pass can aggregate adjacent same-peer runs.
+// Owned by the rxLoop goroutine; the payload views alias the reader's
+// resident buffers and live only until the next read.
+type burstScratch struct {
+	hdrs     [rxBatchSize]proto.Header
+	payloads [rxBatchSize][]byte
+	srcs     [rxBatchSize]int
+	data     [rxBatchSize]bool // decoded, from a registered peer, data-bearing
+}
+
 // rxLoop reads datagram bursts and runs them through the receive path —
-// the live analogue of the driver ISR + CLIC_MODULE, with the paper's
-// interrupt coalescing: each wakeup drains up to a full batch (recvmmsg
-// on Linux), and ack decisions are deferred to the end of the burst so
-// a burst of data frames answers with one cumulative ack, not one per
-// frame.
+// the live analogue of the driver ISR + CLIC_MODULE, climbing the
+// paper's RX ladder with offered load:
+//
+//   - Idle and sparse traffic block in the poller: one wakeup per
+//     burst, the interrupt-coalescing rung (recvmmsg on Linux).
+//   - A full burst (cnt == rxBatchSize) signals line-rate traffic: the
+//     loop shifts to non-blocking tryReadBatch probes — the NAPI rung,
+//     where the receiver owns the schedule and wakeups cost nothing —
+//     until rxPollIdleExit consecutive probes come back empty.
+//   - Within each burst, adjacent data datagrams from the same peer
+//     are dispatched as one run under a single channel-lock hold (the
+//     GRO rung), and ack decisions are deferred to burst end so a
+//     burst answers with one cumulative ack, not one per frame.
 func (n *Node) rxLoop() {
 	defer n.wg.Done()
 	br, err := newBatchReader(n.conn)
@@ -104,76 +131,138 @@ func (n *Node) rxLoop() {
 		return
 	}
 	var touched []*liveRxChan // channels with pending ack decisions; reused across bursts
+	var sc burstScratch
+	polling := false
+	idle := 0
 	for {
-		cnt, err := br.readBatch()
+		var cnt int
+		var err error
+		if polling {
+			cnt, err = br.tryReadBatch()
+		} else {
+			cnt, err = br.readBatch()
+		}
 		if err != nil {
 			return // socket closed
+		}
+		if cnt == 0 {
+			// Empty probe (poll rung only): yield the core and try again;
+			// after rxPollIdleExit misses, park in the poller.
+			n.rxPollEmpty.Inc()
+			if idle++; idle >= rxPollIdleExit {
+				polling = false
+				idle = 0
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if polling {
+			n.rxPolls.Inc()
+		}
+		idle = 0
+		if rxBatchSize > 1 && cnt == rxBatchSize {
+			// The batch came back full: the socket queue is likely still
+			// non-empty, so stay (or enter) the poll rung.
+			polling = true
 		}
 		n.socketReads.Addn(int64(cnt))
 		n.rxBursts.Inc()
 		n.rxBurstFrames.Addn(int64(cnt))
-		for i := 0; i < cnt; i++ {
-			dgram, from := br.datagram(i)
-			touched = n.handleDatagram(dgram, from, touched)
-		}
+		touched = n.dispatchBurst(br, cnt, &sc, touched)
 		touched = n.flushAcks(touched)
 	}
 }
 
-// handleDatagram dispatches one datagram. Control frames (acks,
-// confirmations) are decoded and consumed entirely in place — no copy,
-// no retention. Data frames run the resequencer under the channel lock;
-// the channel is added to touched for the burst-end ack flush.
-func (n *Node) handleDatagram(dgram []byte, from netip.AddrPort, touched []*liveRxChan) []*liveRxChan {
-	hdr, payload, err := proto.DecodeHeader(dgram)
-	if err != nil {
-		return touched // runt datagram
-	}
-	n.framesRecv.Inc()
-	n.pmu.RLock()
-	src, ok := n.peerIDs[from]
-	n.pmu.RUnlock()
-	if !ok {
-		return touched // not from a registered peer
-	}
-	switch hdr.Type {
-	case proto.TypeAck:
+// dispatchBurst decodes a burst and dispatches it: control frames are
+// consumed in place, and maximal runs of adjacent data datagrams from
+// the same peer go through onDataRun under one channel-lock hold.
+func (n *Node) dispatchBurst(br *batchReader, cnt int, sc *burstScratch, touched []*liveRxChan) []*liveRxChan {
+	for i := 0; i < cnt; i++ {
+		sc.data[i] = false
+		dgram, from := br.datagram(i)
+		hdr, payload, err := proto.DecodeHeader(dgram)
+		if err != nil {
+			continue // runt datagram
+		}
+		n.framesRecv.Inc()
 		n.pmu.RLock()
-		tc := n.tx[src]
+		src, ok := n.peerIDs[from]
 		n.pmu.RUnlock()
-		if tc != nil {
-			n.onAck(tc, hdr.Seq)
+		if !ok {
+			continue // not from a registered peer
 		}
-	case proto.TypeConfirm:
-		key := confirmKey{peer: src, seq: hdr.Seq}
-		n.cmu.Lock()
-		if ch, ok := n.confirm[key]; ok {
-			delete(n.confirm, key)
-			ch <- nil
+		switch hdr.Type {
+		case proto.TypeAck:
+			// Control frames are decoded and consumed entirely in place —
+			// no copy, no retention, no effect on data-run adjacency
+			// beyond splitting the run at their position.
+			n.pmu.RLock()
+			tc := n.tx[src]
+			n.pmu.RUnlock()
+			if tc != nil {
+				n.onAck(tc, hdr.Seq)
+			}
+		case proto.TypeConfirm:
+			key := confirmKey{peer: src, seq: hdr.Seq}
+			n.cmu.Lock()
+			if ch, ok := n.confirm[key]; ok {
+				delete(n.confirm, key)
+				ch <- nil
+			}
+			n.cmu.Unlock()
+		default:
+			sc.hdrs[i], sc.payloads[i], sc.srcs[i], sc.data[i] = hdr, payload, src, true
 		}
-		n.cmu.Unlock()
-	default:
-		rc := n.rxFor(src)
-		rc.mu.Lock()
-		if !rc.inBurst {
-			rc.inBurst = true
-			touched = append(touched, rc)
+	}
+	for i := 0; i < cnt; {
+		if !sc.data[i] {
+			i++
+			continue
 		}
+		j := i + 1
+		for j < cnt && sc.data[j] && sc.srcs[j] == sc.srcs[i] {
+			j++
+		}
+		touched = n.onDataRun(sc.srcs[i], sc.hdrs[i:j], sc.payloads[i:j], touched)
+		i = j
+	}
+	return touched
+}
+
+// onDataRun runs an adjacent same-peer run of data datagrams through
+// the reliable channel under a single lock hold — the live analogue of
+// GRO: at line rate a full burst is usually one peer's window stride,
+// and taking the channel lock (and the flight/resequencer bookkeeping
+// around it) once per run instead of once per frame keeps per-frame
+// cost flat as bursts deepen.
+func (n *Node) onDataRun(src int, hdrs []proto.Header, payloads [][]byte, touched []*liveRxChan) []*liveRxChan {
+	rc := n.rxFor(src)
+	rc.mu.Lock()
+	if !rc.inBurst {
+		rc.inBurst = true
+		touched = append(touched, rc)
+	}
+	if len(hdrs) > 1 {
+		n.rxAggRuns.Inc()
+		n.rxAggFrames.Addn(int64(len(hdrs)))
+	}
+	for k := range hdrs {
 		if n.fr != nil {
 			// Close the wire span the sender opened — the id derives from
 			// (sender, sequence) identically on both ends — and wrap the
 			// protocol processing in a module-rx span.
-			fid := flight.FrameID(src, hdr.Seq)
+			fid := flight.FrameID(src, hdrs[k].Seq)
 			n.fr.End(n.nodeName, fid, trace.SpanWire, time.Now().UnixNano())
 			r0 := time.Now()
-			n.onData(rc, hdr, payload)
+			n.onData(rc, hdrs[k], payloads[k])
 			n.fr.Span(n.nodeName, fid, trace.SpanModuleRx,
 				r0.UnixNano(), time.Now().UnixNano())
 		} else {
-			n.onData(rc, hdr, payload)
+			n.onData(rc, hdrs[k], payloads[k])
 		}
-		rc.mu.Unlock()
 	}
+	rc.mu.Unlock()
 	return touched
 }
 
@@ -349,15 +438,22 @@ func (a *liveAsm) add(d rxDatagram) (view []byte, owned, done bool) {
 // actually be enqueued. Called from the rxLoop goroutine only — which
 // is what makes the occupancy check sound: no other goroutine sends on
 // port channels, so a non-full channel cannot become full under us.
-func (n *Node) deliver(src int, port uint16, typ proto.PacketType, view []byte, owned bool) {
+// seq is the message's closing sequence number, carried for drop
+// attribution only.
+func (n *Node) deliver(src int, port uint16, typ proto.PacketType, seq relwin.Seq, view []byte, owned bool) {
 	if typ == proto.TypeRemoteWrite {
 		n.remoteWrite(port, view)
 		return
 	}
 	ch := n.portChan(port)
 	if len(ch) == cap(ch) {
-		// Port queue full: the kernel-buffer analogue overran; this is
-		// an application-level overrun, dropped here — before the copy.
+		// Port queue full: the kernel-buffer analogue overran; this is an
+		// application-level overrun, dropped here — before the copy. The
+		// drop used to be silent, which made a slow consumer look like
+		// wire loss with no counter movement anywhere; count it and log
+		// it (health.Log rate-limits, so a wedged consumer cannot flood).
+		n.portDrops.Inc()
+		n.hl.Warn("port_drop", src, seq, int64(port))
 		return
 	}
 	data := view

@@ -7,6 +7,12 @@ import (
 	"net/netip"
 )
 
+// rxBatchSize is 1 on the portable path: without recvmmsg every wakeup
+// yields a single datagram, so a "full burst" carries no load signal
+// and the adaptive rxLoop never enters its poll rung (it requires
+// rxBatchSize > 1).
+const rxBatchSize = 1
+
 // batchReader is the portable receive path: one datagram per wakeup via
 // the net package (itself allocation-free with ReadFromUDPAddrPort).
 // The Linux build replaces this with a recvmmsg burst reader; the rest
@@ -31,6 +37,14 @@ func (r *batchReader) readBatch() (int, error) {
 	r.n = n
 	r.from = canonAddrPort(from)
 	return 1, nil
+}
+
+// tryReadBatch is the non-blocking poll probe; the portable path has no
+// cheap non-blocking read, so it always reports an empty batch and the
+// rxLoop's poll rung (never entered with rxBatchSize == 1) would fall
+// straight back to blocking reads.
+func (r *batchReader) tryReadBatch() (int, error) {
+	return 0, nil
 }
 
 // datagram returns the i'th datagram of the current batch and its

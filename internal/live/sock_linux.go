@@ -38,9 +38,13 @@ type batchReader struct {
 	froms  [rxBatchSize]netip.AddrPort
 	lens   [rxBatchSize]int
 
-	// readFn is the persistent poller callback (a per-call closure would
-	// allocate on every wakeup); it reports through count/errno.
+	// readFn/tryFn are the persistent poller callbacks (per-call
+	// closures would allocate on every wakeup); both report through
+	// count/errno. readFn parks in the poller on EAGAIN; tryFn reports
+	// an empty batch instead, so the adaptive poll rung can spin
+	// without ever sleeping in the kernel.
 	readFn func(uintptr) bool
+	tryFn  func(uintptr) bool
 	count  int
 	errno  syscall.Errno
 }
@@ -78,24 +82,42 @@ func newBatchReader(conn *net.UDPConn) (*batchReader, error) {
 			}
 		}
 	}
+	r.tryFn = func(fd uintptr) bool {
+		for {
+			nn, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&r.msgs[0])), rxBatchSize,
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				r.count, r.errno = int(nn), 0
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				// Empty ring: report a zero-datagram batch instead of
+				// parking, so the caller keeps ownership of the schedule.
+				r.count, r.errno = 0, 0
+				return true
+			default:
+				r.count, r.errno = 0, errno
+				return true
+			}
+		}
+	}
 	return r, nil
 }
 
-// readBatch blocks until at least one datagram is queued and drains up
-// to rxBatchSize of them in a single recvmmsg — the interrupt-
-// coalescing analogue: one wakeup, one syscall, a burst of frames.
-func (r *batchReader) readBatch() (int, error) {
+// prep resets the value-result msg_namelen fields the kernel shrank on
+// the previous batch.
+func (r *batchReader) prep() {
 	for i := range r.msgs {
-		// msg_namelen is value-result: the kernel shrank it to the
-		// actual sockaddr size on the previous batch.
 		r.msgs[i].hdr.Namelen = uint32(unsafe.Sizeof(r.names[0]))
 	}
-	if err := r.rc.Read(r.readFn); err != nil {
-		return 0, err // socket closed
-	}
-	if r.errno != 0 {
-		return 0, r.errno
-	}
+}
+
+// decode extracts per-datagram lengths and source addresses after a
+// successful recvmmsg.
+func (r *batchReader) decode() {
 	for i := 0; i < r.count; i++ {
 		r.lens[i] = int(r.msgs[i].len)
 		sa := &r.names[i]
@@ -104,6 +126,38 @@ func (r *batchReader) readBatch() (int, error) {
 		r.froms[i] = netip.AddrPortFrom(netip.AddrFrom4(sa.Addr),
 			uint16(pb[0])<<8|uint16(pb[1]))
 	}
+}
+
+// readBatch blocks until at least one datagram is queued and drains up
+// to rxBatchSize of them in a single recvmmsg — the interrupt-
+// coalescing analogue: one wakeup, one syscall, a burst of frames.
+func (r *batchReader) readBatch() (int, error) {
+	r.prep()
+	if err := r.rc.Read(r.readFn); err != nil {
+		return 0, err // socket closed
+	}
+	if r.errno != 0 {
+		return 0, r.errno
+	}
+	r.decode()
+	return r.count, nil
+}
+
+// tryReadBatch drains up to rxBatchSize queued datagrams without
+// blocking: an empty socket returns (0, nil) immediately instead of
+// parking in the poller. This is the poll rung of the adaptive receive
+// ladder — after a full burst the rxLoop assumes more traffic is in
+// flight and keeps draining on its own schedule, the way the NAPI
+// driver polls the ring with its interrupt line masked.
+func (r *batchReader) tryReadBatch() (int, error) {
+	r.prep()
+	if err := r.rc.Read(r.tryFn); err != nil {
+		return 0, err // socket closed
+	}
+	if r.errno != 0 {
+		return 0, r.errno
+	}
+	r.decode()
 	return r.count, nil
 }
 

@@ -7,6 +7,7 @@ package nic
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ether"
 	"repro/internal/hw"
@@ -65,7 +66,7 @@ type NIC struct {
 	TxFree *sim.Signal
 
 	fragSeq uint64
-	fragBuf map[uint64][]*ether.Frame
+	fragBuf map[fragKey]*fragEntry
 
 	// Counters, registered in the host's telemetry registry under
 	// nic_* with node/nic labels.
@@ -77,6 +78,26 @@ type NIC struct {
 	RxOversize   telemetry.Counter
 	IRQsFired    telemetry.Counter
 	IRQCoalesced telemetry.Counter // frames whose interrupt was deferred into a coalescing window
+
+	// RxReasmEvictions counts partial offload reassemblies discarded
+	// because a missing fragment never arrived within FragTimeout.
+	RxReasmEvictions telemetry.Counter
+}
+
+// fragKey identifies one in-progress offload reassembly. Keying by the
+// sender's MAC as well as the fragment id is what keeps two offload
+// senders' interleaved fragment streams apart: fragment ids are only
+// unique per transmitting adapter.
+type fragKey struct {
+	src ether.MAC
+	id  uint64
+}
+
+// fragEntry is one partial reassembly: the fragments seen so far plus
+// the arrival time of the first, which starts the eviction clock.
+type fragEntry struct {
+	parts   []*ether.Frame
+	firstAt sim.Time
 }
 
 // New creates an adapter on host with the given MAC, attached to the A
@@ -94,7 +115,7 @@ func New(h *hw.Host, name string, mac ether.MAC, p model.NIC, link *ether.Link) 
 		rxQ:       sim.NewQueue[*ether.Frame](name + ":rxq"),
 		TxFree:    sim.NewSignal(name + ":txfree"),
 		lastIRQ:   -1 << 60,
-		fragBuf:   map[uint64][]*ether.Frame{},
+		fragBuf:   map[fragKey]*fragEntry{},
 	}
 	link.AttachA(n)
 	labels := []telemetry.Label{telemetry.L("node", h.Name), telemetry.L("nic", name)}
@@ -106,6 +127,7 @@ func New(h *hw.Host, name string, mac ether.MAC, p model.NIC, link *ether.Link) 
 	h.Tel.RegisterCounter("nic_rx_oversize_total", "giant frames discarded at the MAC", &n.RxOversize, labels...)
 	h.Tel.RegisterCounter("nic_irqs_total", "interrupts raised to the kernel", &n.IRQsFired, labels...)
 	h.Tel.RegisterCounter("nic_irqs_coalesced_total", "frame arrivals absorbed into a coalescing window instead of raising an interrupt", &n.IRQCoalesced, labels...)
+	h.Tel.RegisterCounter("nic_rx_reassembly_evictions_total", "partial offload reassemblies evicted after FragTimeout", &n.RxReasmEvictions, labels...)
 	h.Tel.GaugeFunc("nic_rx_ring_used", "receive-ring slots holding undrained frames",
 		func() float64 { return float64(n.rxRingUsed) }, labels...)
 	h.Tel.GaugeFunc("nic_tx_ring_inflight", "transmit-ring descriptors awaiting DMA completion",
@@ -271,7 +293,7 @@ func (n *NIC) rxEngine(p *sim.Proc) {
 		f := n.rxQ.Get(p)
 		p.Sleep(n.P.ProcessFrame)
 		if f.FragTotal > 1 {
-			if full := n.reassemble(f); full != nil {
+			if full := n.reassemble(p, f); full != nil {
 				n.dmaToHost(p, full)
 			}
 			continue
@@ -280,24 +302,57 @@ func (n *NIC) rxEngine(p *sim.Proc) {
 	}
 }
 
+// fragTimeout returns the eviction deadline for a partial reassembly.
+func (n *NIC) fragTimeout() sim.Time {
+	if n.P.FragTimeout > 0 {
+		return n.P.FragTimeout
+	}
+	return 5 * sim.Millisecond
+}
+
 // reassemble implements the offload's receive half ("it also assembles
 // the received packets to build the packet that has to be sent to the
 // application", §2). It returns the rebuilt super-frame once every
-// fragment is present, else nil.
-func (n *NIC) reassemble(f *ether.Frame) *ether.Frame {
-	parts := append(n.fragBuf[f.FragID], f)
-	if len(parts) < f.FragTotal {
-		n.fragBuf[f.FragID] = parts
+// fragment is present, else nil. Reassemblies are keyed by (Src, FragID)
+// so interleaved fragment streams from different senders stay apart, and
+// a partial entry whose missing fragment never arrives is evicted after
+// FragTimeout instead of leaking until the sim ends.
+func (n *NIC) reassemble(p *sim.Proc, f *ether.Frame) *ether.Frame {
+	key := fragKey{src: f.Src, id: f.FragID}
+	e := n.fragBuf[key]
+	if e == nil {
+		e = &fragEntry{firstAt: p.Now()}
+		n.fragBuf[key] = e
+		p.Engine().After(n.fragTimeout(), n.Name+":reasm-evict", func() {
+			// Identity check: a later reassembly may reuse the key after
+			// this one completed; evict only the entry we armed for.
+			if n.fragBuf[key] == e {
+				delete(n.fragBuf, key)
+				n.RxReasmEvictions.Inc()
+			}
+		})
+	}
+	for _, part := range e.parts {
+		if part.FragIdx == f.FragIdx {
+			return nil // duplicate fragment (switch flooding, replay)
+		}
+	}
+	e.parts = append(e.parts, f)
+	if len(e.parts) < f.FragTotal {
 		return nil
 	}
-	delete(n.fragBuf, f.FragID)
+	delete(n.fragBuf, key)
+	// Offsets come from the cumulative sizes of the sender's fragments,
+	// not this adapter's MTU stride: with asymmetric MTUs the sender's
+	// cut points are what determine where each piece belongs.
+	sort.Slice(e.parts, func(i, j int) bool { return e.parts[i].FragIdx < e.parts[j].FragIdx })
 	size := 0
-	for _, part := range parts {
+	for _, part := range e.parts {
 		size += len(part.Payload)
 	}
-	payload := make([]byte, size)
-	for _, part := range parts {
-		copy(payload[part.FragIdx*n.P.MTU:], part.Payload)
+	payload := make([]byte, 0, size)
+	for _, part := range e.parts {
+		payload = append(payload, part.Payload...)
 	}
 	return &ether.Frame{Dst: f.Dst, Src: f.Src, Type: f.Type, Payload: payload}
 }
@@ -369,3 +424,20 @@ func (n *NIC) DrainCompleted() []*ether.Frame {
 	n.rxRingUsed -= len(out)
 	return out
 }
+
+// DrainBudget hands back at most max completed frames, freeing their ring
+// slots. The NAPI-style poll loop uses it so one drain iteration cannot
+// monopolise the CPU past its frame budget.
+func (n *NIC) DrainBudget(max int) []*ether.Frame {
+	if max <= 0 || max >= len(n.completed) {
+		return n.DrainCompleted()
+	}
+	out := n.completed[:max:max]
+	n.completed = n.completed[max:]
+	n.rxRingUsed -= len(out)
+	return out
+}
+
+// CompletedCount reports how many DMA'd frames await draining — the poll
+// ISR's cheap spurious-interrupt check.
+func (n *NIC) CompletedCount() int { return len(n.completed) }

@@ -220,3 +220,127 @@ func TestTxRingCapacity(t *testing.T) {
 		t.Errorf("transmitted %d frames, want 6 (ring back-pressure must not lose)", a.TxFrames.Value())
 	}
 }
+
+// TestFragInterleavedSendersKeepStreamsApart: two offload senders share
+// the receiver, and both start their fragment-id counters at 1 — so the
+// receiver sees two interleaved fragment streams with COLLIDING FragIDs.
+// Reassembly keyed by fragment id alone would weld the streams into one
+// corrupted super-frame; keying by (Src, FragID) keeps them apart.
+func TestFragInterleavedSendersKeepStreamsApart(t *testing.T) {
+	eng := sim.NewEngine(1)
+	params := model.Default()
+	params.NIC.FragOffload = true
+	params.NIC.FragOffloadMax = 16000
+	params.NIC.BufferBytes = 64 << 10
+	hA := hw.NewHost(eng, "a", &params)
+	hC := hw.NewHost(eng, "c", &params)
+	hR := hw.NewHost(eng, "r", &params)
+	linkA := ether.NewLink(eng, "la", params.Link.BitsPerSec, params.Link.PropagationDelay)
+	linkC := ether.NewLink(eng, "lc", params.Link.BitsPerSec, params.Link.PropagationDelay)
+	linkR := ether.NewLink(eng, "lr", params.Link.BitsPerSec, params.Link.PropagationDelay)
+	nicA := nic.New(hA, "a:eth0", ether.NodeMAC(0, 0), params.NIC, linkA)
+	nicC := nic.New(hC, "c:eth0", ether.NodeMAC(2, 0), params.NIC, linkC)
+	nicR := nic.New(hR, "r:eth0", ether.NodeMAC(1, 0), params.NIC, linkR)
+	linkA.AttachB(nicR)
+	linkC.AttachB(nicR)
+	nicA.SetIRQ(func() {})
+	nicC.SetIRQ(func() {})
+	nicR.SetIRQ(func() {})
+	payloadA := make([]byte, 10_000)
+	payloadC := make([]byte, 10_000)
+	for i := range payloadA {
+		payloadA[i] = byte(i*3 + 1)
+		payloadC[i] = byte(i*7 + 5)
+	}
+	for _, tx := range []struct {
+		n   *nic.NIC
+		pay []byte
+	}{{nicA, payloadA}, {nicC, payloadC}} {
+		tx := tx
+		eng.Go(tx.n.Name+":tx", func(p *sim.Proc) {
+			tx.n.PostTx(p, sim.PriKernel, &nic.TxReq{
+				Frame: &ether.Frame{Src: tx.n.MAC, Dst: nicR.MAC, Payload: tx.pay},
+				Mode:  nic.TxDMA,
+			})
+		})
+	}
+	eng.Run()
+	got := nicR.DrainCompleted()
+	if len(got) != 2 {
+		t.Fatalf("receiver saw %d super-frames, want 2", len(got))
+	}
+	for _, f := range got {
+		want := payloadA
+		if f.Src == nicC.MAC {
+			want = payloadC
+		}
+		if !bytes.Equal(f.Payload, want) {
+			t.Errorf("super-frame from %v corrupted: interleaved streams were not kept apart", f.Src)
+		}
+	}
+	if nicR.RxReasmEvictions.Value() != 0 {
+		t.Errorf("%d evictions on a lossless run", nicR.RxReasmEvictions.Value())
+	}
+}
+
+// TestFragLossEvictsPartialReassembly: a lost fragment must not leak its
+// partial reassembly forever — the entry is evicted after FragTimeout and
+// the eviction is counted.
+func TestFragLossEvictsPartialReassembly(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.FragOffload = true
+		p.NIC.FragOffloadMax = 16000
+		p.NIC.BufferBytes = 64 << 10
+	})
+	a.SetIRQ(func() {})
+	b.SetIRQ(func() {})
+	a.Link().FilterFromA(func(f *ether.Frame) bool {
+		return f.FragTotal > 1 && f.FragIdx == 1 // swallow the second fragment
+	})
+	payload := make([]byte, 10_000)
+	eng.Go("tx", func(p *sim.Proc) {
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: payload},
+			Mode:  nic.TxDMA,
+		})
+	})
+	eng.Run() // runs past the 5 ms FragTimeout event
+	if got := len(b.DrainCompleted()); got != 0 {
+		t.Fatalf("%d frames completed despite a lost fragment", got)
+	}
+	if b.RxReasmEvictions.Value() != 1 {
+		t.Errorf("eviction count %d, want 1", b.RxReasmEvictions.Value())
+	}
+}
+
+// TestFragAsymmetricMTUReassembly: the sender cuts fragments at ITS MTU
+// stride, so the receiver must place them by the cumulative sizes it
+// received, not by FragIdx times its own (larger) MTU.
+func TestFragAsymmetricMTUReassembly(t *testing.T) {
+	eng, a, b := loopFixture(t, func(p *model.Params) {
+		p.NIC.FragOffload = true
+		p.NIC.FragOffloadMax = 16000
+		p.NIC.BufferBytes = 64 << 10
+	})
+	a.P.MTU = 1000 // sender fragments at 1000 B; receiver keeps MTU 1500
+	a.SetIRQ(func() {})
+	b.SetIRQ(func() {})
+	payload := make([]byte, 5_000)
+	for i := range payload {
+		payload[i] = byte(i*11 + 3)
+	}
+	eng.Go("tx", func(p *sim.Proc) {
+		a.PostTx(p, sim.PriKernel, &nic.TxReq{
+			Frame: &ether.Frame{Src: a.MAC, Dst: b.MAC, Payload: payload},
+			Mode:  nic.TxDMA,
+		})
+	})
+	eng.Run()
+	got := b.DrainCompleted()
+	if len(got) != 1 {
+		t.Fatalf("receiver saw %d frames, want 1 reassembled super-frame", len(got))
+	}
+	if !bytes.Equal(got[0].Payload, payload) {
+		t.Fatal("asymmetric-MTU reassembly corrupted the payload (offsets must be cumulative, not MTU-strided)")
+	}
+}

@@ -18,6 +18,8 @@ const (
 	StageRxComplete      = "nic:rx-complete"
 	StageISRSkb          = "clic:isr-skb"
 	StageISRDirect       = "clic:isr-direct"
+	StageISRPoll         = "clic:isr-poll"   // frame announced by the interrupt that opened a poll session
+	StagePollEntry       = "clic:poll-entry" // frame picked up by a later poll iteration (no interrupt)
 	StageBHEntry         = "clic:bh-entry"
 	StageModuleRx        = "clic:module-rx"
 	StageMsgComplete     = "clic:msg-complete"
@@ -37,6 +39,7 @@ const (
 	SpanWire        = "wire"         // first bit serialised → delivered at peer NIC
 	SpanRxDMA       = "rx-dma"       // NIC pushes the frame to system memory
 	SpanISR         = "isr"          // driver interrupt service routine
+	SpanPoll        = "poll"         // NAPI-style poll loop handling the frame
 	SpanBHQueue     = "bh-queue"     // queued for softirq → bottom half starts
 	SpanBottomHalf  = "bottom-half"  // bottom-half body (CLIC_MODULE dispatch)
 	SpanModuleRx    = "module-rx"    // CLIC_MODULE per-packet receive entry
@@ -55,6 +58,7 @@ const (
 	PointDrop          = "drop"
 	PointChannelFailed = "channel-failed"
 	PointDeferred      = "deferred-tx"
+	PointGROBatch      = "gro-batch" // aggregated run handed to module-rx in one call (arg = run length)
 )
 
 // SpanOrder is the canonical pipeline order for breakdown tables and
@@ -69,6 +73,7 @@ var SpanOrder = []string{
 	SpanWire,
 	SpanRxDMA,
 	SpanISR,
+	SpanPoll,
 	SpanBHQueue,
 	SpanBottomHalf,
 	SpanModuleRx,
