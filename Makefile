@@ -10,15 +10,20 @@ test:
 
 # lint runs go vet plus cliclint, the in-tree go/analysis suite that
 # enforces the CLIC invariants (see DESIGN.md, "Static analysis &
-# invariants"): clicerr, simtime, bufown, metricname.
+# invariants" and "Lock hierarchy & concurrency discipline"): clicerr,
+# simtime, bufown, metricname, tracestage, lockorder, blockunderlock,
+# atomicmix.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/cliclint ./...
 
 # check is the full gate: build, lint, and the test suite under the race
-# detector (the live stack runs real goroutines).
+# detector (the live stack runs real goroutines) with the lockcheck
+# build tag, so the runtime lock-rank assertions are armed: any
+# acquisition that inverts the declared //lockorder: hierarchy panics
+# instead of deadlocking some other day.
 check: build lint
-	$(GO) test -race ./...
+	$(GO) test -race -tags lockcheck ./...
 
 bench:
 	$(GO) run ./cmd/clicbench all

@@ -13,13 +13,19 @@
 // The suite encodes the invariants the paper's layer-deletion argument
 // leans on (see DESIGN.md, "Static analysis & invariants"):
 //
-//	clicerr     Send-family transport errors must not be discarded
-//	simtime     sim-clock packages must not read wall time or the
-//	            global rand source
-//	bufown      zero-copy buffers must not be touched after handoff
-//	metricname  telemetry names/label keys constant and snake_case
-//	tracestage  trace marks and flight-journal stage names must be
-//	            the named constants from repro/internal/trace
+//	clicerr         Send-family transport errors must not be discarded
+//	simtime         sim-clock packages must not read wall time or the
+//	                global rand source
+//	bufown          zero-copy buffers must not be touched after handoff
+//	metricname      telemetry names/label keys constant and snake_case
+//	tracestage      trace marks and flight-journal stage names must be
+//	                the named constants from repro/internal/trace
+//	lockorder       //lockorder: rank hierarchy: ranks strictly
+//	                increase along every acquisition chain
+//	blockunderlock  no blocking operation under a ranked lock (unless
+//	                declared blockok)
+//	atomicmix       no plain access to atomically-accessed variables;
+//	                64-bit atomics aligned on 32-bit layouts
 //
 // cliclint complements `go vet` (which make lint also runs); it does
 // not replace it.
@@ -32,9 +38,12 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/blockunderlock"
 	"repro/internal/analysis/bufown"
 	"repro/internal/analysis/clicerr"
 	"repro/internal/analysis/loader"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/simtime"
 	"repro/internal/analysis/tracestage"
@@ -47,6 +56,9 @@ var analyzers = []*analysis.Analyzer{
 	bufown.Analyzer,
 	metricname.Analyzer,
 	tracestage.Analyzer,
+	lockorder.Analyzer,
+	blockunderlock.Analyzer,
+	atomicmix.Analyzer,
 }
 
 func main() {

@@ -68,20 +68,27 @@ type Diagnostic struct {
 // Reportf reports a formatted diagnostic at pos unless a //nolint
 // comment suppresses this analyzer on that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.suppressed(pos) {
+	if p.Suppressed(pos) {
 		return
 	}
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// nolintRe extracts the checker list of a //nolint:a,b comment.
-var nolintRe = regexp.MustCompile(`//\s*nolint:([a-zA-Z0-9_,]+)`)
+// nolintRe matches a //nolint comment, capturing the optional checker
+// list of the //nolint:a,b form. A bare //nolint (no colon) suppresses
+// every analyzer.
+var nolintRe = regexp.MustCompile(`//\s*nolint(?::([a-zA-Z0-9_,]+))?(?:\s|$)`)
 
-// suppressed reports whether a //nolint:<name> (or //nolint:all) comment
-// sits on the same line as pos. "errcheck" is honoured as an alias for
-// clicerr so call sites annotated for the conventional linter name stay
-// quiet under cliclint too.
-func (p *Pass) suppressed(pos token.Pos) bool {
+// Suppressed reports whether a //nolint comment on the same line as pos
+// names this analyzer (or "all", or is the bare suppress-everything
+// form). It is exported — not just folded into Reportf — because flow
+// analyzers also need it for facts that propagate: an operation the
+// user suppressed must not contribute to transitive summaries, or the
+// diagnostic would reappear at every caller of the annotated function.
+// "errcheck" is honoured as an alias for clicerr so call sites
+// annotated for the conventional linter name stay quiet under cliclint
+// too.
+func (p *Pass) Suppressed(pos token.Pos) bool {
 	if !pos.IsValid() {
 		return false
 	}
@@ -98,6 +105,9 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 			m := nolintRe.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
+			}
+			if m[1] == "" {
+				return true // bare //nolint: all analyzers
 			}
 			for _, name := range strings.Split(m[1], ",") {
 				switch name {

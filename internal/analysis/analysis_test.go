@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const nolintSrc = `package p
+
+func plain() {}
+func scoped() {}  //nolint:foo
+func twoNames() {} //nolint:foo,bar
+func bare() {}     //nolint
+func bareWhy() {}  //nolint because reasons
+func allOf() {}    //nolint:all
+func alias() {}    //nolint:errcheck
+func prefix() {}   //nolintish comment, not a directive
+`
+
+// passFor builds a minimal Pass over nolintSrc for the named analyzer:
+// Suppressed needs only the file set, the files and the analyzer name.
+func passFor(t *testing.T, analyzerName string) (*analysis.Pass, map[string]token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "nolint.go", nolintSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: analyzerName},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(analysis.Diagnostic) {},
+	}
+	funcs := map[string]token.Pos{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			funcs[fd.Name.Name] = fd.Pos()
+		}
+	}
+	return pass, funcs
+}
+
+func TestNolintNameScoping(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		fn       string
+		want     bool
+	}{
+		{"foo", "plain", false},
+		{"foo", "scoped", true},
+		{"bar", "scoped", false}, // scoping: only the named analyzer
+		{"foo", "twoNames", true},
+		{"bar", "twoNames", true},
+		{"baz", "twoNames", false},
+		{"foo", "bare", true}, // bare //nolint: everything
+		{"bar", "bare", true},
+		{"foo", "bareWhy", true}, // bare form tolerates trailing prose
+		{"foo", "allOf", true},
+		{"bar", "allOf", true},
+		{"clicerr", "alias", true}, // errcheck is a clicerr alias
+		{"foo", "alias", false},
+		{"foo", "prefix", false}, // //nolintish is not a directive
+	}
+	for _, c := range cases {
+		pass, funcs := passFor(t, c.analyzer)
+		pos, ok := funcs[c.fn]
+		if !ok {
+			t.Fatalf("no function %q in fixture", c.fn)
+		}
+		if got := pass.Suppressed(pos); got != c.want {
+			t.Errorf("Suppressed(%s) for analyzer %q = %v, want %v",
+				c.fn, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestReportfHonoursSuppression pins Reportf to the Suppressed gate: a
+// suppressed position produces no diagnostic, an unsuppressed one does.
+func TestReportfHonoursSuppression(t *testing.T) {
+	pass, funcs := passFor(t, "foo")
+	var got []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { got = append(got, d) }
+	pass.Reportf(funcs["scoped"], "suppressed finding")
+	pass.Reportf(funcs["plain"], "live finding")
+	if len(got) != 1 || got[0].Message != "live finding" {
+		t.Fatalf("diagnostics = %+v, want exactly the live finding", got)
+	}
+}

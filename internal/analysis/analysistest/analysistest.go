@@ -129,7 +129,11 @@ func collectWants(t *testing.T, pkg *loader.Package) map[string][]*want {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				for _, pat := range splitPatterns(t, pos, m[1]) {
+				pats, err := splitPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: malformed want annotation: %v", pos, err)
+				}
+				for _, pat := range pats {
 					re, err := regexp.Compile(pat)
 					if err != nil {
 						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
@@ -144,25 +148,35 @@ func collectWants(t *testing.T, pkg *loader.Package) map[string][]*want {
 }
 
 // splitPatterns parses a want payload: a sequence of Go-quoted or
-// backquoted strings.
-func splitPatterns(t *testing.T, pos token.Position, s string) []string {
-	t.Helper()
+// backquoted strings, optionally separated by further "// want"
+// directives so a line can stack expectations from several sources:
+//
+//	x() // want `first` `second`
+//	y() // want `from one analyzer` // want `from another`
+func splitPatterns(s string) ([]string, error) {
 	var out []string
 	s = strings.TrimSpace(s)
 	for s != "" {
-		switch s[0] {
-		case '"', '`':
+		switch {
+		case s[0] == '"' || s[0] == '`':
 			q, rest, err := cutQuoted(s)
 			if err != nil {
-				t.Fatalf("%s: malformed want annotation %q: %v", pos, s, err)
+				return nil, fmt.Errorf("near %q: %w", s, err)
 			}
 			out = append(out, q)
 			s = strings.TrimSpace(rest)
+		case strings.HasPrefix(s, "//"):
+			// A repeated directive: strip the "// want" and keep going.
+			rest := strings.TrimSpace(s[2:])
+			if !strings.HasPrefix(rest, "want") {
+				return nil, fmt.Errorf("trailing comment %q is not a want directive", s)
+			}
+			s = strings.TrimSpace(rest[len("want"):])
 		default:
-			t.Fatalf("%s: malformed want annotation near %q", pos, s)
+			return nil, fmt.Errorf("expected quoted pattern near %q", s)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // cutQuoted splits one leading quoted string off s.

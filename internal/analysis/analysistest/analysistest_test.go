@@ -1,0 +1,73 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// strlit reports every string literal's unquoted value — a trivial
+// analyzer whose diagnostics the multiwant fixture pins down, making
+// the harness itself the unit under test.
+var strlit = &analysis.Analyzer{
+	Name: "strlit",
+	Doc:  "reports every string literal (harness self-test)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+					val, err := strconv.Unquote(bl.Value)
+					if err != nil {
+						return true
+					}
+					pass.Reportf(bl.Pos(), "%s", val)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestMultipleWantsPerLine(t *testing.T) {
+	Run(t, TestData(t), strlit, "multiwant")
+}
+
+func TestSplitPatterns(t *testing.T) {
+	cases := []struct {
+		in      string
+		out     []string
+		wantErr bool
+	}{
+		{in: "`one`", out: []string{"one"}},
+		{in: "`one` `two`", out: []string{"one", "two"}},
+		{in: "`one` // want `two`", out: []string{"one", "two"}},
+		{in: "`one` // want `two` `three` // want `four`",
+			out: []string{"one", "two", "three", "four"}},
+		{in: `"quoted \"escape\""`, out: []string{`quoted "escape"`}},
+		{in: "", out: nil},
+		{in: "bare words", wantErr: true},
+		{in: "`unterminated", wantErr: true},
+		{in: "`one` // trailing prose", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := splitPatterns(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("splitPatterns(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("splitPatterns(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.out) {
+			t.Errorf("splitPatterns(%q) = %v, want %v", c.in, got, c.out)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package multiwant is the harness's own fixture: a self-test analyzer
+// reports every string literal's value, and the annotations below
+// exercise one expectation per line, several patterns under one
+// directive, and several directives on one line.
+package multiwant
+
+var _ = "alpha" // want `alpha`
+
+var _, _ = "beta", "gamma" // want `beta` `gamma`
+
+var _, _ = "delta", "epsilon" // want `delta` // want `epsilon`
+
+var _ = "zeta and more" // want "zeta and more"

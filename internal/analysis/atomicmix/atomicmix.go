@@ -1,0 +1,283 @@
+// Package atomicmix forbids mixing sync/atomic and plain access to one
+// variable.
+//
+// The telemetry counters and closed-flags of the live datapath are
+// read from hot paths without locks; their correctness rests on every
+// access going through sync/atomic. One plain load smuggled in
+// compiles fine, races under load, and may tear on 32-bit targets —
+// the race detector only catches it if a test happens to hit the
+// interleaving. atomicmix makes the discipline static:
+//
+//   - a variable accessed through an old-style sync/atomic call
+//     (atomic.AddInt64(&x.f, 1), atomic.LoadUint64(&g), ...) must not
+//     also be read, written, or have its address taken plainly
+//     anywhere else in the package;
+//   - a plain access annotated //atomicmix:init — on its own line, or
+//     on the declaration of the enclosing function (a constructor
+//     initialising state before publication) — is exempt: before the
+//     value escapes to another goroutine there is no race to protect
+//     against, and constructors legitimately assign initial values;
+//   - a struct field accessed with a 64-bit atomic op must sit at an
+//     8-byte-aligned offset in its struct's 32-bit (GOARCH=386)
+//     layout: the old-style 64-bit atomics fault on misaligned
+//     addresses there, a constraint invisible on 64-bit development
+//     machines until the code runs on a 32-bit target.
+//
+// The typed atomics (atomic.Int64, atomic.Bool, ...) are immune by
+// construction — the value is unexported and the types embed the
+// runtime's alignment trick — which is why this repository prefers
+// them; atomicmix polices the old-style calls that remain and any that
+// creep back in. Field resolution goes through types.Selections, so an
+// access to a promoted field of an embedded struct and a direct access
+// to the embedded field are recognised as the same variable.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "report variables mixing sync/atomic and plain access, and 64-bit atomics misaligned on 32-bit layouts",
+	Run:  run,
+}
+
+// atomicCallRe matches the old-style sync/atomic function names whose
+// first argument is the address of the accessed variable.
+var atomicCallRe = regexp.MustCompile(`^(Add|Load|Store|Swap|CompareAndSwap|And|Or)(Int32|Int64|Uint32|Uint64|Uintptr|Pointer)$`)
+
+// atomicUse records one variable's first-seen atomic access.
+type atomicUse struct {
+	pos   token.Pos
+	is64  bool
+	pos64 token.Pos // first 64-bit access, for the alignment report
+}
+
+func run(pass *analysis.Pass) error {
+	uses := map[*types.Var]*atomicUse{}
+	// atomicArgs marks the identifiers consumed by the atomic calls
+	// themselves, so the plain-access pass skips them.
+	atomicArgs := map[*ast.Ident]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := atomicFunc(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			fv := targetVar(pass, addr.X)
+			if fv == nil {
+				return true
+			}
+			markIdents(addr.X, atomicArgs)
+			u := uses[fv]
+			if u == nil {
+				u = &atomicUse{pos: call.Pos()}
+				uses[fv] = u
+			}
+			if strings.Contains(name, "64") && !u.is64 {
+				u.is64 = true
+				u.pos64 = call.Pos()
+			}
+			return true
+		})
+	}
+	if len(uses) == 0 {
+		return nil
+	}
+
+	initScopes := collectInitScopes(pass)
+
+	report := func(pos token.Pos, fv *types.Var) {
+		if initScopes.contains(pass, pos) {
+			return
+		}
+		pass.Reportf(pos,
+			"%s is accessed with sync/atomic (at %s) but accessed plainly here: mixing atomic and plain access is a data race (annotate //atomicmix:init if this runs before the value is shared)",
+			fv.Name(), pass.Fset.Position(uses[fv].pos))
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				s, ok := pass.TypesInfo.Selections[node]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				fv, _ := s.Obj().(*types.Var)
+				if uses[fv] != nil && !atomicArgs[node.Sel] {
+					report(node.Pos(), fv)
+				}
+			case *ast.Ident:
+				// Field accesses are counted once, at their selector; the
+				// ident case covers package-level and local variables.
+				v, ok := pass.TypesInfo.Uses[node].(*types.Var)
+				if ok && uses[v] != nil && !v.IsField() && !atomicArgs[node] {
+					report(node.Pos(), v)
+				}
+			}
+			return true
+		})
+	}
+
+	checkAlignment(pass, uses)
+	return nil
+}
+
+// atomicFunc returns the function name when call is an old-style
+// sync/atomic access.
+func atomicFunc(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if !atomicCallRe.MatchString(fn.Name()) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// targetVar resolves the operand of the & in an atomic call's first
+// argument: a struct field (through Selections, so embedded-struct
+// promotion lands on the declaring field) or a plain variable.
+func targetVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.ParenExpr:
+		return targetVar(pass, x.X)
+	case *ast.IndexExpr:
+		return targetVar(pass, x.X)
+	}
+	return nil
+}
+
+// markIdents records every identifier under the atomic call's address
+// argument so the plain-access sweep does not re-report it.
+func markIdents(e ast.Expr, set map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			set[id] = true
+		}
+		return true
+	})
+}
+
+// initScope is the set of source regions where plain access to atomic
+// variables is sanctioned: lines carrying //atomicmix:init, and whole
+// function bodies whose declaration carries it.
+type initScope struct {
+	lines map[string]map[int]bool // filename -> line set
+	spans []span
+}
+
+type span struct{ start, end token.Pos }
+
+func (s initScope) contains(pass *analysis.Pass, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	if s.lines[p.Filename][p.Line] {
+		return true
+	}
+	for _, sp := range s.spans {
+		if sp.start <= pos && pos <= sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+func collectInitScopes(pass *analysis.Pass) initScope {
+	out := initScope{lines: map[string]map[int]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "atomicmix:init") {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if out.lines[p.Filename] == nil {
+					out.lines[p.Filename] = map[int]bool{}
+				}
+				out.lines[p.Filename][p.Line] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "atomicmix:init") {
+				out.spans = append(out.spans, span{start: fd.Body.Pos(), end: fd.Body.End()})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkAlignment reports 64-bit atomically-accessed struct fields that
+// land on a non-8-byte-aligned offset in the 32-bit (GOARCH=386)
+// layout, where the old-style 64-bit atomics fault.
+func checkAlignment(pass *analysis.Pass, uses map[*types.Var]*atomicUse) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		for i, fv := range fields {
+			u := uses[fv]
+			if u == nil || !u.is64 {
+				continue
+			}
+			if offsets[i]%8 != 0 {
+				pass.Reportf(fv.Pos(),
+					"field %s of %s is accessed with 64-bit atomics (at %s) but sits at offset %d in the 32-bit layout: old-style 64-bit atomics fault on non-8-byte-aligned addresses (move it to the front of the struct or pad to alignment)",
+					fv.Name(), tn.Name(), pass.Fset.Position(u.pos64), offsets[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package align exercises the 32-bit alignment rule: a struct field
+// accessed with old-style 64-bit atomics must sit at an 8-byte-aligned
+// offset in the GOARCH=386 layout, where misaligned 64-bit atomics
+// fault at runtime.
+package align
+
+import "sync/atomic"
+
+type bad struct {
+	flag uint32
+	val  int64 // want `field val of bad is accessed with 64-bit atomics \(at .*\) but sits at offset 4 in the 32-bit layout`
+}
+
+type good struct {
+	val  int64 // offset 0: aligned
+	flag uint32
+}
+
+type padded struct {
+	flag uint32
+	_    uint32 // explicit pad restores 8-byte alignment
+	val  int64
+}
+
+type only32 struct {
+	flag uint32
+	cnt  uint32 // 32-bit atomics carry no 8-byte requirement
+}
+
+func touch(b *bad, g *good, p *padded, o *only32) {
+	atomic.AddInt64(&b.val, 1)
+	atomic.AddInt64(&g.val, 1)
+	atomic.AddInt64(&p.val, 1)
+	atomic.AddUint32(&o.cnt, 1)
+	_ = b.flag
+	_ = g.flag
+	_ = p.flag
+	_ = o.flag
+}

@@ -1,0 +1,49 @@
+// Package embedded exercises field resolution through embedded
+// structs: an atomic access to a promoted field and a plain access to
+// the same field through the embedded path (or vice versa) must
+// resolve to one variable and be reported as a mix.
+package embedded
+
+import "sync/atomic"
+
+type stats struct {
+	frames int64
+	drops  int64
+}
+
+type base struct {
+	stats
+}
+
+type node struct {
+	base
+	local int64
+}
+
+func bumpPromoted(n *node) {
+	// Two levels of promotion: node -> base -> stats.frames.
+	atomic.AddInt64(&n.frames, 1)
+}
+
+func racePromoted(n *node) int64 {
+	return n.frames // want `frames is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}
+
+func raceExplicitPath(n *node) int64 {
+	// The fully spelled path reaches the same declaring field.
+	return n.base.stats.frames // want `frames is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}
+
+func bumpExplicit(s *stats) {
+	// Atomic access through the declaring struct directly.
+	atomic.AddInt64(&s.drops, 1)
+}
+
+func raceViaEmbedding(n *node) int64 {
+	return n.drops // want `drops is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}
+
+func untouchedIsFine(n *node) int64 {
+	n.local++
+	return n.local
+}

@@ -1,0 +1,71 @@
+// Package mix exercises the core atomic/plain mixing rule: a variable
+// touched by old-style sync/atomic calls must not also be accessed
+// plainly, except inside an //atomicmix:init scope. Typed atomics are
+// immune by construction and never reported.
+package mix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	misses int64
+	typed atomic.Int64
+	cold  int64
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func read(c *counter) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func raceRead(c *counter) int64 {
+	return c.hits // want `hits is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}
+
+func raceWrite(c *counter) {
+	c.misses = 0 // want `misses is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}
+
+func raceAddr(c *counter) *int64 {
+	return &c.hits // want `hits is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}
+
+func typedIsFine(c *counter) int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func plainOnlyIsFine(c *counter) int64 {
+	c.cold++
+	return c.cold
+}
+
+func lineScoped(c *counter) {
+	c.hits = 0 //atomicmix:init fresh value, not yet shared
+}
+
+// newCounter builds the counter before it is shared. //atomicmix:init
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 0
+	c.misses = 0
+	return c
+}
+
+func suppressed(c *counter) int64 {
+	return c.hits //nolint:atomicmix
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func raceGlobal() int64 {
+	return global // want `global is accessed with sync/atomic \(at .*\) but accessed plainly here`
+}

@@ -1,0 +1,387 @@
+// Package blockunderlock forbids blocking operations under a ranked
+// lock.
+//
+// The lock hierarchy (internal/analysis/lockmeta) bounds what a lock
+// may wait on: a ranked lock is a state lock, held for short critical
+// sections, and the latency argument of the live datapath depends on
+// that — an ack cannot be processed while the RX channel lock waits in
+// a socket write, and a health snapshot cannot stall behind a channel
+// send. lockorder proves acquisition order; blockunderlock proves the
+// critical sections stay non-blocking:
+//
+//   - no channel send or receive (a select with a default branch is
+//     non-blocking and allowed);
+//   - no time.Sleep, sync.WaitGroup.Wait, or direct syscall;
+//   - no socket or file I/O (any Read*/Write*/Send*/Recv* method on a
+//     net or os type);
+//   - no acquisition of an unranked sync mutex — an unranked lock has
+//     no declared place in the hierarchy, so holding it inside a ranked
+//     section reintroduces exactly the unordered nesting the ranks
+//     exist to forbid (lockorder cannot see it; this analyzer does);
+//   - calling a function that (transitively, within the package) does
+//     any of the above is reported at the call site.
+//
+// A lock declared blockok is exempt: the live sendMu deliberately
+// spans the fragment-flush syscalls — serialising whole messages is
+// its purpose — and the declaration records that design decision where
+// the analyzer can see it. sync.Cond.Wait is also exempt: it releases
+// the lock while parked, which is the sanctioned way to wait under a
+// lock.
+//
+// The flow analysis mirrors lockorder: position-ordered replay per
+// function body, deferred Unlocks keep the lock held, deferred calls
+// and immediately-invoked deferred closures check against the locks
+// held at their textual position, goroutine closures start with an
+// empty held set. Suppressed operations (//nolint:blockunderlock) do
+// not propagate into transitive summaries.
+package blockunderlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockmeta"
+)
+
+// Analyzer is the blockunderlock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockunderlock",
+	Doc:  "report blocking operations performed while a ranked lock is held",
+	Run:  run,
+}
+
+type eventKind int
+
+const (
+	evAcquire eventKind = iota // Lock/RLock of a ranked field
+	evRelease                  // non-deferred Unlock/RUnlock of a ranked field
+	evBlock                    // a directly blocking operation
+	evCall                     // static intra-package call
+)
+
+type event struct {
+	kind   eventKind
+	pos    token.Pos
+	fv     *types.Var  // acquire/release
+	what   string      // block: operation description
+	callee *types.Func // call
+}
+
+type unit struct {
+	fn     *types.Func
+	events []event
+}
+
+func run(pass *analysis.Pass) error {
+	ranks, _ := lockmeta.Collect(pass) // lockorder reports the malformed ones
+
+	units := collectUnits(pass, ranks)
+
+	// blocks maps each declared function to the root reason it may
+	// block, propagated to fixed point over the intra-package call
+	// graph. The root reason survives the propagation unchanged so a
+	// report three calls up still names the actual operation.
+	blocks := map[*types.Func]string{}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if u.fn == nil {
+				continue
+			}
+			if _, done := blocks[u.fn]; done {
+				continue
+			}
+			for _, ev := range u.events {
+				if pass.Suppressed(ev.pos) {
+					continue
+				}
+				switch ev.kind {
+				case evBlock:
+					blocks[u.fn] = ev.what
+					changed = true
+				case evCall:
+					if root, ok := blocks[ev.callee]; ok {
+						blocks[u.fn] = root
+						changed = true
+					}
+				}
+				if _, done := blocks[u.fn]; done {
+					break
+				}
+			}
+		}
+	}
+
+	for _, u := range units {
+		replay(pass, ranks, blocks, u)
+	}
+	return nil
+}
+
+// replay walks one body's events in source order, reporting blocking
+// operations (direct or via call) under a non-blockok ranked lock.
+func replay(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank,
+	blocks map[*types.Func]string, u unit) {
+
+	var held []lockmeta.Rank // non-blockok ranked locks currently held
+	var stack []*types.Var   // parallel identity, for release matching
+
+	for _, ev := range u.events {
+		switch ev.kind {
+		case evAcquire:
+			stack = append(stack, ev.fv)
+			held = append(held, ranks[ev.fv])
+		case evRelease:
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i] == ev.fv {
+					stack = append(stack[:i], stack[i+1:]...)
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case evBlock:
+			if r, ok := strictest(held); ok {
+				pass.Reportf(ev.pos,
+					"%s while %s (rank %d) is held: a ranked lock must not be held across blocking operations",
+					ev.what, r.Name, r.Rank)
+			}
+		case evCall:
+			root, blocking := blocks[ev.callee]
+			if !blocking {
+				continue
+			}
+			if r, ok := strictest(held); ok {
+				pass.Reportf(ev.pos,
+					"call to %s blocks (%s) while %s (rank %d) is held: a ranked lock must not be held across blocking operations",
+					ev.callee.Name(), root, r.Name, r.Rank)
+			}
+		}
+	}
+}
+
+// strictest returns the highest-ranked held lock that is not blockok,
+// if any — the one named in the report.
+func strictest(held []lockmeta.Rank) (lockmeta.Rank, bool) {
+	best := lockmeta.Rank{}
+	found := false
+	for _, r := range held {
+		if r.BlockOK {
+			continue
+		}
+		if !found || r.Rank > best.Rank {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// collectUnits gathers every body with its source-ordered event list,
+// mirroring lockorder's closure handling.
+func collectUnits(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank) []unit {
+	var units []unit
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				var tfn *types.Func
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					tfn = obj
+				}
+				units = append(units, collectBody(pass, ranks, tfn, fn.Body)...)
+				return false
+			case *ast.FuncLit:
+				units = append(units, collectBody(pass, ranks, nil, fn.Body)...)
+				return false
+			}
+			return true
+		})
+	}
+	return units
+}
+
+func collectBody(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank,
+	tfn *types.Func, body *ast.BlockStmt) []unit {
+
+	deferredCalls := map[*ast.CallExpr]bool{}
+	inlineLits := map[*ast.FuncLit]bool{}
+	selectComms := map[ast.Node]bool{} // comm statements of select clauses
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[node.Call] = true
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				inlineLits[lit] = true
+			}
+		case *ast.SelectStmt:
+			for _, clause := range node.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					selectComms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	u := unit{fn: tfn}
+	var extra []unit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			if inlineLits[node] {
+				return true // deferred closure: events join the parent stream
+			}
+			extra = append(extra, collectBody(pass, ranks, nil, node.Body)...)
+			return false
+		case *ast.SelectStmt:
+			if !hasDefault(node) {
+				u.events = append(u.events, event{kind: evBlock, pos: node.Pos(),
+					what: "select without a default branch"})
+			}
+			return true // clause bodies still walk; comm exprs are skipped below
+		case *ast.SendStmt:
+			if !selectComms[node] {
+				u.events = append(u.events, event{kind: evBlock, pos: node.Pos(),
+					what: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && !insideSelectComm(selectComms, n) {
+				u.events = append(u.events, event{kind: evBlock, pos: node.Pos(),
+					what: "channel receive"})
+			}
+		case *ast.CallExpr:
+			collectCall(pass, ranks, node, deferredCalls, &u, &extra)
+		}
+		return true
+	})
+	sort.Slice(u.events, func(i, j int) bool { return u.events[i].pos < u.events[j].pos })
+	return append([]unit{u}, extra...)
+}
+
+// collectCall classifies one call expression into the event stream.
+func collectCall(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank,
+	call *ast.CallExpr, deferredCalls map[*ast.CallExpr]bool, u *unit, extra *[]unit) {
+
+	if fv, op := lockmeta.ClassifyLockCall(pass, call); fv != nil {
+		_, ranked := ranks[fv]
+		switch op {
+		case lockmeta.OpLock:
+			if ranked {
+				u.events = append(u.events, event{kind: evAcquire, pos: call.Pos(), fv: fv})
+			} else {
+				u.events = append(u.events, event{kind: evBlock, pos: call.Pos(),
+					what: "acquisition of unranked mutex " + fv.Name()})
+			}
+		case lockmeta.OpUnlock:
+			if ranked && !deferredCalls[call] {
+				u.events = append(u.events, event{kind: evRelease, pos: call.Pos(), fv: fv})
+			}
+		}
+		return
+	}
+
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	if fn, ok := calleeFunc(pass, call); ok {
+		switch {
+		case fn.Pkg() == pass.Pkg:
+			u.events = append(u.events, event{kind: evCall, pos: call.Pos(), callee: fn})
+		case fn.Pkg() != nil:
+			what, blocking := stdBlocking(pass, fn, sel)
+			if blocking {
+				u.events = append(u.events, event{kind: evBlock, pos: call.Pos(), what: what})
+			}
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+// stdBlocking classifies calls into other packages as blocking:
+// time.Sleep, anything in syscall, sync.WaitGroup.Wait, and socket or
+// file I/O methods. sync.Cond.Wait is exempt — it releases the lock
+// while parked.
+func stdBlocking(pass *analysis.Pass, fn *types.Func, sel *ast.SelectorExpr) (string, bool) {
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case path == "syscall" || strings.HasSuffix(path, "/unix"):
+		// Only package-level functions enter the kernel; methods on
+		// syscall types (Msghdr.SetControllen and friends) are plain
+		// struct-field setters and must not be flagged.
+		if fn.Type().(*types.Signature).Recv() == nil {
+			return "syscall " + fn.Name(), true
+		}
+	case path == "sync" && fn.Name() == "Wait":
+		// Method set distinguishes the two sync waiters.
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if named := namedOf(recv.Type()); named != nil {
+				switch named.Obj().Name() {
+				case "WaitGroup":
+					return "sync.WaitGroup.Wait", true
+				case "Cond":
+					return "", false // releases the lock while parked
+				}
+			}
+		}
+	case path == "net" || path == "os":
+		if sel == nil {
+			return "", false
+		}
+		name := fn.Name()
+		for _, prefix := range []string{"Read", "Write", "Send", "Recv"} {
+			if strings.HasPrefix(name, prefix) {
+				return path + " I/O (" + name + ")", true
+			}
+		}
+	}
+	return "", false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// insideSelectComm reports whether n sits inside a select comm
+// statement (`case <-ch:`), whose blocking-ness the SelectStmt event
+// already accounts for.
+func insideSelectComm(selectComms map[ast.Node]bool, n ast.Node) bool {
+	for comm := range selectComms {
+		if comm.Pos() <= n.Pos() && n.End() <= comm.End() {
+			return true
+		}
+	}
+	return false
+}

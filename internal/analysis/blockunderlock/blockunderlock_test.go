@@ -1,0 +1,13 @@
+package blockunderlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/blockunderlock"
+)
+
+func TestBlockUnderLock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), blockunderlock.Analyzer,
+		"block", "transitive")
+}

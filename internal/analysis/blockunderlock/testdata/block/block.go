@@ -1,0 +1,134 @@
+// Package block exercises the direct blocking-operation rules: channel
+// operations, time.Sleep, WaitGroup.Wait and unranked mutex
+// acquisition under a ranked lock are reported; select-with-default,
+// Cond.Wait, blockok locks and post-release operations are not.
+package block
+
+import (
+	"sync"
+	"time"
+)
+
+type node struct {
+	//lockorder: rank=10 name=sendMu blockok
+	sendMu sync.Mutex
+
+	//lockorder: rank=20 name=mu
+	mu sync.Mutex
+
+	plain sync.Mutex
+
+	wg   sync.WaitGroup
+	cond *sync.Cond
+	ch   chan int
+}
+
+func sendUnderLock(n *node) {
+	n.mu.Lock()
+	n.ch <- 1 // want `channel send while mu \(rank 20\) is held`
+	n.mu.Unlock()
+}
+
+func recvUnderLock(n *node) {
+	n.mu.Lock()
+	<-n.ch // want `channel receive while mu \(rank 20\) is held`
+	n.mu.Unlock()
+}
+
+func sleepUnderLock(n *node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while mu \(rank 20\) is held`
+}
+
+func waitGroupUnderLock(n *node) {
+	n.mu.Lock()
+	n.wg.Wait() // want `sync.WaitGroup.Wait while mu \(rank 20\) is held`
+	n.mu.Unlock()
+}
+
+func unrankedUnderLock(n *node) {
+	n.mu.Lock()
+	n.plain.Lock() // want `acquisition of unranked mutex plain while mu \(rank 20\) is held`
+	n.plain.Unlock()
+	n.mu.Unlock()
+}
+
+func localMutexUnderLock(n *node) {
+	var local sync.Mutex
+	n.mu.Lock()
+	local.Lock() // want `acquisition of unranked mutex local while mu \(rank 20\) is held`
+	local.Unlock()
+	n.mu.Unlock()
+}
+
+func selectNoDefaultUnderLock(n *node) {
+	n.mu.Lock()
+	select { // want `select without a default branch while mu \(rank 20\) is held`
+	case <-n.ch:
+	case n.ch <- 2:
+	}
+	n.mu.Unlock()
+}
+
+func selectWithDefaultIsFine(n *node) {
+	n.mu.Lock()
+	select {
+	case <-n.ch:
+	default:
+	}
+	n.mu.Unlock()
+}
+
+func condWaitIsFine(n *node) {
+	n.mu.Lock()
+	n.cond.Wait() // fine: Wait releases the lock while parked
+	n.mu.Unlock()
+}
+
+func blockokIsExempt(n *node) {
+	n.sendMu.Lock()
+	n.ch <- 3 // fine: sendMu is declared blockok
+	n.sendMu.Unlock()
+}
+
+func blockokDoesNotShieldOthers(n *node) {
+	n.sendMu.Lock()
+	n.mu.Lock()
+	n.ch <- 4 // want `channel send while mu \(rank 20\) is held`
+	n.mu.Unlock()
+	n.sendMu.Unlock()
+}
+
+func afterReleaseIsFine(n *node) {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.ch <- 5 // fine: released before the send
+}
+
+func noLockIsFine(n *node) {
+	n.ch <- 6
+	time.Sleep(time.Millisecond)
+}
+
+func goroutineStartsEmpty(n *node) {
+	n.mu.Lock()
+	go func() {
+		n.ch <- 7 // fine: a new goroutine holds nothing
+	}()
+	n.mu.Unlock()
+}
+
+func deferredClosureChecked(n *node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer func() {
+		n.ch <- 8 // want `channel send while mu \(rank 20\) is held`
+	}()
+}
+
+func suppressed(n *node) {
+	n.mu.Lock()
+	n.ch <- 9 //nolint:blockunderlock
+	n.mu.Unlock()
+}

@@ -1,0 +1,83 @@
+// Package transitive exercises blocking-ness propagation through the
+// intra-package call graph: a call to a function that (transitively)
+// blocks is reported at the call site, naming the root operation;
+// suppressed operations do not propagate.
+package transitive
+
+import (
+	"sync"
+	"time"
+)
+
+type node struct {
+	//lockorder: rank=20 name=mu
+	mu sync.Mutex
+
+	ch chan int
+}
+
+func sends(n *node) {
+	n.ch <- 1
+}
+
+func sendsIndirect(n *node) {
+	sends(n)
+}
+
+func (n *node) sleeps() {
+	time.Sleep(time.Millisecond)
+}
+
+func callBlockingUnderLock(n *node) {
+	n.mu.Lock()
+	sends(n) // want `call to sends blocks \(channel send\) while mu \(rank 20\) is held`
+	n.mu.Unlock()
+}
+
+func callIndirectUnderLock(n *node) {
+	n.mu.Lock()
+	sendsIndirect(n) // want `call to sendsIndirect blocks \(channel send\) while mu \(rank 20\) is held`
+	n.mu.Unlock()
+}
+
+func callMethodUnderLock(n *node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sleeps() // want `call to sleeps blocks \(time.Sleep\) while mu \(rank 20\) is held`
+}
+
+func deferredCallUnderLock(n *node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer sends(n) // want `call to sends blocks \(channel send\) while mu \(rank 20\) is held`
+}
+
+func callWithoutLockIsFine(n *node) {
+	sends(n)
+}
+
+func callAfterReleaseIsFine(n *node) {
+	n.mu.Lock()
+	n.mu.Unlock()
+	sends(n)
+}
+
+func nonBlockingCalleeIsFine(n *node) {
+	n.mu.Lock()
+	pure(n)
+	n.mu.Unlock()
+}
+
+func pure(n *node) {
+	_ = cap(n.ch)
+}
+
+func suppressedDoesNotPropagate(n *node) {
+	n.mu.Lock()
+	acknowledged(n) // fine: the suppressed operation does not resurface here
+	n.mu.Unlock()
+}
+
+func acknowledged(n *node) {
+	n.ch <- 2 //nolint:blockunderlock // deliberate: bounded by construction
+}

@@ -1,0 +1,256 @@
+// Package lockmeta parses the comment-declared lock metadata the
+// concurrency analyzers (lockorder, blockunderlock) share. A mutex
+// field declares its place in the lock hierarchy with a directive in
+// its doc or line comment:
+//
+//	//lockorder: rank=20 name=tc.mu
+//	mu lockcheck.Mutex
+//
+// Rank is a positive integer; ranks must strictly increase along any
+// acquisition chain, so two locks at one rank never nest. The optional
+// blockok attribute marks a lock deliberately held across blocking
+// operations (the live sendMu, which spans the fragment flush
+// syscalls by design); blockunderlock exempts it.
+//
+// The parser is shared so the two analyzers cannot disagree about what
+// a declaration means; only lockorder reports the malformed ones
+// (blockunderlock consumes the well-formed subset silently, or every
+// malformed comment would be reported twice per cliclint run).
+package lockmeta
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Rank is one parsed //lockorder: declaration.
+type Rank struct {
+	Rank    int
+	Name    string // display name; defaults to the field name
+	BlockOK bool   // deliberately held across blocking operations
+	Pos     token.Pos
+}
+
+// Malformed is one unparsable or misplaced //lockorder: declaration.
+type Malformed struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Collect scans the package's struct declarations for //lockorder:
+// directives on mutex-like fields and returns the rank of each
+// annotated field variable, plus every malformed declaration.
+func Collect(pass *analysis.Pass) (map[*types.Var]Rank, []Malformed) {
+	ranks := map[*types.Var]Rank{}
+	var bad []Malformed
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				collectField(pass, field, ranks, &bad)
+			}
+			return true
+		})
+	}
+	return ranks, bad
+}
+
+// collectField parses the //lockorder: directive (if any) attached to
+// one struct field.
+func collectField(pass *analysis.Pass, field *ast.Field, ranks map[*types.Var]Rank, bad *[]Malformed) {
+	var directive string
+	var pos token.Pos
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lockorder:") {
+				continue
+			}
+			if directive != "" {
+				*bad = append(*bad, Malformed{Pos: c.Pos(),
+					Msg: "duplicate //lockorder: directive on one field"})
+				continue
+			}
+			directive = strings.TrimSpace(strings.TrimPrefix(text, "lockorder:"))
+			// The directive ends at a nested // comment, so prose (or a
+			// fixture's // want annotation) can trail it on the same line.
+			if i := strings.Index(directive, "//"); i >= 0 {
+				directive = strings.TrimSpace(directive[:i])
+			}
+			pos = c.Pos()
+		}
+	}
+	if directive == "" {
+		return
+	}
+	if len(field.Names) != 1 {
+		*bad = append(*bad, Malformed{Pos: pos,
+			Msg: "//lockorder: directive must annotate exactly one named field"})
+		return
+	}
+	fv, ok := pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+	if !ok {
+		return
+	}
+	if !MutexLike(fv.Type()) {
+		*bad = append(*bad, Malformed{Pos: pos, Msg: fmt.Sprintf(
+			"//lockorder: directive on non-mutex field %s (type %s)",
+			fv.Name(), fv.Type())})
+		return
+	}
+	r, err := parse(directive)
+	if err != nil {
+		*bad = append(*bad, Malformed{Pos: pos,
+			Msg: fmt.Sprintf("malformed //lockorder: directive: %v", err)})
+		return
+	}
+	if r.Name == "" {
+		r.Name = fv.Name()
+	}
+	r.Pos = pos
+	ranks[fv] = r
+}
+
+// parse decodes the attribute list of one directive body:
+// "rank=20 name=tc.mu blockok".
+func parse(s string) (Rank, error) {
+	var r Rank
+	seenRank := false
+	for _, tok := range strings.Fields(s) {
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "rank":
+			if !hasVal {
+				return r, fmt.Errorf("rank needs a value (rank=N)")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, fmt.Errorf("rank %q is not an integer", val)
+			}
+			if n <= 0 {
+				return r, fmt.Errorf("rank must be positive, got %d", n)
+			}
+			r.Rank = n
+			seenRank = true
+		case "name":
+			if !hasVal || val == "" {
+				return r, fmt.Errorf("name needs a value (name=identifier)")
+			}
+			r.Name = val
+		case "blockok":
+			if hasVal {
+				return r, fmt.Errorf("blockok takes no value")
+			}
+			r.BlockOK = true
+		default:
+			return r, fmt.Errorf("unknown attribute %q", tok)
+		}
+	}
+	if !seenRank {
+		return r, fmt.Errorf("missing required rank=N attribute")
+	}
+	return r, nil
+}
+
+// MutexLike reports whether t is a mutex the analyzers track: a
+// sync.Mutex/RWMutex or an in-tree wrapper of one (lockcheck.Mutex,
+// lockcheck.RWMutex) — identified structurally, as a named struct whose
+// type name ends in Mutex and that carries Lock/Unlock methods, so the
+// wrapper types qualify without this package importing them.
+func MutexLike(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if !strings.HasSuffix(named.Obj().Name(), "Mutex") {
+		return false
+	}
+	return hasMethod(t, "Lock") && hasMethod(t, "Unlock")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// LockOp classifies one method call on a tracked mutex field.
+type LockOp int
+
+const (
+	OpNone    LockOp = iota
+	OpLock           // Lock, RLock: blocking acquisition
+	OpTryLock        // TryLock: non-parking, exempt from order checks
+	OpUnlock         // Unlock, RUnlock
+)
+
+// ClassifyLockCall resolves a call expression to (field, operation) when
+// it is a Lock/RLock/TryLock/Unlock/RUnlock method call on a struct
+// field of mutex-like type (ranked or not): rc.mu.Lock(),
+// n.pmu.RLock(). Returns (nil, OpNone) otherwise.
+func ClassifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, LockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, OpNone
+	}
+	var op LockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = OpLock
+	case "TryLock", "TryRLock":
+		op = OpTryLock
+	case "Unlock", "RUnlock":
+		op = OpUnlock
+	default:
+		return nil, OpNone
+	}
+	fv := FieldVar(pass, sel.X)
+	if fv == nil || !MutexLike(fv.Type()) {
+		return nil, OpNone
+	}
+	return fv, op
+}
+
+// FieldVar resolves an expression to the struct-field variable it
+// denotes (rc.mu, n.pmu, (&s).mu), or nil. Selections resolves
+// promoted fields of embedded structs to the declaring field.
+func FieldVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return s.Obj().(*types.Var)
+		}
+		// Package-qualified or otherwise object-resolved selector.
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.ParenExpr:
+		return FieldVar(pass, x.X)
+	case *ast.StarExpr:
+		return FieldVar(pass, x.X)
+	case *ast.UnaryExpr:
+		return FieldVar(pass, x.X)
+	}
+	return nil
+}

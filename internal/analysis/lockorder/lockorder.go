@@ -1,0 +1,335 @@
+// Package lockorder enforces the comment-declared lock hierarchy.
+//
+// The live datapath deleted the layers that would have serialised its
+// state behind one big lock; what is left is a handful of fine-grained
+// mutexes whose safety argument is an ordering discipline: every lock
+// carries a //lockorder: rank (see internal/analysis/lockmeta), and
+// ranks must strictly increase along any acquisition chain. That rule
+// makes deadlock impossible by construction — a cycle needs some edge
+// that goes down or sideways — but it lives in comments, so lockorder
+// turns it into a machine-checked invariant:
+//
+//   - acquiring a ranked lock while holding one of equal or higher rank
+//     is reported (equal rank on two different locks is exactly the
+//     ABBA shape the ranks exist to forbid);
+//   - re-acquiring a lock already held is reported (Go mutexes are not
+//     reentrant: the second Lock self-deadlocks);
+//   - calling a function that (transitively, within the package)
+//     acquires an out-of-rank or already-held lock is reported at the
+//     call site, including calls made in deferred paths;
+//   - malformed //lockorder: directives are themselves errors — a typo
+//     must not silently drop a lock out of the checked hierarchy.
+//
+// The flow analysis is intra-procedural and position-ordered, like
+// bufown: events replay in source order within one function body.
+// Deferred Unlocks are ignored during replay (the lock stays held for
+// everything that follows, which is what defer means for ordering);
+// deferred calls and immediately-invoked deferred closures are checked
+// against the locks held at their textual position. TryLock is exempt:
+// a non-parking acquisition cannot contribute to a deadlock cycle (the
+// same exemption the runtime lockcheck layer applies). Goroutine
+// closures are analyzed standalone with an empty held set — a new
+// goroutine holds nothing, whatever its creator held.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockmeta"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock acquisitions that violate the //lockorder: rank hierarchy",
+	Run:  run,
+}
+
+type eventKind int
+
+const (
+	evAcquire eventKind = iota // blocking Lock/RLock of a ranked field
+	evRelease                  // non-deferred Unlock/RUnlock
+	evCall                     // static intra-package call
+)
+
+type event struct {
+	kind   eventKind
+	pos    token.Pos
+	fv     *types.Var  // acquire/release: the mutex field
+	callee *types.Func // call: the resolved intra-package target
+}
+
+// unit is one body to replay: a declared function (fn non-nil) or a
+// standalone closure.
+type unit struct {
+	fn     *types.Func
+	body   *ast.BlockStmt
+	events []event
+}
+
+func run(pass *analysis.Pass) error {
+	ranks, bad := lockmeta.Collect(pass)
+	for _, m := range bad {
+		pass.Reportf(m.Pos, "%s", m.Msg)
+	}
+
+	units := collectUnits(pass, ranks)
+
+	// Transitive acquisition summaries for declared functions: the set
+	// of ranked locks a call may take, to fixed point over the
+	// intra-package call graph. Suppressed acquisitions and calls do not
+	// propagate — a //nolint:lockorder on an operation acknowledges it
+	// there, and must not resurface the finding at every caller.
+	acquires := map[*types.Func]map[*types.Var]bool{}
+	for _, u := range units {
+		if u.fn != nil {
+			acquires[u.fn] = map[*types.Var]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if u.fn == nil {
+				continue
+			}
+			set := acquires[u.fn]
+			for _, ev := range u.events {
+				if pass.Suppressed(ev.pos) {
+					continue
+				}
+				switch ev.kind {
+				case evAcquire:
+					if !set[ev.fv] {
+						set[ev.fv] = true
+						changed = true
+					}
+				case evCall:
+					for fv := range acquires[ev.callee] {
+						if !set[fv] {
+							set[fv] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, u := range units {
+		replay(pass, ranks, acquires, u)
+	}
+	return nil
+}
+
+// replay walks one body's events in source order, tracking the held
+// set and reporting ordering violations.
+func replay(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank,
+	acquires map[*types.Func]map[*types.Var]bool, u unit) {
+
+	type held struct {
+		fv   *types.Var
+		rank lockmeta.Rank
+	}
+	var stack []held
+
+	worst := func(exclude *types.Var) (held, bool) {
+		best := held{}
+		found := false
+		for _, h := range stack {
+			if h.fv == exclude {
+				continue
+			}
+			if !found || h.rank.Rank > best.rank.Rank {
+				best, found = h, true
+			}
+		}
+		return best, found
+	}
+
+	for _, ev := range u.events {
+		switch ev.kind {
+		case evAcquire:
+			r := ranks[ev.fv]
+			already := false
+			for _, h := range stack {
+				if h.fv == ev.fv {
+					already = true
+					break
+				}
+			}
+			if already {
+				pass.Reportf(ev.pos,
+					"re-acquiring %s (rank %d) while it is already held: the second Lock self-deadlocks",
+					r.Name, r.Rank)
+			} else if h, ok := worst(ev.fv); ok && h.rank.Rank >= r.Rank {
+				pass.Reportf(ev.pos,
+					"acquiring %s (rank %d) while holding %s (rank %d) inverts the declared lock order: ranks must strictly increase",
+					r.Name, r.Rank, h.rank.Name, h.rank.Rank)
+			}
+			// Held regardless of whether it was reported (or suppressed):
+			// the code does take the lock, so everything after must be
+			// checked against it.
+			stack = append(stack, held{fv: ev.fv, rank: r})
+		case evRelease:
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].fv == ev.fv {
+					stack = append(stack[:i], stack[i+1:]...)
+					break
+				}
+			}
+		case evCall:
+			if len(stack) == 0 {
+				continue
+			}
+			// Report the single worst offense per call site: noise-free
+			// when a callee takes several locks below the held rank.
+			var reacq *types.Var
+			var inv *types.Var
+			invRank := int(^uint(0) >> 1) // max int
+			for fv := range acquires[ev.callee] {
+				r := ranks[fv]
+				heldHere := false
+				for _, h := range stack {
+					if h.fv == fv {
+						heldHere = true
+						break
+					}
+				}
+				if heldHere {
+					reacq = fv
+					break
+				}
+				if h, ok := worst(fv); ok && h.rank.Rank >= r.Rank && r.Rank < invRank {
+					inv, invRank = fv, r.Rank
+				}
+			}
+			switch {
+			case reacq != nil:
+				pass.Reportf(ev.pos,
+					"call to %s re-acquires %s, which is already held here: the nested Lock self-deadlocks",
+					ev.callee.Name(), ranks[reacq].Name)
+			case inv != nil:
+				h, _ := worst(inv)
+				pass.Reportf(ev.pos,
+					"call to %s acquires %s (rank %d) while %s (rank %d) is held: ranks must strictly increase",
+					ev.callee.Name(), ranks[inv].Name, invRank, h.rank.Name, h.rank.Rank)
+			}
+		}
+	}
+}
+
+// collectUnits gathers every body to replay — declared functions and
+// standalone closures — with their source-ordered event lists.
+func collectUnits(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank) []unit {
+	var units []unit
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				var tfn *types.Func
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					tfn = obj
+				}
+				units = append(units, collectBody(pass, ranks, tfn, fn.Body)...)
+				return false
+			case *ast.FuncLit:
+				// Reached only for package-level closures (var x = func...);
+				// closures inside declared functions are gathered by
+				// collectBody.
+				units = append(units, collectBody(pass, ranks, nil, fn.Body)...)
+				return false
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// collectBody builds the unit for one body plus the standalone units of
+// its non-deferred closures. Immediately-invoked deferred closures are
+// inlined into the parent's event stream (they run on the same
+// goroutine with the parent's locks held); every other closure becomes
+// its own unit with an empty held set.
+func collectBody(pass *analysis.Pass, ranks map[*types.Var]lockmeta.Rank,
+	tfn *types.Func, body *ast.BlockStmt) []unit {
+
+	deferredCalls := map[*ast.CallExpr]bool{}
+	inlineLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				inlineLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	u := unit{fn: tfn, body: body}
+	var extra []unit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			if node == nil {
+				return false
+			}
+			if inlineLits[node] {
+				return true // deferred closure: events join the parent stream
+			}
+			extra = append(extra, collectBody(pass, ranks, nil, node.Body)...)
+			return false
+		case *ast.CallExpr:
+			if fv, op := lockmeta.ClassifyLockCall(pass, node); fv != nil {
+				if _, ranked := ranks[fv]; !ranked {
+					return true // unranked mutexes are blockunderlock's domain
+				}
+				switch op {
+				case lockmeta.OpLock:
+					u.events = append(u.events, event{kind: evAcquire, pos: node.Pos(), fv: fv})
+				case lockmeta.OpUnlock:
+					if !deferredCalls[node] {
+						u.events = append(u.events, event{kind: evRelease, pos: node.Pos(), fv: fv})
+					}
+					// Deferred Unlock: the lock stays held for the rest of
+					// the replay, which is what defer means for ordering.
+				}
+				// TryLock: exempt — non-parking, cannot deadlock.
+				return true
+			}
+			if callee := staticCallee(pass, node); callee != nil {
+				u.events = append(u.events, event{kind: evCall, pos: node.Pos(), callee: callee})
+			}
+		}
+		return true
+	})
+	sort.Slice(u.events, func(i, j int) bool { return u.events[i].pos < u.events[j].pos })
+	return append([]unit{u}, extra...)
+}
+
+// staticCallee resolves a call to a function or method declared in the
+// package under analysis; calls through function values, interfaces, or
+// into other packages return nil.
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,67 @@
+// Package badmeta exercises the rank-directive parser: malformed
+// //lockorder: comments are lint errors in their own right, so a typo
+// cannot silently drop a lock out of the checked hierarchy.
+package badmeta
+
+import "sync"
+
+type s struct {
+	//lockorder: rank=abc // want `rank "abc" is not an integer`
+	badInt sync.Mutex
+
+	//lockorder: rank=0 // want `rank must be positive, got 0`
+	zero sync.Mutex
+
+	//lockorder: rank=-3 // want `rank must be positive, got -3`
+	negative sync.Mutex
+
+	//lockorder: name=orphan // want `missing required rank=N attribute`
+	noRank sync.Mutex
+
+	//lockorder: rank=5 bogus=1 // want `unknown attribute "bogus=1"`
+	unknownAttr sync.Mutex
+
+	//lockorder: rank=5 blockok=yes // want `blockok takes no value`
+	blockokVal sync.Mutex
+
+	//lockorder: rank=5 name= // want `name needs a value`
+	emptyName sync.Mutex
+
+	//lockorder: rank=5 // want `//lockorder: directive on non-mutex field count \(type int\)`
+	count int
+
+	//lockorder: rank=5 // want `directive must annotate exactly one named field`
+	a, b sync.Mutex
+
+	//lockorder: rank=7 name=good blockok
+	good sync.Mutex // well-formed: no report
+
+	plain sync.Mutex // no directive: no report
+}
+
+// use silences the unused-field vetting path by touching every lock.
+func use(v *s) {
+	v.badInt.Lock()
+	v.badInt.Unlock()
+	v.zero.Lock()
+	v.zero.Unlock()
+	v.negative.Lock()
+	v.negative.Unlock()
+	v.noRank.Lock()
+	v.noRank.Unlock()
+	v.unknownAttr.Lock()
+	v.unknownAttr.Unlock()
+	v.blockokVal.Lock()
+	v.blockokVal.Unlock()
+	v.emptyName.Lock()
+	v.emptyName.Unlock()
+	_ = v.count
+	v.a.Lock()
+	v.a.Unlock()
+	v.b.Lock()
+	v.b.Unlock()
+	v.good.Lock()
+	v.good.Unlock()
+	v.plain.Lock()
+	v.plain.Unlock()
+}

@@ -1,0 +1,118 @@
+// Package basic exercises the direct (single-function) lockorder
+// rules: ordered acquisition is silent, inversions, equal-rank nesting
+// and re-acquisition are reported, releases clear the held set,
+// deferred unlocks keep it, deferred closures check against the locks
+// held at their position, and goroutine closures start empty.
+package basic
+
+import "sync"
+
+type node struct {
+	//lockorder: rank=10 name=low
+	low sync.Mutex
+
+	//lockorder: rank=20 name=mid
+	mid sync.Mutex
+
+	mid2 sync.Mutex //lockorder: rank=20 name=mid2
+
+	//lockorder: rank=30 name=high
+	high sync.RWMutex
+
+	plain sync.Mutex // unranked: lockorder ignores it (blockunderlock's domain)
+}
+
+func ordered(n *node) {
+	n.low.Lock()
+	n.mid.Lock()
+	n.high.Lock()
+	n.high.Unlock()
+	n.mid.Unlock()
+	n.low.Unlock()
+}
+
+func inverted(n *node) {
+	n.high.Lock()
+	n.low.Lock() // want `acquiring low \(rank 10\) while holding high \(rank 30\) inverts the declared lock order`
+	n.low.Unlock()
+	n.high.Unlock()
+}
+
+func invertedRead(n *node) {
+	n.high.RLock()
+	n.mid.Lock() // want `acquiring mid \(rank 20\) while holding high \(rank 30\)`
+	n.mid.Unlock()
+	n.high.RUnlock()
+}
+
+func equalRank(n *node) {
+	n.mid.Lock()
+	n.mid2.Lock() // want `acquiring mid2 \(rank 20\) while holding mid \(rank 20\)`
+	n.mid2.Unlock()
+	n.mid.Unlock()
+}
+
+func reacquire(n *node) {
+	n.mid.Lock()
+	n.mid.Lock() // want `re-acquiring mid \(rank 20\) while it is already held`
+	n.mid.Unlock()
+	n.mid.Unlock()
+}
+
+func releaseClears(n *node) {
+	n.high.Lock()
+	n.high.Unlock()
+	n.low.Lock() // fine: high was released before this
+	n.low.Unlock()
+}
+
+func deferredUnlockHolds(n *node) {
+	n.high.Lock()
+	defer n.high.Unlock()
+	n.low.Lock() // want `acquiring low \(rank 10\) while holding high \(rank 30\)`
+	n.low.Unlock()
+}
+
+func deferredClosure(n *node) {
+	n.high.Lock()
+	defer n.high.Unlock()
+	defer func() {
+		// Runs before the deferred Unlock (LIFO): high is genuinely held.
+		n.low.Lock() // want `acquiring low \(rank 10\) while holding high \(rank 30\)`
+		n.low.Unlock()
+	}()
+}
+
+func goroutineStartsEmpty(n *node) {
+	n.high.Lock()
+	done := make(chan struct{})
+	go func() {
+		n.low.Lock() // fine: a new goroutine holds nothing
+		n.low.Unlock()
+		close(done)
+	}()
+	<-done
+	n.high.Unlock()
+}
+
+func unrankedIgnored(n *node) {
+	n.high.Lock()
+	n.plain.Lock() // lockorder is silent here; blockunderlock reports it
+	n.plain.Unlock()
+	n.high.Unlock()
+}
+
+func suppressed(n *node) {
+	n.high.Lock()
+	n.low.Lock() //nolint:lockorder
+	n.low.Unlock()
+	n.high.Unlock()
+}
+
+func tryLockExempt(n *node) {
+	n.high.Lock()
+	if n.low.TryLock() { // fine: non-parking, cannot deadlock
+		n.low.Unlock()
+	}
+	n.high.Unlock()
+}

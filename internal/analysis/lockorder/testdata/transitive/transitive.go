@@ -1,0 +1,85 @@
+// Package transitive exercises the call-graph half of lockorder: a
+// callee's (transitive) acquisitions are checked against the caller's
+// held set at the call site, suppressed operations do not propagate,
+// and methods participate like functions.
+package transitive
+
+import "sync"
+
+type node struct {
+	//lockorder: rank=10 name=low
+	low sync.Mutex
+
+	//lockorder: rank=30 name=high
+	high sync.Mutex
+}
+
+func lockLow(n *node) {
+	n.low.Lock()
+	n.low.Unlock()
+}
+
+func indirect(n *node) {
+	lockLow(n)
+}
+
+func (n *node) lowMethod() {
+	n.low.Lock()
+	n.low.Unlock()
+}
+
+func callUnderHigh(n *node) {
+	n.high.Lock()
+	lockLow(n) // want `call to lockLow acquires low \(rank 10\) while high \(rank 30\) is held`
+	n.high.Unlock()
+}
+
+func callIndirectUnderHigh(n *node) {
+	n.high.Lock()
+	indirect(n) // want `call to indirect acquires low \(rank 10\) while high \(rank 30\) is held`
+	n.high.Unlock()
+}
+
+func methodUnderHigh(n *node) {
+	n.high.Lock()
+	n.lowMethod() // want `call to lowMethod acquires low \(rank 10\) while high \(rank 30\) is held`
+	n.high.Unlock()
+}
+
+func reacquireViaCall(n *node) {
+	n.low.Lock()
+	lockLow(n) // want `call to lockLow re-acquires low, which is already held here`
+	n.low.Unlock()
+}
+
+func deferredCallUnderHigh(n *node) {
+	n.high.Lock()
+	defer n.high.Unlock()
+	defer lockLow(n) // want `call to lockLow acquires low \(rank 10\) while high \(rank 30\) is held`
+}
+
+func callWithNothingHeld(n *node) {
+	lockLow(n) // fine
+}
+
+func callAboveHeldRank(n *node) {
+	n.low.Lock()
+	lockHigh(n) // fine: 10 -> 30 increases
+	n.low.Unlock()
+}
+
+func lockHigh(n *node) {
+	n.high.Lock()
+	n.high.Unlock()
+}
+
+func suppressedDoesNotPropagate(n *node) {
+	n.high.Lock()
+	suppressedLow(n) // fine: the acknowledged operation does not resurface here
+	n.high.Unlock()
+}
+
+func suppressedLow(n *node) {
+	n.low.Lock() //nolint:lockorder
+	n.low.Unlock()
+}

@@ -35,9 +35,27 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/health"
+	"repro/internal/lockcheck"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/telemetry"
+)
+
+// The declared lock hierarchy (DESIGN.md §8): every lock in this
+// package carries a `//lockorder:` rank, ranks strictly increase
+// inward (outer lock first, inner lock higher), and the cliclint
+// lockorder/blockunderlock analyzers enforce the declaration at build
+// time while the lockcheck wrappers assert it at runtime under
+// `-tags lockcheck`. Locks that share a rank (the per-channel tx/rx
+// mutexes) are order-free with respect to each other and must never
+// nest.
+const (
+	rankSendMu = 10 // per-channel message atomicity; declared blockok (spans socket writes)
+	rankChanMu = 20 // per-channel tx/rx state (tc.mu, rc.mu)
+	rankPeers  = 30 // pmu: registration tables
+	rankRegion = 40 // per-region remote-write buffer
+	rankCfm    = 50 // cmu: confirmation rendezvous
+	rankInject = 60 // imu: fault-injection rng
 )
 
 // Config tunes a live node.
@@ -137,8 +155,13 @@ type Message struct {
 // Locking is sharded the way the datapath is: pmu (read-mostly) guards
 // the registration tables only; each peer channel carries its own
 // mutex; the confirmation rendezvous has its own small lock; counters
-// are atomic. No lock is held across a socket write on the TX fast
-// path, and no lock is shared between traffic to different peers.
+// are atomic. No state lock is held across a socket write (sendMu, the
+// message-scope lock, deliberately spans the fragment flush and is
+// declared blockok; fireRTO's retransmit loop is the one documented
+// exception), and no lock is shared between traffic to different
+// peers. Every lock carries a `//lockorder:` rank — see the rank
+// constants above and DESIGN.md §8 for the full hierarchy — checked
+// statically by cliclint and at runtime under `-tags lockcheck`.
 type Node struct {
 	ID   int
 	cfg  Config
@@ -154,8 +177,13 @@ type Node struct {
 
 	// pmu guards the registration tables below. All four maps are
 	// written only on registration (AddPeer, first use of a channel or
-	// port) and read on fast paths via RLock.
-	pmu     sync.RWMutex
+	// port) and read on fast paths via RLock. It ranks ABOVE the
+	// channel locks because the RX deliver path resolves ports (and
+	// regions) while dispatch state is live; nothing may acquire a
+	// channel lock while holding pmu — Close and AddPeer snapshot the
+	// tables under pmu and visit channels after releasing it.
+	//lockorder: rank=30 name=pmu
+	pmu     lockcheck.RWMutex
 	peers   map[int]netip.AddrPort
 	peerIDs map[netip.AddrPort]int
 	tx      map[int]*liveTxChan
@@ -166,13 +194,16 @@ type Node struct {
 	// cmu guards the confirmation rendezvous table (§5 send-with-
 	// confirmation). Lock order: a peer channel's mutex may wrap cmu
 	// (failChannel), never the reverse.
-	cmu     sync.Mutex
+	//lockorder: rank=50 name=cmu
+	cmu     lockcheck.Mutex
 	confirm map[confirmKey]chan error
 
 	// imu guards the fault-injection randomness; faulty caches whether
 	// any injection rate is non-zero so the clean fast path never takes
-	// the lock.
-	imu    sync.Mutex
+	// the lock. Innermost rank: transmit may be reached with a channel
+	// lock held (the documented fireRTO exception).
+	//lockorder: rank=60 name=imu
+	imu    lockcheck.Mutex
 	rng    *rand.Rand
 	faulty bool
 
@@ -266,6 +297,9 @@ func NewNode(id int, cfg Config) (*Node, error) {
 		hl:       cfg.Health,
 		nodeName: fmt.Sprintf("live%d", id),
 	}
+	n.pmu.SetRank(rankPeers, "pmu")
+	n.cmu.SetRank(rankCfm, "cmu")
+	n.imu.SetRank(rankInject, "imu")
 	if n.tel == nil {
 		n.tel = telemetry.NewRegistry()
 	}
@@ -360,8 +394,28 @@ func (n *Node) Close() error {
 		return nil
 	}
 	close(n.done)
+	// Snapshot the channel tables under pmu, then visit each channel
+	// under its own lock with pmu already released. Channel locks rank
+	// BELOW pmu — the RX deliver path resolves ports while channel
+	// dispatch state is live — so nesting them under pmu here was a
+	// genuine ABBA deadlock: Close held pmu waiting on rc.mu while the
+	// rxLoop held rc.mu waiting on pmu (found by the lockorder
+	// analyzer; the lockcheck runtime panics on the old shape).
 	n.pmu.Lock()
+	txs := make([]*liveTxChan, 0, len(n.tx))
 	for _, tc := range n.tx {
+		txs = append(txs, tc)
+	}
+	rxs := make([]*liveRxChan, 0, len(n.rx))
+	for _, rc := range n.rx {
+		rxs = append(rxs, rc)
+	}
+	regions := make([]*Region, 0, len(n.regions))
+	for _, r := range n.regions {
+		regions = append(regions, r)
+	}
+	n.pmu.Unlock()
+	for _, tc := range txs {
 		tc.mu.Lock()
 		if tc.rtoArmed {
 			tc.rto.Stop()
@@ -370,7 +424,7 @@ func (n *Node) Close() error {
 		tc.slotFree.Broadcast()
 		tc.mu.Unlock()
 	}
-	for _, rc := range n.rx {
+	for _, rc := range rxs {
 		rc.mu.Lock()
 		if rc.ackArmed {
 			rc.ackTimer.Stop()
@@ -378,12 +432,11 @@ func (n *Node) Close() error {
 		}
 		rc.mu.Unlock()
 	}
-	for _, r := range n.regions {
+	for _, r := range regions {
 		r.mu.Lock()
 		r.cond.Broadcast()
 		r.mu.Unlock()
 	}
-	n.pmu.Unlock()
 	err := n.conn.Close()
 	n.wg.Wait()
 	return err

@@ -1,0 +1,107 @@
+package live_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/live"
+)
+
+// TestCloseWhileDelivering is the regression test for the Close ABBA:
+// Close used to stop timers and broadcast conds while holding pmu, the
+// inverse nesting of the RX deliver path (rc.mu → pmu.RLock). With
+// traffic in flight that was a real deadlock window; under
+// -tags lockcheck the old shape panics deterministically (pmu rank 30
+// held while taking a rank-20 channel lock). The fixed Close snapshots
+// the tables under pmu, releases it, then visits each channel.
+func TestCloseWhileDelivering(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		a, err := live.NewNode(0, live.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := live.NewNode(1, live.DefaultConfig())
+		if err != nil {
+			a.Close()
+			t.Fatal(err)
+		}
+		live.Connect(a, b)
+
+		stop := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.Send(1, 40, pattern(4000)) //nolint:errcheck
+			}
+		}()
+		go func() {
+			for {
+				if _, err := b.Recv(40); err != nil {
+					return
+				}
+			}
+		}()
+
+		time.Sleep(5 * time.Millisecond) // let traffic reach steady state
+		closed := make(chan struct{})
+		go func() {
+			b.Close() // receiver mid-delivery: the old shape's deadlock window
+			a.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close deadlocked against in-flight delivery")
+		}
+		close(stop)
+	}
+}
+
+// TestDelayedAckDrivesWindow is the regression test for the restructured
+// delayed-ack path (the ack transmit moved outside rc.mu, framing on a
+// stack buffer instead of the rxLoop-exclusive ackBuf). With the ack
+// stride set far above the traffic volume, window slots recycle only if
+// the timer path actually emits acks: each message below is a single
+// frame, so Window+4 sequential sends complete only when delayed acks
+// flow.
+func TestDelayedAckDrivesWindow(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.Window = 4
+	cfg.AckEvery = 1 << 20 // never reached: only the delayed-ack timer acks
+	cfg.AckDelay = time.Millisecond
+	a, b := pair(t, cfg)
+
+	const count = 8 // 2x the window: needs at least one full recycle
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := a.Send(1, 41, []byte{byte(i)}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < count; i++ {
+		msg, err := b.Recv(41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Data[0] != byte(i) {
+			t.Fatalf("message %d carried %d", i, msg.Data[0])
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender stalled: delayed acks never recycled the window")
+	}
+}

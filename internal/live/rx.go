@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/lockcheck"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/trace"
@@ -19,10 +20,22 @@ import (
 type liveRxChan struct {
 	src int
 
-	mu    sync.Mutex
+	// mu is a state lock like tc.mu: no socket write and no port-queue
+	// handoff happens under it — acks are framed under mu and written
+	// after release, and completed messages are staged on pending and
+	// delivered after release.
+	//lockorder: rank=20 name=rc.mu
+	mu    lockcheck.Mutex
 	addr  netip.AddrPort // peer address for acks, cached from the peer table
 	reseq *relwin.Resequencer[rxDatagram]
 	asm   liveAsm
+
+	// pending stages messages completed during the current locked
+	// dispatch run; the rxLoop drains it after releasing mu, so
+	// delivery (port-queue sends, region remote writes, the pmu port
+	// lookup) never happens under a channel lock. Owned by the rxLoop
+	// goroutine; the backing array is reused across runs.
+	pending []pendingMsg
 
 	// emit is the persistent resequencer delivery hook: allocated once
 	// so the in-order fast path creates no closures.
@@ -52,9 +65,24 @@ type liveRxChan struct {
 	lastCum        relwin.Seq
 	lastProgressNs int64
 
-	// ackBuf is the preframed ack datagram: acks are encoded in place
-	// and written under mu, so the hot path allocates nothing.
+	// ackBuf is the preframed ack datagram: burst-flush acks are encoded
+	// into it under mu and written after release, so the hot path
+	// allocates nothing. rxLoop-exclusive — the delayed-ack timer frames
+	// on its own stack buffer, so the post-unlock write never races.
 	ackBuf [proto.HeaderBytes]byte
+}
+
+// pendingMsg is one completed message staged for delivery outside the
+// channel lock. When fb is non-nil the borrowed view aliases that
+// pooled buffer, whose return to the pool was deferred to the drain.
+type pendingMsg struct {
+	src   int
+	port  uint16
+	typ   proto.PacketType
+	seq   relwin.Seq
+	view  []byte
+	owned bool
+	fb    *frameBuf
 }
 
 // rxDatagram is one sequenced datagram in flight through the
@@ -74,6 +102,7 @@ func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 		reseq:          relwin.NewResequencer[rxDatagram](n.cfg.Window),
 		lastProgressNs: time.Now().UnixNano(),
 	}
+	rc.mu.SetRank(rankChanMu, "rc.mu")
 	rc.ackTimer = time.AfterFunc(time.Hour, func() { n.fireDelayedAck(rc) })
 	rc.ackTimer.Stop()
 	rc.emit = func(d rxDatagram) {
@@ -82,7 +111,17 @@ func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 			if rc.asm.flags&proto.FlagConfirm != 0 {
 				rc.confirms = append(rc.confirms, rc.asm.lastSeq)
 			}
-			n.deliver(rc.src, rc.asm.port, rc.asm.typ, rc.asm.lastSeq, view, owned)
+			// Stage rather than deliver: delivery sends on port channels
+			// and takes pmu/region locks, none of which may happen under
+			// rc.mu. The rxLoop drains right after releasing the lock.
+			p := pendingMsg{src: rc.src, port: rc.asm.port, typ: rc.asm.typ,
+				seq: rc.asm.lastSeq, view: view, owned: owned}
+			if !owned && d.fb != nil {
+				// The borrowed view aliases this parked pooled buffer, so
+				// its pool return moves to the drain, after delivery.
+				p.fb, d.fb = d.fb, nil
+			}
+			rc.pending = append(rc.pending, p)
 		}
 		if d.fb != nil {
 			d.fb.retained = false
@@ -90,6 +129,25 @@ func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 		}
 	}
 	return rc
+}
+
+// drainPending delivers the messages staged during a locked dispatch
+// run. Called from the rxLoop goroutine with rc.mu released: borrowed
+// views alias either the reader's resident buffers — valid until the
+// next readBatch, which this same goroutine issues — or a transferred
+// pooled buffer, returned here once delivery is done.
+func (n *Node) drainPending(rc *liveRxChan) {
+	for i := range rc.pending {
+		p := &rc.pending[i]
+		n.deliver(p.src, p.port, p.typ, p.seq, p.view, p.owned)
+		fb := p.fb
+		*p = pendingMsg{} // drop buffer refs so the reused array pins nothing
+		if fb != nil {
+			fb.retained = false
+			n.pool.Put(fb)
+		}
+	}
+	rc.pending = rc.pending[:0]
 }
 
 // rxPollIdleExit is how many consecutive empty non-blocking probes the
@@ -206,11 +264,17 @@ func (n *Node) dispatchBurst(br *batchReader, cnt int, sc *burstScratch, touched
 		case proto.TypeConfirm:
 			key := confirmKey{peer: src, seq: hdr.Seq}
 			n.cmu.Lock()
-			if ch, ok := n.confirm[key]; ok {
+			ch, ok := n.confirm[key]
+			if ok {
 				delete(n.confirm, key)
-				ch <- nil
 			}
 			n.cmu.Unlock()
+			if ok {
+				// Deleting under cmu made this goroutine the channel's sole
+				// sender; the send happens outside the lock (it is buffered
+				// and cannot block, but cmu is a state lock all the same).
+				ch <- nil
+			}
 		default:
 			sc.hdrs[i], sc.payloads[i], sc.srcs[i], sc.data[i] = hdr, payload, src, true
 		}
@@ -263,6 +327,7 @@ func (n *Node) onDataRun(src int, hdrs []proto.Header, payloads [][]byte, touche
 		}
 	}
 	rc.mu.Unlock()
+	n.drainPending(rc)
 	return touched
 }
 
@@ -332,32 +397,31 @@ func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
 				rc.ackTimer.Stop()
 				rc.ackArmed = false
 			}
-			n.sendAckLocked(rc)
+			// Frame under the lock, write after release: the socket write
+			// must not happen under rc.mu. ackBuf is rxLoop-exclusive, so
+			// the post-unlock read of it is race-free.
+			hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
+			hdr.Put(rc.ackBuf[:])
 		} else if rc.sinceAck > 0 && !rc.ackArmed {
 			rc.ackTimer.Reset(n.cfg.AckDelay)
 			rc.ackArmed = true
 		}
+		addr := rc.addr
 		confirms := rc.confirms
 		rc.confirms = nil
 		rc.mu.Unlock()
+		if flush {
+			n.acksSent.Inc()
+			// Control datagrams carry no flight id (0): their sequence
+			// numbers live in the peer's space, so deriving an id here
+			// would collide.
+			n.transmit(addr, rc.ackBuf[:], 0)
+		}
 		for _, seq := range confirms {
 			n.sendControl(rc.src, proto.TypeConfirm, seq)
 		}
 	}
 	return touched[:0]
-}
-
-// sendAckLocked frames the cumulative ack into the channel's resident
-// ack buffer and writes it. Called with rc.mu held (both the burst
-// flush and the delayed-ack timer), which also serialises use of the
-// buffer.
-func (n *Node) sendAckLocked(rc *liveRxChan) {
-	hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
-	hdr.Put(rc.ackBuf[:])
-	n.acksSent.Inc()
-	// Control datagrams carry no flight id (0): their sequence numbers
-	// live in the peer's space, so deriving an id here would collide.
-	n.transmit(rc.addr, rc.ackBuf[:], 0)
 }
 
 // fireDelayedAck is the delayed-ack timer callback: flush the
@@ -367,17 +431,26 @@ func (n *Node) fireDelayedAck(rc *liveRxChan) {
 		return
 	}
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if !rc.ackArmed {
-		return // a burst flush won the race with this fire
-	}
-	rc.ackArmed = false
-	if rc.sinceAck == 0 {
+	if !rc.ackArmed || rc.sinceAck == 0 {
+		// A burst flush won the race with this fire (or there is nothing
+		// outstanding); just disarm.
+		rc.ackArmed = false
+		rc.mu.Unlock()
 		return
 	}
+	rc.ackArmed = false
 	rc.sinceAck = 0
 	rc.ackNow = false
-	n.sendAckLocked(rc)
+	// Frame on the stack, not into rc.ackBuf: that buffer is rxLoop-
+	// exclusive and the burst flush reads it outside the lock. This is
+	// the cold path, so the escaping buffer's allocation is acceptable.
+	var buf [proto.HeaderBytes]byte
+	hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
+	hdr.Put(buf[:])
+	addr := rc.addr
+	rc.mu.Unlock()
+	n.acksSent.Inc()
+	n.transmit(addr, buf[:], 0)
 }
 
 // liveAsm reassembles fragments into messages.
@@ -480,8 +553,12 @@ func (n *Node) sendControl(dst int, typ proto.PacketType, seq relwin.Seq) {
 // with its own lock so remote writes never contend with unrelated
 // node state.
 type Region struct {
-	n      *Node
-	mu     sync.Mutex
+	n *Node
+	// mu guards the window buffer and write counter. Remote writes land
+	// under it from the rxLoop's post-unlock drain, so it nests inside
+	// nothing lower-ranked than pmu's read side.
+	//lockorder: rank=40 name=region.mu
+	mu     lockcheck.Mutex
 	cond   *sync.Cond
 	buf    []byte
 	writes int
@@ -492,6 +569,7 @@ const remoteWritePrefix = 8
 // OpenRegion registers a remote-write window on port.
 func (n *Node) OpenRegion(port uint16, size int) *Region {
 	r := &Region{n: n, buf: make([]byte, size)}
+	r.mu.SetRank(rankRegion, "region.mu")
 	r.cond = sync.NewCond(&r.mu)
 	n.pmu.Lock()
 	n.regions[port] = r

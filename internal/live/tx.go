@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/lockcheck"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/rto"
@@ -24,10 +25,17 @@ type liveTxChan struct {
 	// the same peer must not interleave in the sequence space or the
 	// receiver's assembler would splice them. It is a different lock
 	// from mu precisely so that holding it across the fragment loop
-	// (socket writes included) never blocks ack processing.
-	sendMu sync.Mutex
+	// (socket writes included) never blocks ack processing — which is
+	// why it is declared blockok: spanning the flush syscalls is its
+	// design, not an accident, and blockunderlock exempts it.
+	//lockorder: rank=10 name=sendMu blockok
+	sendMu lockcheck.Mutex
 
-	mu       sync.Mutex
+	// mu guards the channel state below. It is a state lock: no socket
+	// write may happen under it (fireRTO is the one documented
+	// exception), and it may wrap only cmu and imu.
+	//lockorder: rank=20 name=tc.mu
+	mu       lockcheck.Mutex
 	addr     netip.AddrPort // peer destination, cached from the peer table
 	win      *relwin.Sender[*frameBuf]
 	slotFree *sync.Cond // window space or channel failure; on mu
@@ -119,6 +127,8 @@ func newTxChan(n *Node, peer int, addr netip.AddrPort) *liveTxChan {
 			MaxRetries: n.cfg.MaxRetries,
 		}),
 	}
+	tc.sendMu.SetRank(rankSendMu, "sendMu")
+	tc.mu.SetRank(rankChanMu, "tc.mu")
 	tc.lastProgressNs = time.Now().UnixNano()
 	ring := nextPow2(n.cfg.Window)
 	tc.slots = make([]txSlot, ring)
@@ -473,6 +483,12 @@ func (n *Node) fireRTO(tc *liveTxChan) {
 	if n.closed.Load() {
 		return
 	}
+	var failWaiters []chan error
+	defer func() { // runs after the deferred Unlock below (LIFO)
+		for _, ch := range failWaiters {
+			ch <- ErrPeerDead
+		}
+	}()
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if tc.failed || !tc.rtoArmed {
@@ -487,7 +503,11 @@ func (n *Node) fireRTO(tc *liveTxChan) {
 		return
 	}
 	if tc.ctrl.OnTimeout() {
-		n.failChannel(tc)
+		// The waiter channels are buffered and, once unregistered, this
+		// goroutine is their sole sender — but the sends still happen
+		// after tc.mu is released. The defer above (registered before
+		// Lock) runs after the deferred Unlock.
+		failWaiters = n.failChannel(tc)
 		return
 	}
 	n.rtoBackoffs.Inc()
@@ -508,16 +528,17 @@ func (n *Node) fireRTO(tc *liveTxChan) {
 			n.fr.Point(n.nodeName, fid, trace.PointRetransmit,
 				time.Now().UnixNano(), int64(fb.n))
 		}
-		n.transmit(tc.addr, fb.b[:fb.n], fid)
+		n.transmit(tc.addr, fb.b[:fb.n], fid) //nolint:blockunderlock // deliberate: dropping tc.mu here would let the ack path recycle the buffers being retransmitted; cold path by construction
 	}
 	n.armRTO(tc)
 }
 
 // failChannel declares a peer dead: blocked senders wake with
-// ErrPeerDead, confirmation waiters fail, and the window is drained so
-// its retained buffers return to the pool instead of leaking with the
-// dead channel. Called with tc.mu held.
-func (n *Node) failChannel(tc *liveTxChan) {
+// ErrPeerDead, the window is drained so its retained buffers return to
+// the pool instead of leaking with the dead channel, and the peer's
+// confirmation waiters are unregistered and returned for the caller to
+// notify once no lock is held. Called with tc.mu held.
+func (n *Node) failChannel(tc *liveTxChan) []chan error {
 	tc.failed = true
 	n.channelFailures.Inc()
 	n.hl.Warn("peer_dead", tc.peer, tc.win.Base(), int64(tc.ctrl.Retries()))
@@ -532,14 +553,16 @@ func (n *Node) failChannel(tc *liveTxChan) {
 	tc.relObserve = false
 	tc.win.Drain(tc.release)
 	tc.slotFree.Broadcast()
+	var waiters []chan error
 	n.cmu.Lock()
 	for key, ch := range n.confirm {
 		if key.peer == tc.peer {
 			delete(n.confirm, key)
-			ch <- ErrPeerDead
+			waiters = append(waiters, ch)
 		}
 	}
 	n.cmu.Unlock()
+	return waiters
 }
 
 // onAck processes a cumulative acknowledgement from peer: release the

@@ -1,0 +1,35 @@
+// Package lockcheck is the runtime half of the concurrency-discipline
+// suite: rank-ordered mutex wrappers that assert, per goroutine, that
+// locks are only ever acquired in strictly increasing rank order.
+//
+// The static half (the cliclint lockorder and blockunderlock analyzers)
+// checks the declared `//lockorder: rank=N` hierarchy intra-package at
+// compile time, but cannot see through dynamic call paths — a closure
+// stored in a field and invoked from another package, a timer callback,
+// a goroutine handoff. The wrappers close that gap: every Lock records
+// the acquisition on the calling goroutine's held stack and panics the
+// moment an acquisition would invert the declared order, which turns a
+// latent ABBA deadlock (two goroutines, two locks, opposite order —
+// hit only under the right interleaving) into a deterministic failure
+// on ANY single acquisition that violates the hierarchy, under any
+// interleaving, in any one goroutine.
+//
+// The whole mechanism is build-tag-gated:
+//
+//   - Default build: Mutex and RWMutex are transparent shells around
+//     sync.Mutex / sync.RWMutex — same size, zero extra fields, every
+//     method a direct delegate the compiler inlines, SetRank a no-op.
+//     The live datapath's 0-alloc and throughput guards run against
+//     this variant.
+//   - `-tags lockcheck`: every Lock/RLock asserts rank order against
+//     the goroutine's held stack (keyed by goroutine id) and panics
+//     with both acquisition sites' names on violation. CI soaks the
+//     live and clic test suites with `-race -tags lockcheck`.
+//
+// Ranks mirror the `//lockorder:` comments on the guarded fields (see
+// DESIGN.md §8 for the declared hierarchy of internal/live); a wrapper
+// whose SetRank was never called (rank 0) participates as an unranked
+// lock: acquiring it while a ranked lock is held is exactly what the
+// blockunderlock analyzer reports statically, and the runtime layer
+// flags it too so dynamic paths get the same discipline.
+package lockcheck

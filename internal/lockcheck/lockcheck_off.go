@@ -1,0 +1,48 @@
+//go:build !lockcheck
+
+package lockcheck
+
+import "sync"
+
+// Enabled reports whether rank assertions are compiled in.
+const Enabled = false
+
+// Mutex is a transparent shell around sync.Mutex: identical size, every
+// method a direct delegate. The declared rank is discarded — the static
+// lockorder analyzer still checks the `//lockorder:` hierarchy on every
+// build; only the runtime assertion is compiled out.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// SetRank is a no-op without the lockcheck tag.
+func (m *Mutex) SetRank(rank int, name string) {}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() { m.mu.Lock() }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.mu.Unlock() }
+
+// TryLock attempts the acquisition without blocking.
+func (m *Mutex) TryLock() bool { return m.mu.TryLock() }
+
+// RWMutex is the transparent shell around sync.RWMutex.
+type RWMutex struct {
+	mu sync.RWMutex
+}
+
+// SetRank is a no-op without the lockcheck tag.
+func (m *RWMutex) SetRank(rank int, name string) {}
+
+// Lock acquires the write lock.
+func (m *RWMutex) Lock() { m.mu.Lock() }
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() { m.mu.Unlock() }
+
+// RLock acquires a read lock.
+func (m *RWMutex) RLock() { m.mu.RLock() }
+
+// RUnlock releases a read lock.
+func (m *RWMutex) RUnlock() { m.mu.RUnlock() }

@@ -1,0 +1,211 @@
+//go:build lockcheck
+
+package lockcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Enabled reports whether rank assertions are compiled in.
+const Enabled = true
+
+// heldLock is one acquisition on a goroutine's held stack.
+type heldLock struct {
+	key  any // *Mutex or *RWMutex identity
+	rank int
+	name string
+}
+
+// registry is the per-goroutine held-stack table. A global mutex is
+// fine here: the lockcheck build is a debugging configuration, not a
+// performance one, and the critical sections are a few slice ops.
+var registry = struct {
+	sync.Mutex
+	held map[uint64][]heldLock
+}{held: map[uint64][]heldLock{}}
+
+// goid extracts the calling goroutine's id from its stack header
+// ("goroutine 123 [running]:"). Slow and proud of it — the tag buys
+// determinism, not speed.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[len("goroutine "):n]
+	var id uint64
+	for i := 0; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		id = id*10 + uint64(s[i]-'0')
+	}
+	return id
+}
+
+// describe renders a held stack for the panic message.
+func describe(held []heldLock) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = fmt.Sprintf("%s(rank %d)", h.name, h.rank)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// assertAcquire enforces the rank discipline for one acquisition and
+// panics on violation. op is "Lock" or "RLock" for the message.
+func assertAcquire(key any, rank int, name, op string) {
+	gid := goid()
+	registry.Lock()
+	held := registry.held[gid]
+	for _, h := range held {
+		if h.key == key {
+			registry.Unlock()
+			panic(fmt.Sprintf(
+				"lockcheck: %s of %s(rank %d) while already held by this goroutine (re-acquisition self-deadlocks); held: %s",
+				op, name, rank, describe(held)))
+		}
+		if rank <= h.rank {
+			registry.Unlock()
+			if rank == 0 {
+				panic(fmt.Sprintf(
+					"lockcheck: %s of unranked lock %s while holding %s(rank %d); rank every lock that nests under a ranked one; held: %s",
+					op, name, h.name, h.rank, describe(held)))
+			}
+			panic(fmt.Sprintf(
+				"lockcheck: %s of %s(rank %d) while holding %s(rank %d) inverts the declared order (ranks must strictly increase); held: %s",
+				op, name, rank, h.name, h.rank, describe(held)))
+		}
+	}
+	registry.Unlock()
+}
+
+// recordAcquire pushes the acquisition after the underlying lock is
+// taken (the goroutine was parked until then, so its stack could not
+// have been consulted in between by itself).
+func recordAcquire(key any, rank int, name string) {
+	gid := goid()
+	registry.Lock()
+	registry.held[gid] = append(registry.held[gid], heldLock{key: key, rank: rank, name: name})
+	registry.Unlock()
+}
+
+// recordRelease pops the most recent matching acquisition. A release
+// with no matching entry is legal for sync.Mutex (locked on one
+// goroutine, unlocked on another) and is simply not tracked.
+func recordRelease(key any) {
+	gid := goid()
+	registry.Lock()
+	held := registry.held[gid]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == key {
+			held = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+	if len(held) == 0 {
+		delete(registry.held, gid)
+	} else {
+		registry.held[gid] = held
+	}
+	registry.Unlock()
+}
+
+// Mutex is a rank-asserting mutex. The zero value is usable as an
+// unranked lock; SetRank declares its place in the hierarchy.
+type Mutex struct {
+	mu   sync.Mutex
+	rank int
+	name string
+}
+
+// SetRank declares the lock's rank and diagnostic name. Call it before
+// the lock is shared (a constructor); the fields are read without
+// synchronisation afterwards. //atomicmix:init
+func (m *Mutex) SetRank(rank int, name string) {
+	m.rank, m.name = rank, name
+}
+
+func (m *Mutex) label() string {
+	if m.name == "" {
+		return fmt.Sprintf("Mutex@%p", m)
+	}
+	return m.name
+}
+
+// Lock asserts rank order, then acquires.
+func (m *Mutex) Lock() {
+	assertAcquire(m, m.rank, m.label(), "Lock")
+	m.mu.Lock()
+	recordAcquire(m, m.rank, m.label())
+}
+
+// Unlock releases and pops the held stack.
+func (m *Mutex) Unlock() {
+	recordRelease(m)
+	m.mu.Unlock()
+}
+
+// TryLock attempts the acquisition without blocking. TryLock is
+// exempt from the rank assertion — it never parks, so it cannot
+// deadlock regardless of order (the same exemption lockdep grants
+// trylocks) — but a success still lands on the held stack so later
+// blocking acquisitions are checked against it.
+func (m *Mutex) TryLock() bool {
+	if !m.mu.TryLock() {
+		return false
+	}
+	recordAcquire(m, m.rank, m.label())
+	return true
+}
+
+// RWMutex is the rank-asserting reader/writer mutex. Read and write
+// acquisitions follow the same rank discipline: a read lock still
+// parks behind a pending writer, so an out-of-rank RLock deadlocks
+// exactly like an out-of-rank Lock.
+type RWMutex struct {
+	mu   sync.RWMutex
+	rank int
+	name string
+}
+
+// SetRank declares the lock's rank and diagnostic name. Call it before
+// the lock is shared (a constructor). //atomicmix:init
+func (m *RWMutex) SetRank(rank int, name string) {
+	m.rank, m.name = rank, name
+}
+
+func (m *RWMutex) label() string {
+	if m.name == "" {
+		return fmt.Sprintf("RWMutex@%p", m)
+	}
+	return m.name
+}
+
+// Lock asserts rank order, then acquires the write lock.
+func (m *RWMutex) Lock() {
+	assertAcquire(m, m.rank, m.label(), "Lock")
+	m.mu.Lock()
+	recordAcquire(m, m.rank, m.label())
+}
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() {
+	recordRelease(m)
+	m.mu.Unlock()
+}
+
+// RLock asserts rank order, then acquires a read lock. Recursive read
+// acquisition on one goroutine is reported as re-acquisition: with a
+// writer parked between the two RLocks, the second one deadlocks.
+func (m *RWMutex) RLock() {
+	assertAcquire(m, m.rank, m.label(), "RLock")
+	m.mu.RLock()
+	recordAcquire(m, m.rank, m.label())
+}
+
+// RUnlock releases a read lock.
+func (m *RWMutex) RUnlock() {
+	recordRelease(m)
+	m.mu.RUnlock()
+}

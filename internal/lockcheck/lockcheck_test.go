@@ -1,0 +1,190 @@
+//go:build lockcheck
+
+package lockcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a lockcheck panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	f()
+}
+
+// TestInvertedAcquisitionPanics is the acceptance check: taking a
+// lower-ranked lock while a higher-ranked one is held must panic under
+// the lockcheck tag.
+func TestInvertedAcquisitionPanics(t *testing.T) {
+	var outer, inner Mutex
+	outer.SetRank(10, "outer")
+	inner.SetRank(20, "inner")
+
+	// Declared order: fine.
+	outer.Lock()
+	inner.Lock()
+	inner.Unlock()
+	outer.Unlock()
+
+	// Inverted: panic, deterministically, on one goroutine.
+	inner.Lock()
+	defer inner.Unlock()
+	mustPanic(t, "inverts the declared order", func() { outer.Lock() })
+}
+
+func TestEqualRankPanics(t *testing.T) {
+	var a, b Mutex
+	a.SetRank(20, "a")
+	b.SetRank(20, "b")
+	a.Lock()
+	defer a.Unlock()
+	// Two distinct locks at one rank must never nest: the rank declares
+	// them order-free, so nesting them is exactly the ABBA shape.
+	mustPanic(t, "inverts the declared order", func() { b.Lock() })
+}
+
+func TestReacquisitionPanics(t *testing.T) {
+	var m Mutex
+	m.SetRank(10, "m")
+	m.Lock()
+	defer m.Unlock()
+	mustPanic(t, "re-acquisition", func() { m.Lock() })
+}
+
+func TestUnrankedUnderRankedPanics(t *testing.T) {
+	var ranked, unranked Mutex
+	ranked.SetRank(10, "ranked")
+	ranked.Lock()
+	defer ranked.Unlock()
+	mustPanic(t, "unranked", func() { unranked.Lock() })
+}
+
+func TestRWMutexRanks(t *testing.T) {
+	var pmu RWMutex
+	var mu Mutex
+	mu.SetRank(20, "mu")
+	pmu.SetRank(30, "pmu")
+
+	// mu → pmu.RLock is the declared order (the RX deliver path).
+	mu.Lock()
+	pmu.RLock()
+	pmu.RUnlock()
+	mu.Unlock()
+
+	// pmu → mu is the Close-shaped inversion.
+	pmu.Lock()
+	defer pmu.Unlock()
+	mustPanic(t, "inverts the declared order", func() { mu.Lock() })
+}
+
+func TestRecursiveRLockPanics(t *testing.T) {
+	var m RWMutex
+	m.SetRank(30, "m")
+	m.RLock()
+	defer m.RUnlock()
+	mustPanic(t, "re-acquisition", func() { m.RLock() })
+}
+
+// TestUnlockOrderFree verifies releases need not be LIFO: the rank
+// discipline constrains acquisition order only.
+func TestUnlockOrderFree(t *testing.T) {
+	var a, b Mutex
+	a.SetRank(10, "a")
+	b.SetRank(20, "b")
+	a.Lock()
+	b.Lock()
+	a.Unlock() // out of LIFO order, legal
+	b.Unlock()
+	// The stack is clean: a fresh ordered sequence still works.
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+// TestPerGoroutineIsolation verifies one goroutine's held stack does
+// not leak into another's: both may hold their own rank-20 lock.
+func TestPerGoroutineIsolation(t *testing.T) {
+	var a, b Mutex
+	a.SetRank(20, "a")
+	b.SetRank(20, "b")
+	a.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Lock() // rank 20 with a held by the OTHER goroutine: fine
+		b.Unlock()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-goroutine acquisition blocked or panicked")
+	}
+	a.Unlock()
+}
+
+// TestCondWait verifies the wrapper satisfies sync.Locker and that
+// Cond.Wait's unlock/relock cycle keeps the held stack balanced.
+func TestCondWait(t *testing.T) {
+	var m Mutex
+	m.SetRank(20, "m")
+	cond := sync.NewCond(&m)
+	ready := false
+	go func() {
+		m.Lock()
+		ready = true
+		cond.Broadcast()
+		m.Unlock()
+	}()
+	m.Lock()
+	for !ready {
+		cond.Wait()
+	}
+	m.Unlock()
+	// After the Wait cycle the stack must be clean: an ordered pair
+	// still acquires.
+	var inner Mutex
+	inner.SetRank(30, "inner")
+	m.Lock()
+	inner.Lock()
+	inner.Unlock()
+	m.Unlock()
+}
+
+// TestTryLock verifies the trylock exemption: a non-parking
+// acquisition cannot deadlock, so it may succeed out of rank — but it
+// still joins the held stack, so a later blocking acquisition checks
+// against it.
+func TestTryLock(t *testing.T) {
+	var a, b, c Mutex
+	a.SetRank(10, "a")
+	b.SetRank(20, "b")
+	c.SetRank(15, "c")
+	b.Lock()
+	if !a.TryLock() {
+		t.Fatal("TryLock of a free lock failed")
+	}
+	// The out-of-rank TryLock succeeded (exempt), but both b(20) and
+	// a(10) are on the stack now, so a blocking Lock of c(15) is an
+	// inversion against b(20) and panics.
+	mustPanic(t, "inverts the declared order", func() { c.Lock() })
+	a.Unlock()
+	b.Unlock()
+}

@@ -1,0 +1,46 @@
+//go:build !lockcheck
+
+package lockcheck
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestNoOpWithoutTag verifies the default build is a transparent
+// shell: inverted acquisition order does not panic (the static
+// analyzers carry the discipline on this build), and the wrappers add
+// no fields over the sync types they delegate to.
+func TestNoOpWithoutTag(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without -tags lockcheck")
+	}
+	var outer, inner Mutex
+	outer.SetRank(10, "outer")
+	inner.SetRank(20, "inner")
+	inner.Lock()
+	outer.Lock() // inverted: must be silently fine on the no-op build
+	outer.Unlock()
+	inner.Unlock()
+
+	if unsafe.Sizeof(Mutex{}) != unsafe.Sizeof(sync.Mutex{}) {
+		t.Fatalf("no-op Mutex is %d bytes, sync.Mutex is %d — the shell must add nothing",
+			unsafe.Sizeof(Mutex{}), unsafe.Sizeof(sync.Mutex{}))
+	}
+	if unsafe.Sizeof(RWMutex{}) != unsafe.Sizeof(sync.RWMutex{}) {
+		t.Fatalf("no-op RWMutex is %d bytes, sync.RWMutex is %d — the shell must add nothing",
+			unsafe.Sizeof(RWMutex{}), unsafe.Sizeof(sync.RWMutex{}))
+	}
+}
+
+// TestLockerCompat verifies the wrapper satisfies sync.Locker so
+// sync.Cond construction keeps working on either build.
+func TestLockerCompat(t *testing.T) {
+	var m Mutex
+	var _ sync.Locker = &m
+	cond := sync.NewCond(&m)
+	m.Lock()
+	cond.Broadcast()
+	m.Unlock()
+}
