@@ -15,15 +15,23 @@
 //	loss        injected-loss sweep: recovery cost            (E12)
 //	rxmode      adaptive RX ladder: bh/direct/poll            (E16)
 //	live        real-sockets loopback perf trajectory         (E15)
-//	all         everything above
+//	profile     live sweep under CPU profile, per-stage table (E17)
+//	report      render the trajectory file as markdown        (E17)
+//	all         every simulated + live experiment above (not profile/report)
 //
 // The live experiment runs wall-clock goroutines over loopback UDP and,
 // with -live-out, appends its numbers to a JSON trajectory file
-// (BENCH_live.json) that future changes regress against.
+// (BENCH_live.json) that future changes regress against. -runs folds N
+// repetitions into median ± MAD; -baseline/-check gate the result
+// against a committed baseline (the CI perf gate), -seed-baseline
+// writes one, and -canary injects an artificial throughput regression
+// to prove the gate fires.
 //
 // Usage:
 //
-//	clicbench [-chart] [-csv dir] [-live-out BENCH_live.json] [-live-label name] <experiment>...
+//	clicbench [-chart] [-csv dir] [-live-out BENCH_live.json] [-live-label name]
+//	          [-runs N] [-baseline file [-check] [-canary f]] [-seed-baseline file]
+//	          [-cpuprofile file] [-trajectory file] <experiment>...
 package main
 
 import (
@@ -31,9 +39,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/model"
+	"repro/internal/perfreg"
 )
 
 var experiments = map[string]func(*model.Params) *bench.Report{
@@ -62,13 +72,25 @@ var order = []string{
 	"collectives", "jitter", "latency", "loss", "rxmode", "live",
 }
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "clicbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	chart := flag.Bool("chart", false, "also render ASCII charts for sweep figures")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files into")
 	liveOut := flag.String("live-out", "", "append the live experiment's numbers to this JSON trajectory file")
 	liveLabel := flag.String("live-label", "dev", "label for the live trajectory entry")
+	runs := flag.Int("runs", 0, "live repetitions folded into median ± MAD (default 1, or 3 with -check/-seed-baseline)")
+	baselinePath := flag.String("baseline", "", "baseline entry file to compare the live experiment against")
+	check := flag.Bool("check", false, "with -baseline: exit 1 if the live run regresses beyond the noise band")
+	canary := flag.Float64("canary", 1, "scale measured live throughput by this factor before checking (CI gate self-test)")
+	seedBaseline := flag.String("seed-baseline", "", "run the live experiment and write the result to this baseline file")
+	cpuprofile := flag.String("cpuprofile", "", "write a stage-labelled CPU profile of the executed experiments to this file")
+	trajectory := flag.String("trajectory", "BENCH_live.json", "trajectory file for the report experiment")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: clicbench [-chart] [-csv dir] <experiment>...\nexperiments: %v, all\n", order)
+		fmt.Fprintf(os.Stderr, "usage: clicbench [flags] <experiment>...\nexperiments: %v, profile, report, all\n", order)
 	}
 	flag.Parse()
 	args := flag.Args()
@@ -76,36 +98,71 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if (*check || *canary != 1) && *baselinePath == "" {
+		fatalf("-check/-canary need -baseline <file>")
+	}
+	if *runs == 0 {
+		*runs = 1
+		if *check || *seedBaseline != "" {
+			// Gate modes need a MAD band, which needs repetitions.
+			*runs = 3
+		}
+	}
+
 	var names []string
 	for _, a := range args {
 		if a == "all" {
 			names = append(names, order...)
 			continue
 		}
-		if _, ok := experiments[a]; !ok {
+		if _, ok := experiments[a]; !ok && a != "profile" && a != "report" {
 			fmt.Fprintf(os.Stderr, "clicbench: unknown experiment %q\n", a)
 			os.Exit(2)
 		}
 		names = append(names, a)
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		perfreg.Enable() // stage labels make the capture sliceable per stage
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("   wrote CPU profile to %s (slice per stage: go tool pprof -tagfocus %s=<stage>)\n",
+				*cpuprofile, perfreg.LabelKey)
+		}()
+	}
+
+	failed := false
 	for _, name := range names {
 		var rep *bench.Report
-		if name == "live" {
-			var entry *bench.LiveEntry
+		switch name {
+		case "live":
+			rep = runLive(*liveLabel, *runs, *liveOut, *baselinePath, *seedBaseline, *canary, *check, &failed)
+		case "profile":
+			if *cpuprofile != "" {
+				fatalf("the profile experiment captures its own CPU profile; drop -cpuprofile or run other experiments")
+			}
 			var err error
-			rep, entry, err = bench.LiveRun(*liveLabel)
+			rep, _, err = bench.ProfileRun(*liveLabel)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "clicbench: live experiment: %v\n", err)
-				os.Exit(1)
+				fatalf("profile experiment: %v", err)
 			}
-			if *liveOut != "" {
-				if err := bench.AppendLiveEntry(*liveOut, entry); err != nil {
-					fmt.Fprintf(os.Stderr, "clicbench: %v\n", err)
-					os.Exit(1)
-				}
-				fmt.Printf("   appended trajectory entry %q to %s\n\n", *liveLabel, *liveOut)
+		case "report":
+			entries, err := perfreg.LoadTrajectory(*trajectory)
+			if err != nil {
+				fatalf("%v", err)
 			}
-		} else {
+			fmt.Print(perfreg.Trajectory(entries))
+			fmt.Println()
+			continue
+		default:
 			rep = experiments[name](nil)
 		}
 		fmt.Println(rep.Table())
@@ -117,10 +174,53 @@ func main() {
 		if *csvDir != "" && len(rep.Rows) > 0 {
 			path := filepath.Join(*csvDir, name+".csv")
 			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "clicbench: writing %s: %v\n", path, err)
-				os.Exit(1)
+				fatalf("writing %s: %v", path, err)
 			}
 			fmt.Printf("   wrote %s\n\n", path)
 		}
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runLive executes the live sweep with the observatory modes attached:
+// trajectory append, baseline seeding, and the noise-aware regression
+// check (with optional canary scaling to prove the gate fires).
+func runLive(label string, runs int, liveOut, baselinePath, seedPath string, canary float64, check bool, failed *bool) *bench.Report {
+	rep, entry, err := bench.LiveRunN(label, runs)
+	if err != nil {
+		fatalf("live experiment: %v", err)
+	}
+	if canary != 1 {
+		for i := range entry.Streaming {
+			entry.Streaming[i].Mbps *= canary
+		}
+		rep.Notef("CANARY: measured throughput scaled by %.2f before checking", canary)
+	}
+	if liveOut != "" {
+		if err := bench.AppendLiveEntry(liveOut, entry); err != nil {
+			fatalf("%v", err)
+		}
+		rep.Notef("appended trajectory entry %q to %s", label, liveOut)
+	}
+	if seedPath != "" {
+		if err := perfreg.WriteBaseline(seedPath, entry); err != nil {
+			fatalf("%v", err)
+		}
+		rep.Notef("wrote baseline %s (median of %d runs)", seedPath, runs)
+	}
+	if baselinePath != "" {
+		base, err := perfreg.LoadBaseline(baselinePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		findings := perfreg.Check(base, entry, perfreg.DefaultCheckConfig())
+		fmt.Print(perfreg.Explain(base, entry, findings))
+		fmt.Println()
+		if check && len(perfreg.Regressions(findings)) > 0 {
+			*failed = true
+		}
+	}
+	return rep
 }

@@ -6,7 +6,12 @@
 //
 //	cliclive [-loss 0.2] [-size 1000000] [-count 20] [-mtu 1500]
 //	    [-metrics-addr 127.0.0.1:9090] [-linger 30s] [-metrics prom|json]
-//	    [-log-level info] [-log-format text|json]
+//	    [-profile] [-log-level info] [-log-format text|json]
+//
+// -profile arms the perfreg stage labels plus the runtime mutex/block
+// contention profilers; capture them live from /debug/pprof/mutex and
+// /debug/pprof/block on the -metrics-addr mux, and slice CPU captures
+// per datapath stage with `go tool pprof -tagfocus clic_stage=<stage>`.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/health"
 	"repro/internal/live"
+	"repro/internal/perfreg"
 	"repro/internal/telemetry"
 )
 
@@ -50,6 +56,7 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		eventRate   = flag.Int("event-rate", 0, "protocol event rate limit per second (0 = default)")
+		profileOn   = flag.Bool("profile", false, "arm pprof stage labels and mutex/block contention profiling")
 	)
 	flag.Parse()
 	logger, err := health.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -64,6 +71,13 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("clic")
+	if *profileOn {
+		// Sample every 100th contention event and blocks >= 10 µs: cheap
+		// enough to leave on for a whole lossy transfer, dense enough
+		// that lock contention in the datapath shows up.
+		perfreg.EnableRuntimeProfiles(100, 10_000)
+	}
+	perfreg.RegisterMetrics(reg)
 	var journal *flight.Journal
 	if *flightOn {
 		journal = flight.New(0)

@@ -12,15 +12,28 @@
 //	clicsim -stack clic -metrics prom
 //	clicsim -stack clic -metrics json -metrics-every-us 500
 //	clicsim -stack clic -loss 0.3 -health-out health.json -health-scan-us 1000
+//	clicsim -stack clic -profile -debug-addr 127.0.0.1:9091 -linger 30s
+//
+// -debug-addr serves /metrics, /metrics.json, /debug/clic (503 until the
+// run finishes) and /debug/pprof on a wall-clock HTTP mux next to the
+// simulation; -profile arms the perfreg stage labels plus mutex/block
+// contention profiling so those pprof endpoints have data; -linger keeps
+// the process (and the mux) alive after the run for scraping.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/chrometrace"
 	"repro/internal/clic"
@@ -29,6 +42,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/model"
 	"repro/internal/pcap"
+	"repro/internal/perfreg"
 	"repro/internal/sim"
 )
 
@@ -68,8 +82,16 @@ func main() {
 		healthUs   = flag.Int64("health-scan-us", 0, "run the stall watchdog every N simulated µs (CLIC only)")
 		logLevel   = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/clic and /debug/pprof on this address")
+		profileOn  = flag.Bool("profile", false, "arm pprof stage labels and mutex/block contention profiling")
+		linger     = flag.Duration("linger", 0, "keep the process (and -debug-addr endpoints) up this long after the run")
 	)
 	flag.Parse()
+	if *profileOn {
+		// Same sampling knobs as cliclive -profile: every 100th
+		// contention event, blocks >= 10 µs.
+		perfreg.EnableRuntimeProfiles(100, 10_000)
+	}
 
 	logger, err := health.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -114,6 +136,40 @@ func main() {
 	c := cluster.New(cluster.Config{Nodes: 2, NICsPerNode: *nics, Seed: *seed, Params: &params,
 		Flight: journal, Health: events})
 	events.WithClock(func() int64 { return int64(c.Eng.Now()) })
+	perfreg.RegisterMetrics(c.Tel)
+
+	// /debug/clic serves the final health document. Unlike the live
+	// stack's lock-narrow mid-run capture, the sim's snapshot is only
+	// consistent at engine quiesce, so a scrape during the run gets 503.
+	var finalDoc atomic.Pointer[health.Doc]
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			die(err)
+		}
+		mux := c.Tel.Mux()
+		mux.HandleFunc("/debug/clic", func(w http.ResponseWriter, _ *http.Request) {
+			doc := finalDoc.Load()
+			if doc == nil {
+				http.Error(w, "run in progress; the health document is captured at quiesce",
+					http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(doc) //nolint:errcheck // client went away
+		})
+		// The default pprof handlers register on http.DefaultServeMux;
+		// this server uses the registry's own mux, so mount explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("debug: http://%s/metrics (JSON at /metrics.json, health at /debug/clic, pprof at /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	}
 	if journal != nil {
 		journal.InstrumentStages(c.Tel)
 		if *tracePath == "" {
@@ -153,10 +209,11 @@ func main() {
 			func() int64 { return int64(c.Eng.Now()) }, events, c.Tel)
 	}
 
-	// runMeasured drives the measurement phase. With -metrics-every-us or
-	// -health-scan-us it steps the engine in fixed simulated-time slices,
-	// dumping a JSON snapshot or scanning the watchdog at each boundary.
-	runMeasured := func() {
+	// driveMeasured drives the measurement phase. With -metrics-every-us
+	// or -health-scan-us it steps the engine in fixed simulated-time
+	// slices, dumping a JSON snapshot or scanning the watchdog at each
+	// boundary.
+	driveMeasured := func() {
 		type tick struct {
 			every sim.Time
 			next  sim.Time
@@ -199,6 +256,16 @@ func main() {
 				}
 			}
 		}
+	}
+	// With -profile the whole drive runs under the sim-driver stage
+	// label, so a CPU capture separates engine work from the serving
+	// goroutines.
+	runMeasured := func() {
+		if perfreg.Enabled() {
+			perfreg.Do(context.Background(), perfreg.StageDriver, driveMeasured)
+			return
+		}
+		driveMeasured()
 	}
 
 	if *pcapPath != "" {
@@ -340,8 +407,10 @@ func main() {
 			fmt.Printf("watchdog: %s on %s peer %d: %s\n", v.Condition, v.Node, v.Peer, v.Detail)
 		}
 	}
+	quiesced := c.HealthDoc()
+	finalDoc.Store(&quiesced)
 	if *healthOut != "" {
-		doc := c.HealthDoc()
+		doc := quiesced
 		file, err := os.Create(*healthOut)
 		if err != nil {
 			die(err)
@@ -378,5 +447,10 @@ func main() {
 	}
 	if err != nil {
 		die(err)
+	}
+
+	if *debugAddr != "" && *linger > 0 {
+		fmt.Printf("serving debug endpoints for another %v...\n", *linger)
+		time.Sleep(*linger)
 	}
 }

@@ -1,0 +1,20 @@
+// Seeds the perfreg observability family: the profiling-state gauges
+// registered by perfreg.RegisterMetrics follow the same constant
+// snake_case discipline as the clic_* metrics, and a per-stage name
+// assembled from the stage label would explode cardinality exactly the
+// way a per-peer name does.
+package metricname
+
+const perfregEnabled = "perfreg_profiling_enabled"
+
+func registerPerfreg(r *Registry, stage string) {
+	r.GaugeFunc(perfregEnabled, "help", func() float64 { return 1 })
+	r.GaugeFunc("perfreg_mutex_profile_fraction", "help", func() float64 { return 0 })
+	r.Gauge("perfreg_block_profile_rate_ns", "help")
+	r.Counter("perfreg_profiles_served_total", "help", L("kind", "mutex"))
+
+	r.Gauge("perfreg-profiling-enabled", "help")       // want `metric name "perfreg-profiling-enabled" passed to Gauge is not snake_case`
+	r.Gauge("Perfreg_Profiling_Enabled", "help")       // want `metric name "Perfreg_Profiling_Enabled" passed to Gauge is not snake_case`
+	r.Counter("perfreg_stage_"+stage+"_total", "help") // want `metric name passed to Counter must be a compile-time constant`
+	r.Counter("perfreg_cpu_total", "help", L("clic-stage", stage)) // want `label key "clic-stage" passed to L is not snake_case`
+}

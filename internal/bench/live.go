@@ -6,14 +6,13 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/live"
 	"repro/internal/model"
+	"repro/internal/perfreg"
 	"repro/internal/telemetry"
 )
 
@@ -26,32 +25,19 @@ import (
 // its numbers are hardware-dependent; they are tracked as a trajectory
 // (BENCH_live.json) rather than compared against the paper.
 
+// The result schema lives in internal/perfreg (versioned, validated,
+// env-fingerprinted); these aliases keep the bench package's historical
+// names working.
+
 // LiveStream is one streaming measurement point.
-type LiveStream struct {
-	MTU          int     `json:"mtu"`
-	MsgBytes     int     `json:"msg_bytes"`
-	Messages     int     `json:"messages"`
-	Mbps         float64 `json:"mbps"`
-	AllocsPerMsg float64 `json:"allocs_per_msg"`
-	Retransmits  int64   `json:"retransmits"`
-}
+type LiveStream = perfreg.Stream
 
 // LivePingPong is the 0-byte latency measurement (one-way = RTT/2, like
 // the simulator's latency experiment and the paper's §4 numbers).
-type LivePingPong struct {
-	Rounds      int     `json:"rounds"`
-	P50us       float64 `json:"p50_us"`
-	P99us       float64 `json:"p99_us"`
-	AllocsPerRT float64 `json:"allocs_per_rt"`
-}
+type LivePingPong = perfreg.PingPong
 
 // LiveEntry is one point on the BENCH_live.json performance trajectory.
-type LiveEntry struct {
-	Label     string       `json:"label"`
-	Go        string       `json:"go"`
-	Streaming []LiveStream `json:"streaming"`
-	PingPong  LivePingPong `json:"pingpong"`
-}
+type LiveEntry = perfreg.Entry
 
 // livePair builds a connected loopback node pair.
 func livePair(cfg live.Config) (*live.Node, *live.Node, error) {
@@ -182,9 +168,24 @@ func livePingPongRun(rounds int) (LivePingPong, *telemetry.Histogram, error) {
 	}, h, nil
 }
 
-// LiveRun executes the full live sweep and returns both the terminal
-// report and the trajectory entry for BENCH_live.json.
+// LiveRun executes the full live sweep once and returns both the
+// terminal report and the trajectory entry for BENCH_live.json.
 func LiveRun(label string) (*Report, *LiveEntry, error) {
+	return LiveRunN(label, 1)
+}
+
+// LiveRunN executes the live sweep runs times and folds the repetitions
+// into one schema-1 entry: each metric is the median across runs, with
+// its median absolute deviation recorded as the noise band the baseline
+// checker reads. The per-run ping-pong histograms are merged into one
+// distribution for the entry's quantiles (per-run p99s would each be
+// estimates from a third of the data; the merged histogram's quantile
+// uses all of it), while the per-run p99 MAD still records how much the
+// tail moved between runs.
+func LiveRunN(label string, runs int) (*Report, *LiveEntry, error) {
+	if runs < 1 {
+		runs = 1
+	}
 	rep := &Report{
 		ID:       "live",
 		Title:    "live UDP loopback: streaming bandwidth + 0-byte latency",
@@ -193,26 +194,66 @@ func LiveRun(label string) (*Report, *LiveEntry, error) {
 		YLabel:   "Mb/s",
 		Columns:  []string{"Mb/s", "allocs/msg", "retransmits"},
 	}
-	entry := &LiveEntry{Label: label, Go: runtime.Version()}
+	entry := &LiveEntry{
+		Schema: perfreg.SchemaVersion,
+		Label:  label,
+		Go:     runtime.Version(),
+		Env:    perfreg.CaptureEnv(""),
+		Runs:   runs,
+	}
 	const msgSize = 64 * 1024
 	const msgCount = 1000
 	for _, mtu := range []int{1500, 9000} {
-		st, err := liveStreamRun(mtu, msgSize, msgCount)
-		if err != nil {
-			return nil, nil, fmt.Errorf("live stream mtu=%d: %w", mtu, err)
+		var mbps, allocs []float64
+		var retrans int64
+		var st LiveStream
+		for r := 0; r < runs; r++ {
+			var err error
+			st, err = liveStreamRun(mtu, msgSize, msgCount)
+			if err != nil {
+				return nil, nil, fmt.Errorf("live stream mtu=%d run %d: %w", mtu, r, err)
+			}
+			mbps = append(mbps, st.Mbps)
+			allocs = append(allocs, st.AllocsPerMsg)
+			if st.Retransmits > retrans {
+				retrans = st.Retransmits // worst run: retransmits indicate trouble, don't average it away
+			}
 		}
+		st.Mbps, st.MbpsMAD = perfreg.Median(mbps), perfreg.MAD(mbps)
+		st.AllocsPerMsg, st.AllocsMAD = perfreg.Median(allocs), perfreg.MAD(allocs)
+		st.Retransmits = retrans
 		entry.Streaming = append(entry.Streaming, st)
 		rep.AddRow(float64(mtu), st.Mbps, st.AllocsPerMsg, float64(st.Retransmits))
 	}
 	const rounds = 3000
-	pp, _, err := livePingPongRun(rounds)
-	if err != nil {
-		return nil, nil, fmt.Errorf("live pingpong: %w", err)
+	var p50s, p99s, rtAllocs []float64
+	var merged *telemetry.Histogram
+	var pp LivePingPong
+	for r := 0; r < runs; r++ {
+		var h *telemetry.Histogram
+		var err error
+		pp, h, err = livePingPongRun(rounds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("live pingpong run %d: %w", r, err)
+		}
+		p50s = append(p50s, pp.P50us)
+		p99s = append(p99s, pp.P99us)
+		rtAllocs = append(rtAllocs, pp.AllocsPerRT)
+		if merged == nil {
+			merged = h
+		} else if err := merged.Merge(h); err != nil {
+			return nil, nil, fmt.Errorf("live pingpong merge: %w", err)
+		}
 	}
+	pp.Rounds = int(merged.N())
+	pp.P50us, pp.P50MAD = merged.P50()/1000, perfreg.MAD(p50s)
+	pp.P99us, pp.P99MAD = merged.P99()/1000, perfreg.MAD(p99s)
+	pp.AllocsPerRT = perfreg.Median(rtAllocs)
 	entry.PingPong = pp
-	rep.Notef("%d x %d KiB messages per MTU point; wall-clock loopback UDP, window 64", msgCount, msgSize/1024)
-	rep.Notef("0-byte ping-pong over %d rounds: one-way p50 %.1f µs, p99 %.1f µs, %.1f allocs/round-trip",
-		pp.Rounds, pp.P50us, pp.P99us, pp.AllocsPerRT)
+	rep.Notef("%d x %d KiB messages per MTU point; wall-clock loopback UDP, window 64; median of %d run(s), ± = MAD",
+		msgCount, msgSize/1024, runs)
+	rep.Notef("0-byte ping-pong over %d rounds: one-way p50 %.1f µs, p99 %.1f ±%.1f µs, %.2g allocs/round-trip",
+		pp.Rounds, pp.P50us, pp.P99us, pp.P99MAD, pp.AllocsPerRT)
 	return rep, entry, nil
 }
 
@@ -229,19 +270,9 @@ func Live(*model.Params) *Report {
 
 // AppendLiveEntry appends entry to the JSON trajectory at path (an array
 // of labelled LiveEntry points, newest last), creating the file if
-// missing. The trajectory is the regression baseline: future changes to
-// the live datapath compare against the entries recorded here.
+// missing. The trajectory is the regression record: `clicbench report`
+// renders it and `clicbench -baseline -check` gates the datapath
+// against the committed baseline derived from it.
 func AppendLiveEntry(path string, entry *LiveEntry) error {
-	var trajectory []LiveEntry
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &trajectory); err != nil {
-			return fmt.Errorf("bench: %s exists but is not a trajectory array: %w", path, err)
-		}
-	}
-	trajectory = append(trajectory, *entry)
-	out, err := json.MarshalIndent(trajectory, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return perfreg.Append(path, entry)
 }

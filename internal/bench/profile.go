@@ -1,0 +1,54 @@
+//simtime:wallclock
+
+// This file profiles the real-time live stack: wall-clock CPU sampling
+// is the measurement, not a determinism leak.
+
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/perfreg"
+)
+
+// ProfileRun is the `clicbench profile` experiment: it arms the perfreg
+// stage labels, runs the live streaming + ping-pong sweep under an
+// in-memory CPU profile, and folds the profile into the per-stage CPU
+// table — "where do the microseconds go" (the paper's Fig. 7 question)
+// asked of the real datapath instead of the simulator. The raw profile
+// bytes are returned so callers can also write them to disk for
+// `go tool pprof` flamegraph inspection.
+func ProfileRun(label string) (*Report, []byte, error) {
+	rep := &Report{
+		ID:     "profile",
+		Title:  "live datapath CPU attribution by pprof stage label",
+		XLabel: "stage",
+		YLabel: "cpu ms",
+	}
+	perfreg.Enable()
+	defer perfreg.Disable()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, nil, fmt.Errorf("profile: another CPU profile is active: %w", err)
+	}
+	liveRep, _, err := LiveRun(label)
+	pprof.StopCPUProfile()
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, unit, err := perfreg.Attribute(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("profile: attributing capture: %w", err)
+	}
+	rep.Notef("live sweep under CPU profile (stage labels armed):")
+	for _, line := range liveRep.Notes {
+		rep.Notef("  %s", line)
+	}
+	for _, line := range strings.Split(strings.TrimRight(perfreg.FormatStageTable(rows, unit), "\n"), "\n") {
+		rep.Notef("%s", line)
+	}
+	return rep, buf.Bytes(), nil
+}

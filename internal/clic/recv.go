@@ -1,11 +1,13 @@
 package clic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ether"
 	"repro/internal/kernel"
 	"repro/internal/nic"
+	"repro/internal/perfreg"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/sim"
@@ -108,12 +110,23 @@ func (ep *Endpoint) wirePollISR(n *nic.NIC) {
 	n.SetIRQ(irq.Raise)
 }
 
-// pollLoop drains the adapter's completion ring in budgeted batches until
+// pollLoop carries the poll pprof stage while the drain loop runs
+// (clicsim -profile): poll-mode CPU then attributes to its own row
+// instead of blending into the bottom half that hosts it.
+func (ep *Endpoint) pollLoop(p *sim.Proc, n *nic.NIC) {
+	if perfreg.Enabled() {
+		perfreg.Do(context.Background(), trace.SpanPoll, func() { ep.pollDrain(p, n) })
+		return
+	}
+	ep.pollDrain(p, n)
+}
+
+// pollDrain drains the adapter's completion ring in budgeted batches until
 // it stays empty for PollIdleExit consecutive checks. Each iteration
 // charges one PollCheck (the device-state read) and hands at most
 // PollBudget frames to GRO dispatch, so a single pass cannot monopolise
 // the CPU past its frame budget.
-func (ep *Endpoint) pollLoop(p *sim.Proc, n *nic.NIC) {
+func (ep *Endpoint) pollDrain(p *sim.Proc, n *nic.NIC) {
 	budget := ep.M.Driver.PollBudget
 	if budget <= 0 {
 		budget = 16

@@ -7,9 +7,11 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/perfreg"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -88,6 +90,12 @@ func (k *Kernel) RegisterIRQ(name string, handler func(*sim.Proc)) *IRQ {
 		pending: sim.NewQueue[struct{}](name + ":irq"),
 	}
 	k.Host.Eng.Go(name+":isr", func(p *sim.Proc) {
+		// Dedicated interrupt goroutine: one-time isr pprof stage label
+		// (clicsim -profile), so sim-side CPU profiles attribute ISR work
+		// the same way the live rxLoop does.
+		if perfreg.Enabled() {
+			perfreg.LabelGoroutine(context.Background(), trace.SpanISR)
+		}
 		for {
 			irq.pending.Get(p)
 			k.Interrupts.Inc()
@@ -159,7 +167,14 @@ func (k *Kernel) bhWorker(p *sim.Proc) {
 		fn := k.bhQueue.Get(p)
 		k.BottomHalfs.Inc()
 		k.Host.CPUWork(p, k.Host.M.Host.BottomHalfDispatch, sim.PriKernel)
-		fn(p)
+		if perfreg.Enabled() {
+			// Per-dispatch rather than per-goroutine: a nested stage (the
+			// poll loop runs inside a bottom half) restores its Do ctx on
+			// exit, so the label is re-applied for each dispatch to survive.
+			perfreg.Do(context.Background(), trace.SpanBottomHalf, func() { fn(p) })
+		} else {
+			fn(p)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"testing"
 	"time"
+
+	"repro/internal/perfreg"
 )
 
 // The alloc guards pin the tentpole's core claim — steady-state TX and
@@ -105,5 +107,46 @@ func TestSteadyStateRoundTripZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state round trip allocates %.2f allocs; the 0-copy datapath regressed", avg)
+	}
+}
+
+// TestProfilingGateDisabledZeroAlloc pins the cost contract of the
+// perfreg stage labels: with profiling disabled (the default), the
+// pprof.Do wrappers on send, flushTx, dispatch, and the timer
+// callbacks must reduce to a single atomic load — no context, label
+// set, or closure allocation on the hot path. If a future change
+// hoists the closure construction out of the Enabled() branch, this
+// guard catches the new allocations even when the other guards'
+// payloads happen to mask them.
+func TestProfilingGateDisabledZeroAlloc(t *testing.T) {
+	if perfreg.Enabled() {
+		t.Fatal("perfreg profiling is armed inside the test binary; a test forgot to Disable")
+	}
+	a, b := wbPair(t, DefaultConfig())
+	const port = 22
+	payload := wbPattern(4096) // multi-fragment: exercises flushTx bursts too
+	for i := 0; i < 64; i++ {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamQuiesce(t, a, 1)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	avg := testing.AllocsPerRun(200, func() {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(port); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation per run is the delivered Message.Data copy the
+	// Recv API owes; the labelled transport itself must add zero.
+	if avg > 1 {
+		t.Fatalf("labelled hot path with profiling disabled allocates %.2f allocs/round (want <= 1, the delivery copy); the Enabled() gate leaks", avg)
 	}
 }

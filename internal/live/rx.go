@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"encoding/binary"
 	"net/netip"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/lockcheck"
+	"repro/internal/perfreg"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/trace"
@@ -188,6 +190,14 @@ func (n *Node) rxLoop() {
 	if err != nil {
 		return
 	}
+	// The loop goroutine carries the isr pprof stage (it is the live
+	// analogue of the driver ISR: socket reads and poll probes); each
+	// burst's protocol dispatch re-labels itself module-rx and restores
+	// loopCtx on return. One-time cost when profiling is off.
+	loopCtx := context.Background()
+	if perfreg.Enabled() {
+		loopCtx = perfreg.LabelGoroutine(loopCtx, trace.SpanISR)
+	}
 	var touched []*liveRxChan // channels with pending ack decisions; reused across bursts
 	var sc burstScratch
 	polling := false
@@ -227,8 +237,15 @@ func (n *Node) rxLoop() {
 		n.socketReads.Addn(int64(cnt))
 		n.rxBursts.Inc()
 		n.rxBurstFrames.Addn(int64(cnt))
-		touched = n.dispatchBurst(br, cnt, &sc, touched)
-		touched = n.flushAcks(touched)
+		if perfreg.Enabled() {
+			perfreg.Do(loopCtx, trace.SpanModuleRx, func() {
+				touched = n.dispatchBurst(br, cnt, &sc, touched)
+				touched = n.flushAcks(touched)
+			})
+		} else {
+			touched = n.dispatchBurst(br, cnt, &sc, touched)
+			touched = n.flushAcks(touched)
+		}
 	}
 }
 
@@ -427,6 +444,16 @@ func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
 // fireDelayedAck is the delayed-ack timer callback: flush the
 // outstanding sub-stride ack if the burst path hasn't already.
 func (n *Node) fireDelayedAck(rc *liveRxChan) {
+	if perfreg.Enabled() {
+		perfreg.Do(context.Background(), perfreg.StageAckTimer, func() { n.delayedAckExpire(rc) })
+		return
+	}
+	n.delayedAckExpire(rc)
+}
+
+// delayedAckExpire is fireDelayedAck's body, split out so the timer
+// goroutine can carry the ack-timer pprof stage when profiling is on.
+func (n *Node) delayedAckExpire(rc *liveRxChan) {
 	if n.closed.Load() {
 		return
 	}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/lockcheck"
+	"repro/internal/perfreg"
 	"repro/internal/proto"
 	"repro/internal/relwin"
 	"repro/internal/rto"
@@ -196,7 +198,24 @@ func (n *Node) SendConfirm(dst int, port uint16, data []byte) error {
 }
 
 // send fragments and transmits one message, returning the last
-// fragment's sequence number. When confirmCh is non-nil the waiter is
+// fragment's sequence number. With profiling armed (perfreg.Enable) the
+// whole call runs under the module-send pprof stage label, with the
+// socket flushes nested under send-syscall; the disabled path is one
+// atomic load and builds no closure, keeping the AllocsPerRun guards
+// honest.
+func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, data []byte, confirmCh chan error) (relwin.Seq, error) {
+	if perfreg.Enabled() {
+		var seq relwin.Seq
+		var err error
+		perfreg.DoCtx(context.Background(), trace.SpanModuleSend, func(ctx context.Context) {
+			seq, err = n.sendMsg(ctx, dst, port, typ, flags, data, confirmCh)
+		})
+		return seq, err
+	}
+	return n.sendMsg(context.Background(), dst, port, typ, flags, data, confirmCh)
+}
+
+// sendMsg is send's body. When confirmCh is non-nil the waiter is
 // registered against the final sequence before that fragment reaches
 // the wire, so the peer's confirmation cannot outrun the registration.
 //
@@ -206,8 +225,9 @@ func (n *Node) SendConfirm(dst int, port uint16, data []byte) error {
 // slot bookkeeping and a timer re-arm; the socket writes happen after
 // the lock is dropped — up to txBatchSize fragments per sendmmsg flush
 // — with each slot pinned so an ack racing the write cannot recycle
-// the buffer out from under the syscall.
-func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, data []byte, confirmCh chan error) (relwin.Seq, error) {
+// the buffer out from under the syscall. ctx carries the enclosing
+// pprof stage labels for flushTx to restore after its nested stage.
+func (n *Node) sendMsg(ctx context.Context, dst int, port uint16, typ proto.PacketType, flags uint8, data []byte, confirmCh chan error) (relwin.Seq, error) {
 	if n.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -247,7 +267,7 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 		for !tc.win.CanSend() && !tc.failed && !n.closed.Load() {
 			if tc.stageCnt > 0 {
 				tc.mu.Unlock()
-				n.flushTx(tc)
+				n.flushTx(ctx, tc)
 				tc.mu.Lock()
 				continue
 			}
@@ -256,7 +276,7 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 		if n.closed.Load() || tc.failed {
 			failed := tc.failed
 			tc.mu.Unlock()
-			n.flushTx(tc) // unpin whatever was staged
+			n.flushTx(ctx, tc) // unpin whatever was staged
 			if failed && !n.closed.Load() {
 				return 0, n.discard(fb, ErrPeerDead)
 			}
@@ -293,7 +313,7 @@ func (n *Node) send(dst int, port uint16, typ proto.PacketType, flags uint8, dat
 			n.cmu.Unlock()
 		}
 		if tc.stageCnt == txBatchSize || last {
-			n.flushTx(tc)
+			n.flushTx(ctx, tc)
 		}
 		if last {
 			if confirmCh != nil {
@@ -334,7 +354,9 @@ func (n *Node) discard(fb *frameBuf, err error) error {
 // slot was already recycled by a later push, the park was lost — but
 // then the window no longer retains the buffer and the writer holds
 // the only reference, so it is recycled directly. Guarded by sendMu.
-func (n *Node) flushTx(tc *liveTxChan) {
+// ctx carries the caller's pprof stage labels (module-send when sendMsg
+// is profiled) so the nested send-syscall stage restores them on exit.
+func (n *Node) flushTx(ctx context.Context, tc *liveTxChan) {
 	cnt := tc.stageCnt
 	if cnt == 0 {
 		return
@@ -343,15 +365,10 @@ func (n *Node) flushTx(tc *liveTxChan) {
 	tc.mu.Lock()
 	addr := tc.addr
 	tc.mu.Unlock()
-	if n.faulty || n.fr != nil {
-		for i := 0; i < cnt; i++ {
-			fb := tc.stageFb[i]
-			n.transmit(addr, fb.b[:fb.n], tc.stageFid[i])
-		}
+	if perfreg.Enabled() {
+		perfreg.Do(ctx, trace.SpanSendSyscall, func() { n.flushWires(tc, addr, cnt) })
 	} else {
-		syscalls := writeBurst(n, tc, addr, cnt)
-		n.framesSent.Addn(int64(cnt))
-		n.socketWrites.Addn(int64(syscalls))
+		n.flushWires(tc, addr, cnt)
 	}
 	var rel [txBatchSize]*frameBuf
 	nrel := 0
@@ -375,6 +392,22 @@ func (n *Node) flushTx(tc *liveTxChan) {
 	tc.mu.Unlock()
 	for i := 0; i < nrel; i++ {
 		n.pool.Put(rel[i])
+	}
+}
+
+// flushWires is the socket-write half of flushTx: clean traffic goes
+// through the platform burst writer, fault injection and flight
+// recording take the per-datagram path.
+func (n *Node) flushWires(tc *liveTxChan, addr netip.AddrPort, cnt int) {
+	if n.faulty || n.fr != nil {
+		for i := 0; i < cnt; i++ {
+			fb := tc.stageFb[i]
+			n.transmit(addr, fb.b[:fb.n], tc.stageFid[i])
+		}
+	} else {
+		syscalls := writeBurst(n, tc, addr, cnt)
+		n.framesSent.Addn(int64(cnt))
+		n.socketWrites.Addn(int64(syscalls))
 	}
 }
 
@@ -475,11 +508,23 @@ func (n *Node) armRTO(tc *liveTxChan) {
 	tc.rtoArmed = true
 }
 
-// fireRTO is the timer callback: go-back-N retransmission of the whole
-// unacked tail. This is the slow path, so — unlike send — it keeps
-// tc.mu across its socket writes: dropping the lock here would let the
-// ack path recycle exactly the buffers being retransmitted.
+// fireRTO is the timer callback entry: it tags the timer goroutine
+// with the rto-timer pprof stage when profiling is armed (retransmit
+// cost then shows up as its own row in the attribution table, not
+// inside some unlabeled timer goroutine) and runs the retransmission.
 func (n *Node) fireRTO(tc *liveTxChan) {
+	if perfreg.Enabled() {
+		perfreg.Do(context.Background(), perfreg.StageRTOTimer, func() { n.rtoExpire(tc) })
+		return
+	}
+	n.rtoExpire(tc)
+}
+
+// rtoExpire is the go-back-N retransmission of the whole unacked tail.
+// This is the slow path, so — unlike send — it keeps tc.mu across its
+// socket writes: dropping the lock here would let the ack path recycle
+// exactly the buffers being retransmitted.
+func (n *Node) rtoExpire(tc *liveTxChan) {
 	if n.closed.Load() {
 		return
 	}

@@ -1,0 +1,123 @@
+package perfreg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// UnlabeledStage is the bucket for samples carrying no clic_stage label:
+// the runtime, the benchmark harness, GC, and any datapath code a
+// future change forgets to label (a growing unlabeled share in the
+// nightly profile artifact is itself a finding).
+const UnlabeledStage = "(unlabeled)"
+
+// StageCPU is one row of the per-stage attribution table.
+type StageCPU struct {
+	Stage    string
+	Value    int64   // sample-type units: nanoseconds for CPU, delay ns for block/mutex
+	Samples  int64   // sample count (CPU profiles) or events (contention profiles)
+	Fraction float64 // Value / total Value
+}
+
+// Attribute folds a pprof profile (CPU, mutex or block; gzipped or not)
+// into per-stage totals grouped by the clic_stage goroutine label,
+// ordered by the trace.SpanOrder pipeline position — the same row order
+// as the Fig. 7 breakdown tables — with timer stages after and the
+// unlabeled bucket last.
+func Attribute(r io.Reader) ([]StageCPU, string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := parsePprof(data)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(p.sampleTypes) == 0 {
+		return nil, "", fmt.Errorf("perfreg: profile has no sample types")
+	}
+	// Value index: the nanoseconds series if present (cpu, delay), else
+	// the last series (pprof convention: the default display type).
+	vi := len(p.sampleTypes) - 1
+	ci := -1
+	for i, st := range p.sampleTypes {
+		if st.unit == "nanoseconds" {
+			vi = i
+		}
+		if st.unit == "count" {
+			ci = i
+		}
+	}
+	unit := fmt.Sprintf("%s/%s", p.sampleTypes[vi].typ, p.sampleTypes[vi].unit)
+
+	totals := map[string]*StageCPU{}
+	var grand int64
+	for _, s := range p.samples {
+		if vi >= len(s.values) {
+			continue
+		}
+		stage := s.labels[LabelKey]
+		if stage == "" {
+			stage = UnlabeledStage
+		}
+		row := totals[stage]
+		if row == nil {
+			row = &StageCPU{Stage: stage}
+			totals[stage] = row
+		}
+		row.Value += s.values[vi]
+		grand += s.values[vi]
+		if ci >= 0 && ci < len(s.values) {
+			row.Samples += s.values[ci]
+		} else {
+			row.Samples++
+		}
+	}
+
+	rank := map[string]int{}
+	for i, s := range trace.SpanOrder {
+		rank[s] = i
+	}
+	for i, s := range ExtraStages {
+		rank[s] = len(trace.SpanOrder) + i
+	}
+	rows := make([]StageCPU, 0, len(totals))
+	for _, row := range totals {
+		if grand > 0 {
+			row.Fraction = float64(row.Value) / float64(grand)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, iok := rank[rows[i].Stage]
+		rj, jok := rank[rows[j].Stage]
+		ui, uj := rows[i].Stage == UnlabeledStage, rows[j].Stage == UnlabeledStage
+		switch {
+		case ui != uj:
+			return uj // unlabeled sorts last
+		case iok && jok:
+			return ri < rj
+		case iok != jok:
+			return iok // known stages before strangers
+		default:
+			return rows[i].Stage < rows[j].Stage
+		}
+	})
+	return rows, unit, nil
+}
+
+// FormatStageTable renders attribution rows as the aligned text table
+// `clicbench profile` prints.
+func FormatStageTable(rows []StageCPU, unit string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %12s %9s %7s   (%s)\n", "stage", "ms", "samples", "share", unit)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12.2f %9d %6.1f%%\n",
+			r.Stage, float64(r.Value)/1e6, r.Samples, r.Fraction*100)
+	}
+	return sb.String()
+}

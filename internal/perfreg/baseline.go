@@ -1,0 +1,188 @@
+package perfreg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckConfig sets the regression bands. Each band is a fixed tolerance
+// plus MADMultiplier× the worse of the two entries' relative MAD — so a
+// noisy machine widens its own band — but capped, so that noise can
+// never widen a band past the point where a real regression (the CI
+// canary injects 20%) would slip through.
+type CheckConfig struct {
+	MbpsTolerance  float64 // relative throughput drop always allowed
+	MbpsBandCap    float64 // hard cap on the total relative throughput band
+	P99Tolerance   float64 // relative p99 latency growth always allowed
+	P99BandCap     float64 // hard cap on the total relative p99 band
+	AllocTolerance float64 // absolute allocs/msg (and allocs/rt) growth allowed
+	MADMultiplier  float64 // noise-band width in MADs
+}
+
+// DefaultCheckConfig: throughput may drop 10% + 4 MADs capped at 18%
+// (the canary's 20% injected drop always trips); p99 latency may grow
+// 35% + 4 MADs capped at 60% (loopback tail latency is the noisiest
+// metric we gate); allocations may grow by 0.5/op absolutely (they are
+// near-zero and quantised, so a relative band is meaningless).
+func DefaultCheckConfig() CheckConfig {
+	return CheckConfig{
+		MbpsTolerance:  0.10,
+		MbpsBandCap:    0.18,
+		P99Tolerance:   0.35,
+		P99BandCap:     0.60,
+		AllocTolerance: 0.5,
+		MADMultiplier:  4,
+	}
+}
+
+// Finding is one metric comparison from Check. Every compared metric
+// produces a Finding — passed or failed — so the gate's output explains
+// not just what tripped but what was checked and how much headroom the
+// passing metrics had.
+type Finding struct {
+	Metric    string  // "mbps", "p99_us", "allocs_per_msg", "allocs_per_rt"
+	Point     string  // "mtu=1500 msg=65536" or "pingpong"
+	Baseline  float64 // baseline median
+	Current   float64 // current median
+	Limit     float64 // the floor (throughput) or ceiling (latency, allocs)
+	Regressed bool
+	Detail    string // human explanation with the band arithmetic
+}
+
+// String renders the finding the way the CLI and CI logs print it.
+func (f Finding) String() string {
+	verdict := "ok  "
+	if f.Regressed {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %-13s %-22s %s", verdict, f.Metric, f.Point, f.Detail)
+}
+
+// Regressions filters findings down to the failures.
+func Regressions(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Regressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// relMAD returns the larger relative MAD of the two (median, MAD) pairs:
+// the band must cover whichever measurement was noisier.
+func relMAD(baseMed, baseMAD, curMed, curMAD float64) float64 {
+	r := 0.0
+	if baseMed > 0 && baseMAD/baseMed > r {
+		r = baseMAD / baseMed
+	}
+	if curMed > 0 && curMAD/curMed > r {
+		r = curMAD / curMed
+	}
+	return r
+}
+
+func band(tolerance, noise, mult, capAt float64) float64 {
+	b := tolerance + mult*noise
+	if b > capAt {
+		b = capAt
+	}
+	return b
+}
+
+// Check compares current against baseline and returns one finding per
+// gated metric: streaming throughput and allocs/msg at every baseline
+// (MTU, msg size) point, and ping-pong p99 and allocs/rt. A baseline
+// point missing from current is itself a regression (the bench sweep
+// shrank). Retransmit counts and p50 are reported in the trajectory but
+// not gated: retransmits at loopback are a loss-injection artifact and
+// p50 is covered by the tighter-tailed p99.
+func Check(baseline, current *Entry, cfg CheckConfig) []Finding {
+	var out []Finding
+	for i := range baseline.Streaming {
+		bs := &baseline.Streaming[i]
+		point := fmt.Sprintf("mtu=%d msg=%d", bs.MTU, bs.MsgBytes)
+		cs := current.Point(bs.MTU, bs.MsgBytes)
+		if cs == nil {
+			out = append(out, Finding{
+				Metric: "mbps", Point: point, Baseline: bs.Mbps, Regressed: true,
+				Detail: "baseline point missing from current run (bench sweep shrank?)",
+			})
+			continue
+		}
+
+		b := band(cfg.MbpsTolerance, relMAD(bs.Mbps, bs.MbpsMAD, cs.Mbps, cs.MbpsMAD), cfg.MADMultiplier, cfg.MbpsBandCap)
+		floor := bs.Mbps * (1 - b)
+		out = append(out, Finding{
+			Metric: "mbps", Point: point, Baseline: bs.Mbps, Current: cs.Mbps, Limit: floor,
+			Regressed: cs.Mbps < floor,
+			Detail: fmt.Sprintf("%.0f Mb/s vs baseline %.0f, floor %.0f (band -%.1f%%)",
+				cs.Mbps, bs.Mbps, floor, b*100),
+		})
+
+		ceil := bs.AllocsPerMsg + cfg.AllocTolerance + cfg.MADMultiplier*maxf(bs.AllocsMAD, cs.AllocsMAD)
+		out = append(out, Finding{
+			Metric: "allocs_per_msg", Point: point, Baseline: bs.AllocsPerMsg, Current: cs.AllocsPerMsg, Limit: ceil,
+			Regressed: cs.AllocsPerMsg > ceil,
+			Detail: fmt.Sprintf("%.2f allocs/msg vs baseline %.2f, ceiling %.2f (+%.2f absolute)",
+				cs.AllocsPerMsg, bs.AllocsPerMsg, ceil, ceil-bs.AllocsPerMsg),
+		})
+	}
+
+	bp, cp := baseline.PingPong, current.PingPong
+	b := band(cfg.P99Tolerance, relMAD(bp.P99us, bp.P99MAD, cp.P99us, cp.P99MAD), cfg.MADMultiplier, cfg.P99BandCap)
+	ceil := bp.P99us * (1 + b)
+	out = append(out, Finding{
+		Metric: "p99_us", Point: "pingpong", Baseline: bp.P99us, Current: cp.P99us, Limit: ceil,
+		Regressed: cp.P99us > ceil,
+		Detail: fmt.Sprintf("p99 %.1f µs vs baseline %.1f, ceiling %.1f (band +%.1f%%)",
+			cp.P99us, bp.P99us, ceil, b*100),
+	})
+	allocCeil := bp.AllocsPerRT + cfg.AllocTolerance
+	out = append(out, Finding{
+		Metric: "allocs_per_rt", Point: "pingpong", Baseline: bp.AllocsPerRT, Current: cp.AllocsPerRT, Limit: allocCeil,
+		Regressed: cp.AllocsPerRT > allocCeil,
+		Detail: fmt.Sprintf("%.3f allocs/rt vs baseline %.3f, ceiling %.3f",
+			cp.AllocsPerRT, bp.AllocsPerRT, allocCeil),
+	})
+	return out
+}
+
+// Explain renders a finding list as the multi-line report the CLI
+// prints: environment caveat first (if any), then one line per metric,
+// then the verdict.
+func Explain(baseline, current *Entry, findings []Finding) string {
+	var sb strings.Builder
+	if baseline.Env != nil && !baseline.Env.Same(current.Env) {
+		fmt.Fprintf(&sb, "note: env fingerprint differs from baseline (baseline %s, current %s) — deltas include hardware noise\n",
+			envBrief(baseline.Env), envBrief(current.Env))
+	}
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	if reg := Regressions(findings); len(reg) > 0 {
+		fmt.Fprintf(&sb, "REGRESSION: %d of %d gated metrics tripped:", len(reg), len(findings))
+		for _, f := range reg {
+			fmt.Fprintf(&sb, " %s[%s]", f.Metric, f.Point)
+		}
+		sb.WriteByte('\n')
+	} else {
+		fmt.Fprintf(&sb, "ok: all %d gated metrics within the noise band of %q\n", len(findings), baseline.Label)
+	}
+	return sb.String()
+}
+
+func envBrief(e *Env) string {
+	if e == nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s/%s %s %dcpu", e.OS, e.Arch, e.Go, e.CPUs)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package perfreg
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchEntry(mbps1500, mbps9000, p99 float64) *Entry {
+	return &Entry{
+		Schema: 1,
+		Label:  "t",
+		Go:     "go1.22",
+		Env:    &Env{Go: "go1.22", OS: "linux", Arch: "amd64", CPUs: 8, MaxProcs: 8},
+		Runs:   3,
+		Streaming: []Stream{
+			{MTU: 1500, MsgBytes: 65536, Messages: 1000, Mbps: mbps1500, MbpsMAD: mbps1500 * 0.01, AllocsPerMsg: 1.3},
+			{MTU: 9000, MsgBytes: 65536, Messages: 1000, Mbps: mbps9000, MbpsMAD: mbps9000 * 0.01, AllocsPerMsg: 1.2},
+		},
+		PingPong: PingPong{Rounds: 3000, P50us: 4.3, P99us: p99, P99MAD: p99 * 0.05, AllocsPerRT: 0.001},
+	}
+}
+
+func TestCheckCleanRunPasses(t *testing.T) {
+	base := benchEntry(6000, 11000, 13)
+	cur := benchEntry(5900, 11200, 13.5) // within any sane band
+	findings := Check(base, cur, DefaultCheckConfig())
+	if reg := Regressions(findings); len(reg) != 0 {
+		t.Fatalf("clean run flagged: %+v", reg)
+	}
+	// 2 points × (mbps, allocs) + pingpong p99 + allocs/rt.
+	if len(findings) != 6 {
+		t.Fatalf("expected 6 gated metrics, got %d: %+v", len(findings), findings)
+	}
+}
+
+// TestCheckCanaryTrips is the unit-level twin of the CI canary: a 20%
+// throughput drop must trip the gate no matter how noisy the runs
+// claimed to be, because the band is capped below 20%.
+func TestCheckCanaryTrips(t *testing.T) {
+	base := benchEntry(6000, 11000, 13)
+	cur := benchEntry(6000*0.8, 11000*0.8, 13)
+	// Absurd claimed noise: 30% relative MAD. The cap must hold the
+	// band at MbpsBandCap anyway.
+	for i := range cur.Streaming {
+		cur.Streaming[i].MbpsMAD = cur.Streaming[i].Mbps * 0.3
+	}
+	findings := Check(base, cur, DefaultCheckConfig())
+	reg := Regressions(findings)
+	if len(reg) != 2 {
+		t.Fatalf("canary (20%% drop at both MTUs) tripped %d findings, want 2: %+v", len(reg), findings)
+	}
+	for _, f := range reg {
+		if f.Metric != "mbps" {
+			t.Errorf("canary tripped wrong metric %q", f.Metric)
+		}
+		if !strings.Contains(f.Detail, "floor") {
+			t.Errorf("finding does not explain the band arithmetic: %q", f.Detail)
+		}
+	}
+	text := Explain(base, cur, findings)
+	if !strings.Contains(text, "REGRESSION: 2 of 6") || !strings.Contains(text, "mbps[mtu=1500 msg=65536]") {
+		t.Fatalf("Explain output does not name the tripped metrics:\n%s", text)
+	}
+}
+
+func TestCheckNoiseWidensBandWithinCap(t *testing.T) {
+	base := benchEntry(6000, 11000, 13)
+	cur := benchEntry(6000*0.85, 11000, 13) // 15% drop
+	cfg := DefaultCheckConfig()
+
+	// Quiet runs (1% MAD): band = 10% + 4×1% = 14% → a 15% drop trips.
+	if reg := Regressions(Check(base, cur, cfg)); len(reg) != 1 {
+		t.Fatalf("quiet-run 15%% drop should trip exactly once, got %+v", reg)
+	}
+	// Noisy runs (1.8% MAD): band = 10% + 7.2% = 17.2% → same drop passes.
+	noisy := benchEntry(6000*0.85, 11000, 13)
+	noisy.Streaming[0].MbpsMAD = noisy.Streaming[0].Mbps * 0.018
+	if reg := Regressions(Check(base, noisy, cfg)); len(reg) != 0 {
+		t.Fatalf("noisy-run 15%% drop inside the MAD band should pass, got %+v", reg)
+	}
+}
+
+func TestCheckMissingPointIsRegression(t *testing.T) {
+	base := benchEntry(6000, 11000, 13)
+	cur := benchEntry(6000, 11000, 13)
+	cur.Streaming = cur.Streaming[:1] // dropped the jumbo point
+	reg := Regressions(Check(base, cur, DefaultCheckConfig()))
+	if len(reg) != 1 || !strings.Contains(reg[0].Detail, "missing") {
+		t.Fatalf("dropped bench point not flagged: %+v", reg)
+	}
+}
+
+func TestCheckLatencyAndAllocCeilings(t *testing.T) {
+	base := benchEntry(6000, 11000, 13)
+
+	slow := benchEntry(6000, 11000, 13*2) // double p99
+	reg := Regressions(Check(base, slow, DefaultCheckConfig()))
+	if len(reg) != 1 || reg[0].Metric != "p99_us" {
+		t.Fatalf("p99 doubling not flagged as p99_us: %+v", reg)
+	}
+
+	leaky := benchEntry(6000, 11000, 13)
+	leaky.Streaming[0].AllocsPerMsg = 5 // 1.3 → 5
+	leaky.PingPong.AllocsPerRT = 2      // 0.001 → 2
+	reg = Regressions(Check(base, leaky, DefaultCheckConfig()))
+	if len(reg) != 2 {
+		t.Fatalf("alloc regressions flagged %d times, want 2: %+v", len(reg), reg)
+	}
+	got := map[string]bool{}
+	for _, f := range reg {
+		got[f.Metric] = true
+	}
+	if !got["allocs_per_msg"] || !got["allocs_per_rt"] {
+		t.Fatalf("wrong alloc metrics flagged: %+v", reg)
+	}
+}
+
+func TestExplainFlagsEnvMismatch(t *testing.T) {
+	base := benchEntry(6000, 11000, 13)
+	cur := benchEntry(6000, 11000, 13)
+	cur.Env.CPUs = 2
+	text := Explain(base, cur, Check(base, cur, DefaultCheckConfig()))
+	if !strings.Contains(text, "env fingerprint differs") {
+		t.Fatalf("cross-environment comparison not called out:\n%s", text)
+	}
+}

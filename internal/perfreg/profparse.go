@@ -1,0 +1,264 @@
+package perfreg
+
+// A minimal reader for the pprof profile.proto format — just enough to
+// group sample values by goroutine label. The repo takes no external
+// dependencies, and the full protobuf machinery is overkill: a profile
+// is one message with three fields we care about (sample_type, sample,
+// string_table), and samples carry packed int64 values plus label
+// submessages. Everything else is skipped by wire type.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Field numbers from profile.proto (github.com/google/pprof).
+const (
+	profSampleType  = 1 // repeated ValueType
+	profSample      = 2 // repeated Sample
+	profStringTable = 6 // repeated string
+
+	vtType = 1 // int64 string-table index
+	vtUnit = 2 // int64 string-table index
+
+	sampleValue = 2 // repeated int64 (packed)
+	sampleLabel = 3 // repeated Label
+
+	labelKey = 1 // int64 string-table index
+	labelStr = 2 // int64 string-table index
+)
+
+type valueType struct{ typ, unit string }
+
+type profSampleRec struct {
+	values []int64
+	labels map[string]string // first value wins per key — pprof labels here are single-valued
+}
+
+type pprofProfile struct {
+	sampleTypes []valueType
+	samples     []profSampleRec
+}
+
+// rawVT / rawSample hold string-table indices until the table (which the
+// encoder may emit after the samples) has been fully read.
+type rawVT struct{ typ, unit int64 }
+type rawLabel struct{ key, str int64 }
+type rawSample struct {
+	values []int64
+	labels []rawLabel
+}
+
+// parsePprof decodes a (possibly gzipped) profile.proto blob.
+func parsePprof(data []byte) (*pprofProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("perfreg: gunzip profile: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("perfreg: gunzip profile: %w", err)
+		}
+	}
+	var (
+		strings []string
+		vts     []rawVT
+		samples []rawSample
+	)
+	err := scanFields(data, func(num int, wt int, payload []byte, v uint64) error {
+		switch num {
+		case profSampleType:
+			vt, err := parseValueType(payload)
+			if err != nil {
+				return err
+			}
+			vts = append(vts, vt)
+		case profSample:
+			s, err := parseSample(payload)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case profStringTable:
+			strings = append(strings, string(payload))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perfreg: malformed profile: %w", err)
+	}
+	str := func(i int64) (string, error) {
+		if i < 0 || int(i) >= len(strings) {
+			return "", fmt.Errorf("perfreg: string table index %d out of range (%d entries)", i, len(strings))
+		}
+		return strings[i], nil
+	}
+	p := &pprofProfile{}
+	for _, vt := range vts {
+		t, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.sampleTypes = append(p.sampleTypes, valueType{typ: t, unit: u})
+	}
+	for _, rs := range samples {
+		rec := profSampleRec{values: rs.values}
+		for _, rl := range rs.labels {
+			k, err := str(rl.key)
+			if err != nil {
+				return nil, err
+			}
+			if rl.str == 0 { // numeric label, not ours
+				continue
+			}
+			v, err := str(rl.str)
+			if err != nil {
+				return nil, err
+			}
+			if rec.labels == nil {
+				rec.labels = make(map[string]string, 1)
+			}
+			if _, dup := rec.labels[k]; !dup {
+				rec.labels[k] = v
+			}
+		}
+		p.samples = append(p.samples, rec)
+	}
+	return p, nil
+}
+
+func parseValueType(b []byte) (rawVT, error) {
+	var vt rawVT
+	err := scanFields(b, func(num, wt int, payload []byte, v uint64) error {
+		switch num {
+		case vtType:
+			vt.typ = int64(v)
+		case vtUnit:
+			vt.unit = int64(v)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	var s rawSample
+	err := scanFields(b, func(num, wt int, payload []byte, v uint64) error {
+		switch num {
+		case sampleValue:
+			if wt == 2 { // packed
+				vals, err := parsePacked(payload)
+				if err != nil {
+					return err
+				}
+				s.values = append(s.values, vals...)
+			} else {
+				s.values = append(s.values, int64(v))
+			}
+		case sampleLabel:
+			l, err := parseLabel(payload)
+			if err != nil {
+				return err
+			}
+			s.labels = append(s.labels, l)
+		}
+		return nil
+	})
+	return s, err
+}
+
+func parseLabel(b []byte) (rawLabel, error) {
+	var l rawLabel
+	err := scanFields(b, func(num, wt int, payload []byte, v uint64) error {
+		switch num {
+		case labelKey:
+			l.key = int64(v)
+		case labelStr:
+			l.str = int64(v)
+		}
+		return nil
+	})
+	return l, err
+}
+
+// scanFields walks one protobuf message, calling fn per field: payload
+// is set for length-delimited fields (wire type 2), v for varints (wire
+// type 0). Fixed32/fixed64 fields are skipped.
+func scanFields(b []byte, fn func(num, wt int, payload []byte, v uint64) error) error {
+	for len(b) > 0 {
+		key, n, err := uvarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		num, wt := int(key>>3), int(key&7)
+		switch wt {
+		case 0:
+			v, n, err := uvarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if err := fn(num, wt, nil, v); err != nil {
+				return err
+			}
+		case 1:
+			if len(b) < 8 {
+				return fmt.Errorf("truncated fixed64 field %d", num)
+			}
+			b = b[8:]
+		case 2:
+			l, n, err := uvarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if uint64(len(b)) < l {
+				return fmt.Errorf("truncated bytes field %d: want %d have %d", num, l, len(b))
+			}
+			if err := fn(num, wt, b[:l], 0); err != nil {
+				return err
+			}
+			b = b[l:]
+		case 5:
+			if len(b) < 4 {
+				return fmt.Errorf("truncated fixed32 field %d", num)
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d (field %d)", wt, num)
+		}
+	}
+	return nil
+}
+
+func parsePacked(b []byte) ([]int64, error) {
+	var out []int64
+	for len(b) > 0 {
+		v, n, err := uvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = b[n:]
+		out = append(out, int64(v))
+	}
+	return out, nil
+}
+
+func uvarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("truncated or oversized varint")
+}

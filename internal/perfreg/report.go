@@ -1,0 +1,82 @@
+package perfreg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trajectory renders the BENCH_live.json entries (oldest first) as the
+// markdown tables committed to RESULTS.txt: one streaming table with a
+// per-(MTU, msg size) throughput delta against the previous entry that
+// measured the same point, and one ping-pong latency table with the p99
+// delta. `clicbench report` prints exactly this.
+func Trajectory(entries []Entry) string {
+	var sb strings.Builder
+	sb.WriteString("## Live performance trajectory (BENCH_live.json)\n\n")
+	if len(entries) == 0 {
+		sb.WriteString("(empty trajectory)\n")
+		return sb.String()
+	}
+
+	sb.WriteString("### Streaming (64 KiB messages over loopback UDP)\n\n")
+	sb.WriteString("| label | go | mtu | Mb/s | Δ vs prev | allocs/msg | retrans |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---:|---:|\n")
+	for i, e := range entries {
+		for _, s := range e.Streaming {
+			delta := "—"
+			if prev := previousPoint(entries, i, s.MTU, s.MsgBytes); prev != nil {
+				delta = fmt.Sprintf("%+.1f%%", (s.Mbps/prev.Mbps-1)*100)
+			}
+			mbps := fmt.Sprintf("%.0f", s.Mbps)
+			if s.MbpsMAD > 0 {
+				mbps += fmt.Sprintf(" ±%.0f", s.MbpsMAD)
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %d | %s | %s | %.2f | %d |\n",
+				e.Label, goBrief(e), s.MTU, mbps, delta, s.AllocsPerMsg, s.Retransmits)
+		}
+	}
+
+	sb.WriteString("\n### 0-byte ping-pong (one-way latency)\n\n")
+	sb.WriteString("| label | rounds | p50 µs | p99 µs | Δ p99 | allocs/rt |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	for i, e := range entries {
+		pp := e.PingPong
+		delta := "—"
+		if i > 0 {
+			prev := entries[i-1].PingPong
+			if prev.P99us > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (pp.P99us/prev.P99us-1)*100)
+			}
+		}
+		p99 := fmt.Sprintf("%.1f", pp.P99us)
+		if pp.P99MAD > 0 {
+			p99 += fmt.Sprintf(" ±%.1f", pp.P99MAD)
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %.1f | %s | %s | %.3f |\n",
+			e.Label, pp.Rounds, pp.P50us, p99, delta, pp.AllocsPerRT)
+	}
+
+	sb.WriteString("\nΔ columns compare each entry against the previous entry that measured\n")
+	sb.WriteString("the same point; ± bands are the median absolute deviation over the\n")
+	sb.WriteString("entry's runs (schema 1 entries only). Entries from different machines\n")
+	sb.WriteString("are not comparable — check the env fingerprint in BENCH_live.json.\n")
+	return sb.String()
+}
+
+// previousPoint finds the same (mtu, msgBytes) point in the nearest
+// earlier entry that has it.
+func previousPoint(entries []Entry, i, mtu, msgBytes int) *Stream {
+	for j := i - 1; j >= 0; j-- {
+		if p := entries[j].Point(mtu, msgBytes); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func goBrief(e Entry) string {
+	if e.Env != nil {
+		return fmt.Sprintf("%s %dcpu", e.Env.Go, e.Env.CPUs)
+	}
+	return e.Go
+}

@@ -1,0 +1,51 @@
+package perfreg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrajectoryDeltas(t *testing.T) {
+	entries := []Entry{
+		*benchEntry(2338, 207, 15.7),
+		*benchEntry(6752, 11741, 13.1),
+	}
+	entries[0].Label, entries[1].Label = "pr5-baseline", "pr5-pooled"
+	out := Trajectory(entries)
+
+	for _, want := range []string{
+		"| pr5-baseline |", "| pr5-pooled |",
+		// 2338 → 6752 at MTU 1500 is +188.8%.
+		"+188.8%",
+		// First entry has no predecessor.
+		"| 1500 | 2338 ±23 | — |",
+		// p99 15.7 → 13.1 is -16.6%.
+		"-16.6%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "### Streaming") || !strings.Contains(out, "### 0-byte ping-pong") {
+		t.Errorf("missing section headers:\n%s", out)
+	}
+}
+
+func TestTrajectorySkipsMissingPoints(t *testing.T) {
+	// Second entry adds a new MTU point the first never measured: its
+	// delta column must show "—", not compare against garbage.
+	e1, e2 := benchEntry(6000, 11000, 13), benchEntry(6000, 11000, 13)
+	e2.Streaming = append(e2.Streaming, Stream{
+		MTU: 4000, MsgBytes: 65536, Messages: 1000, Mbps: 8000, AllocsPerMsg: 1.3,
+	})
+	out := Trajectory([]Entry{*e1, *e2})
+	if !strings.Contains(out, "| 4000 | 8000 | — |") {
+		t.Errorf("new point should have no delta:\n%s", out)
+	}
+}
+
+func TestTrajectoryEmpty(t *testing.T) {
+	if out := Trajectory(nil); !strings.Contains(out, "empty trajectory") {
+		t.Errorf("empty trajectory rendering: %q", out)
+	}
+}

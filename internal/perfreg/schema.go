@@ -1,0 +1,239 @@
+package perfreg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// SchemaVersion is the current BENCH_live.json entry schema. Entries
+// with no "schema" field are version 0: the pre-observatory format
+// (label, go, streaming, pingpong) that the first trajectory points
+// were recorded in; they stay parseable and checkable forever, they
+// just carry no env fingerprint or noise bands.
+const SchemaVersion = 1
+
+// Env is the environment fingerprint stamped into every schema>=1
+// entry. Two entries are only comparable as a regression signal when
+// their fingerprints match; Check warns (but does not fail) on
+// cross-environment comparisons because a laptop-vs-CI delta is noise,
+// not a regression.
+type Env struct {
+	Go       string `json:"go"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	CPUs     int    `json:"cpus"`
+	MaxProcs int    `json:"maxprocs"`
+	Flags    string `json:"flags,omitempty"` // free-form: build tags, -race, bench flags
+}
+
+// CaptureEnv fingerprints the running process.
+func CaptureEnv(flags string) *Env {
+	return &Env{
+		Go:       runtime.Version(),
+		OS:       runtime.GOOS,
+		Arch:     runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Flags:    flags,
+	}
+}
+
+// Same reports whether two fingerprints describe comparable machines.
+func (e *Env) Same(o *Env) bool {
+	if e == nil || o == nil {
+		return false
+	}
+	return e.Go == o.Go && e.OS == o.OS && e.Arch == o.Arch &&
+		e.CPUs == o.CPUs && e.MaxProcs == o.MaxProcs && e.Flags == o.Flags
+}
+
+// Stream is one streaming measurement point: median of Runs repetitions
+// at one (MTU, message size) coordinate, with MAD noise bands.
+type Stream struct {
+	MTU          int     `json:"mtu"`
+	MsgBytes     int     `json:"msg_bytes"`
+	Messages     int     `json:"messages"`
+	Mbps         float64 `json:"mbps"`
+	MbpsMAD      float64 `json:"mbps_mad,omitempty"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	AllocsMAD    float64 `json:"allocs_per_msg_mad,omitempty"`
+	Retransmits  int64   `json:"retransmits"`
+}
+
+// PingPong is the 0-byte round-trip latency point (one-way = RTT/2).
+type PingPong struct {
+	Rounds      int     `json:"rounds"`
+	P50us       float64 `json:"p50_us"`
+	P50MAD      float64 `json:"p50_us_mad,omitempty"`
+	P99us       float64 `json:"p99_us"`
+	P99MAD      float64 `json:"p99_us_mad,omitempty"`
+	AllocsPerRT float64 `json:"allocs_per_rt"`
+}
+
+// Entry is one point on the BENCH_live.json performance trajectory,
+// and — as a single object rather than an array element — the format of
+// bench/baseline.json.
+type Entry struct {
+	Schema    int      `json:"schema,omitempty"` // 0 = pre-observatory entry
+	Label     string   `json:"label"`
+	Go        string   `json:"go"`
+	Env       *Env     `json:"env,omitempty"`
+	Runs      int      `json:"runs,omitempty"` // repetitions folded into each median
+	Streaming []Stream `json:"streaming"`
+	PingPong  PingPong `json:"pingpong"`
+}
+
+// Point returns the stream at the (mtu, msgBytes) coordinate, or nil.
+func (e *Entry) Point(mtu, msgBytes int) *Stream {
+	for i := range e.Streaming {
+		if e.Streaming[i].MTU == mtu && e.Streaming[i].MsgBytes == msgBytes {
+			return &e.Streaming[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks an entry for structural sanity. It is deliberately
+// strict about impossible values (zero throughput, p99 below p50,
+// negative noise bands) because the trajectory file is committed and
+// hand-editable: a silently-absurd entry would poison every later
+// delta and baseline comparison.
+func (e *Entry) Validate() error {
+	if e.Schema < 0 || e.Schema > SchemaVersion {
+		return fmt.Errorf("unknown schema version %d (this tree understands <= %d)", e.Schema, SchemaVersion)
+	}
+	if e.Label == "" {
+		return fmt.Errorf("entry has no label")
+	}
+	if e.Go == "" {
+		return fmt.Errorf("%s: missing go version", e.Label)
+	}
+	if len(e.Streaming) == 0 {
+		return fmt.Errorf("%s: no streaming points", e.Label)
+	}
+	seen := map[[2]int]bool{}
+	for i, s := range e.Streaming {
+		at := fmt.Sprintf("%s streaming[%d]", e.Label, i)
+		if s.MTU <= 0 || s.MsgBytes <= 0 || s.Messages <= 0 {
+			return fmt.Errorf("%s: non-positive mtu/msg_bytes/messages (%d/%d/%d)", at, s.MTU, s.MsgBytes, s.Messages)
+		}
+		if s.Mbps <= 0 {
+			return fmt.Errorf("%s: non-positive throughput %g", at, s.Mbps)
+		}
+		if s.AllocsPerMsg < 0 || s.MbpsMAD < 0 || s.AllocsMAD < 0 {
+			return fmt.Errorf("%s: negative allocs or noise band", at)
+		}
+		if s.Retransmits < 0 {
+			return fmt.Errorf("%s: negative retransmits %d", at, s.Retransmits)
+		}
+		key := [2]int{s.MTU, s.MsgBytes}
+		if seen[key] {
+			return fmt.Errorf("%s: duplicate point mtu=%d msg_bytes=%d", at, s.MTU, s.MsgBytes)
+		}
+		seen[key] = true
+	}
+	pp := e.PingPong
+	if pp.Rounds <= 0 {
+		return fmt.Errorf("%s pingpong: non-positive rounds %d", e.Label, pp.Rounds)
+	}
+	if pp.P50us <= 0 || pp.P99us < pp.P50us {
+		return fmt.Errorf("%s pingpong: implausible latency p50=%g p99=%g", e.Label, pp.P50us, pp.P99us)
+	}
+	if pp.AllocsPerRT < 0 || pp.P50MAD < 0 || pp.P99MAD < 0 {
+		return fmt.Errorf("%s pingpong: negative allocs or noise band", e.Label)
+	}
+	if e.Schema >= 1 {
+		if e.Env == nil {
+			return fmt.Errorf("%s: schema %d entry without env fingerprint", e.Label, e.Schema)
+		}
+		if e.Env.Go == "" || e.Env.OS == "" || e.Env.Arch == "" || e.Env.CPUs <= 0 || e.Env.MaxProcs <= 0 {
+			return fmt.Errorf("%s: incomplete env fingerprint %+v", e.Label, *e.Env)
+		}
+		if e.Runs < 1 {
+			return fmt.Errorf("%s: schema %d entry without runs count", e.Label, e.Schema)
+		}
+	}
+	return nil
+}
+
+// decodeStrict unmarshals rejecting unknown fields — a typo'd or
+// future-schema field fails loudly instead of being dropped.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadTrajectory reads and validates a BENCH_live.json-style file: a
+// JSON array of entries, newest last.
+func LoadTrajectory(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := decodeStrict(data, &entries); err != nil {
+		return nil, fmt.Errorf("perfreg: %s is not a trajectory array: %w", path, err)
+	}
+	for i := range entries {
+		if err := entries[i].Validate(); err != nil {
+			return nil, fmt.Errorf("perfreg: %s entry %d: %w", path, i, err)
+		}
+	}
+	return entries, nil
+}
+
+// Append validates entry and appends it to the trajectory at path,
+// creating the file if missing.
+func Append(path string, entry *Entry) error {
+	if err := entry.Validate(); err != nil {
+		return fmt.Errorf("perfreg: refusing to append invalid entry: %w", err)
+	}
+	var trajectory []Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := decodeStrict(data, &trajectory); err != nil {
+			return fmt.Errorf("perfreg: %s exists but is not a trajectory array: %w", path, err)
+		}
+	}
+	trajectory = append(trajectory, *entry)
+	out, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// LoadBaseline reads and validates a baseline file: one entry as a
+// single JSON object (bench/baseline.json).
+func LoadBaseline(path string) (*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e Entry
+	if err := decodeStrict(data, &e); err != nil {
+		return nil, fmt.Errorf("perfreg: %s is not a baseline entry: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("perfreg: %s: %w", path, err)
+	}
+	return &e, nil
+}
+
+// WriteBaseline validates and writes entry as a baseline file.
+func WriteBaseline(path string, e *Entry) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("perfreg: refusing to write invalid baseline: %w", err)
+	}
+	out, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

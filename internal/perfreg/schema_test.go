@@ -1,0 +1,160 @@
+package perfreg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validEntry returns a minimal schema-1 entry that passes Validate;
+// tests mutate copies of it to probe individual rules.
+func validEntry() *Entry {
+	return &Entry{
+		Schema: 1,
+		Label:  "test",
+		Go:     "go1.22",
+		Env:    &Env{Go: "go1.22", OS: "linux", Arch: "amd64", CPUs: 8, MaxProcs: 8},
+		Runs:   3,
+		Streaming: []Stream{
+			{MTU: 1500, MsgBytes: 65536, Messages: 1000, Mbps: 6000, MbpsMAD: 50, AllocsPerMsg: 1.3},
+			{MTU: 9000, MsgBytes: 65536, Messages: 1000, Mbps: 11000, AllocsPerMsg: 1.2},
+		},
+		PingPong: PingPong{Rounds: 3000, P50us: 4.3, P99us: 13.1, AllocsPerRT: 0.001},
+	}
+}
+
+func TestValidateAcceptsGoodEntries(t *testing.T) {
+	if err := validEntry().Validate(); err != nil {
+		t.Fatalf("valid schema-1 entry rejected: %v", err)
+	}
+	v0 := validEntry()
+	v0.Schema, v0.Env, v0.Runs = 0, nil, 0 // pre-observatory shape
+	if err := v0.Validate(); err != nil {
+		t.Fatalf("valid schema-0 entry rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Entry)
+		want string
+	}{
+		{"future schema", func(e *Entry) { e.Schema = 99 }, "unknown schema"},
+		{"no label", func(e *Entry) { e.Label = "" }, "no label"},
+		{"no go version", func(e *Entry) { e.Go = "" }, "go version"},
+		{"no streaming", func(e *Entry) { e.Streaming = nil }, "no streaming"},
+		{"zero mbps", func(e *Entry) { e.Streaming[0].Mbps = 0 }, "throughput"},
+		{"negative mad", func(e *Entry) { e.Streaming[0].MbpsMAD = -1 }, "negative"},
+		{"negative retrans", func(e *Entry) { e.Streaming[0].Retransmits = -1 }, "retransmits"},
+		{"duplicate point", func(e *Entry) { e.Streaming[1] = e.Streaming[0] }, "duplicate"},
+		{"zero rounds", func(e *Entry) { e.PingPong.Rounds = 0 }, "rounds"},
+		{"p99 below p50", func(e *Entry) { e.PingPong.P99us = 1 }, "implausible"},
+		{"schema1 without env", func(e *Entry) { e.Env = nil }, "env fingerprint"},
+		{"schema1 bad env", func(e *Entry) { e.Env.CPUs = 0 }, "incomplete env"},
+		{"schema1 without runs", func(e *Entry) { e.Runs = 0 }, "runs"},
+	}
+	for _, m := range mutations {
+		e := validEntry()
+		m.mut(e)
+		err := e.Validate()
+		if err == nil {
+			t.Errorf("%s: corruption accepted", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+// TestCommittedTrajectoryValidates parses every entry of the committed
+// BENCH_live.json — the satellite guard against hand-edited or
+// truncated entries, which previously had no consumer that would
+// notice.
+func TestCommittedTrajectoryValidates(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_live.json")
+	entries, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatalf("committed trajectory invalid: %v", err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("committed trajectory has %d entries, want >= 2 (pr5 baseline + pooled)", len(entries))
+	}
+	for i, e := range entries[:2] {
+		if e.Schema != 0 {
+			t.Errorf("entry %d (%s): pre-observatory entry acquired schema %d", i, e.Label, e.Schema)
+		}
+	}
+}
+
+// TestCommittedBaselineValidates parses the committed bench/baseline.json
+// that `clicbench -baseline bench/baseline.json -check live` gates on.
+func TestCommittedBaselineValidates(t *testing.T) {
+	path := filepath.Join("..", "..", "bench", "baseline.json")
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("committed baseline invalid: %v", err)
+	}
+	if b.Schema < 1 {
+		t.Errorf("committed baseline is schema %d; the baseline must carry an env fingerprint", b.Schema)
+	}
+	if b.Runs < 3 {
+		t.Errorf("committed baseline folded only %d runs; need >= 3 for a MAD band", b.Runs)
+	}
+}
+
+func TestLoadTrajectoryRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traj.json")
+	bad := `[{"label":"x","go":"go1.22","typo_field":1,
+		"streaming":[{"mtu":1500,"msg_bytes":65536,"messages":1000,"mbps":100,"allocs_per_msg":0,"retransmits":0}],
+		"pingpong":{"rounds":100,"p50_us":4,"p99_us":10,"allocs_per_rt":0}}]`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(path); err == nil || !strings.Contains(err.Error(), "typo_field") {
+		t.Fatalf("unknown field accepted, err=%v", err)
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traj.json")
+	e1, e2 := validEntry(), validEntry()
+	e2.Label = "second"
+	if err := Append(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Label != "test" || got[1].Label != "second" {
+		t.Fatalf("round trip lost entries: %+v", got)
+	}
+	bad := validEntry()
+	bad.Streaming = nil
+	if err := Append(path, bad); err == nil {
+		t.Fatal("Append accepted an invalid entry")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	e := validEntry()
+	if err := WriteBaseline(path, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != e.Label || len(got.Streaming) != 2 || !got.Env.Same(e.Env) {
+		t.Fatalf("baseline round trip mismatch: %+v", got)
+	}
+}

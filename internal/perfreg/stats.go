@@ -1,0 +1,40 @@
+package perfreg
+
+import "sort"
+
+// Median returns the middle value of xs (mean of the middle two for
+// even lengths). xs is not modified. Median of nothing is 0.
+func Median(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs: median(|x - median|).
+// It is the noise statistic the baseline bands are built from — robust
+// to the occasional scheduler-hiccup outlier that would wreck a stddev
+// on a 3-to-5-run sample.
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		d := x - m
+		if d < 0 {
+			d = -d
+		}
+		dev[i] = d
+	}
+	return Median(dev)
+}

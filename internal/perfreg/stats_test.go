@@ -1,0 +1,45 @@
+package perfreg
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{10, 10, 10, 1000}, 10}, // outlier-robust
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD([]float64{5}); got != 0 {
+		t.Errorf("MAD of one sample = %g, want 0", got)
+	}
+	// median 10, deviations {0,0,0,990} → MAD 0: a single outlier does
+	// not widen the band. This is the property the baseline check
+	// relies on for small N.
+	if got := MAD([]float64{10, 10, 10, 1000}); got != 0 {
+		t.Errorf("MAD outlier case = %g, want 0", got)
+	}
+	// median 3, deviations {2,1,0,1,2} → median 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); got != 1 {
+		t.Errorf("MAD(1..5) = %g, want 1", got)
+	}
+}

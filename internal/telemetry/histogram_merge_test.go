@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMergeQuantileEquivalence is the satellite contract: quantiles of
+// merged per-snapshot histograms must equal quantiles of one histogram
+// that saw every observation — the property the median-of-N live bench
+// relies on when it folds per-run ping-pong distributions.
+func TestMergeQuantileEquivalence(t *testing.T) {
+	bounds := DefLatencyBuckets()
+	whole := NewHistogram(bounds)
+	parts := []*Histogram{NewHistogram(bounds), NewHistogram(bounds), NewHistogram(bounds)}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30000; i++ {
+		// Log-uniform over ~1µs..100ms, the range the buckets cover.
+		v := 1e3 * rng.Float64() * float64(int64(1)<<uint(rng.Intn(17)))
+		whole.Observe(v)
+		parts[i%len(parts)].Observe(v)
+	}
+	merged := NewHistogram(bounds)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N = %d, whole N = %d", merged.N(), whole.N())
+	}
+	if merged.Sum() != whole.Sum() {
+		// Summation order differs between the two paths; float addition
+		// is not associative, so allow relative epsilon.
+		if d := merged.Sum()/whole.Sum() - 1; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("merged Sum = %g, whole Sum = %g", merged.Sum(), whole.Sum())
+		}
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged min/max %g/%g, whole %g/%g", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("Quantile(%g): merged %g, whole %g", q, got, want)
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	bounds := []float64{10, 100, 1000}
+	h := NewHistogram(bounds)
+	h.Observe(50)
+
+	// Merging nil and self are no-ops.
+	if err := h.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 1 {
+		t.Fatalf("self/nil merge changed N to %d", h.N())
+	}
+
+	// Merging an empty histogram must not disturb min/max (the empty
+	// side's min is +Inf, max is -Inf).
+	if err := h.Merge(NewHistogram(bounds)); err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() != 50 || h.Max() != 50 {
+		t.Fatalf("empty merge disturbed min/max: %g/%g", h.Min(), h.Max())
+	}
+
+	// An empty receiver adopts the donor's min/max.
+	recv := NewHistogram(bounds)
+	if err := recv.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if recv.Min() != 50 || recv.Max() != 50 || recv.N() != 1 {
+		t.Fatalf("empty receiver merge: min/max/N = %g/%g/%d", recv.Min(), recv.Max(), recv.N())
+	}
+
+	// Overflow (+Inf bucket) observations survive the merge.
+	big := NewHistogram(bounds)
+	big.Observe(5000)
+	if err := recv.Merge(big); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.Quantile(1); got != 5000 {
+		t.Fatalf("overflow quantile after merge = %g, want 5000", got)
+	}
+
+	// Mismatched bounds are an error, not a re-bin.
+	if err := recv.Merge(NewHistogram([]float64{1, 2})); err == nil {
+		t.Fatal("bucket-count mismatch accepted")
+	}
+	if err := recv.Merge(NewHistogram([]float64{10, 100, 999})); err == nil {
+		t.Fatal("bound-value mismatch accepted")
+	}
+}
