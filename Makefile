@@ -28,14 +28,17 @@ check: build lint
 bench:
 	$(GO) run ./cmd/clicbench all
 
-# bench-live measures the real loopback datapath (E15) and appends a
-# labeled entry to BENCH_live.json. The 0-alloc guards run first: a
-# steady-state allocation regression fails the target before it can
-# skew the throughput numbers.
+# bench-live measures the real loopback datapath — the single-pair
+# sweep (E15) and the many-peer fan-in sweep (E18) — and appends
+# labeled entries to BENCH_live.json. The 0-alloc guards run first
+# (including the sharded steady state): a steady-state allocation
+# regression fails the target before it can skew the throughput
+# numbers.
 LIVE_LABEL ?= local
 bench-live:
 	$(GO) test -count=1 -run 'TestSteadyState' ./internal/live/
 	$(GO) run ./cmd/clicbench -live-out BENCH_live.json -live-label "$(LIVE_LABEL)" live
+	$(GO) run ./cmd/clicbench -live-out BENCH_live.json -live-label "$(LIVE_LABEL)" fanin
 
 # perf-gate is the local twin of CI's perf-gate job: seed a baseline on
 # this machine (median of 3 runs, MAD noise bands), re-measure and
@@ -54,3 +57,6 @@ perf-gate:
 		echo "perf-gate: canary regression correctly tripped the gate"; \
 	fi
 	@rm -f .perfgate-baseline.json
+	$(GO) run ./cmd/clicbench -seed-baseline .perfgate-fanin.json -runs 3 fanin
+	$(GO) run ./cmd/clicbench -baseline .perfgate-fanin.json -check fanin
+	@rm -f .perfgate-fanin.json

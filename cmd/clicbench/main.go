@@ -15,6 +15,7 @@
 //	loss        injected-loss sweep: recovery cost            (E12)
 //	rxmode      adaptive RX ladder: bh/direct/poll            (E16)
 //	live        real-sockets loopback perf trajectory         (E15)
+//	fanin       many-peer fan-in goodput, base vs tuned       (E18)
 //	profile     live sweep under CPU profile, per-stage table (E17)
 //	report      render the trajectory file as markdown        (E17)
 //	all         every simulated + live experiment above (not profile/report)
@@ -64,12 +65,13 @@ var experiments = map[string]func(*model.Params) *bench.Report{
 	"loss":        bench.LossSweep,
 	"rxmode":      bench.RxModes,
 	"live":        bench.Live,
+	"fanin":       bench.FanIn,
 }
 
 var order = []string{
 	"fig4", "fig5", "fig6", "fig7", "headline",
 	"compare", "interrupts", "paths", "frag", "bonding", "multiprog",
-	"collectives", "jitter", "latency", "loss", "rxmode", "live",
+	"collectives", "jitter", "latency", "loss", "rxmode", "live", "fanin",
 }
 
 func fatalf(format string, args ...any) {
@@ -145,6 +147,8 @@ func main() {
 		switch name {
 		case "live":
 			rep = runLive(*liveLabel, *runs, *liveOut, *baselinePath, *seedBaseline, *canary, *check, &failed)
+		case "fanin":
+			rep = runFanIn(*liveLabel, *runs, *liveOut, *baselinePath, *seedBaseline, *canary, *check, &failed)
 		case "profile":
 			if *cpuprofile != "" {
 				fatalf("the profile experiment captures its own CPU profile; drop -cpuprofile or run other experiments")
@@ -211,16 +215,61 @@ func runLive(label string, runs int, liveOut, baselinePath, seedPath string, can
 		rep.Notef("wrote baseline %s (median of %d runs)", seedPath, runs)
 	}
 	if baselinePath != "" {
-		base, err := perfreg.LoadBaseline(baselinePath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		findings := perfreg.Check(base, entry, perfreg.DefaultCheckConfig())
-		fmt.Print(perfreg.Explain(base, entry, findings))
-		fmt.Println()
-		if check && len(perfreg.Regressions(findings)) > 0 {
-			*failed = true
-		}
+		checkAgainst(baselinePath, entry, check, failed, rep)
 	}
 	return rep
+}
+
+// runFanIn executes the fan-in sweep with the same observatory modes as
+// runLive: trajectory append, baseline seeding, and the regression
+// check. The canary scales throughput the same way so the fan-in gate
+// is self-testable too.
+func runFanIn(label string, runs int, liveOut, baselinePath, seedPath string, canary float64, check bool, failed *bool) *bench.Report {
+	rep, entry, err := bench.FanInRunN(label, runs)
+	if err != nil {
+		fatalf("fanin experiment: %v", err)
+	}
+	if canary != 1 {
+		for i := range entry.Streaming {
+			entry.Streaming[i].Mbps *= canary
+		}
+		rep.Notef("CANARY: measured throughput scaled by %.2f before checking", canary)
+	}
+	if liveOut != "" {
+		if err := bench.AppendLiveEntry(liveOut, entry); err != nil {
+			fatalf("%v", err)
+		}
+		rep.Notef("appended trajectory entry %q to %s", label, liveOut)
+	}
+	if seedPath != "" {
+		if err := perfreg.WriteBaseline(seedPath, entry); err != nil {
+			fatalf("%v", err)
+		}
+		rep.Notef("wrote baseline %s (median of %d runs)", seedPath, runs)
+	}
+	if baselinePath != "" {
+		checkAgainst(baselinePath, entry, check, failed, rep)
+	}
+	return rep
+}
+
+// checkAgainst loads the baseline and gates entry against it. A kind
+// mismatch (a sweep baseline handed to the fan-in experiment via `all`,
+// or vice versa) is skipped with a note instead of producing spurious
+// missing-point regressions.
+func checkAgainst(baselinePath string, entry *perfreg.Entry, check bool, failed *bool, rep *bench.Report) {
+	base, err := perfreg.LoadBaseline(baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if base.Kind != entry.Kind {
+		rep.Notef("baseline %s is kind %q, this experiment is kind %q: check skipped", baselinePath, base.Kind, entry.Kind)
+		return
+	}
+	findings := perfreg.Check(base, entry, perfreg.DefaultCheckConfig())
+	fmt.Print(perfreg.Explain(base, entry, findings))
+	fmt.Println()
+	if check && len(perfreg.Regressions(findings)) > 0 {
+		*failed = true
+	}
 }

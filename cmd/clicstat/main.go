@@ -133,30 +133,48 @@ func render(w *os.File, doc, prev *health.Doc, sortBy string) {
 	}
 	sortRows(rows, sortBy)
 
-	fmt.Fprintf(w, "%-8s %5s %-3s %7s %7s %10s %10s %9s %9s %5s %10s %10s\n",
-		"NODE", "PEER", "DIR", "WINDOW", "INFLT", "NEXT/CUM", "ACKED", "RTO", "SRTT", "RETR", "STALL", "RATE")
+	fmt.Fprintf(w, "%-8s %5s %-3s %7s %7s %7s %5s %10s %10s %9s %9s %5s %10s %10s\n",
+		"NODE", "PEER", "DIR", "WINDOW", "INFLT", "CREDIT", "PACE", "NEXT/CUM", "ACKED", "RTO", "SRTT", "RETR", "STALL", "RATE")
 	for _, r := range rows {
 		ch := &r.ch
 		seq, acked := fmt.Sprint(ch.NextSeq), fmt.Sprint(ch.AckedSeq)
 		win, inflt := fmt.Sprint(ch.Window), fmt.Sprint(ch.InFlight)
 		rto, srtt := durOrDash(ch.RTONs), durOrDash(ch.SRTTNs)
+		// CREDIT is the flow-control budget seen from each side: on tx the
+		// peer's last advertised credit (dash until one arrives — legacy
+		// acks never advertise), on rx what this channel last advertised.
+		// PACE is the tx retransmit backlog the pacer is still holding.
+		credit, pace := "-", fmt.Sprint(ch.PacedBacklog)
+		if ch.Credit >= 0 {
+			credit = fmt.Sprint(ch.Credit)
+		}
 		if ch.Dir == "rx" {
 			seq, acked = fmt.Sprint(ch.CumAck), "-"
 			win, inflt = "-", fmt.Sprintf("p%d", ch.Parked)
 			rto, srtt = "-", "-"
+			credit, pace = fmt.Sprint(ch.AdvCredit), "-"
 		}
 		mark := " "
 		if ch.Failed {
 			mark = "!"
 		}
-		fmt.Fprintf(w, "%-8s %5d %-3s%s %6s %7s %10s %10s %9s %9s %5d %10s %10s\n",
-			r.node, ch.Peer, ch.Dir, mark, win, inflt, seq, acked, rto, srtt,
+		fmt.Fprintf(w, "%-8s %5d %-3s%s %6s %7s %7s %5s %10s %10s %9s %9s %5d %10s %10s\n",
+			r.node, ch.Peer, ch.Dir, mark, win, inflt, credit, pace, seq, acked, rto, srtt,
 			ch.Retries, durOrDash(r.stallNs), rateOrDash(r.rate))
 	}
 
 	for ni := range doc.Nodes {
 		node := &doc.Nodes[ni]
 		var extra []string
+		// One entry per RX shard: frames/bursts, plus the poll-mode hit
+		// rate when the adaptive ladder has been polling.
+		for _, sh := range node.Shards {
+			s := fmt.Sprintf("shard%d %df/%db", sh.Shard, sh.Frames, sh.Bursts)
+			if sh.Polls > 0 {
+				s += fmt.Sprintf(" (%d polls, %d empty)", sh.Polls, sh.PollEmpty)
+			}
+			extra = append(extra, s)
+		}
 		if node.Pool != nil {
 			extra = append(extra, fmt.Sprintf("pool %d out (%d gets, %d puts, %d allocs)",
 				node.Pool.Outstanding, node.Pool.Gets, node.Pool.Puts, node.Pool.Allocs))

@@ -9,5 +9,5 @@ import (
 
 func TestBlockUnderLock(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), blockunderlock.Analyzer,
-		"block", "transitive")
+		"block", "transitive", "shard")
 }

@@ -1,0 +1,37 @@
+// Package shard models the handshake rendezvous: completing a waiter
+// must not happen under lmu even though the channel is buffered — the
+// analyzer cannot see capacity, and the real code's delete-under-lock
+// / send-after-unlock split keeps the send provably sole-sender and
+// lock-free.
+package shard
+
+import "sync"
+
+type node struct {
+	//lockorder: rank=15 name=lmu
+	lmu sync.Mutex
+
+	helloWait map[string]chan int
+}
+
+// completeUnderLock sends the rendezvous reply while still holding the
+// bookkeeping lock: reported, buffered or not.
+func completeUnderLock(n *node) {
+	n.lmu.Lock()
+	ch := n.helloWait["peer"]
+	delete(n.helloWait, "peer")
+	ch <- 1 // want `channel send while lmu \(rank 15\) is held`
+	n.lmu.Unlock()
+}
+
+// completeAfterUnlock is the real code's shape: the delete under lmu
+// makes this goroutine the sole sender, the send itself runs unlocked.
+func completeAfterUnlock(n *node) {
+	n.lmu.Lock()
+	ch := n.helloWait["peer"]
+	delete(n.helloWait, "peer")
+	n.lmu.Unlock()
+	if ch != nil {
+		ch <- 1
+	}
+}

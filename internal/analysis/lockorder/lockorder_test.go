@@ -9,5 +9,5 @@ import (
 
 func TestLockOrder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer,
-		"basic", "transitive", "badmeta")
+		"basic", "transitive", "badmeta", "shard")
 }

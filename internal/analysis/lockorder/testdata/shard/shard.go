@@ -1,0 +1,87 @@
+// Package shard models the live node's many-peer lifecycle hierarchy:
+// sendMu (10, blockok) < lmu (15, handshake rendezvous) < channel
+// locks (20) < registration table (30). The good paths mirror the real
+// code — rendezvous bookkeeping before channel state, snapshot-then-
+// visit for the table — and the bad paths are the inversions the rank
+// for lmu was added to outlaw.
+package shard
+
+import "sync"
+
+type node struct {
+	//lockorder: rank=10 name=sendMu blockok
+	sendMu sync.Mutex
+
+	//lockorder: rank=15 name=lmu
+	lmu sync.Mutex
+
+	//lockorder: rank=20 name=chanMu
+	chanMu sync.Mutex
+
+	//lockorder: rank=30 name=pmu
+	pmu sync.RWMutex
+
+	helloWait map[string]chan int
+	credit    int
+}
+
+// handshakeSeed is the Handshake completion path: rendezvous state
+// under lmu, then the channel's credit under its own lock — ordered
+// 15 < 20, silent.
+func handshakeSeed(n *node) {
+	n.lmu.Lock()
+	delete(n.helloWait, "peer")
+	n.lmu.Unlock()
+	n.chanMu.Lock()
+	n.credit = 8
+	n.chanMu.Unlock()
+}
+
+// nestedSeed holds lmu across the channel-lock acquisition; still
+// ordered, still silent.
+func nestedSeed(n *node) {
+	n.lmu.Lock()
+	n.chanMu.Lock()
+	n.credit = 8
+	n.chanMu.Unlock()
+	n.lmu.Unlock()
+}
+
+// snapshotThenVisit is the teardown idiom: collect under the table
+// lock, release, then visit channel state.
+func snapshotThenVisit(n *node) {
+	n.pmu.Lock()
+	n.pmu.Unlock()
+	n.chanMu.Lock()
+	n.chanMu.Unlock()
+}
+
+// rendezvousUnderChannel re-enters the lifecycle bookkeeping from
+// inside a channel lock — the inversion that would deadlock against
+// handshakeSeed's nested order.
+func rendezvousUnderChannel(n *node) {
+	n.chanMu.Lock()
+	n.lmu.Lock() // want `acquiring lmu \(rank 15\) while holding chanMu \(rank 20\) inverts the declared lock order`
+	delete(n.helloWait, "peer")
+	n.lmu.Unlock()
+	n.chanMu.Unlock()
+}
+
+// channelUnderTable visits channel state while still holding the
+// registration table — the inversion snapshot-then-visit exists to
+// avoid.
+func channelUnderTable(n *node) {
+	n.pmu.RLock()
+	n.chanMu.Lock() // want `acquiring chanMu \(rank 20\) while holding pmu \(rank 30\) inverts the declared lock order`
+	n.chanMu.Unlock()
+	n.pmu.RUnlock()
+}
+
+// rendezvousUnderTable: lifecycle bookkeeping under the table is the
+// same inversion one level further out.
+func rendezvousUnderTable(n *node) {
+	n.pmu.Lock()
+	n.lmu.Lock() // want `acquiring lmu \(rank 15\) while holding pmu \(rank 30\) inverts the declared lock order`
+	n.lmu.Unlock()
+	n.pmu.Unlock()
+}

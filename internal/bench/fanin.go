@@ -1,0 +1,359 @@
+//simtime:wallclock
+
+// This file measures the real-time live stack over loopback UDP:
+// wall-clock timing is the measurement, not a determinism leak.
+
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/model"
+	"repro/internal/perfreg"
+)
+
+// The fan-in experiment (E18) measures the many-peer serving path the
+// single-pair live sweep cannot see: 1→N fan-out, N→1 incast and N→N
+// mesh goodput. No loss is injected — the loss that differentiates the
+// variants comes from two equal sources: real receive-buffer overflow
+// under incast, plus a small injected datagram loss (fanLoss, same
+// rate and seed discipline for both variants — the acceptance bar is
+// "equal loss rate") that stands in for the wire loss a Gigabit
+// deployment sees. Injected loss is what separates the recovery
+// strategies: unpaced go-back-N amplifies each drop into a full-window
+// retransmit burst that re-overflows the buffer, while paced, credit-
+// capped retransmission recovers without the secondary storm. Every pattern runs twice: a "base" variant that
+// reproduces the pre-flow-control stack (one socket, legacy
+// credit-less acks, no per-peer cap, no pacing) and a "tuned" variant
+// with the many-peer machinery on (REUSEPORT shards, credit flow
+// control, per-peer in-flight caps, paced retransmits) — so the
+// trajectory records not just the numbers but the machinery's margin
+// over the stack it replaced. The N→1 incast is the headline: 64
+// unthrottled windows burst ~6 MB into a 256 KiB socket buffer and
+// goodput is whatever survives the drop/retransmit spiral; credit
+// holds the aggregate inside the buffer instead.
+//
+// The metric is serving completion: every flow carries a fixed
+// workload and goodput is total bytes over the time until the LAST
+// message reaches its peer. That is deliberately fairness-sensitive —
+// an incast collapse that starves a few flows while the rest brute-
+// force through shows up as the straggler tail it inflicts on real
+// serving, which a plain aggregate-rate measurement on a fast loopback
+// hides. A hard deadline bounds the runtime: a collapsed variant
+// scores whatever it delivered by the deadline instead of hanging the
+// benchmark on its unbounded recovery tail.
+
+// fanPoint is one (pattern, fan width) coordinate of the experiment.
+type fanPoint struct {
+	pattern string
+	peers   int
+	size    int
+	window  int // go-back-N window; per point, it sets the incast depth
+}
+
+// fanPoints is the sweep: fan-out, the headline incast, and a mesh.
+var fanPoints = []fanPoint{
+	{pattern: "1_to_n", peers: 16, size: 8192, window: 64},
+	{pattern: "n_to_1", peers: 64, size: 8192, window: 256},
+	{pattern: "n_to_n", peers: 8, size: 8192, window: 32},
+}
+
+// fanLoss is the injected datagram loss rate, identical for both
+// variants.
+const fanLoss = 0.005
+
+// fanMsgs sizes each flow's workload so every point moves a few
+// hundred MB total; fanDeadline caps a collapsed variant's runtime.
+const fanDeadline = 30 * time.Second
+
+func fanMsgs(p fanPoint) int {
+	switch p.pattern {
+	case "1_to_n":
+		return 2000
+	case "n_to_n":
+		return 600
+	default: // n_to_1
+		return 500
+	}
+}
+
+// fanCfg builds the node config for one variant. Everything the
+// comparison must hold equal — window, socket buffer, timers, delivery
+// depth — is shared; the variants differ only in the many-peer
+// machinery itself.
+func fanCfg(p fanPoint, tuned bool) live.Config {
+	cfg := live.DefaultConfig()
+	cfg.Window = p.window
+	cfg.SockBuf = 256 << 10 // small on purpose: the incast must be able to overflow it
+	cfg.PortDepth = 8192    // delivery queue out of the way; the transport is the subject
+	cfg.RetransmitTimeout = 20 * time.Millisecond
+	cfg.RTOMin = 15 * time.Millisecond // above single-core scheduler jitter: an RTO should mean loss, not a delayed ack
+	cfg.RTOMax = 100 * time.Millisecond
+	cfg.MaxRetries = 0 // the base incast rides out long recovery spirals; nobody dies
+	cfg.LossRate = fanLoss
+	if tuned {
+		cfg.Shards = 4
+		cfg.PeerInFlight = 16
+		cfg.PaceBurst = 8
+	} else {
+		cfg.Shards = 1
+		cfg.PaceBurst = -1
+		cfg.LegacyAcks = true
+	}
+	return cfg
+}
+
+// fanFlow is one unidirectional message stream of the mesh. Every
+// flow gets its own CLIC port (src id + 1) and its own drain goroutine
+// on the destination, so delivery parallelism never caps the transport
+// under test — with a single shared port the one Recv loop saturates
+// near 2 Gb/s and both variants flatline against it.
+type fanFlow struct {
+	src  *live.Node
+	dst  int
+	port uint16
+}
+
+// fanInRun executes one (point, variant) measurement and returns the
+// aggregate-goodput stream row.
+func fanInRun(p fanPoint, tuned bool) (perfreg.Stream, error) {
+	cfg := fanCfg(p, tuned)
+	variant := "base"
+	if tuned {
+		variant = "tuned"
+	}
+
+	var nodes []*live.Node
+	closeAll := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	mk := func(id int) (*live.Node, error) {
+		n, err := live.NewNode(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+		return n, nil
+	}
+
+	type drain struct {
+		node *live.Node
+		port uint16
+	}
+	var flows []fanFlow
+	var drains []drain
+	build := func() error {
+		switch p.pattern {
+		case "1_to_n":
+			src, err := mk(0)
+			if err != nil {
+				return err
+			}
+			for i := 1; i <= p.peers; i++ {
+				dst, err := mk(i)
+				if err != nil {
+					return err
+				}
+				live.Connect(src, dst)
+				flows = append(flows, fanFlow{src: src, dst: i, port: 1})
+				drains = append(drains, drain{dst, 1})
+			}
+		case "n_to_1":
+			dst, err := mk(0)
+			if err != nil {
+				return err
+			}
+			for i := 1; i <= p.peers; i++ {
+				src, err := mk(i)
+				if err != nil {
+					return err
+				}
+				live.Connect(src, dst)
+				flows = append(flows, fanFlow{src: src, dst: 0, port: uint16(i)})
+				drains = append(drains, drain{dst, uint16(i)})
+			}
+		case "n_to_n":
+			all := make([]*live.Node, p.peers)
+			for i := 0; i < p.peers; i++ {
+				n, err := mk(i)
+				if err != nil {
+					return err
+				}
+				all[i] = n
+			}
+			for i := 0; i < p.peers; i++ {
+				for j := i + 1; j < p.peers; j++ {
+					live.Connect(all[i], all[j])
+				}
+			}
+			for i, src := range all {
+				for j := range all {
+					if i != j {
+						flows = append(flows, fanFlow{src: src, dst: j, port: uint16(i + 1)})
+						drains = append(drains, drain{all[j], uint16(i + 1)})
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("fanin: unknown pattern %q", p.pattern)
+		}
+		return nil
+	}
+	if err := build(); err != nil {
+		closeAll()
+		return perfreg.Stream{}, err
+	}
+
+	payload := make([]byte, p.size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	msgs := fanMsgs(p)
+	expected := int64(msgs * len(flows))
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, d := range drains {
+		wg.Add(1)
+		go func(d drain) {
+			defer wg.Done()
+			for {
+				if _, err := d.node.Recv(d.port); err != nil {
+					return // ErrClosed at teardown
+				}
+				if delivered.Add(1) == expected {
+					close(done)
+				}
+			}
+		}(d)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for _, f := range flows {
+		wg.Add(1)
+		go func(f fanFlow) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				if err := f.src.Send(f.dst, f.port, payload); err != nil {
+					return // ErrClosed at teardown
+				}
+			}
+		}(f)
+	}
+
+	deadlined := false
+	select {
+	case <-done:
+	case <-time.After(fanDeadline):
+		deadlined = true
+	}
+	count := delivered.Load()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	var retrans int64
+	for _, n := range nodes {
+		_, _, rt, _, _ := n.Stats()
+		retrans += rt
+	}
+
+	closeAll() // wakes window-blocked senders and parked receivers
+	wg.Wait()
+	if count <= 0 {
+		return perfreg.Stream{}, fmt.Errorf("fanin %s/%s: nothing delivered inside the %v deadline", p.pattern, variant, fanDeadline)
+	}
+	if deadlined {
+		fmt.Printf("   note: fanin %s/%s hit the %v deadline with %d/%d messages served — scoring the partial delivery\n",
+			p.pattern, variant, fanDeadline, count, expected)
+	}
+	return perfreg.Stream{
+		MTU:          cfg.MTU,
+		MsgBytes:     p.size,
+		Messages:     int(count),
+		Pattern:      p.pattern + "/" + variant,
+		Peers:        p.peers,
+		Mbps:         float64(count) * float64(p.size) * 8 / elapsed.Seconds() / 1e6,
+		AllocsPerMsg: float64(after.Mallocs-before.Mallocs) / float64(count),
+		Retransmits:  retrans,
+	}, nil
+}
+
+// FanInRunN executes the fan-in sweep runs times and folds the
+// repetitions into one fan-in entry (median ± MAD per point), mirroring
+// LiveRunN's folding for the single-pair sweep.
+func FanInRunN(label string, runs int) (*Report, *LiveEntry, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	rep := &Report{
+		ID:      "fanin",
+		Title:   "live UDP fan-in: many-peer goodput, base vs tuned",
+		XLabel:  "row",
+		YLabel:  "Mb/s",
+		Columns: []string{"Mb/s", "allocs/msg", "retransmits"},
+	}
+	var rowNames []string
+	entry := &LiveEntry{
+		Schema: perfreg.SchemaVersion,
+		Kind:   perfreg.KindFanIn,
+		Label:  label,
+		Go:     runtime.Version(),
+		Env:    perfreg.CaptureEnv(""),
+		Runs:   runs,
+	}
+	for _, p := range fanPoints {
+		for _, tuned := range []bool{false, true} {
+			var mbps, allocs []float64
+			var retrans int64
+			var st perfreg.Stream
+			for r := 0; r < runs; r++ {
+				var err error
+				st, err = fanInRun(p, tuned)
+				if err != nil {
+					return nil, nil, err
+				}
+				mbps = append(mbps, st.Mbps)
+				allocs = append(allocs, st.AllocsPerMsg)
+				if st.Retransmits > retrans {
+					retrans = st.Retransmits // worst run, like the live sweep
+				}
+			}
+			st.Mbps, st.MbpsMAD = perfreg.Median(mbps), perfreg.MAD(mbps)
+			st.AllocsPerMsg, st.AllocsMAD = perfreg.Median(allocs), perfreg.MAD(allocs)
+			st.Retransmits = retrans
+			entry.Streaming = append(entry.Streaming, st)
+			rep.AddRow(float64(len(rowNames)), st.Mbps, st.AllocsPerMsg, float64(st.Retransmits))
+			rowNames = append(rowNames, fmt.Sprintf("%d=%s x%d", len(rowNames), st.Pattern, st.Peers))
+		}
+	}
+	rep.Notef("rows: %v", rowNames)
+	for _, p := range fanPoints {
+		base := entry.FanPoint(p.pattern+"/base", p.peers)
+		tuned := entry.FanPoint(p.pattern+"/tuned", p.peers)
+		if base != nil && tuned != nil && base.Mbps > 0 {
+			rep.Notef("%s x%d: tuned %.0f Mb/s vs base %.0f Mb/s (%.2fx)",
+				p.pattern, p.peers, tuned.Mbps, base.Mbps, tuned.Mbps/base.Mbps)
+		}
+	}
+	rep.Notef("shared per variant: 256 KiB socket buffers, %.1f%% injected datagram loss (equal rate; buffer overflow adds the rest), %d B messages; goodput = workload bytes / time until the last peer is served (deadline %v); median of %d run(s), ± = MAD",
+		fanLoss*100, fanPoints[0].size, fanDeadline, runs)
+	rep.Notef("base = pre-flow-control stack (1 socket, credit-less acks, unpaced); tuned = 4 shards, credit, cap 16, pace 8")
+	return rep, entry, nil
+}
+
+// FanIn adapts FanInRunN to the experiment-table signature.
+func FanIn(*model.Params) *Report {
+	rep, _, err := FanInRunN("adhoc", 1)
+	if err != nil {
+		rep = &Report{ID: "fanin", Title: "live UDP fan-in"}
+		rep.Notef("FAILED: %v", err)
+	}
+	return rep
+}

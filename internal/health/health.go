@@ -43,12 +43,28 @@ type ChannelSnapshot struct {
 	Retries  int   `json:"retries,omitempty"`
 	Failed   bool  `json:"failed,omitempty"`
 
+	// Flow control and pacing (TX): Credit is the peer's last advertised
+	// receive credit in frames (-1 until a credit-bearing ack arrives),
+	// InFlightCap the configured per-peer in-flight cap (0 = window
+	// only), PacedBacklog the unacked frames the last paced RTO expiry
+	// deferred to later ticks. When flow control narrows the send limit,
+	// Window above reports the *effective* limit — min(window, cap,
+	// credit) — so watchdog stall conditions keep firing for capped or
+	// credit-starved channels.
+	Credit       int `json:"credit,omitempty"`
+	InFlightCap  int `json:"in_flight_cap,omitempty"`
+	PacedBacklog int `json:"paced_backlog,omitempty"`
+
 	// Resequencer state (RX): CumAck is the next expected sequence,
 	// Parked the out-of-order frames buffered behind a gap, SinceAck
-	// the delivered-but-unacknowledged count.
-	CumAck   uint32 `json:"cum_ack,omitempty"`
-	Parked   int    `json:"parked,omitempty"`
-	SinceAck int    `json:"since_ack,omitempty"`
+	// the delivered-but-unacknowledged count. AdvCredit is the receive
+	// credit the channel last advertised to its peer, and Evictions
+	// counts idle-eviction passes that reclaimed its pooled state.
+	CumAck    uint32 `json:"cum_ack,omitempty"`
+	Parked    int    `json:"parked,omitempty"`
+	SinceAck  int    `json:"since_ack,omitempty"`
+	AdvCredit uint32 `json:"adv_credit,omitempty"`
+	Evictions int64  `json:"evictions,omitempty"`
 
 	// LastProgressNs is when the channel last made forward progress
 	// (ack advance for TX, in-order delivery for RX) on the stack's
@@ -81,6 +97,15 @@ const (
 	CounterRxWakeups = "rx_wakeups"
 )
 
+// ShardSnapshot is the receive activity of one RX socket shard.
+type ShardSnapshot struct {
+	Shard     int   `json:"shard"`
+	Bursts    int64 `json:"bursts"`
+	Frames    int64 `json:"frames"`
+	Polls     int64 `json:"polls,omitempty"`
+	PollEmpty int64 `json:"poll_empty,omitempty"`
+}
+
 // NodeSnapshot is one endpoint's full state capture.
 type NodeSnapshot struct {
 	Node       string `json:"node"`
@@ -93,6 +118,7 @@ type NodeSnapshot struct {
 
 	Pool     *PoolSnapshot     `json:"pool,omitempty"`
 	Counters map[string]int64  `json:"counters,omitempty"`
+	Shards   []ShardSnapshot   `json:"shards,omitempty"`
 	Channels []ChannelSnapshot `json:"channels,omitempty"`
 }
 

@@ -110,6 +110,47 @@ func TestSteadyStateRoundTripZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSteadyStateShardedSendZeroAlloc repeats the send guard on a
+// multi-shard receiver with flow control active: REUSEPORT sharding,
+// the per-peer in-flight cap, credit absorption from every ack, and
+// the pacer bookkeeping must all stay off the allocator once warm. A
+// regression here means the many-peer machinery put an allocation on
+// the single-peer hot path.
+func TestSteadyStateShardedSendZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.PeerInFlight = cfg.Window
+	a, b := wbPair(t, cfg)
+	if b.Shards() < 2 {
+		t.Skipf("sharding unsupported on this platform (%d shard)", b.Shards())
+	}
+	const port = 23
+	payload := wbPattern(1024)
+
+	fill := b.portChan(port)
+	for len(fill) < cap(fill) {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamQuiesce(t, a, 1)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	avg := testing.AllocsPerRun(200, func() {
+		if err := a.Send(1, port, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("sharded steady-state send allocates %.2f allocs/msg; flow control or sharding regressed the 0-copy path", avg)
+	}
+}
+
 // TestProfilingGateDisabledZeroAlloc pins the cost contract of the
 // perfreg stage labels: with profiling disabled (the default), the
 // pprof.Do wrappers on send, flushTx, dispatch, and the timer

@@ -44,7 +44,21 @@ func (n *Node) HealthSnapshot() health.NodeSnapshot {
 			"acks_sent":             n.acksSent.Value(),
 			"rto_backoffs":          n.rtoBackoffs.Value(),
 			"channel_failures":      n.channelFailures.Value(),
+			"handshakes":            n.handshakes.Value(),
+			"peer_evictions":        n.peerEvictions.Value(),
+			"idle_evictions":        n.idleEvictions.Value(),
+			"pace_deferrals":        n.paceDeferrals.Value(),
+			"port_drops":            n.portDrops.Value(),
 		},
+	}
+	for _, s := range n.shards {
+		snap.Shards = append(snap.Shards, health.ShardSnapshot{
+			Shard:     s.id,
+			Bursts:    s.bursts.Load(),
+			Frames:    s.frames.Load(),
+			Polls:     s.polls.Load(),
+			PollEmpty: s.pollEmpty.Load(),
+		})
 	}
 	n.pmu.RLock()
 	txs := make([]*liveTxChan, 0, len(n.tx))
@@ -58,10 +72,17 @@ func (n *Node) HealthSnapshot() health.NodeSnapshot {
 	n.pmu.RUnlock()
 	for _, tc := range txs {
 		tc.mu.Lock()
+		// Window reports the effective send limit — min(window, per-peer
+		// cap, advertised credit) — so the watchdog's window-stall
+		// condition (InFlight >= Window) fires for capped and
+		// credit-starved channels too, not only window-full ones.
 		snap.Channels = append(snap.Channels, health.ChannelSnapshot{
 			Peer:           tc.peer,
 			Dir:            "tx",
-			Window:         tc.win.Window(),
+			Window:         tc.effectiveWindow(),
+			Credit:         tc.credit,
+			InFlightCap:    tc.capFrames,
+			PacedBacklog:   tc.pacedBacklog,
 			InFlight:       tc.win.InFlight(),
 			NextSeq:        tc.win.NextSeq(),
 			AckedSeq:       tc.win.Base(),
@@ -82,6 +103,8 @@ func (n *Node) HealthSnapshot() health.NodeSnapshot {
 			CumAck:         rc.reseq.CumAck(),
 			Parked:         rc.reseq.Buffered(),
 			SinceAck:       rc.sinceAck,
+			AdvCredit:      rc.lastCredit,
+			Evictions:      rc.evictions,
 			LastProgressNs: rc.lastProgressNs,
 		})
 		rc.mu.Unlock()

@@ -1,0 +1,310 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/relwin"
+)
+
+// Connection lifecycle: a lightweight hello/bye exchange plus idle
+// eviction. None of it is required — statically configured meshes
+// (AddPeer/Connect) work exactly as before — but under many-peer churn
+// it is what keeps the node's footprint proportional to the *active*
+// peer set: hello carries the peer's node id and initial credit so a
+// joiner needs no out-of-band registration, bye tears the channels
+// down immediately instead of waiting out retry budgets, and the idle
+// evictor reclaims pooled state from silent peers while keeping their
+// sequence counters, so a comeback resumes the channel in place.
+
+// Handshake introduces this node to the peer listening at addr: it
+// retries a TypeHello (Seq = our node id) until the peer's hello-ack
+// arrives, registers the peer under the id the ack carries, seeds the
+// TX channel with the peer's advertised credit, and returns the peer
+// id. The peer registers us symmetrically on receipt, so traffic may
+// flow in both directions immediately after.
+func (n *Node) Handshake(addr *net.UDPAddr, timeout time.Duration) (int, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	ap := canonAddrPort(addr.AddrPort())
+	ch := make(chan helloReply, 1)
+	n.lmu.Lock()
+	if _, busy := n.helloWait[ap]; busy {
+		n.lmu.Unlock()
+		return 0, fmt.Errorf("live: handshake with %v already in progress", ap)
+	}
+	n.helloWait[ap] = ch
+	n.lmu.Unlock()
+	defer func() {
+		n.lmu.Lock()
+		if n.helloWait[ap] == ch {
+			delete(n.helloWait, ap)
+		}
+		n.lmu.Unlock()
+	}()
+	hdr := proto.Header{Type: proto.TypeHello, Seq: uint32(n.ID)}
+	var buf [proto.HeaderBytes]byte
+	hdr.Put(buf[:])
+	const tries = 3
+	per := timeout / tries
+	if per <= 0 {
+		per = timeout
+	}
+	timer := time.NewTimer(per)
+	defer timer.Stop()
+	for i := 0; i < tries; i++ {
+		n.transmit(n.shards[0].conn, ap, buf[:], 0)
+		select {
+		case r := <-ch:
+			n.registerPeer(r.peer, ap)
+			if r.credit > 0 {
+				if tc, err := n.txFor(r.peer); err == nil {
+					tc.mu.Lock()
+					tc.credit = r.credit
+					tc.mu.Unlock()
+				}
+			}
+			n.handshakes.Inc()
+			n.hl.Event("handshake", r.peer, 0, int64(r.credit))
+			return r.peer, nil
+		case <-timer.C:
+			timer.Reset(per)
+		case <-n.done:
+			return 0, ErrClosed
+		}
+	}
+	return 0, fmt.Errorf("live: handshake with %v timed out after %v", ap, timeout)
+}
+
+// onHello handles a TypeHello from the receive path (no locks held).
+// A request (no FlagLast) registers the sender and answers with our
+// node id and an initial credit; a reply (FlagLast) completes the
+// parked Handshake waiter for that address.
+func (n *Node) onHello(s *rxShard, from netip.AddrPort, hdr proto.Header) {
+	peer := int(hdr.Seq)
+	if hdr.Flags&proto.FlagLast == 0 {
+		// A hello from a peer whose TX channel we declared dead is a
+		// reconnect: drop both stale channels so fresh sequence spaces
+		// start at zero on both sides. A healthy (or absent) channel is
+		// left alone — Handshake retries its hello, and a duplicate must
+		// not reset a channel that just started carrying data.
+		n.pmu.RLock()
+		tc := n.tx[peer]
+		n.pmu.RUnlock()
+		if tc != nil {
+			tc.mu.Lock()
+			failed := tc.failed
+			tc.mu.Unlock()
+			if failed {
+				n.resetPeer(peer)
+			}
+		}
+		n.registerPeer(peer, from)
+		rc := n.rxFor(peer)
+		rc.mu.Lock()
+		credit := n.advertiseCredit(rc)
+		rc.mu.Unlock()
+		reply := proto.Header{Type: proto.TypeHello,
+			Flags: proto.FlagLast | proto.FlagCredit,
+			Seq:   uint32(n.ID), Len: credit}
+		var buf [proto.HeaderBytes]byte
+		reply.Put(buf[:])
+		n.transmit(s.conn, from, buf[:], 0)
+		n.handshakes.Inc()
+		n.hl.Event("handshake", peer, 0, int64(credit))
+		return
+	}
+	credit := int(hdr.Len)
+	if hdr.Flags&proto.FlagCredit == 0 {
+		credit = 0
+	}
+	n.lmu.Lock()
+	ch := n.helloWait[from]
+	delete(n.helloWait, from)
+	n.lmu.Unlock()
+	if ch != nil {
+		// Buffered, and the delete above made this the sole sender.
+		ch <- helloReply{peer: peer, credit: credit}
+	}
+}
+
+// onBye tears down the channels for src: the peer announced it is
+// gone, so its TX channel fails like a dead peer (blocked senders and
+// confirmation waiters wake with ErrPeerDead now instead of after
+// MaxRetries of silence) and its RX channel — whose sequence space the
+// departed peer will never continue — is removed outright, returning
+// every pooled frame. The address registration stays: bye reports the
+// peer process's death, not a topology change, and a later hello from
+// a restarted peer re-opens fresh channels (see onHello).
+func (n *Node) onBye(src int) {
+	n.peerEvictions.Inc()
+	n.hl.Event("bye", src, 0, 0)
+	n.pmu.Lock()
+	tc := n.tx[src]
+	rc := n.rx[src]
+	delete(n.rx, src)
+	n.pmu.Unlock()
+	if rc != nil {
+		n.rxPeers.Add(-1)
+	}
+	var waiters []chan error
+	if tc != nil {
+		tc.mu.Lock()
+		if !tc.failed {
+			waiters = n.failChannel(tc)
+		}
+		tc.mu.Unlock()
+	}
+	for _, ch := range waiters {
+		ch <- ErrPeerDead
+	}
+	if rc != nil {
+		rc.mu.Lock()
+		n.reclaimRxLocked(rc)
+		if rc.ackArmed {
+			rc.ackTimer.Stop()
+			rc.ackArmed = false
+		}
+		rc.mu.Unlock()
+	}
+}
+
+// sendByes is Close's best-effort teardown notice: one TypeBye to
+// every registered peer, so their channels to us fail now rather than
+// after MaxRetries of silence.
+func (n *Node) sendByes() {
+	n.pmu.RLock()
+	addrs := make([]netip.AddrPort, 0, len(n.peers))
+	for _, ap := range n.peers {
+		addrs = append(addrs, ap)
+	}
+	n.pmu.RUnlock()
+	if len(addrs) == 0 {
+		return
+	}
+	hdr := proto.Header{Type: proto.TypeBye, Seq: uint32(n.ID)}
+	var buf [proto.HeaderBytes]byte
+	hdr.Put(buf[:])
+	for _, ap := range addrs {
+		n.transmit(n.shards[0].conn, ap, buf[:], 0)
+	}
+}
+
+// registerPeer is AddPeer keyed by netip (the receive path's native
+// address form).
+func (n *Node) registerPeer(id int, ap netip.AddrPort) {
+	n.AddPeer(id, net.UDPAddrFromAddrPort(ap))
+}
+
+// resetPeer drops both channels for peer (registration stays): the
+// old TX side fails like a dead channel (blocked senders wake with
+// ErrPeerDead, retained buffers drain to the pool, confirmation
+// waiters are notified) and the RX side returns its parked frames.
+// The next send or datagram builds fresh channels with sequence
+// spaces at zero.
+func (n *Node) resetPeer(peer int) {
+	n.pmu.Lock()
+	tc := n.tx[peer]
+	rc := n.rx[peer]
+	delete(n.tx, peer)
+	delete(n.rx, peer)
+	n.pmu.Unlock()
+	if rc != nil {
+		n.rxPeers.Add(-1)
+	}
+	var waiters []chan error
+	if tc != nil {
+		tc.mu.Lock()
+		if !tc.failed {
+			waiters = n.failChannel(tc)
+		}
+		tc.mu.Unlock()
+	}
+	for _, ch := range waiters {
+		ch <- ErrPeerDead
+	}
+	if rc != nil {
+		rc.mu.Lock()
+		n.reclaimRxLocked(rc)
+		if rc.ackArmed {
+			rc.ackTimer.Stop()
+			rc.ackArmed = false
+		}
+		rc.mu.Unlock()
+	}
+}
+
+// reclaimRxLocked returns a receive channel's pooled state: parked
+// out-of-order frames (never acked, so go-back-N retransmission
+// re-delivers them if the peer lives on) and, between messages, the
+// retained assembly capacity. A mid-message assembly buffer is NOT
+// dropped — its fragments were already acked and would never be
+// resent. Called with rc.mu held.
+func (n *Node) reclaimRxLocked(rc *liveRxChan) {
+	rc.reseq.DrainParked(func(_ relwin.Seq, d rxDatagram) {
+		if d.fb != nil {
+			d.fb.retained = false
+			n.pool.Put(d.fb)
+		}
+	})
+	if !rc.asm.started {
+		rc.asm.buf = nil
+	}
+}
+
+// idleLoop is the eviction ticker: every quarter IdleTimeout it sweeps
+// receive channels whose cumulative ack has not moved for a full
+// IdleTimeout and reclaims their pooled state. Sequence counters
+// survive, so a silent peer that wakes up resumes in place.
+func (n *Node) idleLoop() {
+	defer n.wg.Done()
+	period := n.cfg.IdleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case now := <-t.C:
+			n.evictIdle(now.UnixNano())
+		}
+	}
+}
+
+// evictIdle reclaims pooled state from receive channels idle past
+// IdleTimeout. A channel counts as idle only when its ack point has
+// not advanced for the full timeout — far longer than any RTO, so a
+// peer mid-recovery (stalled on a gap but still retransmitting) is
+// never swept: IdleTimeout of no progress means go-back-N itself has
+// given up or the peer is gone.
+func (n *Node) evictIdle(nowNs int64) {
+	cut := nowNs - n.cfg.IdleTimeout.Nanoseconds()
+	n.pmu.RLock()
+	rxs := make([]*liveRxChan, 0, len(n.rx))
+	for _, rc := range n.rx {
+		rxs = append(rxs, rc)
+	}
+	n.pmu.RUnlock()
+	for _, rc := range rxs {
+		rc.mu.Lock()
+		idle := rc.lastProgressNs < cut
+		reclaimable := rc.reseq.Buffered() > 0 || (!rc.asm.started && cap(rc.asm.buf) > 0)
+		if idle && reclaimable {
+			n.reclaimRxLocked(rc)
+			rc.evictions++
+			n.idleEvictions.Inc()
+			n.hl.Event("idle_evict", rc.src, rc.reseq.CumAck(), rc.evictions)
+		}
+		rc.mu.Unlock()
+	}
+}

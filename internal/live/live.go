@@ -30,7 +30,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
-	"syscall"
+
 	"time"
 
 	"repro/internal/flight"
@@ -51,6 +51,7 @@ import (
 // nest.
 const (
 	rankSendMu = 10 // per-channel message atomicity; declared blockok (spans socket writes)
+	rankLife   = 15 // lmu: handshake rendezvous + lifecycle bookkeeping
 	rankChanMu = 20 // per-channel tx/rx state (tc.mu, rc.mu)
 	rankPeers  = 30 // pmu: registration tables
 	rankRegion = 40 // per-region remote-write buffer
@@ -89,13 +90,58 @@ type Config struct {
 	// ErrPeerDead. Zero retries forever.
 	MaxRetries int
 
-	// SockBuf requests SO_RCVBUF/SO_SNDBUF for the node's socket, in
-	// bytes (best effort: the kernel clamps to rmem_max/wmem_max). Zero
-	// asks for 4 MiB — a full jumbo-frame window per peer otherwise
-	// overruns the default ~200 KiB receive buffer, and every overrun is
-	// an invisible loss the sender recovers from only by RTO. Negative
-	// leaves the OS default.
+	// SockBuf requests SO_RCVBUF/SO_SNDBUF for each of the node's
+	// sockets, in bytes (best effort: the kernel clamps to
+	// rmem_max/wmem_max). Zero asks for 4 MiB — a full jumbo-frame
+	// window per peer otherwise overruns the default ~200 KiB receive
+	// buffer, and every overrun is an invisible loss the sender recovers
+	// from only by RTO. Negative leaves the OS default.
 	SockBuf int
+
+	// Shards is the number of SO_REUSEPORT sockets the node binds to its
+	// one port, each drained by its own receive goroutine with its own
+	// pooled batch reader. The kernel's REUSEPORT flow hash pins every
+	// peer's datagrams (data and acks alike — same 4-tuple) to one
+	// socket, so per-peer channel state stays single-reader without any
+	// cross-shard locking. 0 or 1 means a single socket; platforms
+	// without SO_REUSEPORT support (non-Linux builds) clamp to 1.
+	Shards int
+
+	// PeerInFlight caps the unacknowledged frames a single peer channel
+	// may hold in flight, below Window. Under fan-in this is the
+	// isolation knob: one blackholed or slow peer retains at most this
+	// many pooled frame buffers instead of a full window, so it cannot
+	// starve the shared pool. 0 means no extra cap (the window rules).
+	PeerInFlight int
+
+	// PaceBurst bounds the frames a single RTO expiry may retransmit —
+	// the token-bucket pacing layer on top of go-back-N. The bucket
+	// refills each RTO tick and shrinks by half per consecutive backoff,
+	// so incast collapse degrades into paced trickles instead of
+	// window-sized retransmit storms. 0 derives min(Window, 16);
+	// negative disables pacing (legacy full go-back-N bursts).
+	PaceBurst int
+
+	// IdleTimeout evicts pooled state (parked out-of-order frames,
+	// reassembly scratch) from receive channels that have made no
+	// progress for this long. Sequence counters survive eviction, so an
+	// idle peer that wakes up resumes its channel exactly where it
+	// stopped — go-back-N retransmission refills anything dropped.
+	// 0 disables idle eviction.
+	IdleTimeout time.Duration
+
+	// LegacyAcks strips FlagCredit from this node's acknowledgements —
+	// the pre-credit wire format, in which peers receive no window
+	// advertisement and send unthrottled. Interop testing and the
+	// fan-in benchmark's "base" variant use it to reproduce a peer
+	// that predates flow control; leave it off otherwise.
+	LegacyAcks bool
+
+	// PortDepth is the per-port delivery-queue depth in messages. Under
+	// many-peer fan-in one slow consumer port would otherwise wedge the
+	// shard receive loops; past this depth completed messages are
+	// counted as port drops instead. 0 means 64.
+	PortDepth int
 
 	// LossRate, DupRate inject datagram loss/duplication on the send
 	// side, in [0,1). ReorderRate delays individual datagrams by a random
@@ -163,17 +209,39 @@ type Message struct {
 // constants above and DESIGN.md §8 for the full hierarchy — checked
 // statically by cliclint and at runtime under `-tags lockcheck`.
 type Node struct {
-	ID   int
-	cfg  Config
-	conn *net.UDPConn
+	ID  int
+	cfg Config
 
-	// rawConn drives the batched syscalls (sendmmsg/recvmmsg on Linux)
-	// through the runtime poller.
-	rawConn syscall.RawConn
+	// shards are the node's sockets: one, or Config.Shards SO_REUSEPORT
+	// sockets bound to the same port, each drained by its own rxLoop
+	// goroutine. The slice is immutable after NewNode, so fast paths
+	// index it without a lock. TX channels pin to shardOf(peer) for
+	// their writes; any shard may transmit to any peer (all sockets
+	// share the local address), which is what lets a receive loop answer
+	// acks from the socket the datagram arrived on.
+	shards []*rxShard
+
+	// rxPeers counts receive channels with live state — the divisor for
+	// the advertised credit (the socket buffer is a shared resource the
+	// receiver splits across its talkers).
+	rxPeers atomic.Int64
 
 	// pool recycles MTU-class frame buffers across the TX path (encode →
 	// window retention → ack release) and the RX out-of-order parking.
 	pool *framePool
+
+	// creditFrames is the receive budget the credit advertisement
+	// divides across peers: the sockets' aggregate SO_RCVBUF in frames,
+	// halved for slack. Computed once in NewNode.
+	creditFrames int64
+
+	// lmu guards the handshake rendezvous table: Handshake parks a
+	// waiter per remote address, the receive loop completes it when the
+	// hello-ack arrives. Held only around map operations; the completion
+	// send happens on a buffered channel outside the lock.
+	//lockorder: rank=15 name=lmu
+	lmu       lockcheck.Mutex
+	helloWait map[netip.AddrPort]chan helloReply
 
 	// pmu guards the registration tables below. All four maps are
 	// written only on registration (AddPeer, first use of a channel or
@@ -236,6 +304,10 @@ type Node struct {
 	rxAggRuns        telemetry.Counter
 	rxAggFrames      telemetry.Counter
 	portDrops        telemetry.Counter
+	handshakes       telemetry.Counter
+	peerEvictions    telemetry.Counter
+	idleEvictions    telemetry.Counter
+	paceDeferrals    telemetry.Counter
 	ackLatency       *telemetry.Histogram
 
 	// fr is the optional flight recorder (nil disables); nodeName labels
@@ -256,50 +328,70 @@ type confirmKey struct {
 // larger datagrams stays on the pooled path.
 const poolBufClassFloor = 2048
 
-// NewNode binds a node to 127.0.0.1 on an ephemeral port.
+// NewNode binds a node to 127.0.0.1 on an ephemeral port — one socket,
+// or Config.Shards SO_REUSEPORT sockets sharing that port, each with
+// its own receive goroutine.
 func NewNode(id int, cfg Config) (*Node, error) {
-	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	shardCount := clampShards(cfg.Shards)
+	conns, err := listenShards(shardCount)
 	if err != nil {
 		return nil, fmt.Errorf("live: bind: %w", err)
-	}
-	rawConn, err := conn.SyscallConn()
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("live: raw conn: %w", err)
 	}
 	sockBuf := cfg.SockBuf
 	if sockBuf == 0 {
 		sockBuf = 4 << 20
 	}
-	if sockBuf > 0 {
-		// Best effort: without this a single jumbo-MTU window overruns
-		// the default receive buffer and the stream crawls on RTO stalls.
-		conn.SetReadBuffer(sockBuf)  //nolint:errcheck // kernel clamps; degraded perf, not correctness
-		conn.SetWriteBuffer(sockBuf) //nolint:errcheck // kernel clamps; degraded perf, not correctness
+	shards := make([]*rxShard, 0, len(conns))
+	for i, conn := range conns {
+		rawConn, err := conn.SyscallConn()
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("live: raw conn: %w", err)
+		}
+		if sockBuf > 0 {
+			// Best effort: without this a single jumbo-MTU window overruns
+			// the default receive buffer and the stream crawls on RTO stalls.
+			conn.SetReadBuffer(sockBuf)  //nolint:errcheck // kernel clamps; degraded perf, not correctness
+			conn.SetWriteBuffer(sockBuf) //nolint:errcheck // kernel clamps; degraded perf, not correctness
+		}
+		shards = append(shards, &rxShard{id: i, conn: conn, raw: rawConn})
 	}
 	n := &Node{
-		ID:       id,
-		cfg:      cfg,
-		conn:     conn,
-		rawConn:  rawConn,
-		peers:    map[int]netip.AddrPort{},
-		peerIDs:  map[netip.AddrPort]int{},
-		tx:       map[int]*liveTxChan{},
-		rx:       map[int]*liveRxChan{},
-		ports:    map[uint16]chan Message{},
-		regions:  map[uint16]*Region{},
-		confirm:  map[confirmKey]chan error{},
-		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
-		faulty:   cfg.LossRate > 0 || cfg.DupRate > 0 || cfg.ReorderRate > 0,
-		done:     make(chan struct{}),
-		tel:      cfg.Telemetry,
-		fr:       cfg.Flight,
-		hl:       cfg.Health,
-		nodeName: fmt.Sprintf("live%d", id),
+		ID:        id,
+		cfg:       cfg,
+		shards:    shards,
+		peers:     map[int]netip.AddrPort{},
+		peerIDs:   map[netip.AddrPort]int{},
+		tx:        map[int]*liveTxChan{},
+		rx:        map[int]*liveRxChan{},
+		ports:     map[uint16]chan Message{},
+		regions:   map[uint16]*Region{},
+		confirm:   map[confirmKey]chan error{},
+		helloWait: map[netip.AddrPort]chan helloReply{},
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(id))),
+		faulty:    cfg.LossRate > 0 || cfg.DupRate > 0 || cfg.ReorderRate > 0,
+		done:      make(chan struct{}),
+		tel:       cfg.Telemetry,
+		fr:        cfg.Flight,
+		hl:        cfg.Health,
+		nodeName:  fmt.Sprintf("live%d", id),
 	}
+	n.lmu.SetRank(rankLife, "lmu")
 	n.pmu.SetRank(rankPeers, "pmu")
 	n.cmu.SetRank(rankCfm, "cmu")
 	n.imu.SetRank(rankInject, "imu")
+	mtu := cfg.MTU
+	if mtu <= 0 {
+		mtu = 1500
+	}
+	if sockBuf > 0 {
+		n.creditFrames = int64(sockBuf) * int64(len(shards)) / int64(mtu) / 2
+	} else {
+		// OS-default buffers: assume the conservative ~200 KiB.
+		n.creditFrames = int64(200<<10) * int64(len(shards)) / int64(mtu) / 2
+	}
 	if n.tel == nil {
 		n.tel = telemetry.NewRegistry()
 	}
@@ -324,6 +416,10 @@ func NewNode(id int, cfg Config) (*Node, error) {
 	n.tel.RegisterCounter("live_rx_agg_runs_total", "aggregated same-peer data runs dispatched under one lock hold", &n.rxAggRuns, node)
 	n.tel.RegisterCounter("live_rx_agg_frames_total", "datagrams carried by aggregated same-peer runs", &n.rxAggFrames, node)
 	n.tel.RegisterCounter("live_port_drops_total", "completed messages dropped because the port queue was full", &n.portDrops, node)
+	n.tel.RegisterCounter("live_handshakes_total", "hello exchanges completed (either side)", &n.handshakes, node)
+	n.tel.RegisterCounter("live_peer_evictions_total", "peers fully removed by bye teardown", &n.peerEvictions, node)
+	n.tel.RegisterCounter("live_idle_evictions_total", "idle receive channels whose pooled state was reclaimed", &n.idleEvictions, node)
+	n.tel.RegisterCounter("live_pace_deferrals_total", "retransmit frames deferred to a later RTO tick by pacing", &n.paceDeferrals, node)
 	n.ackLatency = n.tel.Histogram("live_ack_latency_ns",
 		"datagram push to cumulative-ack latency, wall-clock ns",
 		telemetry.DefLatencyBuckets(), node)
@@ -332,17 +428,50 @@ func NewNode(id int, cfg Config) (*Node, error) {
 		size = poolBufClassFloor
 	}
 	n.pool = newFramePool(size, &n.poolGets, &n.poolPuts, &n.poolAllocs)
-	n.wg.Add(1)
-	go n.rxLoop()
+	for _, s := range n.shards {
+		n.wg.Add(1)
+		go n.rxLoop(s)
+	}
+	if cfg.IdleTimeout > 0 {
+		n.wg.Add(1)
+		go n.idleLoop()
+	}
 	return n, nil
+}
+
+// clampShards resolves Config.Shards: at least one socket, and no more
+// than the platform supports (shardsSupported is 1 where SO_REUSEPORT
+// sharding is unavailable).
+func clampShards(want int) int {
+	if want < 1 {
+		return 1
+	}
+	if want > shardsSupported {
+		return shardsSupported
+	}
+	return want
+}
+
+// shardFor returns the shard a peer's TX path writes through. The
+// kernel picks the RX shard by flow hash; TX pinning just spreads send
+// syscalls across sockets so shards don't contend on one write lock.
+func (n *Node) shardFor(peer int) *rxShard {
+	if peer < 0 {
+		peer = -peer
+	}
+	return n.shards[peer%len(n.shards)]
 }
 
 // Telemetry returns the node's metrics registry (shared when
 // Config.Telemetry was set).
 func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
 
-// Addr returns the node's UDP address for peer registration.
-func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+// Addr returns the node's UDP address for peer registration. All
+// shard sockets share this address.
+func (n *Node) Addr() *net.UDPAddr { return n.shards[0].conn.LocalAddr().(*net.UDPAddr) }
+
+// Shards reports the number of receive shards the node is running.
+func (n *Node) Shards() int { return len(n.shards) }
 
 // canonAddrPort normalises an address for the peer tables: IPv4-mapped
 // IPv6 forms (what net.IPv4 produces) and plain IPv4 forms (what the
@@ -384,15 +513,17 @@ func Connect(a, b *Node) {
 	b.AddPeer(a.ID, a.Addr())
 }
 
-// Close shuts the node down. In-flight messages may be lost; peers'
-// retransmissions will give up after their retry budget. Every pending
-// timer (per-channel rto, per-channel delayed ack) is stopped so no
-// timer callback outlives the node, and blocked senders and region
-// waiters are woken.
+// Close shuts the node down. A best-effort bye is sent to every
+// registered peer so their side tears the channels down promptly
+// instead of waiting out retry budgets. In-flight messages may be
+// lost. Every pending timer (per-channel rto, per-channel delayed ack)
+// is stopped so no timer callback outlives the node, and blocked
+// senders and region waiters are woken.
 func (n *Node) Close() error {
 	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	n.sendByes()
 	close(n.done)
 	// Snapshot the channel tables under pmu, then visit each channel
 	// under its own lock with pmu already released. Channel locks rank
@@ -437,7 +568,12 @@ func (n *Node) Close() error {
 		r.cond.Broadcast()
 		r.mu.Unlock()
 	}
-	err := n.conn.Close()
+	var err error
+	for _, s := range n.shards {
+		if cerr := s.conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	n.wg.Wait()
 	return err
 }
@@ -497,6 +633,7 @@ func (n *Node) rxFor(peer int) *liveRxChan {
 	}
 	rc = newRxChan(n, peer, n.peers[peer])
 	n.rx[peer] = rc
+	n.rxPeers.Add(1)
 	return rc
 }
 
@@ -513,7 +650,11 @@ func (n *Node) portChan(port uint16) chan Message {
 	if ch := n.ports[port]; ch != nil {
 		return ch
 	}
-	ch = make(chan Message, 64)
+	depth := n.cfg.PortDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	ch = make(chan Message, depth)
 	n.ports[port] = ch
 	return ch
 }

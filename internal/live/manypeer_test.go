@@ -1,0 +1,461 @@
+package live_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/live"
+	"repro/internal/proto"
+)
+
+// node builds one live node with a cleanup hook.
+func node(t *testing.T, id int, cfg live.Config) *live.Node {
+	t.Helper()
+	n, err := live.NewNode(id, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// snapChan finds one channel snapshot by peer and direction.
+func snapChan(snap *health.NodeSnapshot, peer int, dir string) *health.ChannelSnapshot {
+	for i := range snap.Channels {
+		if snap.Channels[i].Peer == peer && snap.Channels[i].Dir == dir {
+			return &snap.Channels[i]
+		}
+	}
+	return nil
+}
+
+// TestHandshake: a hello exchange must register both ends without any
+// out-of-band AddPeer, seed the joiner's TX channel with the peer's
+// advertised credit, and leave the link fully usable in both
+// directions.
+func TestHandshake(t *testing.T) {
+	cfg := live.DefaultConfig()
+	a := node(t, 0, cfg)
+	b := node(t, 1, cfg)
+	peer, err := b.Handshake(a.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer != 0 {
+		t.Fatalf("handshake returned peer %d, want 0", peer)
+	}
+	if err := b.Send(0, 7, pattern(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := a.Recv(7); err != nil || len(msg.Data) != 5000 || msg.Src != 1 {
+		t.Fatalf("recv after handshake: %v src=%d len=%d", err, msg.Src, len(msg.Data))
+	}
+	// The responder learned us from the hello itself: reverse traffic
+	// needs no registration either.
+	if err := a.Send(1, 8, pattern(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(8); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.HealthSnapshot()
+	tc := snapChan(&snap, 0, "tx")
+	if tc == nil {
+		t.Fatal("no tx channel to peer 0 after handshake")
+	}
+	if tc.Credit < 0 {
+		t.Errorf("tx credit still unknown (%d) after a credited hello-ack", tc.Credit)
+	}
+	if snap.Counters["handshakes"] == 0 {
+		t.Error("handshake counter never moved")
+	}
+}
+
+// TestByeFailsChannels: the teardown notice from a closing peer must
+// fail the survivor's TX channel immediately — ErrPeerDead without
+// waiting out the MaxRetries RTO ladder.
+func TestByeFailsChannels(t *testing.T) {
+	cfg := live.DefaultConfig()
+	// A retry ladder slow enough that only the bye can explain a fast
+	// failure.
+	cfg.RetransmitTimeout = 250 * time.Millisecond
+	cfg.RTOMin = 250 * time.Millisecond
+	cfg.MaxRetries = 8
+	a, b := pair(t, cfg)
+	if err := a.Send(1, 7, pattern(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(7); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	// The bye is datagram-delivered; give the receive loop a moment.
+	deadline := time.Now().Add(time.Second)
+	for {
+		err := a.Send(1, 7, pattern(10))
+		if errors.Is(err, live.ErrPeerDead) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("send after bye returned %v, want ErrPeerDead within 1s", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := a.HealthSnapshot()
+	if snap.Counters["peer_evictions"] == 0 {
+		t.Error("bye never counted as a peer eviction")
+	}
+}
+
+// TestShardedFanIn: a multi-shard receiver must deliver every message
+// from a 16-peer fan-in intact, and the per-shard stats must show the
+// kernel actually spreading peers across shards.
+func TestShardedFanIn(t *testing.T) {
+	const (
+		peers = 16
+		msgs  = 20
+		size  = 5 * 1000
+	)
+	rcfg := live.DefaultConfig()
+	rcfg.Shards = 4
+	rcfg.PortDepth = 1024
+	recv := node(t, 100, rcfg)
+	if recv.Shards() < 2 {
+		t.Skipf("sharding unsupported on this platform (%d shard)", recv.Shards())
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < peers; p++ {
+		s := node(t, p, live.DefaultConfig())
+		live.Connect(recv, s)
+		wg.Add(1)
+		go func(s *live.Node, id int) {
+			defer wg.Done()
+			payload := pattern(size)
+			payload[0] = byte(id)
+			for i := 0; i < msgs; i++ {
+				if err := s.Send(100, 9, payload); err != nil {
+					t.Errorf("sender %d: %v", id, err)
+					return
+				}
+			}
+		}(s, p)
+	}
+	got := make([]int, peers)
+	for i := 0; i < peers*msgs; i++ {
+		msg, err := recv.Recv(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg.Data) != size || msg.Data[0] != byte(msg.Src) {
+			t.Fatalf("message %d from %d: len %d marker %d", i, msg.Src, len(msg.Data), msg.Data[0])
+		}
+		got[msg.Src]++
+	}
+	wg.Wait()
+	for p, c := range got {
+		if c != msgs {
+			t.Errorf("peer %d delivered %d/%d messages", p, c, msgs)
+		}
+	}
+	snap := recv.HealthSnapshot()
+	if len(snap.Shards) != recv.Shards() {
+		t.Fatalf("snapshot reports %d shards, node runs %d", len(snap.Shards), recv.Shards())
+	}
+	busy := 0
+	var frames int64
+	for _, s := range snap.Shards {
+		if s.Frames > 0 {
+			busy++
+		}
+		frames += s.Frames
+	}
+	if frames == 0 {
+		t.Fatal("no shard recorded any frames")
+	}
+	// 16 peers all hashing to one of 4 shards is a (1/4)^15 fluke; two
+	// busy shards prove the REUSEPORT spread is real.
+	if busy < 2 {
+		t.Errorf("only %d of %d shards saw traffic; REUSEPORT spread not engaged", busy, len(snap.Shards))
+	}
+}
+
+// TestBlackholedPeerCannotStarvePool is the pool-isolation regression
+// test: before per-peer in-flight caps, a peer that stopped acking
+// retained a full window of pooled frames (and with a big enough
+// window, most of the pool); now it retains at most PeerInFlight while
+// healthy traffic streams on unharmed, and the pacer defers most of
+// its retransmit storm.
+func TestBlackholedPeerCannotStarvePool(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.Window = 64
+	cfg.PeerInFlight = 8
+	cfg.PaceBurst = 2
+	cfg.RetransmitTimeout = 10 * time.Millisecond
+	cfg.RTOMin = 5 * time.Millisecond
+	cfg.RTOMax = 40 * time.Millisecond
+	cfg.MaxRetries = 0 // retry forever: the blackhole must be bounded by the cap, not the retry budget
+	a, b := pair(t, cfg)
+
+	// The blackhole: a socket that never reads and never acks.
+	hole, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	a.AddPeer(7, hole.LocalAddr().(*net.UDPAddr))
+
+	// A message worth a full window of fragments, sent into the void;
+	// the cap must hold it to 8 in-flight frames. The send blocks until
+	// Close wakes it.
+	blackholed := make(chan error, 1)
+	go func() { blackholed <- a.Send(7, 9, pattern(64*1400)) }()
+
+	// Healthy traffic must stream on unharmed while the blackhole RTOs.
+	for i := 0; i < 50; i++ {
+		if err := a.Send(1, 11, pattern(8000)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := a.HealthSnapshot()
+	tc := snapChan(&snap, 7, "tx")
+	if tc == nil {
+		t.Fatal("no tx channel to the blackholed peer")
+	}
+	if tc.InFlight > cfg.PeerInFlight {
+		t.Errorf("blackholed peer holds %d frames in flight, cap is %d", tc.InFlight, cfg.PeerInFlight)
+	}
+	if tc.Window != cfg.PeerInFlight {
+		t.Errorf("effective window reports %d, want the %d cap (the watchdog keys off it)", tc.Window, cfg.PeerInFlight)
+	}
+	// The healthy round-trips above can complete before the blackholed
+	// channel's first RTO even fires, so poll for the deferral rather
+	// than asserting on one snapshot.
+	deadline := time.Now().Add(2 * time.Second)
+	for snap.Counters["pace_deferrals"] == 0 {
+		if time.Now().After(deadline) {
+			t.Error("pacer never deferred a retransmit for the blackholed window")
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+		snap = a.HealthSnapshot()
+	}
+	a.Close()
+	if err := <-blackholed; err == nil {
+		t.Error("blackholed send returned nil, want ErrClosed/ErrPeerDead")
+	}
+}
+
+// TestFanInSoakFaults is the many-peer churn soak: 64 faulty senders
+// incast one receiver (sharded, capped, paced) under loss, duplication
+// and reordering. Every message must deliver intact, the watchdog
+// watching the receiver must issue no verdicts, and at quiesce every
+// node's pool ledger must balance to zero outstanding buffers.
+func TestFanInSoakFaults(t *testing.T) {
+	const (
+		peers = 64
+		msgs  = 12
+		size  = 3 * 1000
+	)
+	rcfg := live.DefaultConfig()
+	rcfg.Shards = 4
+	rcfg.PeerInFlight = 8
+	rcfg.PaceBurst = 4
+	rcfg.PortDepth = 4096
+	rcfg.RetransmitTimeout = 10 * time.Millisecond
+	rcfg.RTOMin = 5 * time.Millisecond
+	recv := node(t, 100, rcfg)
+
+	wd := health.NewWatchdog(health.WatchdogConfig{
+		StallRTOs: 20, PoolSlack: 256,
+	}, nil, nil, nil)
+	wd.Watch(recv)
+	var verdicts []health.Verdict
+	wdStop := make(chan struct{})
+	wdDone := make(chan struct{})
+	go func() {
+		defer close(wdDone)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-wdStop:
+				return
+			case <-t.C:
+				verdicts = append(verdicts, wd.Scan()...)
+			}
+		}
+	}()
+
+	scfg := live.DefaultConfig()
+	scfg.PeerInFlight = 8
+	scfg.PaceBurst = 4
+	scfg.LossRate = 0.05
+	scfg.DupRate = 0.05
+	scfg.ReorderRate = 0.05
+	scfg.RetransmitTimeout = 10 * time.Millisecond
+	scfg.RTOMin = 5 * time.Millisecond
+	senders := make([]*live.Node, peers)
+	var wg sync.WaitGroup
+	for p := 0; p < peers; p++ {
+		scfg.Seed = int64(p + 1)
+		s := node(t, p, scfg)
+		senders[p] = s
+		live.Connect(recv, s)
+		wg.Add(1)
+		go func(s *live.Node, id int) {
+			defer wg.Done()
+			payload := pattern(size)
+			payload[0] = byte(id)
+			for i := 0; i < msgs; i++ {
+				if err := s.Send(100, 9, payload); err != nil {
+					t.Errorf("sender %d: %v", id, err)
+					return
+				}
+			}
+		}(s, p)
+	}
+	for i := 0; i < peers*msgs; i++ {
+		msg, err := recv.Recv(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg.Data) != size || msg.Data[0] != byte(msg.Src) {
+			t.Fatalf("message %d from %d corrupted: len %d marker %d", i, msg.Src, len(msg.Data), msg.Data[0])
+		}
+	}
+	wg.Wait()
+	close(wdStop)
+	<-wdDone
+	if len(verdicts) > 0 {
+		t.Errorf("watchdog issued false verdicts during the soak: %+v", verdicts)
+	}
+
+	// Quiesce: reorder-delayed duplicates and in-flight acks drain, then
+	// every pool ledger must balance — 0 outstanding buffers anywhere.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leaked := int64(0)
+		for _, n := range append([]*live.Node{recv}, senders...) {
+			if s := n.HealthSnapshot(); s.Pool != nil {
+				leaked += s.Pool.Outstanding
+			}
+		}
+		if leaked == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool ledgers never balanced: %d buffers outstanding at quiesce", leaked)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestIdleEvictionReclaimsParked: frames parked behind a gap by a peer
+// that then goes silent must return to the pool after IdleTimeout —
+// and because eviction keeps the sequence counters, a retransmission
+// of the missing prefix later resumes the channel in place.
+func TestIdleEvictionReclaimsParked(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.IdleTimeout = 60 * time.Millisecond
+	a := node(t, 0, cfg)
+
+	peer, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	a.AddPeer(5, peer.LocalAddr().(*net.UDPAddr))
+	dst := a.Addr()
+
+	frame := func(seq uint32) []byte {
+		hdr := proto.Header{Type: proto.TypeData, Flags: proto.FlagFirst | proto.FlagLast,
+			Port: 9, Seq: seq, Len: 4}
+		return append(hdr.Encode(nil), 'd', 'a', 't', byte(seq))
+	}
+	// Sequences 1 and 2 with 0 missing: both park in pooled buffers.
+	for _, seq := range []uint32{1, 2} {
+		if _, err := peer.WriteToUDPAddrPort(frame(seq), dst.AddrPort()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		snap := a.HealthSnapshot()
+		if snap.Pool.Outstanding == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked frames never retained pool buffers (outstanding %d)", snap.Pool.Outstanding)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Silence past IdleTimeout: the evictor must reclaim both buffers.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		snap := a.HealthSnapshot()
+		if snap.Pool.Outstanding == 0 && snap.Counters["idle_evictions"] > 0 {
+			if rc := snapChan(&snap, 5, "rx"); rc == nil || rc.Evictions == 0 {
+				t.Error("channel snapshot missing its eviction count")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle eviction never reclaimed the parked frames (outstanding %d, evictions %d)",
+				snap.Pool.Outstanding, snap.Counters["idle_evictions"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The peer comes back and retransmits from the gap: the channel
+	// resumes in place and all three messages deliver in order.
+	for _, seq := range []uint32{0, 1, 2} {
+		if _, err := peer.WriteToUDPAddrPort(frame(seq), dst.AddrPort()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := 0; want < 3; want++ {
+		msg, err := a.Recv(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg.Data) != 4 || msg.Data[3] != byte(want) {
+			t.Fatalf("resumed delivery %d: got %q", want, msg.Data)
+		}
+	}
+}
+
+// TestCreditAdvertised: every ack carries the receiver's credit, so a
+// sender learns it within the first exchanged stride and the health
+// snapshot stops reporting the unknown (-1) state.
+func TestCreditAdvertised(t *testing.T) {
+	a, b := pair(t, live.DefaultConfig())
+	for i := 0; i < 20; i++ {
+		if err := a.Send(1, 7, pattern(4000)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		snap := a.HealthSnapshot()
+		tc := snapChan(&snap, 1, "tx")
+		if tc != nil && tc.Credit > 0 {
+			if tc.Credit > a.HealthSnapshot().Window {
+				t.Fatalf("credit %d exceeds the window", tc.Credit)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sender never learned the peer's credit from its acks")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

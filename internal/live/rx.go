@@ -67,6 +67,16 @@ type liveRxChan struct {
 	lastCum        relwin.Seq
 	lastProgressNs int64
 
+	// shard is the socket the channel's timer-driven sends (delayed
+	// acks) go through; burst acks use the socket the burst arrived on.
+	shard *rxShard
+
+	// lastCredit is the credit advertised in the most recent ack, and
+	// evictions counts idle-eviction passes that reclaimed this
+	// channel's pooled state. Both for health snapshots; guarded by mu.
+	lastCredit uint32
+	evictions  int64
+
 	// ackBuf is the preframed ack datagram: burst-flush acks are encoded
 	// into it under mu and written after release, so the hot path
 	// allocates nothing. rxLoop-exclusive — the delayed-ack timer frames
@@ -101,6 +111,7 @@ func newRxChan(n *Node, src int, addr netip.AddrPort) *liveRxChan {
 	rc := &liveRxChan{
 		src:            src,
 		addr:           addr,
+		shard:          n.shardFor(src),
 		reseq:          relwin.NewResequencer[rxDatagram](n.cfg.Window),
 		lastProgressNs: time.Now().UnixNano(),
 	}
@@ -184,9 +195,9 @@ type burstScratch struct {
 //     are dispatched as one run under a single channel-lock hold (the
 //     GRO rung), and ack decisions are deferred to burst end so a
 //     burst answers with one cumulative ack, not one per frame.
-func (n *Node) rxLoop() {
+func (n *Node) rxLoop(s *rxShard) {
 	defer n.wg.Done()
-	br, err := newBatchReader(n.conn)
+	br, err := newBatchReader(s.conn)
 	if err != nil {
 		return
 	}
@@ -217,6 +228,7 @@ func (n *Node) rxLoop() {
 			// Empty probe (poll rung only): yield the core and try again;
 			// after rxPollIdleExit misses, park in the poller.
 			n.rxPollEmpty.Inc()
+			s.pollEmpty.Add(1)
 			if idle++; idle >= rxPollIdleExit {
 				polling = false
 				idle = 0
@@ -227,6 +239,7 @@ func (n *Node) rxLoop() {
 		}
 		if polling {
 			n.rxPolls.Inc()
+			s.polls.Add(1)
 		}
 		idle = 0
 		if rxBatchSize > 1 && cnt == rxBatchSize {
@@ -237,14 +250,16 @@ func (n *Node) rxLoop() {
 		n.socketReads.Addn(int64(cnt))
 		n.rxBursts.Inc()
 		n.rxBurstFrames.Addn(int64(cnt))
+		s.bursts.Add(1)
+		s.frames.Add(int64(cnt))
 		if perfreg.Enabled() {
 			perfreg.Do(loopCtx, trace.SpanModuleRx, func() {
-				touched = n.dispatchBurst(br, cnt, &sc, touched)
-				touched = n.flushAcks(touched)
+				touched = n.dispatchBurst(s, br, cnt, &sc, touched)
+				touched = n.flushAcks(s, touched)
 			})
 		} else {
-			touched = n.dispatchBurst(br, cnt, &sc, touched)
-			touched = n.flushAcks(touched)
+			touched = n.dispatchBurst(s, br, cnt, &sc, touched)
+			touched = n.flushAcks(s, touched)
 		}
 	}
 }
@@ -252,7 +267,7 @@ func (n *Node) rxLoop() {
 // dispatchBurst decodes a burst and dispatches it: control frames are
 // consumed in place, and maximal runs of adjacent data datagrams from
 // the same peer go through onDataRun under one channel-lock hold.
-func (n *Node) dispatchBurst(br *batchReader, cnt int, sc *burstScratch, touched []*liveRxChan) []*liveRxChan {
+func (n *Node) dispatchBurst(s *rxShard, br *batchReader, cnt int, sc *burstScratch, touched []*liveRxChan) []*liveRxChan {
 	for i := 0; i < cnt; i++ {
 		sc.data[i] = false
 		dgram, from := br.datagram(i)
@@ -261,6 +276,12 @@ func (n *Node) dispatchBurst(br *batchReader, cnt int, sc *burstScratch, touched
 			continue // runt datagram
 		}
 		n.framesRecv.Inc()
+		if hdr.Type == proto.TypeHello {
+			// Handshakes precede registration by definition, so they are
+			// handled before the peer-table lookup.
+			n.onHello(s, from, hdr)
+			continue
+		}
 		n.pmu.RLock()
 		src, ok := n.peerIDs[from]
 		n.pmu.RUnlock()
@@ -276,8 +297,10 @@ func (n *Node) dispatchBurst(br *batchReader, cnt int, sc *burstScratch, touched
 			tc := n.tx[src]
 			n.pmu.RUnlock()
 			if tc != nil {
-				n.onAck(tc, hdr.Seq)
+				n.onAck(tc, hdr)
 			}
+		case proto.TypeBye:
+			n.onBye(src)
 		case proto.TypeConfirm:
 			key := confirmKey{peer: src, seq: hdr.Seq}
 			n.cmu.Lock()
@@ -390,11 +413,48 @@ func (n *Node) onData(rc *liveRxChan, hdr proto.Header, payload []byte) {
 	}
 }
 
+// advertiseCredit computes the receive credit the next ack carries:
+// the node's receive budget (aggregate socket buffering, halved for
+// slack) split evenly across active talkers, clamped to the window,
+// minus whatever this channel already holds parked — and floored at
+// one frame so a credit-blocked sender always has a probe in flight to
+// pull the next advertisement back. Called with rc.mu held.
+func (n *Node) advertiseCredit(rc *liveRxChan) uint32 {
+	peers := n.rxPeers.Load()
+	if peers < 1 {
+		peers = 1
+	}
+	c := n.creditFrames / peers
+	if w := int64(n.cfg.Window); c > w {
+		c = w
+	}
+	c -= int64(rc.reseq.Buffered())
+	if c < 1 {
+		c = 1
+	}
+	rc.lastCredit = uint32(c)
+	return uint32(c)
+}
+
+// ackHeader frames rc's cumulative acknowledgement, carrying the
+// receive credit unless the node speaks the legacy (pre-credit) ack
+// format. Called with rc.mu held.
+func (n *Node) ackHeader(rc *liveRxChan) proto.Header {
+	hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
+	if !n.cfg.LegacyAcks {
+		hdr.Flags = proto.FlagCredit
+		hdr.Len = n.advertiseCredit(rc)
+	}
+	return hdr
+}
+
 // flushAcks ends a burst: every touched channel sends at most one
 // cumulative ack (coalescing the per-frame acks a naive receiver would
 // emit), arms the delayed-ack timer for sub-stride remainders, and
-// flushes any confirmations collected during the burst.
-func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
+// flushes any confirmations collected during the burst. Acks go out on
+// the shard the burst arrived on. Every ack carries the channel's
+// current receive credit (FlagCredit).
+func (n *Node) flushAcks(s *rxShard, touched []*liveRxChan) []*liveRxChan {
 	var nowNs int64 // lazily stamped once per burst
 	for _, rc := range touched {
 		rc.mu.Lock()
@@ -407,6 +467,14 @@ func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
 			rc.lastProgressNs = nowNs
 		}
 		flush := rc.ackNow || rc.sinceAck >= n.cfg.AckEvery
+		// Credit-exhaustion ack: once the peer has used up the credit the
+		// last ack advertised, it is stalled until the next one — under
+		// many-peer fan-in the per-peer credit is routinely smaller than
+		// the ack stride, and waiting out the delayed-ack timer there
+		// would turn flow control into a per-burst latency tax.
+		if !flush && !n.cfg.LegacyAcks && rc.lastCredit > 0 && rc.sinceAck >= int(rc.lastCredit) {
+			flush = true
+		}
 		if flush {
 			rc.sinceAck = 0
 			rc.ackNow = false
@@ -417,8 +485,7 @@ func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
 			// Frame under the lock, write after release: the socket write
 			// must not happen under rc.mu. ackBuf is rxLoop-exclusive, so
 			// the post-unlock read of it is race-free.
-			hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
-			hdr.Put(rc.ackBuf[:])
+			n.ackHeader(rc).Put(rc.ackBuf[:])
 		} else if rc.sinceAck > 0 && !rc.ackArmed {
 			rc.ackTimer.Reset(n.cfg.AckDelay)
 			rc.ackArmed = true
@@ -432,7 +499,7 @@ func (n *Node) flushAcks(touched []*liveRxChan) []*liveRxChan {
 			// Control datagrams carry no flight id (0): their sequence
 			// numbers live in the peer's space, so deriving an id here
 			// would collide.
-			n.transmit(addr, rc.ackBuf[:], 0)
+			n.transmit(s.conn, addr, rc.ackBuf[:], 0)
 		}
 		for _, seq := range confirms {
 			n.sendControl(rc.src, proto.TypeConfirm, seq)
@@ -472,12 +539,11 @@ func (n *Node) delayedAckExpire(rc *liveRxChan) {
 	// exclusive and the burst flush reads it outside the lock. This is
 	// the cold path, so the escaping buffer's allocation is acceptable.
 	var buf [proto.HeaderBytes]byte
-	hdr := proto.Header{Type: proto.TypeAck, Seq: rc.reseq.CumAck()}
-	hdr.Put(buf[:])
+	n.ackHeader(rc).Put(buf[:])
 	addr := rc.addr
 	rc.mu.Unlock()
 	n.acksSent.Inc()
-	n.transmit(addr, buf[:], 0)
+	n.transmit(rc.shard.conn, addr, buf[:], 0)
 }
 
 // liveAsm reassembles fragments into messages.
@@ -561,7 +627,16 @@ func (n *Node) deliver(src int, port uint16, typ proto.PacketType, seq relwin.Se
 		data = make([]byte, len(view))
 		copy(data, view)
 	}
-	ch <- Message{Src: src, Port: port, Data: data}
+	// With several shards delivering to one port the occupancy check
+	// above is advisory (another shard may fill the last slot between
+	// check and send), so the send itself must not block: a blocked
+	// shard loop would stall every peer hashed to it.
+	select {
+	case ch <- Message{Src: src, Port: port, Data: data}:
+	default:
+		n.portDrops.Inc()
+		n.hl.Warn("port_drop", src, seq, int64(port))
+	}
 }
 
 // sendControl emits an unsequenced internal packet (confirmations).
@@ -573,7 +648,7 @@ func (n *Node) sendControl(dst int, typ proto.PacketType, seq relwin.Seq) {
 		return
 	}
 	hdr := proto.Header{Type: typ, Seq: seq}
-	n.transmit(addr, hdr.Encode(nil), 0)
+	n.transmit(n.shardFor(dst).conn, addr, hdr.Encode(nil), 0)
 }
 
 // Region is a remote-write window (the live analogue of clic.Region),

@@ -1,0 +1,39 @@
+package live
+
+import (
+	"net"
+	"sync/atomic"
+	"syscall"
+)
+
+// rxShard is one receive shard: a UDP socket bound (with SO_REUSEPORT
+// when the node runs more than one shard) to the node's port, drained
+// by a dedicated rxLoop goroutine with its own pooled batch reader.
+// The kernel's REUSEPORT flow hash routes all datagrams of one remote
+// 4-tuple to one socket, so a given peer's data and acks always land
+// on the same shard and per-channel receive state keeps exactly one
+// reader — the single-rxLoop ownership invariants (rc.ackBuf, pending
+// dispatch) hold per shard without new locks.
+type rxShard struct {
+	id   int
+	conn *net.UDPConn
+
+	// raw drives the batched syscalls (sendmmsg/recvmmsg on Linux)
+	// through the runtime poller.
+	raw syscall.RawConn
+
+	// Per-shard receive stats. Atomics: each is written by this shard's
+	// rxLoop and read by health snapshots.
+	bursts    atomic.Int64
+	frames    atomic.Int64
+	polls     atomic.Int64
+	pollEmpty atomic.Int64
+}
+
+// helloReply is what the receive loop hands a parked Handshake waiter:
+// the remote node id from the hello-ack and the initial window credit
+// it advertised (0 when the peer did not set FlagCredit).
+type helloReply struct {
+	peer   int
+	credit int
+}

@@ -13,6 +13,22 @@ import (
 // rxBatchSize > 1).
 const rxBatchSize = 1
 
+// shardsSupported is 1 on the portable path: setting SO_REUSEPORT
+// portably isn't possible without golang.org/x/sys, so Config.Shards
+// clamps to a single socket and the node runs exactly as before.
+const shardsSupported = 1
+
+// listenShards binds the node's single socket (count is already
+// clamped to 1 on this platform).
+func listenShards(count int) ([]*net.UDPConn, error) {
+	_ = count
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return []*net.UDPConn{c}, nil
+}
+
 // batchReader is the portable receive path: one datagram per wakeup via
 // the net package (itself allocation-free with ReadFromUDPAddrPort).
 // The Linux build replaces this with a recvmmsg burst reader; the rest
@@ -66,7 +82,7 @@ func newTxBatcher() *txBatcher { return &txBatcher{} }
 func writeBurst(n *Node, tc *liveTxChan, addr netip.AddrPort, cnt int) int {
 	for i := 0; i < cnt; i++ {
 		fb := tc.stageFb[i]
-		n.conn.WriteToUDPAddrPort(fb.b[:fb.n], addr) //nolint:errcheck // lossy channel by design
+		tc.shard.conn.WriteToUDPAddrPort(fb.b[:fb.n], addr) //nolint:errcheck // lossy channel by design
 	}
 	return cnt
 }

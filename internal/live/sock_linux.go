@@ -3,6 +3,7 @@
 package live
 
 import (
+	"context"
 	"net"
 	"net/netip"
 	"syscall"
@@ -14,6 +15,58 @@ import (
 // depth (§4.2); past ~8 the syscall amortisation flattens while the
 // resident buffer cost keeps growing.
 const rxBatchSize = 16
+
+// shardsSupported caps Config.Shards: Linux distributes datagrams
+// across an SO_REUSEPORT group by flow hash, so any reasonable shard
+// count works. The cap only guards against absurd configs.
+const shardsSupported = 64
+
+// soReusePort is SO_REUSEPORT, spelled out because the frozen syscall
+// package predates it (same treatment as solUDP/udpSegment below).
+const soReusePort = 0xf
+
+// listenShards binds count UDP sockets to one 127.0.0.1 port. A single
+// shard is a plain ephemeral bind; more set SO_REUSEPORT on every
+// socket (the first picks the port, the rest join its reuseport
+// group). The kernel hashes each remote 4-tuple to one group member,
+// so a peer's datagrams always reach the same shard. The group is
+// complete before any traffic flows — membership changes would remap
+// flows, which is why the shard set is fixed for the node's lifetime.
+func listenShards(count int) ([]*net.UDPConn, error) {
+	if count <= 1 {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		return []*net.UDPConn{c}, nil
+	}
+	lc := net.ListenConfig{Control: func(network, address string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	conns := make([]*net.UDPConn, 0, count)
+	addr := "127.0.0.1:0"
+	for i := 0; i < count; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp4", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		c := pc.(*net.UDPConn)
+		conns = append(conns, c)
+		if i == 0 {
+			addr = c.LocalAddr().String()
+		}
+	}
+	return conns, nil
+}
 
 // mmsghdr mirrors struct mmsghdr from <sys/socket.h>: a msghdr plus the
 // kernel-reported datagram length, padded to 8-byte alignment (64 bytes
@@ -325,7 +378,7 @@ func writeBurst(n *Node, tc *liveTxChan, addr netip.AddrPort, cnt int) int {
 	if t.gso != gsoOff && gsoEligible(tc, cnt, segsize) {
 		t.gsoHdr.Iovlen = uint64(cnt)
 		*(*uint16)(unsafe.Pointer(&t.gsoCtrl[16])) = uint16(segsize)
-		n.rawConn.Write(t.gsoFn) //nolint:errcheck // lossy channel by design
+		tc.shard.raw.Write(t.gsoFn) //nolint:errcheck // lossy channel by design
 		if t.gsoErr == 0 {
 			t.gso = gsoOn
 			return t.calls
@@ -335,6 +388,6 @@ func writeBurst(n *Node, tc *liveTxChan, addr netip.AddrPort, cnt int) int {
 		t.gso = gsoOff
 	}
 	t.off, t.cnt = 0, cnt
-	n.rawConn.Write(t.writeFn) //nolint:errcheck // lossy channel by design
+	tc.shard.raw.Write(t.writeFn) //nolint:errcheck // lossy channel by design
 	return t.calls
 }

@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/netip"
 	"sync"
 	"time"
@@ -22,6 +23,12 @@ import (
 // send fast path, so senders to different peers proceed in parallel.
 type liveTxChan struct {
 	peer int
+
+	// shard is the socket this channel's writes go through (fixed at
+	// creation: peer id modulo shard count). Any socket could carry
+	// them — all share the local address — but pinning spreads send
+	// syscalls so concurrent senders don't contend on one fd.
+	shard *rxShard
 
 	// sendMu serialises whole messages: fragments of concurrent sends to
 	// the same peer must not interleave in the sequence space or the
@@ -71,6 +78,23 @@ type liveTxChan struct {
 	// retransmitted, so their ack latencies must not feed the estimator.
 	sampleFloor relwin.Seq
 
+	// capFrames is the resolved per-peer in-flight cap (0 = window only)
+	// — the pool-isolation bound: at most this many pooled buffers can
+	// be retained by this channel's window at once.
+	capFrames int
+
+	// credit is the peer's last advertised receive credit in frames
+	// (FlagCredit acks); -1 until the peer advertises one (legacy peers
+	// never do, and the channel then runs uncapped as before). Senders
+	// gate on min(window, capFrames, credit). Guarded by mu.
+	credit int
+
+	// paceBurst is the resolved retransmit pacing bucket (0 = pacing
+	// off); pacedBacklog counts unacked frames a paced RTO expiry left
+	// for later ticks, for health snapshots. Guarded by mu.
+	paceBurst    int
+	pacedBacklog int
+
 	// lastProgressNs is when the cumulative ack last advanced (channel
 	// creation time until then), on the wall clock; health snapshots
 	// expose it and the watchdog's window-stall deadline runs against
@@ -119,15 +143,29 @@ func nextPow2(v int) int {
 
 func newTxChan(n *Node, peer int, addr netip.AddrPort) *liveTxChan {
 	tc := &liveTxChan{
-		peer: peer,
-		addr: addr,
-		win:  relwin.NewSender[*frameBuf](n.cfg.Window),
+		peer:   peer,
+		shard:  n.shardFor(peer),
+		addr:   addr,
+		credit: -1,
+		win:    relwin.NewSender[*frameBuf](n.cfg.Window),
 		ctrl: rto.New(rto.Config{
 			Initial:    n.cfg.RetransmitTimeout.Nanoseconds(),
 			Min:        n.cfg.RTOMin.Nanoseconds(),
 			Max:        n.cfg.RTOMax.Nanoseconds(),
 			MaxRetries: n.cfg.MaxRetries,
 		}),
+	}
+	if n.cfg.PeerInFlight > 0 && n.cfg.PeerInFlight < n.cfg.Window {
+		tc.capFrames = n.cfg.PeerInFlight
+	}
+	switch {
+	case n.cfg.PaceBurst > 0:
+		tc.paceBurst = n.cfg.PaceBurst
+	case n.cfg.PaceBurst == 0:
+		tc.paceBurst = n.cfg.Window
+		if tc.paceBurst > 16 {
+			tc.paceBurst = 16
+		}
 	}
 	tc.sendMu.SetRank(rankSendMu, "sendMu")
 	tc.mu.SetRank(rankChanMu, "tc.mu")
@@ -174,6 +212,52 @@ func newTxChan(n *Node, peer int, addr netip.AddrPort) *liveTxChan {
 // publishRTO refreshes the channel's live_rto_ns gauge from the
 // controller. Called with tc.mu held after any controller mutation.
 func (tc *liveTxChan) publishRTO() { tc.rtoGauge.Set(tc.ctrl.RTO()) }
+
+// canPush reports whether another frame may enter the window: a window
+// slot is free AND in-flight stays below the per-peer cap AND below
+// the peer's advertised credit. Called with tc.mu held.
+func (tc *liveTxChan) canPush() bool {
+	if !tc.win.CanSend() {
+		return false
+	}
+	inflight := tc.win.InFlight()
+	if tc.capFrames > 0 && inflight >= tc.capFrames {
+		return false
+	}
+	if tc.credit >= 0 && inflight >= tc.credit {
+		return false
+	}
+	return true
+}
+
+// effectiveWindow is the send limit canPush enforces right now:
+// min(window, per-peer cap, advertised credit). Health snapshots
+// report this as the channel's Window so the watchdog's window-stall
+// condition (InFlight >= Window) keeps firing for capped and
+// credit-starved channels. Two floors keep the snapshot contract
+// intact: at least 1 (a zero wire credit is clamped on receive and can
+// never wedge the channel) and at least the current in-flight count —
+// credit can legitimately shrink below what was already pushed under
+// an earlier, larger advertisement, and InFlight <= Window must hold
+// for consumers (the channel then reads as exactly full, which it is:
+// canPush is false until acks drain it back under the new credit).
+// Called with tc.mu held.
+func (tc *liveTxChan) effectiveWindow() int {
+	w := tc.win.Window()
+	if tc.capFrames > 0 && tc.capFrames < w {
+		w = tc.capFrames
+	}
+	if tc.credit >= 0 && tc.credit < w {
+		w = tc.credit
+	}
+	if inf := tc.win.InFlight(); w < inf {
+		w = inf
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Send reliably transmits data to (dst, port), blocking on window space.
 func (n *Node) Send(dst int, port uint16, data []byte) error {
@@ -261,10 +345,12 @@ func (n *Node) sendMsg(ctx context.Context, dst int, port uint16, typ proto.Pack
 
 		tc.mu.Lock()
 		// A channel failure broadcasts slotFree, so senders blocked on
-		// window space wake here and surface ErrPeerDead. Anything still
-		// staged must hit the wire before sleeping: the acks that free
-		// the window can only come from those bytes.
-		for !tc.win.CanSend() && !tc.failed && !n.closed.Load() {
+		// window space wake here and surface ErrPeerDead. canPush also
+		// folds in the per-peer cap and the peer's advertised credit —
+		// credit growth broadcasts slotFree the same way ack progress
+		// does. Anything still staged must hit the wire before sleeping:
+		// the acks that free the window can only come from those bytes.
+		for !tc.canPush() && !tc.failed && !n.closed.Load() {
 			if tc.stageCnt > 0 {
 				tc.mu.Unlock()
 				n.flushTx(ctx, tc)
@@ -402,7 +488,7 @@ func (n *Node) flushWires(tc *liveTxChan, addr netip.AddrPort, cnt int) {
 	if n.faulty || n.fr != nil {
 		for i := 0; i < cnt; i++ {
 			fb := tc.stageFb[i]
-			n.transmit(addr, fb.b[:fb.n], tc.stageFid[i])
+			n.transmit(tc.shard.conn, addr, fb.b[:fb.n], tc.stageFid[i])
 		}
 	} else {
 		syscalls := writeBurst(n, tc, addr, cnt)
@@ -411,19 +497,21 @@ func (n *Node) flushWires(tc *liveTxChan, addr netip.AddrPort, cnt int) {
 	}
 }
 
-// transmit writes one datagram. The clean path is two atomic increments
-// and the syscall; fault injection (loss/duplication/reordering) lives
-// on a separate path that is only entered when configured, so tests pay
-// for the rng lock and the hot path does not.
-func (n *Node) transmit(addr netip.AddrPort, dgram []byte, fid uint64) {
+// transmit writes one datagram through c (the caller's shard socket —
+// every shard shares the node's address, so any socket may carry any
+// datagram). The clean path is two atomic increments and the syscall;
+// fault injection (loss/duplication/reordering) lives on a separate
+// path that is only entered when configured, so tests pay for the rng
+// lock and the hot path does not.
+func (n *Node) transmit(c *net.UDPConn, addr netip.AddrPort, dgram []byte, fid uint64) {
 	if n.faulty {
-		n.transmitFaulty(addr, dgram, fid)
+		n.transmitFaulty(c, addr, dgram, fid)
 		return
 	}
 	n.framesSent.Inc()
 	n.socketWrites.Inc()
 	n.flightWire(fid)
-	n.conn.WriteToUDPAddrPort(dgram, addr) //nolint:errcheck // lossy channel by design
+	c.WriteToUDPAddrPort(dgram, addr) //nolint:errcheck // lossy channel by design
 }
 
 // transmitFaulty applies loss/duplication/reordering injection. A
@@ -433,7 +521,7 @@ func (n *Node) transmit(addr netip.AddrPort, dgram []byte, fid uint64) {
 // write snapshots the datagram into a pooled buffer of its own. The
 // deferred callback touches only the socket, the pool and atomic
 // counters, so it is safe even after Close.
-func (n *Node) transmitFaulty(addr netip.AddrPort, dgram []byte, fid uint64) {
+func (n *Node) transmitFaulty(c *net.UDPConn, addr netip.AddrPort, dgram []byte, fid uint64) {
 	n.imu.Lock()
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.imu.Unlock()
@@ -476,7 +564,7 @@ func (n *Node) transmitFaulty(addr netip.AddrPort, dgram []byte, fid uint64) {
 				n.framesSent.Inc()
 				n.socketWrites.Inc()
 				n.flightWire(fid)
-				n.conn.WriteToUDPAddrPort(held, addr) //nolint:errcheck // lossy channel by design
+				c.WriteToUDPAddrPort(held, addr) //nolint:errcheck // lossy channel by design
 				n.pool.Put(cp)
 			})
 			continue
@@ -484,7 +572,7 @@ func (n *Node) transmitFaulty(addr netip.AddrPort, dgram []byte, fid uint64) {
 		n.framesSent.Inc()
 		n.socketWrites.Inc()
 		n.flightWire(fid)
-		n.conn.WriteToUDPAddrPort(dgram, addr) //nolint:errcheck // lossy channel by design
+		c.WriteToUDPAddrPort(dgram, addr) //nolint:errcheck // lossy channel by design
 	}
 }
 
@@ -560,12 +648,38 @@ func (n *Node) rtoExpire(tc *liveTxChan) {
 		n.fr.Point(n.nodeName, 0, trace.PointRTOBackoff,
 			time.Now().UnixNano(), tc.ctrl.RTO())
 	}
+	// Token-bucket pacing: each RTO tick may retransmit at most a
+	// bucket of frames, and the bucket halves per consecutive backoff
+	// (floored at one frame so the channel always probes). Go-back-N is
+	// unchanged — the deferred tail goes out on later ticks, and any
+	// ack progress resets the backoff and refills the bucket. Under
+	// incast this turns N synchronized window-sized retransmit storms
+	// into paced trickles the shared socket buffer can absorb.
+	quota := len(unacked)
+	if tc.paceBurst > 0 && quota > 0 {
+		q := tc.paceBurst
+		if r := tc.ctrl.Retries(); r > 0 {
+			shift := r
+			if shift > 8 {
+				shift = 8
+			}
+			q >>= uint(shift)
+			if q < 1 {
+				q = 1
+			}
+		}
+		if q < quota {
+			n.paceDeferrals.Addn(int64(quota - q))
+			quota = q
+		}
+	}
+	tc.pacedBacklog = len(unacked) - quota
 	n.hl.Event("rto_backoff", tc.peer, base, tc.ctrl.RTO())
-	n.hl.Event("retransmit", tc.peer, base, int64(len(unacked)))
+	n.hl.Event("retransmit", tc.peer, base, int64(quota))
 	tc.publishRTO() // the timeout doubled
 	// Karn's rule: acks for anything below this watermark are ambiguous.
 	tc.sampleFloor = tc.win.NextSeq()
-	for i, fb := range unacked {
+	for i, fb := range unacked[:quota] {
 		n.retransmits.Inc()
 		var fid uint64
 		if n.fr != nil {
@@ -573,7 +687,7 @@ func (n *Node) rtoExpire(tc *liveTxChan) {
 			n.fr.Point(n.nodeName, fid, trace.PointRetransmit,
 				time.Now().UnixNano(), int64(fb.n))
 		}
-		n.transmit(tc.addr, fb.b[:fb.n], fid) //nolint:blockunderlock // deliberate: dropping tc.mu here would let the ack path recycle the buffers being retransmitted; cold path by construction
+		n.transmit(tc.shard.conn, tc.addr, fb.b[:fb.n], fid) //nolint:blockunderlock // deliberate: dropping tc.mu here would let the ack path recycle the buffers being retransmitted; cold path by construction
 	}
 	n.armRTO(tc)
 }
@@ -610,19 +724,42 @@ func (n *Node) failChannel(tc *liveTxChan) []chan error {
 	return waiters
 }
 
-// onAck processes a cumulative acknowledgement from peer: release the
-// acknowledged prefix back to the pool (observing ack latency and RTT),
-// reset the retry budget, re-arm the timer for whatever is still in
-// flight, and wake window-blocked senders.
-func (n *Node) onAck(tc *liveTxChan, cum relwin.Seq) {
+// onAck processes a cumulative acknowledgement from peer: absorb any
+// advertised credit, release the acknowledged prefix back to the pool
+// (observing ack latency and RTT), reset the retry budget, re-arm the
+// timer for whatever is still in flight, and wake window-blocked
+// senders. A credit change wakes senders even without ack progress —
+// a credit-blocked sender is waiting on exactly that.
+func (n *Node) onAck(tc *liveTxChan, hdr proto.Header) {
 	tc.mu.Lock()
+	creditWoke := false
+	if hdr.Flags&proto.FlagCredit != 0 {
+		c := int(hdr.Len)
+		// Clamp the wire value: below 1 would wedge the channel (a
+		// credit-starved sender with nothing in flight gets no more
+		// acks), above the window is meaningless.
+		if c < 1 {
+			c = 1
+		}
+		if w := tc.win.Window(); c > w {
+			c = w
+		}
+		if c != tc.credit {
+			creditWoke = c > tc.credit || tc.credit < 0
+			tc.credit = c
+		}
+	}
 	tc.relNowNs = time.Now().UnixNano()
 	tc.relObserve = true
-	if tc.win.AckFunc(cum, tc.release) == 0 {
+	if tc.win.AckFunc(hdr.Seq, tc.release) == 0 {
+		if creditWoke {
+			tc.slotFree.Broadcast()
+		}
 		tc.mu.Unlock()
 		return
 	}
 	tc.ctrl.OnProgress()
+	tc.pacedBacklog = 0
 	tc.lastProgressNs = tc.relNowNs
 	tc.publishRTO()
 	if tc.rtoArmed {

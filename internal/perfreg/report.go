@@ -22,6 +22,9 @@ func Trajectory(entries []Entry) string {
 	sb.WriteString("| label | go | mtu | Mb/s | Δ vs prev | allocs/msg | retrans |\n")
 	sb.WriteString("|---|---|---:|---:|---:|---:|---:|\n")
 	for i, e := range entries {
+		if e.Kind != "" {
+			continue
+		}
 		for _, s := range e.Streaming {
 			delta := "—"
 			if prev := previousPoint(entries, i, s.MTU, s.MsgBytes); prev != nil {
@@ -36,17 +39,46 @@ func Trajectory(entries []Entry) string {
 		}
 	}
 
+	if hasKind(entries, KindFanIn) {
+		sb.WriteString("\n### Fan-in (many-peer aggregate goodput)\n\n")
+		sb.WriteString("| label | go | pattern | peers | Mb/s | Δ vs prev | retrans |\n")
+		sb.WriteString("|---|---|---|---:|---:|---:|---:|\n")
+		for i, e := range entries {
+			if e.Kind != KindFanIn {
+				continue
+			}
+			for _, s := range e.Streaming {
+				delta := "—"
+				if prev := previousFanPoint(entries, i, s.Pattern, s.Peers); prev != nil {
+					delta = fmt.Sprintf("%+.1f%%", (s.Mbps/prev.Mbps-1)*100)
+				}
+				mbps := fmt.Sprintf("%.0f", s.Mbps)
+				if s.MbpsMAD > 0 {
+					mbps += fmt.Sprintf(" ±%.0f", s.MbpsMAD)
+				}
+				fmt.Fprintf(&sb, "| %s | %s | %s | %d | %s | %s | %d |\n",
+					e.Label, goBrief(e), s.Pattern, s.Peers, mbps, delta, s.Retransmits)
+			}
+		}
+	}
+
 	sb.WriteString("\n### 0-byte ping-pong (one-way latency)\n\n")
 	sb.WriteString("| label | rounds | p50 µs | p99 µs | Δ p99 | allocs/rt |\n")
 	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
 	for i, e := range entries {
+		if e.Kind != "" {
+			continue
+		}
 		pp := e.PingPong
 		delta := "—"
-		if i > 0 {
-			prev := entries[i-1].PingPong
-			if prev.P99us > 0 {
+		for j := i - 1; j >= 0; j-- {
+			if entries[j].Kind != "" {
+				continue
+			}
+			if prev := entries[j].PingPong; prev.P99us > 0 {
 				delta = fmt.Sprintf("%+.1f%%", (pp.P99us/prev.P99us-1)*100)
 			}
+			break
 		}
 		p99 := fmt.Sprintf("%.1f", pp.P99us)
 		if pp.P99MAD > 0 {
@@ -72,6 +104,29 @@ func previousPoint(entries []Entry, i, mtu, msgBytes int) *Stream {
 		}
 	}
 	return nil
+}
+
+// previousFanPoint finds the same (pattern, peers) fan-in point in the
+// nearest earlier fan-in entry that has it.
+func previousFanPoint(entries []Entry, i int, pattern string, peers int) *Stream {
+	for j := i - 1; j >= 0; j-- {
+		if entries[j].Kind != KindFanIn {
+			continue
+		}
+		if p := entries[j].FanPoint(pattern, peers); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func hasKind(entries []Entry, kind string) bool {
+	for i := range entries {
+		if entries[i].Kind == kind {
+			return true
+		}
+	}
+	return false
 }
 
 func goBrief(e Entry) string {

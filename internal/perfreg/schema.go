@@ -12,8 +12,16 @@ import (
 // with no "schema" field are version 0: the pre-observatory format
 // (label, go, streaming, pingpong) that the first trajectory points
 // were recorded in; they stay parseable and checkable forever, they
-// just carry no env fingerprint or noise bands.
-const SchemaVersion = 1
+// just carry no env fingerprint or noise bands. Version 2 added the
+// entry kind and the per-stream pattern/peers coordinates for the
+// fan-in experiment; kind-less entries remain the single-pair live
+// sweep they always were.
+const SchemaVersion = 2
+
+// Entry kinds. An empty kind is the original single-pair live sweep;
+// KindFanIn entries carry fan-in streaming points (pattern × peers)
+// and no ping-pong measurement.
+const KindFanIn = "fanin"
 
 // Env is the environment fingerprint stamped into every schema>=1
 // entry. Two entries are only comparable as a regression signal when
@@ -51,11 +59,16 @@ func (e *Env) Same(o *Env) bool {
 }
 
 // Stream is one streaming measurement point: median of Runs repetitions
-// at one (MTU, message size) coordinate, with MAD noise bands.
+// at one (MTU, message size) coordinate, with MAD noise bands. Fan-in
+// entries additionally coordinate each point by traffic pattern and
+// peer count ("n_to_1/tuned" × 64); single-pair sweep points leave
+// both zero.
 type Stream struct {
 	MTU          int     `json:"mtu"`
 	MsgBytes     int     `json:"msg_bytes"`
 	Messages     int     `json:"messages"`
+	Pattern      string  `json:"pattern,omitempty"` // fan-in: "1_to_n|n_to_1|n_to_n" + "/base|/tuned"
+	Peers        int     `json:"peers,omitempty"`   // fan-in: fan width N
 	Mbps         float64 `json:"mbps"`
 	MbpsMAD      float64 `json:"mbps_mad,omitempty"`
 	AllocsPerMsg float64 `json:"allocs_per_msg"`
@@ -78,6 +91,7 @@ type PingPong struct {
 // bench/baseline.json.
 type Entry struct {
 	Schema    int      `json:"schema,omitempty"` // 0 = pre-observatory entry
+	Kind      string   `json:"kind,omitempty"`   // "" = single-pair sweep, KindFanIn = fan-in
 	Label     string   `json:"label"`
 	Go        string   `json:"go"`
 	Env       *Env     `json:"env,omitempty"`
@@ -87,10 +101,25 @@ type Entry struct {
 }
 
 // Point returns the stream at the (mtu, msgBytes) coordinate, or nil.
+// Fan-in points (pattern-coordinated) are skipped: a sweep baseline
+// never matches them by accident.
 func (e *Entry) Point(mtu, msgBytes int) *Stream {
 	for i := range e.Streaming {
-		if e.Streaming[i].MTU == mtu && e.Streaming[i].MsgBytes == msgBytes {
-			return &e.Streaming[i]
+		s := &e.Streaming[i]
+		if s.MTU == mtu && s.MsgBytes == msgBytes && s.Pattern == "" {
+			return s
+		}
+	}
+	return nil
+}
+
+// FanPoint returns the fan-in stream at the (pattern, peers)
+// coordinate, or nil.
+func (e *Entry) FanPoint(pattern string, peers int) *Stream {
+	for i := range e.Streaming {
+		s := &e.Streaming[i]
+		if s.Pattern == pattern && s.Peers == peers {
+			return s
 		}
 	}
 	return nil
@@ -111,14 +140,33 @@ func (e *Entry) Validate() error {
 	if e.Go == "" {
 		return fmt.Errorf("%s: missing go version", e.Label)
 	}
+	switch e.Kind {
+	case "":
+	case KindFanIn:
+		if e.Schema < 2 {
+			return fmt.Errorf("%s: kind %q needs schema >= 2, got %d", e.Label, e.Kind, e.Schema)
+		}
+	default:
+		return fmt.Errorf("%s: unknown entry kind %q", e.Label, e.Kind)
+	}
 	if len(e.Streaming) == 0 {
 		return fmt.Errorf("%s: no streaming points", e.Label)
 	}
-	seen := map[[2]int]bool{}
+	type pointKey struct {
+		mtu, msgBytes, peers int
+		pattern              string
+	}
+	seen := map[pointKey]bool{}
 	for i, s := range e.Streaming {
 		at := fmt.Sprintf("%s streaming[%d]", e.Label, i)
 		if s.MTU <= 0 || s.MsgBytes <= 0 || s.Messages <= 0 {
 			return fmt.Errorf("%s: non-positive mtu/msg_bytes/messages (%d/%d/%d)", at, s.MTU, s.MsgBytes, s.Messages)
+		}
+		if e.Kind == KindFanIn && (s.Pattern == "" || s.Peers <= 0) {
+			return fmt.Errorf("%s: fan-in point without pattern/peers coordinate", at)
+		}
+		if e.Kind == "" && (s.Pattern != "" || s.Peers != 0) {
+			return fmt.Errorf("%s: sweep point carries fan-in coordinates (pattern=%q peers=%d)", at, s.Pattern, s.Peers)
 		}
 		if s.Mbps <= 0 {
 			return fmt.Errorf("%s: non-positive throughput %g", at, s.Mbps)
@@ -129,13 +177,27 @@ func (e *Entry) Validate() error {
 		if s.Retransmits < 0 {
 			return fmt.Errorf("%s: negative retransmits %d", at, s.Retransmits)
 		}
-		key := [2]int{s.MTU, s.MsgBytes}
+		key := pointKey{s.MTU, s.MsgBytes, s.Peers, s.Pattern}
 		if seen[key] {
-			return fmt.Errorf("%s: duplicate point mtu=%d msg_bytes=%d", at, s.MTU, s.MsgBytes)
+			return fmt.Errorf("%s: duplicate point mtu=%d msg_bytes=%d pattern=%q peers=%d", at, s.MTU, s.MsgBytes, s.Pattern, s.Peers)
 		}
 		seen[key] = true
 	}
 	pp := e.PingPong
+	if e.Kind == KindFanIn {
+		// Fan-in entries carry no ping-pong measurement; reject one so a
+		// half-filled entry can't masquerade as a sweep point later.
+		if pp.Rounds != 0 || pp.P50us != 0 || pp.P99us != 0 {
+			return fmt.Errorf("%s: fan-in entry carries a pingpong measurement", e.Label)
+		}
+		if e.Env == nil {
+			return fmt.Errorf("%s: fan-in entry without env fingerprint", e.Label)
+		}
+		if e.Runs < 1 {
+			return fmt.Errorf("%s: fan-in entry without runs count", e.Label)
+		}
+		return nil
+	}
 	if pp.Rounds <= 0 {
 		return fmt.Errorf("%s pingpong: non-positive rounds %d", e.Label, pp.Rounds)
 	}

@@ -16,14 +16,16 @@ type PacketType uint8
 
 // CLIC packet types.
 const (
-	TypeData        PacketType = 1 // ordinary message fragment
-	TypeAck         PacketType = 2 // internal: cumulative acknowledgement
-	TypeRemoteWrite PacketType = 3 // asynchronous remote write (§3.1)
-	TypeConfirm     PacketType = 4 // internal: confirmation of reception (§5)
-	TypeKernelFn    PacketType = 5 // kernel-function packet (§3.1)
-	TypeMPI         PacketType = 6 // MPI packet (§3.1)
-	TypeBarrier     PacketType = 7 // internal: collective coordination
-	TypeNack        PacketType = 8 // internal: out-of-order notification
+	TypeData        PacketType = 1  // ordinary message fragment
+	TypeAck         PacketType = 2  // internal: cumulative acknowledgement
+	TypeRemoteWrite PacketType = 3  // asynchronous remote write (§3.1)
+	TypeConfirm     PacketType = 4  // internal: confirmation of reception (§5)
+	TypeKernelFn    PacketType = 5  // kernel-function packet (§3.1)
+	TypeMPI         PacketType = 6  // MPI packet (§3.1)
+	TypeBarrier     PacketType = 7  // internal: collective coordination
+	TypeNack        PacketType = 8  // internal: out-of-order notification
+	TypeHello       PacketType = 9  // internal: connection handshake (Seq = sender node id)
+	TypeBye         PacketType = 10 // internal: connection teardown notice
 )
 
 // Header flags.
@@ -31,6 +33,14 @@ const (
 	FlagFirst   uint8 = 1 << 0 // first fragment of a message
 	FlagLast    uint8 = 1 << 1 // last fragment of a message
 	FlagConfirm uint8 = 1 << 2 // sender requests a TypeConfirm reply
+
+	// FlagCredit versions the acknowledgement header: when set on a
+	// TypeAck (or TypeHello), the Len field carries the receiver's
+	// advertised window credit — how many frames beyond the cumulative
+	// ack it is prepared to buffer. Peers that predate the flag leave it
+	// clear and their acks are read the legacy way (no credit limit), so
+	// the extension is backward compatible in both directions.
+	FlagCredit uint8 = 1 << 3
 )
 
 // HeaderBytes is the CLIC header size: 12 bytes (§3.1).
@@ -41,8 +51,10 @@ const HeaderBytes = 12
 //	byte 0     Type
 //	byte 1     Flags
 //	bytes 2-3  Port (destination CLIC port)
-//	bytes 4-7  Seq (data: channel sequence number; ack: cumulative ack)
-//	bytes 8-11 Len (first fragment: total message length; ack: window echo)
+//	bytes 4-7  Seq (data: channel sequence number; ack: cumulative ack;
+//	           hello: sender node id)
+//	bytes 8-11 Len (first fragment: total message length; ack/hello with
+//	           FlagCredit: advertised window credit in frames)
 type Header struct {
 	Type  PacketType
 	Flags uint8

@@ -24,6 +24,20 @@ func FuzzDecodeHeader(f *testing.F) {
 	// Unknown packet type and all-flags-set: decoders must pass these
 	// through, not panic on them.
 	f.Add(Header{Type: 0xFF, Flags: 0xFF, Port: 0xFFFF, Seq: 0xFFFFFFFF, Len: 0}.Encode(nil))
+	// Credit-bearing ack (FlagCredit versions the Len field): a sane
+	// credit, a zero credit (sender must stall, not divide by it), and
+	// an absurd credit the receiver-side clamp has to survive.
+	f.Add(Header{Type: TypeAck, Flags: FlagCredit, Seq: 1000, Len: 32}.Encode(nil))
+	f.Add(Header{Type: TypeAck, Flags: FlagCredit, Seq: 0, Len: 0}.Encode(nil))
+	f.Add(Header{Type: TypeAck, Flags: FlagCredit, Seq: 0xFFFFFFF0, Len: 0xFFFFFFFF}.Encode(nil))
+	// Legacy ack with a non-zero Len but no FlagCredit: the field must
+	// be ignored, not misread as a credit.
+	f.Add(Header{Type: TypeAck, Flags: 0, Seq: 7, Len: 0xDEAD}.Encode(nil))
+	// Lifecycle packets: hello carrying a node id, hello-ack carrying a
+	// credit, and a bye.
+	f.Add(Header{Type: TypeHello, Flags: 0, Seq: 42}.Encode(nil))
+	f.Add(Header{Type: TypeHello, Flags: FlagLast | FlagCredit, Seq: 7, Len: 16}.Encode(nil))
+	f.Add(Header{Type: TypeBye, Seq: 3}.Encode(nil))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		h, rest, err := DecodeHeader(b)
 		if err != nil {

@@ -66,5 +66,20 @@ func (q *Resequencer[T]) AcceptFunc(seq Seq, item T, emit func(T)) bool {
 // sequence still missing).
 func (q *Resequencer[T]) CumAck() Seq { return q.r.CumAck() }
 
+// DrainParked releases every parked out-of-order frame through release
+// and empties the buffer WITHOUT advancing the expected sequence: the
+// cumulative ack point is unchanged, so go-back-N retransmission
+// re-delivers whatever was dropped. This is the idle-eviction hook — a
+// long-idle channel returns its parked pooled buffers while staying
+// resumable at the same sequence.
+func (q *Resequencer[T]) DrainParked(release func(Seq, T)) {
+	for seq, item := range q.buf {
+		if release != nil {
+			release(seq, item)
+		}
+		delete(q.buf, seq)
+	}
+}
+
 // Buffered returns the number of parked out-of-order frames.
 func (q *Resequencer[T]) Buffered() int { return len(q.buf) }

@@ -125,3 +125,52 @@ func TestAcceptFuncMatchesAccept(t *testing.T) {
 		t.Fatalf("buffered = %d after drain", q.Buffered())
 	}
 }
+
+func TestDrainParked(t *testing.T) {
+	// Eviction semantics: parked frames are released (each exactly once,
+	// with its own sequence), the buffer empties, and the expected
+	// sequence does NOT advance — retransmission refills the gap and the
+	// channel resumes exactly where it stalled.
+	q := NewResequencer[int](4)
+	var got []int
+	emit := func(v int) { got = append(got, v) }
+	if !q.AcceptFunc(0, 0, emit) {
+		t.Fatal("in-order accept rejected")
+	}
+	for _, seq := range []Seq{2, 3, 5} {
+		if !q.AcceptFunc(seq, int(seq), emit) {
+			t.Fatalf("park %d rejected", seq)
+		}
+	}
+	released := map[Seq]int{}
+	q.DrainParked(func(seq Seq, v int) {
+		if int(seq) != v {
+			t.Fatalf("release seq %d carried %d", seq, v)
+		}
+		released[seq]++
+	})
+	if len(released) != 3 || released[2] != 1 || released[3] != 1 || released[5] != 1 {
+		t.Fatalf("released %v, want {2,3,5} once each", released)
+	}
+	if q.Buffered() != 0 {
+		t.Fatalf("buffered = %d after DrainParked", q.Buffered())
+	}
+	if q.CumAck() != 1 {
+		t.Fatalf("cum ack moved to %d; eviction must not advance the sequence", q.CumAck())
+	}
+	// The channel resumes: retransmissions of 1..3 deliver in order.
+	for _, seq := range []Seq{1, 2, 3} {
+		if !q.AcceptFunc(seq, int(seq), emit) {
+			t.Fatalf("post-eviction refill %d rejected", seq)
+		}
+	}
+	if len(got) != 4 || got[3] != 3 {
+		t.Fatalf("delivered %v, want 0..3", got)
+	}
+	// A nil release hook is legal (nothing to recycle).
+	q.AcceptFunc(9, 9, emit)
+	q.DrainParked(nil)
+	if q.Buffered() != 0 {
+		t.Fatal("nil-release drain left parked frames")
+	}
+}
